@@ -1,0 +1,74 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``test_figN_*.py`` / ``test_tableN_*.py`` module regenerates one
+table or figure of the paper.  Heavy artifacts (traces) are cached at
+session scope so figures sharing workloads do not re-trace them, and
+every benchmark runs its experiment exactly once via
+``benchmark.pedantic(rounds=1)``.
+
+Results are printed to the real stdout (bypassing capture) and written
+under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+from repro.core import ThreadFuserAnalyzer, AnalyzerConfig
+from repro.workloads import all_workloads, get_workload, trace_instance
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Logical threads traced per workload in the benchmark harness (a scaled
+#: sample of the paper's 512-42K launches; see DESIGN.md "Scaling notes").
+BENCH_THREADS = 96
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
+        fh.write(text + "\n")
+    sys.__stdout__.write(f"\n{text}\n")
+    sys.__stdout__.flush()
+
+
+class TraceCache:
+    """Session cache: workload name -> (instance, traces)."""
+
+    def __init__(self) -> None:
+        self._cache = {}
+
+    def get(self, name: str, n_threads: int = BENCH_THREADS):
+        key = (name, n_threads)
+        if key not in self._cache:
+            instance = get_workload(name).instantiate(n_threads)
+            traces, _machine = trace_instance(instance)
+            self._cache[key] = (instance, traces)
+        return self._cache[key]
+
+    def report(self, name: str, warp_size: int,
+               n_threads: int = BENCH_THREADS, emulate_locks: bool = False):
+        instance, traces = self.get(name, n_threads)
+        analyzer = ThreadFuserAnalyzer(
+            AnalyzerConfig(warp_size=warp_size, emulate_locks=emulate_locks)
+        )
+        return analyzer.analyze(traces)
+
+
+@pytest.fixture(scope="session")
+def traces_cache() -> TraceCache:
+    return TraceCache()
+
+
+@pytest.fixture(scope="session")
+def workload_names():
+    return [w.name for w in all_workloads()]
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

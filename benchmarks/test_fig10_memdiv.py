@@ -1,0 +1,68 @@
+"""Figure 10: memory transactions per load/store instruction, split by
+heap and stack segment (warp size 32).
+
+Expected shape: significant divergence on both segments -- each thread's
+private stack defeats coalescing entirely, and the allocator scatters
+heap data (AoS layouts and per-request malloc), so transactions per
+instruction sit far above the ideal 4x32B for 8-byte accesses.  The
+coalesced microbenchmark provides the ideal-floor reference.
+"""
+
+from conftest import emit, run_once
+
+from repro.machine import SEG_HEAP, SEG_STACK
+
+WORKLOADS = [
+    "mcrouter_mid", "mcrouter_leaf", "memcached",
+    "textsearch_mid", "textsearch_leaf",
+    "hdsearch_mid", "hdsearch_leaf",
+    "dsb_post", "dsb_text", "dsb_urlshort", "dsb_uniqueid",
+    "dsb_usertag", "dsb_user",
+    "pigz", "md5", "rotate", "vectoradd",
+]
+WARP = 32
+#: Ideal transactions/instr for fully coalesced 8-byte accesses (paper
+#: Sec. III: 8x 32B transactions for a 32-thread warp of 8B accesses).
+IDEAL_8B = 8.0
+
+
+def test_fig10_memory_divergence(benchmark, traces_cache):
+    def experiment():
+        rows = {}
+        for name in WORKLOADS:
+            report = traces_cache.report(name, WARP)
+            rows[name] = (
+                report.transactions_per_load_store(SEG_HEAP),
+                report.transactions_per_load_store(SEG_STACK),
+                report.heap_transactions,
+                report.stack_transactions,
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+
+    lines = [
+        "Figure 10: 32B memory transactions per warp load/store "
+        "(warp size 32; ideal coalesced 8B = 8.0)",
+        "{:<16} {:>10} {:>10} {:>10} {:>10}".format(
+            "workload", "heap/ins", "stack/ins", "heap#", "stack#"),
+    ]
+    for name, (heap_per, stack_per, heap_n, stack_n) in rows.items():
+        lines.append(
+            f"{name:<16} {heap_per:>10.2f} {stack_per:>10.2f} "
+            f"{heap_n:>10} {stack_n:>10}"
+        )
+    emit("fig10_memdiv", "\n".join(lines))
+
+    # vectoradd is the coalesced floor.
+    assert rows["vectoradd"][0] <= IDEAL_8B + 0.5
+    # Services with per-request allocations diverge well above ideal
+    # (the allocator scatters data chunks in the heap, paper Sec. V-B).
+    for name in ("mcrouter_leaf", "dsb_post", "dsb_user"):
+        assert rows[name][0] > IDEAL_8B, name
+    # Private stacks never coalesce: every active lane its own 32B txn,
+    # so stack divergence sits far above the ideal too.
+    stackful = [n for n in WORKLOADS if rows[n][1] > 0]
+    assert len(stackful) >= 3
+    for name in stackful:
+        assert rows[name][1] > IDEAL_8B, name

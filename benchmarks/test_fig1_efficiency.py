@@ -1,0 +1,46 @@
+"""Figure 1: estimated SIMT efficiency of all MIMD workloads at warp
+sizes 8, 16 and 32.
+
+Expected shape (paper Sec. I / V-B): efficiency declines monotonically
+with warp width; nbody/MD5-class workloads stay >95% and nearly flat;
+pigz-class workloads are both low and warp-width sensitive.
+"""
+
+from conftest import BENCH_THREADS, emit, run_once
+
+WARP_SIZES = (8, 16, 32)
+
+
+def test_fig1_simt_efficiency(benchmark, traces_cache, workload_names):
+    def experiment():
+        rows = {}
+        for name in workload_names:
+            rows[name] = [
+                traces_cache.report(name, ws).simt_efficiency
+                for ws in WARP_SIZES
+            ]
+        return rows
+
+    rows = run_once(benchmark, experiment)
+
+    lines = [
+        "Figure 1: SIMT efficiency vs warp size "
+        f"({BENCH_THREADS} logical threads/workload)",
+        "{:<22} {:>8} {:>8} {:>8}".format("workload", "w=8", "w=16", "w=32"),
+    ]
+    for name in sorted(rows, key=lambda n: -rows[n][2]):
+        e8, e16, e32 = rows[name]
+        lines.append(
+            f"{name:<22} {e8:8.1%} {e16:8.1%} {e32:8.1%}"
+        )
+    mean32 = sum(r[2] for r in rows.values()) / len(rows)
+    lines.append(f"{'MEAN':<22} {'':>8} {'':>8} {mean32:8.1%}")
+    emit("fig1_efficiency", "\n".join(lines))
+
+    # Paper-shape assertions.
+    for name, (e8, e16, e32) in rows.items():
+        assert e8 >= e16 - 1e-9 >= e32 - 2e-9, (name, e8, e16, e32)
+    assert rows["nbody"][2] > 0.95
+    assert rows["md5"][2] > 0.95
+    assert rows["pigz"][2] < 0.45
+    assert rows["pigz"][0] > rows["pigz"][2]  # warp-width sensitive

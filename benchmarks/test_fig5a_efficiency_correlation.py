@@ -1,0 +1,94 @@
+"""Figure 5a: ThreadFuser SIMT-efficiency correlation vs SIMT hardware
+(the GPU oracle) across compiler optimization levels O0-O3.
+
+Expected shape (paper Sec. IV): high Pearson correlation at every level;
+O0/O1 track the hardware best (the paper reports 1.0 correlation and a
+3% MAE at O1); O3 tends to overestimate efficiency because unrolling
+removes apparent divergence from the CPU traces.
+"""
+
+from conftest import emit, run_once
+
+from repro.analysis import error_band_summary, mean_absolute_error, pearson
+from repro.core import analyze_traces
+from repro.gpuref import LockstepGPU
+from repro.optlevels import OPT_LEVELS, apply_opt_level
+from repro.workloads import correlation_workloads, trace_instance
+
+N_THREADS = 96
+WARP = 32
+
+
+def _oracle_efficiency(instance):
+    gpu = LockstepGPU(instance.gpu.program, warp_size=WARP)
+    if instance.gpu.setup is not None:
+        instance.gpu.setup(gpu)
+    report = gpu.run_kernel(instance.gpu.kernel,
+                            instance.gpu.args_per_thread)
+    return report.simt_efficiency
+
+
+def test_fig5a_efficiency_correlation(benchmark):
+    def experiment():
+        measured = {}
+        predicted = {lvl: {} for lvl in OPT_LEVELS}
+        for workload in correlation_workloads():
+            instance = workload.instantiate(N_THREADS)
+            measured[workload.name] = _oracle_efficiency(instance)
+            for lvl in OPT_LEVELS:
+                program = apply_opt_level(instance.program, lvl)
+                traces, _m = trace_instance(instance, program=program)
+                predicted[lvl][workload.name] = analyze_traces(
+                    traces, warp_size=WARP
+                ).simt_efficiency
+        return measured, predicted
+
+    measured, predicted = run_once(benchmark, experiment)
+    names = sorted(measured)
+
+    lines = [
+        "Figure 5a: SIMT efficiency, analyzer (per gcc opt level) vs "
+        "SIMT hardware oracle",
+        "{:<16} {:>8} {:>8} {:>8} {:>8} {:>8}".format(
+            "workload", "oracle", *OPT_LEVELS),
+    ]
+    for name in names:
+        lines.append(
+            "{:<16} {:>8.1%} ".format(name, measured[name])
+            + " ".join(f"{predicted[l][name]:>8.1%}" for l in OPT_LEVELS)
+        )
+    summary = {}
+    for lvl in OPT_LEVELS:
+        pred = [predicted[lvl][n] for n in names]
+        meas = [measured[n] for n in names]
+        summary[lvl] = (
+            pearson(pred, meas),
+            mean_absolute_error(pred, meas),
+        )
+    lines.append("")
+    lines.append("{:<6} {:>8} {:>8}".format("level", "correl", "MAE"))
+    for lvl, (corr, mae) in summary.items():
+        lines.append(f"{lvl:<6} {corr:>8.3f} {mae:>8.2%}")
+    all_pred = [predicted[l][n] for l in OPT_LEVELS for n in names]
+    all_meas = [measured[n] for l in OPT_LEVELS for n in names]
+    mean_err, std_err, within = error_band_summary(all_pred, all_meas)
+    lines.append(
+        f"error band over all {len(all_pred)} samples: mean={mean_err:.2%} "
+        f"std={std_err:.2%} within-1-std={within:.0%}"
+    )
+    emit("fig5a_efficiency_correlation", "\n".join(lines))
+
+    # Paper-shape assertions.
+    for lvl in OPT_LEVELS:
+        assert summary[lvl][0] > 0.9, (lvl, summary[lvl])
+    assert summary["O1"][1] < 0.10          # O1 tracks hardware closely
+    assert summary["O1"][1] <= summary["O3"][1] + 0.02
+    # O3 overestimates on average (unrolling hides divergence).
+    names_l = list(names)
+    o3_bias = sum(
+        predicted["O3"][n] - measured[n] for n in names_l
+    ) / len(names_l)
+    o1_bias = sum(
+        predicted["O1"][n] - measured[n] for n in names_l
+    ) / len(names_l)
+    assert o3_bias >= o1_bias - 0.01

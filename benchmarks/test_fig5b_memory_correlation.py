@@ -1,0 +1,87 @@
+"""Figure 5b: memory-transaction correlation vs SIMT hardware, O0-O3.
+
+The paper compares total 32-byte *global* (heap) transactions estimated
+by the analyzer against hardware counts, per optimization level, on
+log-log axes.  Expected shape: correlation >= 0.96 everywhere; O0
+overestimates (memory-resident variables); higher levels keep values in
+registers; O1/O2 sit closest to the hardware.
+"""
+
+import math
+
+from conftest import emit, run_once
+
+from repro.analysis import mean_absolute_error, pearson
+from repro.core import analyze_traces
+from repro.gpuref import LockstepGPU
+from repro.machine import SEG_HEAP
+from repro.optlevels import OPT_LEVELS, apply_opt_level
+from repro.workloads import correlation_workloads, trace_instance
+
+N_THREADS = 96
+WARP = 32
+
+
+def _oracle_heap_txns(instance):
+    gpu = LockstepGPU(instance.gpu.program, warp_size=WARP)
+    if instance.gpu.setup is not None:
+        instance.gpu.setup(gpu)
+    report = gpu.run_kernel(instance.gpu.kernel,
+                            instance.gpu.args_per_thread)
+    return report.heap_transactions
+
+
+def test_fig5b_memory_correlation(benchmark):
+    def experiment():
+        measured = {}
+        predicted = {lvl: {} for lvl in OPT_LEVELS}
+        for workload in correlation_workloads():
+            instance = workload.instantiate(N_THREADS)
+            measured[workload.name] = _oracle_heap_txns(instance)
+            for lvl in OPT_LEVELS:
+                program = apply_opt_level(instance.program, lvl)
+                traces, _m = trace_instance(instance, program=program)
+                report = analyze_traces(traces, warp_size=WARP)
+                predicted[lvl][workload.name] = report.heap_transactions
+        return measured, predicted
+
+    measured, predicted = run_once(benchmark, experiment)
+    names = sorted(measured)
+
+    lines = [
+        "Figure 5b: 32B heap transactions, analyzer (per opt level) vs "
+        "SIMT hardware oracle",
+        "{:<16} {:>8} {:>8} {:>8} {:>8} {:>8}".format(
+            "workload", "oracle", *OPT_LEVELS),
+    ]
+    for name in names:
+        lines.append(
+            "{:<16} {:>8} ".format(name, measured[name])
+            + " ".join(f"{predicted[l][name]:>8}" for l in OPT_LEVELS)
+        )
+    summary = {}
+    for lvl in OPT_LEVELS:
+        # Correlate in log space, as the paper's log-log plot does.
+        pred = [math.log10(max(predicted[lvl][n], 1)) for n in names]
+        meas = [math.log10(max(measured[n], 1)) for n in names]
+        rel_mae = mean_absolute_error(
+            [predicted[lvl][n] for n in names],
+            [measured[n] for n in names],
+            relative=True,
+        )
+        summary[lvl] = (pearson(pred, meas), rel_mae)
+    lines.append("")
+    lines.append("{:<6} {:>8} {:>9}".format("level", "correl", "MAE(rel)"))
+    for lvl, (corr, mae) in summary.items():
+        lines.append(f"{lvl:<6} {corr:>8.3f} {mae:>9.1%}")
+    emit("fig5b_memory_correlation", "\n".join(lines))
+
+    # Paper-shape assertions: strong log-log correlation at every level;
+    # O0 inflates transaction counts relative to O1.
+    for lvl in OPT_LEVELS:
+        assert summary[lvl][0] > 0.9, (lvl, summary[lvl])
+    o0_total = sum(predicted["O0"].values())
+    o1_total = sum(predicted["O1"].values())
+    o3_total = sum(predicted["O3"].values())
+    assert o0_total >= o1_total >= o3_total
+    assert summary["O1"][1] <= summary["O0"][1]

@@ -1,0 +1,99 @@
+"""Figure 6: projected GPU speedup of the MIMD workloads, normalized to
+multithreaded CPU execution, with the CUDA-implementation series for the
+correlation workloads.
+
+Pipeline: ThreadFuser warp traces (and, where a CUDA twin exists,
+nvbit-style oracle traces) -> RTX3070-configured GPU simulator; the same
+MIMD traces -> 20-core Xeon CPU model.  Launches are upscaled to the
+paper's "#SIMT Threads" sizes by warp replication (see DESIGN.md).
+
+Expected shape: the ThreadFuser and CUDA series track each other closely
+where both exist; convergent workloads project 15-20x; pigz-class
+divergent workloads lose to the CPU.
+"""
+
+from conftest import emit, run_once
+
+from repro.analysis import pearson
+from repro.cpusim import CPUSimulator, xeon_e5_2630
+from repro.simulator import GPUSimulator, project_speedup, rtx3070
+from repro.tracegen import generate_oracle_kernel_trace
+from repro.workloads import all_workloads, get_workload, trace_instance
+
+N_THREADS = 96
+
+#: Workloads plotted (correlation set first, then CPU-only ones).
+WORKLOADS = [
+    "vectoradd", "uncoalesced", "rodinia_bfs", "nn", "streamcluster",
+    "btree", "particlefilter", "pp_bfs", "cc", "pagerank", "nbody",
+    "textsearch_mid", "mcrouter_mid", "dsb_uniqueid", "memcached",
+    "hdsearch_mid", "md5", "rotate", "pigz",
+]
+
+
+def _cuda_speedup(instance, workload, traces):
+    """Speedup using nvbit-style traces of the CUDA implementation."""
+    kernel = generate_oracle_kernel_trace(
+        instance.gpu.program, instance.gpu.kernel,
+        instance.gpu.args_per_thread, instance.gpu.setup, warp_size=32,
+    )
+    replicate = max(1, round(workload.paper_simt_threads / len(traces)))
+    gpu_stats = GPUSimulator(rtx3070()).run(kernel, replicate=replicate)
+    cpu_sim = CPUSimulator(xeon_e5_2630())
+    cpu_stats = cpu_sim.run(traces, instance.program)
+    cpu_seconds = (cpu_stats.cycles * replicate /
+                   (cpu_sim.config.clock_ghz * 1e9))
+    gpu_seconds = gpu_stats.seconds(rtx3070().clock_ghz)
+    return cpu_seconds / gpu_seconds, gpu_seconds
+
+
+def test_fig6_projected_speedup(benchmark):
+    def experiment():
+        rows = {}
+        for name in WORKLOADS:
+            workload = get_workload(name)
+            n = N_THREADS if name != "pigz" else 48
+            instance = workload.instantiate(n)
+            traces, _machine = trace_instance(instance)
+            result = project_speedup(
+                traces, instance.program,
+                launch_threads=workload.paper_simt_threads,
+            )
+            cuda = None
+            if instance.gpu is not None:
+                cuda = _cuda_speedup(instance, workload, traces)
+            rows[name] = (result.simt_efficiency, result.speedup,
+                          cuda[0] if cuda else None,
+                          result.gpu_seconds,
+                          cuda[1] if cuda else None)
+        return rows
+
+    rows = run_once(benchmark, experiment)
+
+    lines = [
+        "Figure 6: projected speedup vs 20-core CPU "
+        "(RTX3070-configured simulator; launch = paper #SIMT threads)",
+        "{:<18} {:>8} {:>12} {:>12}".format(
+            "workload", "SIMTeff", "ThreadFuser", "CUDA-impl"),
+    ]
+    for name in WORKLOADS:
+        eff, tf, cuda, _tfs, _cus = rows[name]
+        cuda_txt = f"{cuda:12.2f}" if cuda is not None else f"{'-':>12}"
+        lines.append(f"{name:<18} {eff:>8.1%} {tf:>12.2f} {cuda_txt}")
+    both = [(r[1], r[2]) for r in rows.values() if r[2] is not None]
+    corr = pearson([b[0] for b in both], [b[1] for b in both])
+    lines.append(f"\nThreadFuser-vs-CUDA speedup correlation: {corr:.3f} "
+                 f"({len(both)} workloads)")
+    winners = [n for n in WORKLOADS if rows[n][1] > 10]
+    lines.append(f"workloads above 10x: {', '.join(winners)}")
+    emit("fig6_speedup", "\n".join(lines))
+
+    # Paper-shape assertions.
+    assert corr > 0.9                       # paper: 0.97 correlation
+    assert rows["pigz"][1] < 1.0            # pigz loses on a GPU
+    assert rows["textsearch_mid"][1] > 10   # convergent services win big
+    assert rows["nbody"][1] > 5
+    assert rows["dsb_uniqueid"][1] > 10
+    # The two series track each other: median relative gap is small.
+    gaps = sorted(abs(a - b) / max(b, 1e-9) for a, b in both)
+    assert gaps[len(gaps) // 2] < 0.5

@@ -1,0 +1,58 @@
+"""Figure 8: percentage distribution of traced vs skipped instructions.
+
+The tracer skips I/O operations and lock spinning (and any explicitly
+excluded functions).  The paper reports a ~90% GEOMEAN traced fraction
+over the microservice workloads, concluding the remaining ~10% can be
+safely skipped.
+"""
+
+from conftest import BENCH_THREADS, emit, run_once
+
+from repro.analysis import geomean
+from repro.workloads import all_workloads, trace_instance
+
+MICROSERVICES = [
+    "mcrouter_mid", "mcrouter_leaf", "memcached",
+    "textsearch_mid", "textsearch_leaf",
+    "hdsearch_mid", "hdsearch_leaf",
+    "dsb_post", "dsb_text", "dsb_urlshort",
+    "dsb_uniqueid", "dsb_usertag", "dsb_user",
+]
+
+
+def test_fig8_traced_vs_skipped(benchmark, traces_cache):
+    def experiment():
+        rows = {}
+        for name in MICROSERVICES:
+            _instance, traces = traces_cache.get(name)
+            rows[name] = (
+                traces.traced_fraction(),
+                traces.skipped_by_reason(),
+                traces.total_instructions,
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+
+    lines = [
+        "Figure 8: traced (non-I/O) vs skipped (I/O + lock spinning) "
+        f"instructions ({BENCH_THREADS} requests/service)",
+        "{:<16} {:>9} {:>9} {:>9} {:>9}".format(
+            "service", "traced%", "io", "spin", "other"),
+    ]
+    for name, (fraction, skipped, _total) in rows.items():
+        io = skipped.get("io", 0)
+        spin = skipped.get("spin", 0)
+        other = sum(v for k, v in skipped.items()
+                    if k not in ("io", "spin"))
+        lines.append(
+            f"{name:<16} {fraction:>9.1%} {io:>9} {spin:>9} {other:>9}"
+        )
+    gm = geomean([r[0] for r in rows.values()])
+    lines.append(f"{'GEOMEAN':<16} {gm:>9.1%}")
+    emit("fig8_skipped", "\n".join(lines))
+
+    # Paper shape: ~90% of instructions traced; every service above 50%.
+    assert 0.82 < gm < 0.99
+    for name, (fraction, _s, _t) in rows.items():
+        assert fraction > 0.5, name

@@ -1,0 +1,37 @@
+"""Table I: the studied workload catalog with per-suite grouping and the
+paper's #SIMT-thread launch sizes (kept as registry metadata; this
+reproduction traces a scaled sample, see DESIGN.md)."""
+
+from conftest import emit, run_once
+
+from repro.workloads import all_workloads, correlation_workloads
+
+
+def test_table1_workload_catalog(benchmark):
+    def experiment():
+        rows = []
+        for w in all_workloads():
+            rows.append((w.suite, w.name, w.paper_simt_threads,
+                         w.has_gpu_impl, w.description))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+
+    lines = [
+        "Table I: studied workloads "
+        "(#SIMT threads = the paper's launch size)",
+        "{:<16} {:<22} {:>12} {:>6}".format(
+            "suite", "workload", "#SIMT thr", "GPU?"),
+    ]
+    for suite, name, threads, gpu, _desc in sorted(rows):
+        lines.append(
+            f"{suite:<16} {name:<22} {threads:>12} {'yes' if gpu else '':>6}"
+        )
+    lines.append(f"total workloads: {len(rows)}  "
+                 f"correlation set: {len(correlation_workloads())}")
+    emit("table1_workloads", "\n".join(lines))
+
+    assert len(rows) >= 36
+    assert len(correlation_workloads()) == 11
+    suites = {r[0] for r in rows}
+    assert len(suites) == 7  # Rodinia/Paropoly/Micro/uSuite/DSB/ParSec/Other

@@ -1,0 +1,106 @@
+"""Table II: XAPP vs ThreadFuser comparison.
+
+* XAPP: leave-one-out ridge regression over 16 CPU-profile features,
+  predicting the measured (CUDA-trace-simulated) speedup -- an opaque
+  estimate with no mechanistic output.  Paper: 26.9% execution-time error.
+* ThreadFuser: mechanistic pipeline whose *execution-time* prediction is
+  the CPU-trace-driven simulation, compared against the CUDA-trace-driven
+  simulation as "hardware".  Paper: 33% execution-time error but a 0.97
+  speedup-projection correlation plus efficiency/memory/bottleneck
+  reports XAPP cannot produce.
+"""
+
+import numpy as np
+
+from conftest import emit, run_once
+
+from repro.analysis import pearson
+from repro.baselines import extract_features, leave_one_out_errors
+from repro.cpusim import CPUSimulator, xeon_e5_2630
+from repro.simulator import GPUSimulator, project_speedup, rtx3070
+from repro.tracegen import generate_oracle_kernel_trace
+from repro.workloads import correlation_workloads, trace_instance
+
+N_THREADS = 96
+
+
+def test_table2_xapp_vs_threadfuser(benchmark):
+    def experiment():
+        names, feats = [], []
+        tf_seconds, cuda_seconds = [], []
+        tf_speedup, cuda_speedup = [], []
+        for workload in correlation_workloads():
+            instance = workload.instantiate(N_THREADS)
+            traces, _machine = trace_instance(instance)
+            replicate = max(
+                1, round(workload.paper_simt_threads / len(traces))
+            )
+            result = project_speedup(
+                traces, instance.program,
+                launch_threads=workload.paper_simt_threads,
+            )
+            kernel = generate_oracle_kernel_trace(
+                instance.gpu.program, instance.gpu.kernel,
+                instance.gpu.args_per_thread, instance.gpu.setup, 32,
+            )
+            gpu_stats = GPUSimulator(rtx3070()).run(kernel,
+                                                    replicate=replicate)
+            cuda_sec = gpu_stats.seconds(rtx3070().clock_ghz)
+            cpu_sim = CPUSimulator(xeon_e5_2630())
+            cpu_sec = (cpu_sim.run(traces, instance.program).cycles
+                       * replicate / (cpu_sim.config.clock_ghz * 1e9))
+            names.append(workload.name)
+            feats.append(extract_features(traces, instance.program))
+            tf_seconds.append(result.gpu_seconds)
+            cuda_seconds.append(cuda_sec)
+            tf_speedup.append(result.speedup)
+            cuda_speedup.append(cpu_sec / cuda_sec)
+        xapp_errors = leave_one_out_errors(feats, cuda_speedup, alpha=4.0)
+        return (names, xapp_errors, tf_seconds, cuda_seconds, tf_speedup,
+                cuda_speedup)
+
+    (names, xapp_errors, tf_seconds, cuda_seconds, tf_speedup,
+     cuda_speedup) = run_once(benchmark, experiment)
+
+    tf_time_errors = [
+        abs(t - c) / c for t, c in zip(tf_seconds, cuda_seconds)
+    ]
+    corr = pearson(tf_speedup, cuda_speedup)
+    xapp_mean = float(np.mean(xapp_errors))
+    tf_mean = float(np.mean(tf_time_errors))
+
+    lines = [
+        "Table II: XAPP vs ThreadFuser",
+        "",
+        "{:<16} {:>12} {:>14} {:>12} {:>12}".format(
+            "workload", "XAPP err", "TF time err", "TF speedup",
+            "CUDA speedup"),
+    ]
+    for i, name in enumerate(names):
+        lines.append(
+            f"{name:<16} {xapp_errors[i]:>12.1%} "
+            f"{tf_time_errors[i]:>14.1%} {tf_speedup[i]:>12.2f} "
+            f"{cuda_speedup[i]:>12.2f}"
+        )
+    lines += [
+        "",
+        f"XAPP mean execution-time error (LOO):        {xapp_mean:.1%}",
+        f"ThreadFuser mean execution-time error:       {tf_mean:.1%}",
+        f"ThreadFuser speedup-projection correlation:  {corr:.3f}",
+        "",
+        "capability comparison (qualitative, from the paper's Table II):",
+        "  input:      XAPP = CPU code;    ThreadFuser = CPU MIMD traces",
+        "  output:     XAPP = speedup only; ThreadFuser = SIMT efficiency,",
+        "              memory divergence, cycle-level estimates,",
+        "              source bottlenecks (per-function report)",
+        "  hardware:   XAPP = existing GPUs only; ThreadFuser = any SIMT",
+        "              machine via the trace-driven simulator",
+    ]
+    emit("table2_xapp", "\n".join(lines))
+
+    # Paper shape: ThreadFuser's speedup projection correlates ~0.97;
+    # both tools land in the same coarse error regime (tens of percent
+    # for XAPP; ThreadFuser's mechanistic time error is competitive).
+    assert corr > 0.9
+    assert tf_mean < 0.5
+    assert xapp_mean > tf_mean  # the ML model is the weaker predictor here

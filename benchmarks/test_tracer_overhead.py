@@ -1,0 +1,69 @@
+"""Tracing and analysis overhead (paper Sec. III).
+
+The paper's tracer costs "only 2 to 6x the native CPU execution time",
+which is what makes the zero-effort estimate cheap.  This benchmark
+measures the same ratio on our substrate -- the machine running natively
+(NullHooks) vs under the tracer -- plus the analyzer's throughput.
+"""
+
+import time
+
+from conftest import emit, run_once
+
+from repro.core import analyze_traces
+from repro.workloads import get_workload, run_instance, trace_instance
+
+WORKLOADS = ["nbody", "pigz", "memcached", "streamcluster", "md5"]
+N_THREADS = 64
+
+
+def test_tracer_and_analyzer_overhead(benchmark):
+    def experiment():
+        rows = {}
+        for name in WORKLOADS:
+            workload = get_workload(name)
+            instance = workload.instantiate(N_THREADS)
+
+            t0 = time.perf_counter()
+            machine = run_instance(instance)
+            native = time.perf_counter() - t0
+            instructions = machine.total_instructions
+
+            instance2 = workload.instantiate(N_THREADS)
+            t0 = time.perf_counter()
+            traces, _machine = trace_instance(instance2)
+            traced = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            analyze_traces(traces, warp_size=32)
+            analysis = time.perf_counter() - t0
+
+            rows[name] = (instructions, native, traced, analysis)
+        return rows
+
+    rows = run_once(benchmark, experiment)
+
+    lines = [
+        "Tracing / analysis overhead "
+        "(paper: tracing costs 2-6x native execution)",
+        "{:<14} {:>10} {:>10} {:>10} {:>9} {:>10}".format(
+            "workload", "instrs", "native(s)", "traced(s)", "ratio",
+            "analyze(s)"),
+    ]
+    ratios = []
+    for name, (instructions, native, traced, analysis) in rows.items():
+        ratio = traced / native if native > 0 else float("inf")
+        ratios.append(ratio)
+        lines.append(
+            f"{name:<14} {instructions:>10} {native:>10.3f} "
+            f"{traced:>10.3f} {ratio:>8.1f}x {analysis:>10.3f}"
+        )
+    lines.append(
+        f"tracing overhead range: {min(ratios):.1f}x - {max(ratios):.1f}x"
+    )
+    emit("tracer_overhead", "\n".join(lines))
+
+    # The paper's qualitative claim: tracing is a small constant factor
+    # over native execution, cheap enough for zero-effort estimates.
+    assert max(ratios) < 10.0
+    assert min(ratios) >= 1.0

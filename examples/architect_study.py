@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Architect use case (paper Sec. V-B): explore SIMT designs with MIMD
+software that was never written for a GPU.
+
+Three studies on workloads from the catalog:
+
+1. warp-width sweep (8/16/32) -- how much SIMT efficiency is left on the
+   table at each width, per workload class;
+2. intra-warp lock emulation -- the synchronization cost of fusing
+   independent requests into warps;
+3. a small CPU-like SIMT machine (8-wide warps, high clock, low-latency
+   caches -- the Simty/SIMT-X design point) vs the RTX3070-class GPU,
+   evaluated with the same warp traces.
+
+Run:  python examples/architect_study.py
+"""
+
+from repro.core import analyze_traces
+from repro.cpusim import CPUSimulator, xeon_e5_2630
+from repro.simulator import GPUSimulator, rtx3070, small_simt_cpu
+from repro.tracegen import generate_kernel_trace
+from repro.workloads import get_workload, trace_instance
+
+WORKLOADS = ["nbody", "memcached", "dsb_text", "pigz"]
+N_THREADS = 96
+
+
+def main() -> None:
+    traced = {}
+    for name in WORKLOADS:
+        instance = get_workload(name).instantiate(N_THREADS)
+        traced[name] = (instance, trace_instance(instance)[0])
+
+    print("Study 1: SIMT efficiency vs warp width")
+    print(f"{'workload':<14} {'w=8':>8} {'w=16':>8} {'w=32':>8}")
+    for name, (_instance, traces) in traced.items():
+        effs = [analyze_traces(traces, warp_size=w).simt_efficiency
+                for w in (8, 16, 32)]
+        print(f"{name:<14} " + " ".join(f"{e:8.1%}" for e in effs))
+    print("-> narrower warps recover efficiency on divergent workloads;"
+          " uniform ones are insensitive.\n")
+
+    print("Study 2: intra-warp lock serialization (warp size 32)")
+    print(f"{'workload':<14} {'no locks':>10} {'emulated':>10}")
+    for name, (_instance, traces) in traced.items():
+        off = analyze_traces(traces, warp_size=32).simt_efficiency
+        on = analyze_traces(traces, warp_size=32,
+                            emulate_locks=True).simt_efficiency
+        print(f"{name:<14} {off:>10.1%} {on:>10.1%}")
+    print("-> fine-grained locking keeps the fusion penalty small.\n")
+
+    print("Study 3: RTX3070-class GPU vs a small CPU-like SIMT machine")
+    cpu_model = CPUSimulator(xeon_e5_2630())
+    print(f"{'workload':<14} {'GPU(32-wide)':>14} {'SIMT-CPU(8-wide)':>18}")
+    for name, (instance, traces) in traced.items():
+        cpu_cycles = cpu_model.run(traces, instance.program).cycles
+        cpu_seconds = cpu_cycles / (2.6e9)
+        row = [name]
+        for config, width in ((rtx3070(), 32), (small_simt_cpu(), 8)):
+            kernel = generate_kernel_trace(traces, instance.program,
+                                           warp_size=width)
+            stats = GPUSimulator(config).run(kernel, replicate=8)
+            seconds = stats.seconds(config.clock_ghz)
+            row.append(cpu_seconds * 8 / seconds)
+        print(f"{row[0]:<14} {row[1]:>13.2f}x {row[2]:>17.2f}x")
+    print("-> divergent general-purpose code favours the narrow "
+          "high-clock SIMT design;")
+    print("   regular compute favours the wide GPU -- the design space "
+          "the paper opens.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Compiler-effects study (paper Sec. IV / Fig. 5): how gcc optimization
+levels perturb the analyzer's agreement with SIMT hardware.
+
+Compiles the VectorAdd correlation kernel at O0-O3 with the IR-level
+pass pipeline, traces each binary, and compares the analyzer's estimates
+against direct lock-step execution of the CUDA twin on the GPU oracle.
+
+Run:  python examples/compiler_effects.py
+"""
+
+from repro.core import analyze_traces
+from repro.gpuref import LockstepGPU
+from repro.optlevels import OPT_LEVELS, apply_opt_level
+from repro.workloads import get_workload, trace_instance
+
+N_THREADS = 96
+
+
+def main() -> None:
+    workload = get_workload("vectoradd")
+    instance = workload.instantiate(N_THREADS)
+
+    gpu = LockstepGPU(instance.gpu.program, warp_size=32)
+    instance.gpu.setup(gpu)
+    oracle = gpu.run_kernel(instance.gpu.kernel,
+                            instance.gpu.args_per_thread)
+
+    print("VectorAdd: analyzer estimates per optimization level vs "
+          "SIMT hardware (oracle)")
+    print(f"{'binary':<8} {'instrs':>9} {'SIMT eff':>9} {'heap txns':>10} "
+          f"{'stack txns':>11}")
+    print(f"{'oracle':<8} {'-':>9} {oracle.simt_efficiency:>9.1%} "
+          f"{oracle.heap_transactions:>10} {oracle.stack_transactions:>11}")
+    for level in OPT_LEVELS:
+        program = apply_opt_level(instance.program, level)
+        traces, _machine = trace_instance(instance, program=program)
+        report = analyze_traces(traces, warp_size=32)
+        print(f"{level:<8} {traces.total_instructions:>9} "
+              f"{report.simt_efficiency:>9.1%} "
+              f"{report.heap_transactions:>10} "
+              f"{report.stack_transactions:>11}")
+    print()
+    print("What to look for (the paper's Fig. 5 mechanisms):")
+    print(" * O0 triples the instruction count and floods the stack "
+          "(memory-resident variables);")
+    print(" * O1 keeps the naive heap accumulator -> heap traffic above "
+          "the CUDA binary's;")
+    print(" * O2/O3 promote the accumulator into a register, converging "
+          "on the hardware counts;")
+    print(" * unrolling (O3) trims dynamic branches, which on divergent "
+          "code makes traces look")
+    print("   *more* convergent than the hardware -- the efficiency "
+          "over-estimate of Fig. 5a.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Developer use case (paper Sec. V-A): should I port this service to a GPU?
+
+Replays the paper's HDSearch-Midtier case study end to end:
+
+1. quick zero-effort estimate -- SIMT efficiency of the stock service;
+2. per-function report -- pinpoints ``getpoint`` (a FLANN library routine)
+   as the divergence bottleneck, exactly like the paper's Fig. 7;
+3. the paper's code fix (uniform top-10 computation) -- efficiency
+   recovers from single digits to ~90%+;
+4. speedup projection through the cycle-level SIMT simulator before and
+   after the fix.
+
+Run:  python examples/port_advisor.py
+"""
+
+from repro.core import analyze_traces
+from repro.simulator import project_speedup
+from repro.workloads import get_workload, trace_instance
+
+N_REQUESTS = 96
+
+
+def analyze(name: str):
+    workload = get_workload(name)
+    instance = workload.instantiate(N_REQUESTS)
+    traces, _machine = trace_instance(instance)
+    report = analyze_traces(traces, warp_size=32)
+    speedup = project_speedup(
+        traces, instance.program,
+        launch_threads=workload.paper_simt_threads,
+    )
+    return report, speedup
+
+
+def main() -> None:
+    print("=" * 72)
+    print("Step 1-2: stock HDSearch mid tier -- quick estimate + "
+          "per-function report")
+    print("=" * 72)
+    stock, stock_speedup = analyze("hdsearch_mid")
+    print(stock.format_text())
+
+    bottleneck = stock.per_function()[0]
+    print()
+    print(f"--> bottleneck: '{bottleneck.name}' generates "
+          f"{bottleneck.instruction_share:.0%} of all instructions at "
+          f"{bottleneck.efficiency:.0%} SIMT efficiency.")
+    print("    (The paper traces this to the data-dependent push_back "
+          "loop in FLANN's")
+    print("     getpoint -- Listing 1 -- whose bucket sizes vary wildly "
+          "across requests.)")
+
+    print()
+    print("=" * 72)
+    print("Step 3-4: after the paper's fix (uniform top-10 computation)")
+    print("=" * 72)
+    fixed, fixed_speedup = analyze("hdsearch_mid_fixed")
+    print(fixed.format_text())
+
+    print()
+    print(f"SIMT efficiency: {stock.simt_efficiency:6.1%}  ->  "
+          f"{fixed.simt_efficiency:6.1%}")
+    print(f"projected GPU speedup vs 20-core CPU: "
+          f"{stock_speedup.speedup:6.2f}x  ->  {fixed_speedup.speedup:6.2f}x")
+    print()
+    print("Verdict: as-is the service is a poor GPU candidate; with a "
+          "one-function change")
+    print("it becomes worth porting -- identified without writing a "
+          "line of CUDA.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Quickstart: analyze a MIMD program's SIMT behaviour in ~40 lines.
+
+Builds a small multithreaded program (each thread sums a slice of an
+array, with a data-dependent extra step), runs it on the MIMD machine
+under the tracer, and prints the ThreadFuser report: SIMT efficiency,
+per-function breakdown and memory divergence.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import analyze_program
+from repro.isa import Mem
+from repro.program import ProgramBuilder
+
+
+def build_program():
+    b = ProgramBuilder()
+    data = b.data("values", 8 * 512)
+
+    with b.function("normalize", args=["x"]) as f:
+        r = f.reg()
+        f.mod(r, f.a(0), 97)
+        f.mul(r, r, 3)
+        f.ret(r)
+
+    with b.function("worker", args=["tid"]) as f:
+        acc = f.reg()
+        i = f.reg()
+        lo = f.reg()
+        hi = f.reg()
+        f.mov(acc, 0)
+        f.mul(lo, f.a(0), 8)
+        f.add(hi, lo, 8)
+
+        def body():
+            v = f.reg()
+            f.load(v, Mem(None, disp=data.value, index=i, scale=8))
+            # Data-dependent extra work: large values get normalized.
+            f.if_then(v, ">", 150,
+                      lambda: f.call(v, "normalize", [v]))
+            f.add(acc, acc, v)
+
+        f.for_range(i, lo, hi, body)
+        f.ret(acc)
+
+    return b, b.build(), data.value
+
+
+def main() -> None:
+    builder, program, data_addr = build_program()
+    values = [(17 * i * i + 3 * i) % 251 for i in range(512)]
+
+    report = analyze_program(
+        program,
+        spawns=[("worker", [t], None) for t in range(64)],
+        roots=["worker"],
+        setup=lambda m: m.memory.write_words(data_addr, values),
+        warp_size=32,
+        workload="quickstart",
+    )
+    print(report.format_text())
+    print()
+    print("Interpretation: the conditional call to 'normalize' only "
+          "activates for some lanes,")
+    print("so its per-function efficiency is low while the rest of the "
+          "worker stays convergent.")
+
+
+if __name__ == "__main__":
+    main()

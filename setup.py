@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The execution environment has no ``wheel`` package and no network, so
+``pip install -e .`` (PEP 660) cannot build an editable wheel.  This shim
+lets ``python setup.py develop`` / legacy editable installs work offline.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""ThreadFuser: a SIMT analysis framework for MIMD programs.
+
+Reproduction of Alawneh et al., MICRO 2024.  The public API spans:
+
+* :mod:`repro.program` / :mod:`repro.isa` -- author mini-ISA MIMD programs;
+* :mod:`repro.machine` -- execute them with many threads;
+* :mod:`repro.tracer` -- collect PIN-style dynamic traces;
+* :mod:`repro.core` -- the ThreadFuser analyzer (DCFG, IPDOM, SIMT-stack
+  replay, efficiency / memory-divergence / lock reports);
+* :mod:`repro.tracegen` -- warp-based instruction traces for simulators;
+* :mod:`repro.simulator` / :mod:`repro.cpusim` -- cycle-level SIMT GPU
+  simulator and multicore CPU timing model for speedup projection;
+* :mod:`repro.gpuref` -- the direct lock-step "hardware oracle" used for
+  correlation studies;
+* :mod:`repro.optlevels` -- gcc-like O0-O3 IR transforms;
+* :mod:`repro.workloads` -- the paper's 36-workload catalog;
+* :mod:`repro.baselines` -- the XAPP-style ML baseline.
+"""
+
+from .core.analyzer import AnalyzerConfig, ThreadFuserAnalyzer, analyze_traces
+from .core.report import AnalysisReport
+from .pipeline import analyze_program, trace_program
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalyzerConfig",
+    "ThreadFuserAnalyzer",
+    "analyze_traces",
+    "AnalysisReport",
+    "analyze_program",
+    "trace_program",
+    "__version__",
+]

@@ -1,0 +1,15 @@
+"""Evaluation statistics (MAE, Pearson, geomean, error bands)."""
+
+from .stats import (
+    error_band_summary,
+    geomean,
+    mean_absolute_error,
+    pearson,
+)
+
+__all__ = [
+    "error_band_summary",
+    "geomean",
+    "mean_absolute_error",
+    "pearson",
+]

@@ -1,0 +1,75 @@
+"""Statistics used by the paper's evaluation: MAE, Pearson correlation,
+geometric mean, error-band summaries."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+
+def mean_absolute_error(predicted: Sequence[float],
+                        measured: Sequence[float],
+                        relative: bool = False) -> float:
+    """MAE between predictions and measurements.
+
+    ``relative=True`` normalizes each error by the measured value (the
+    form the paper uses for memory-transaction errors).
+    """
+    if len(predicted) != len(measured):
+        raise ValueError("length mismatch")
+    if not predicted:
+        return 0.0
+    total = 0.0
+    for p, m in zip(predicted, measured):
+        err = abs(p - m)
+        if relative:
+            err = err / abs(m) if m else (0.0 if p == 0 else 1.0)
+        total += err
+    return total / len(predicted)
+
+
+def pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Karl Pearson correlation coefficient."""
+    if len(xs) != len(ys):
+        raise ValueError("length mismatch")
+    n = len(xs)
+    if n < 2:
+        return 1.0
+    mx = sum(xs) / n
+    my = sum(ys) / n
+    sxy = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    sxx = sum((x - mx) ** 2 for x in xs)
+    syy = sum((y - my) ** 2 for y in ys)
+    if sxx == 0 or syy == 0:
+        return 1.0 if sxx == syy else 0.0
+    # sqrt each factor separately: sxx * syy can underflow to 0 for tiny
+    # variances even though both factors are nonzero.
+    denom = math.sqrt(sxx) * math.sqrt(syy)
+    if denom == 0:
+        return 0.0
+    return min(max(sxy / denom, -1.0), 1.0)
+
+
+def geomean(xs: Sequence[float]) -> float:
+    """Geometric mean (positive inputs)."""
+    if not xs:
+        return 0.0
+    return math.exp(sum(math.log(x) for x in xs) / len(xs))
+
+
+def error_band_summary(predicted: Sequence[float],
+                       measured: Sequence[float]) -> Tuple[float, float, float]:
+    """(mean error, std of errors, fraction within one std of the mean).
+
+    The paper reports this exact summary for Fig. 5 (e.g. ~83% of samples
+    within one standard deviation).
+    """
+    errors = [abs(p - m) for p, m in zip(predicted, measured)]
+    n = len(errors)
+    if n == 0:
+        return 0.0, 0.0, 1.0
+    mean = sum(errors) / n
+    var = sum((e - mean) ** 2 for e in errors) / n
+    std = math.sqrt(var)
+    within = sum(1 for e in errors if abs(e - mean) <= std) / n
+    return mean, std, within

@@ -1,0 +1,15 @@
+"""Baseline predictors the paper compares against (XAPP, Table II)."""
+
+from .xapp import (
+    FEATURE_NAMES,
+    XAPPModel,
+    extract_features,
+    leave_one_out_errors,
+)
+
+__all__ = [
+    "FEATURE_NAMES",
+    "XAPPModel",
+    "extract_features",
+    "leave_one_out_errors",
+]

@@ -1,0 +1,186 @@
+"""XAPP-style baseline: ML prediction of GPU speedup from CPU profiles.
+
+XAPP (Ardalani et al., MICRO 2015) predicts GPU speedup from ~16
+profile-derived properties of a *single-threaded* CPU run using learned
+regression models, with no mechanistic SIMT analysis.  This module
+reimplements that recipe on our substrate: features are extracted from
+one logical thread's dynamic trace, and a ridge regression over
+log-speedup is trained on measured (simulated) speedups.  Table II
+contrasts this opaque estimator with ThreadFuser's mechanistic pipeline.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..isa import classes
+from ..program.ir import Program
+from ..tracer.events import TOK_BLOCK, TOK_CALL, TraceSet
+
+FEATURE_NAMES = [
+    "frac_int_alu",
+    "frac_fp",
+    "frac_sfu",
+    "frac_branch",
+    "frac_mem",
+    "frac_store",
+    "frac_div",
+    "branch_entropy",
+    "avg_block_size",
+    "log_footprint",
+    "stride_regularity",
+    "segments_per_access",
+    "log_instructions",
+    "call_density",
+    "backedge_density",
+    "coldness",
+]
+
+
+def extract_features(traces: TraceSet,
+                     program: Optional[Program] = None) -> np.ndarray:
+    """XAPP-style profile features from the first logical thread's trace."""
+    program = program or traces.program
+    if program is None:
+        raise ValueError("feature extraction needs the program")
+    if not len(traces):
+        raise ValueError("empty trace set")
+    trace = max(traces.threads, key=lambda t: t.n_instructions)
+
+    class_counts: Dict[str, int] = {}
+    n_instr = 0
+    n_blocks = 0
+    n_calls = 0
+    n_backedges = 0
+    last_addr = None
+    addrs: List[int] = []
+    stores = 0
+    accesses = 0
+    branch_targets: Dict[int, Dict[int, int]] = {}
+    prev_block = None
+
+    for token in trace.tokens:
+        if token[0] == TOK_CALL:
+            n_calls += 1
+            prev_block = None
+            continue
+        if token[0] != TOK_BLOCK:
+            prev_block = None
+            continue
+        block = program.block_by_addr[token[1]]
+        n_blocks += 1
+        n_instr += token[2]
+        if prev_block is not None:
+            if token[1] <= prev_block:
+                n_backedges += 1
+            branch_targets.setdefault(prev_block, {}).setdefault(token[1], 0)
+            branch_targets[prev_block][token[1]] += 1
+        prev_block = token[1]
+        for instr in block.instructions:
+            cls = instr.iclass
+            class_counts[cls] = class_counts.get(cls, 0) + 1
+        for _slot, is_store, addr, _size in token[3]:
+            accesses += 1
+            if is_store:
+                stores += 1
+            addrs.append(addr)
+
+    total = max(n_instr, 1)
+
+    def frac(*names: str) -> float:
+        return sum(class_counts.get(n, 0) for n in names) / total
+
+    # Branch entropy: average binary entropy of each static block's
+    # observed successor distribution.
+    entropies = []
+    for succs in branch_targets.values():
+        count = sum(succs.values())
+        if count and len(succs) > 1:
+            h = -sum((c / count) * math.log2(c / count)
+                     for c in succs.values())
+            entropies.append(h)
+        else:
+            entropies.append(0.0)
+    branch_entropy = sum(entropies) / len(entropies) if entropies else 0.0
+
+    strides: Dict[int, int] = {}
+    regular = 0
+    for a, b in zip(addrs, addrs[1:]):
+        stride = b - a
+        strides[stride] = strides.get(stride, 0) + 1
+    if len(addrs) > 1:
+        regular = max(strides.values()) / (len(addrs) - 1)
+    segments = len({a // 32 for a in addrs})
+    footprint = len(set(addrs))
+
+    return np.array([
+        frac(classes.INT_ALU, classes.INT_MUL, classes.MOVE),
+        frac(classes.FP_ALU, classes.FP_MUL, classes.FP_DIV),
+        frac(classes.SFU),
+        frac(classes.BRANCH),
+        accesses / total,
+        (stores / accesses) if accesses else 0.0,
+        frac(classes.INT_DIV),
+        branch_entropy,
+        n_instr / max(n_blocks, 1),
+        math.log1p(footprint),
+        regular,
+        (segments / accesses) if accesses else 0.0,
+        math.log1p(n_instr),
+        n_calls / total,
+        n_backedges / max(n_blocks, 1),
+        1.0 - ((len(addrs) - footprint) / len(addrs) if addrs else 0.0),
+    ])
+
+
+class XAPPModel:
+    """Ridge regression over log-speedup, XAPP style."""
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        self.alpha = alpha
+        self.weights: Optional[np.ndarray] = None
+        self._mu: Optional[np.ndarray] = None
+        self._sigma: Optional[np.ndarray] = None
+
+    def fit(self, features: Sequence[np.ndarray],
+            speedups: Sequence[float]) -> "XAPPModel":
+        if len(features) != len(speedups) or not features:
+            raise ValueError("need matching non-empty training data")
+        X = np.vstack(list(features))
+        self._mu = X.mean(axis=0)
+        self._sigma = X.std(axis=0)
+        self._sigma[self._sigma == 0] = 1.0
+        Xn = (X - self._mu) / self._sigma
+        Xn = np.hstack([Xn, np.ones((Xn.shape[0], 1))])
+        y = np.log(np.maximum(np.asarray(speedups, dtype=float), 1e-6))
+        ident = np.eye(Xn.shape[1]) * self.alpha
+        ident[-1, -1] = 0.0  # do not regularize the intercept
+        self.weights = np.linalg.solve(Xn.T @ Xn + ident, Xn.T @ y)
+        return self
+
+    def predict(self, features: np.ndarray) -> float:
+        """Predicted GPU speedup (not log)."""
+        if self.weights is None:
+            raise RuntimeError("model is not fitted")
+        xn = (features - self._mu) / self._sigma
+        xn = np.append(xn, 1.0)
+        return float(np.exp(xn @ self.weights))
+
+
+def leave_one_out_errors(features: Sequence[np.ndarray],
+                         speedups: Sequence[float],
+                         alpha: float = 1.0) -> List[float]:
+    """Relative execution-time prediction errors, XAPP's Table II metric."""
+    errors = []
+    n = len(features)
+    for i in range(n):
+        train_x = [f for j, f in enumerate(features) if j != i]
+        train_y = [s for j, s in enumerate(speedups) if j != i]
+        model = XAPPModel(alpha=alpha).fit(train_x, train_y)
+        predicted = model.predict(features[i])
+        measured = speedups[i]
+        errors.append(abs(predicted - measured) / measured)
+    return errors

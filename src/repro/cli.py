@@ -1,0 +1,229 @@
+"""Command-line interface: the zero-effort entry point for developers.
+
+Subcommands mirror the paper's workflows::
+
+    threadfuser list                         # the Table I catalog
+    threadfuser analyze memcached            # efficiency + per-function
+    threadfuser speedup nbody                # cycle-level projection
+    threadfuser tracegen pigz -o pigz.trace  # simulator trace file
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import analyze_traces
+from .simulator import project_speedup, rtx3070, small_simt_cpu
+from .tracegen import generate_kernel_trace, save_kernel_trace
+from .tracer import save_traces
+from .workloads import all_workloads, get_workload, trace_instance
+
+
+def _add_workload_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("workload", help="workload name (see 'list')")
+    parser.add_argument("--threads", type=int, default=96,
+                        help="logical threads to trace (default 96)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="input-generation seed (default 7)")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="threadfuser",
+        description="SIMT analysis of MIMD programs (MICRO'24 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the workload catalog")
+
+    analyze = sub.add_parser("analyze",
+                             help="SIMT efficiency + per-function report")
+    _add_workload_options(analyze)
+    analyze.add_argument("--warp-size", type=int, default=32)
+    analyze.add_argument("--batching", default="linear",
+                         choices=["linear", "cpu_affine", "strided"])
+    analyze.add_argument("--emulate-locks", action="store_true",
+                         help="serialize same-lock critical sections")
+    analyze.add_argument("--lock-reconvergence", default="unlock",
+                         choices=["unlock", "exit"])
+    analyze.add_argument("--save-traces", metavar="FILE",
+                         help="also write the trace file")
+
+    speedup = sub.add_parser("speedup",
+                             help="project GPU speedup vs a 20-core CPU")
+    _add_workload_options(speedup)
+    speedup.add_argument("--warp-size", type=int, default=32)
+    speedup.add_argument("--gpu", default="rtx3070",
+                         choices=["rtx3070", "small-simt-cpu"])
+    speedup.add_argument("--launch-threads", type=int, default=None,
+                         help="upscale to this launch size "
+                              "(default: the paper's #SIMT threads)")
+
+    tracegen = sub.add_parser("tracegen",
+                              help="emit an Accel-Sim-style warp trace")
+    _add_workload_options(tracegen)
+    tracegen.add_argument("--warp-size", type=int, default=32)
+    tracegen.add_argument("-o", "--output", required=True,
+                          help="output trace file")
+
+    sweep = sub.add_parser(
+        "sweep", help="SIMT efficiency across warp widths (Fig. 1 row)")
+    _add_workload_options(sweep)
+    sweep.add_argument("--warp-sizes", default="8,16,32",
+                       help="comma-separated widths (default 8,16,32)")
+    sweep.add_argument("--emulate-locks", action="store_true")
+
+    simulate = sub.add_parser(
+        "simulate", help="run a saved warp-trace file on the simulator")
+    simulate.add_argument("trace", help="file written by 'tracegen'")
+    simulate.add_argument("--gpu", default="rtx3070",
+                          choices=["rtx3070", "small-simt-cpu"])
+    simulate.add_argument("--replicate", type=int, default=1,
+                          help="launch the traced warps N times")
+    simulate.add_argument("--scheduler", default=None,
+                          choices=["gto", "lrr"])
+    return parser
+
+
+def _trace(args):
+    workload = get_workload(args.workload)
+    instance = workload.instantiate(args.threads, seed=args.seed)
+    traces, _machine = trace_instance(instance)
+    return workload, instance, traces
+
+
+def _cmd_list(_args) -> int:
+    print(f"{'workload':<22} {'suite':<16} {'#SIMT thr':>10} {'GPU?':>5}")
+    for w in sorted(all_workloads(), key=lambda w: (w.suite, w.name)):
+        print(f"{w.name:<22} {w.suite:<16} {w.paper_simt_threads:>10} "
+              f"{'yes' if w.has_gpu_impl else '':>5}")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    _workload, _instance, traces = _trace(args)
+    report = analyze_traces(
+        traces,
+        warp_size=args.warp_size,
+        batching=args.batching,
+        emulate_locks=args.emulate_locks,
+        lock_reconvergence=args.lock_reconvergence,
+    )
+    print(report.format_text())
+    hotspots = report.divergence_hotspots(
+        top=5, program=_instance.program
+    )
+    if hotspots:
+        print("  divergence hotspots (warp splits per branch):")
+        for function, addr, count, label in hotspots:
+            where = f"{function}:{label}" if label else f"{function}@{addr:#x}"
+            print(f"    {where:<40} {count}")
+    if args.save_traces:
+        save_traces(traces, args.save_traces)
+        print(f"\ntraces written to {args.save_traces}")
+    return 0
+
+
+def _cmd_speedup(args) -> int:
+    workload, instance, traces = _trace(args)
+    config = rtx3070() if args.gpu == "rtx3070" else small_simt_cpu()
+    launch = args.launch_threads or workload.paper_simt_threads
+    result = project_speedup(
+        traces, instance.program, gpu_config=config,
+        warp_size=min(args.warp_size, config.warp_size),
+        launch_threads=launch,
+    )
+    print(f"workload:          {workload.name}")
+    print(f"machine:           {config.name}")
+    print(f"launch threads:    {launch}")
+    print(f"SIMT efficiency:   {result.simt_efficiency:.1%}")
+    print(f"CPU time:          {result.cpu_seconds * 1e6:.1f} us "
+          f"({result.cpu.cycles} cycles)")
+    print(f"GPU time:          {result.gpu_seconds * 1e6:.1f} us "
+          f"({result.gpu.cycles} cycles, IPC {result.gpu.ipc():.2f})")
+    print(f"projected speedup: {result.speedup:.2f}x")
+    return 0
+
+
+def _cmd_tracegen(args) -> int:
+    _workload, instance, traces = _trace(args)
+    kernel = generate_kernel_trace(traces, instance.program,
+                                   warp_size=args.warp_size)
+    save_kernel_trace(kernel, args.output)
+    print(f"{len(kernel.warps)} warps, {kernel.total_issues} warp "
+          f"instructions -> {args.output}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from .core import sweep_warp_sizes
+
+    _workload, _instance, traces = _trace(args)
+    sizes = [int(x) for x in args.warp_sizes.split(",") if x]
+    reports = sweep_warp_sizes(traces, sizes,
+                               emulate_locks=args.emulate_locks)
+    print(f"{'warp size':>10} {'SIMT eff':>10} {'issues':>10} "
+          f"{'heap txn':>10}")
+    for warp_size, report in reports.items():
+        print(f"{warp_size:>10} {report.simt_efficiency:>10.1%} "
+              f"{report.metrics.issues:>10} {report.heap_transactions:>10}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from .simulator import GPUSimulator
+    from .tracegen import load_kernel_trace
+
+    kernel = load_kernel_trace(args.trace)
+    config = rtx3070() if args.gpu == "rtx3070" else small_simt_cpu()
+    if args.scheduler:
+        config.scheduler = args.scheduler
+    sim = GPUSimulator(config)
+    stats = sim.run(kernel, replicate=args.replicate)
+    print(f"kernel:         {kernel.name}")
+    print(f"machine:        {config.name} ({config.scheduler})")
+    print(f"warps:          {len(kernel.warps)} x{args.replicate}")
+    print(f"cycles:         {stats.cycles}")
+    print(f"instructions:   {stats.instructions}  (IPC {stats.ipc():.2f})")
+    print(f"SIMT efficiency:{kernel.simt_efficiency():8.1%}")
+    l1 = stats.l1_hits / max(stats.l1_hits + stats.l1_misses, 1)
+    print(f"L1 hit rate:    {l1:.1%}   transactions: {stats.transactions}")
+    print(f"DRAM traffic:   {stats.dram_bytes} bytes")
+    print(f"time:           {stats.seconds(config.clock_ghz) * 1e6:.1f} us")
+    return 0
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "analyze": _cmd_analyze,
+    "speedup": _cmd_speedup,
+    "tracegen": _cmd_tracegen,
+    "simulate": _cmd_simulate,
+    "sweep": _cmd_sweep,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except KeyError as exc:
+        if args.command != "list" and exc.args and isinstance(
+                exc.args[0], str):
+            print(f"error: unknown workload {exc.args[0]!r} "
+                  "(see 'threadfuser list')", file=sys.stderr)
+            return 2
+        raise
+    except BrokenPipeError:
+        # Output was piped into a pager/head that exited early.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

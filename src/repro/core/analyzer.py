@@ -1,0 +1,122 @@
+"""The ThreadFuser analyzer facade.
+
+Wires the pipeline of paper Fig. 3b together: parse traces -> build
+per-function DCFGs -> IPDOM analysis -> warp formation -> lock-step SIMT
+stack replay -> reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..tracer.events import TraceSet
+from .dcfg import DCFGSet, build_dcfgs
+from .ipdom import compute_all_ipdoms
+from .metrics import AggregateMetrics
+from .replay import WarpReplayer
+from .report import AnalysisReport
+from .warp import form_warps
+
+
+@dataclass
+class AnalyzerConfig:
+    """Tunable knobs of the analyzer.
+
+    warp_size:
+        SIMT width to emulate (the paper sweeps 8/16/32).
+    batching:
+        Warp-formation policy name (see :mod:`repro.core.warp`).
+    emulate_locks:
+        Serialize same-lock critical sections inside a warp (Fig. 9).
+    lock_reconvergence:
+        Where serialized threads reconverge: "unlock" (just past the
+        critical section, the paper's choice) or "exit" (the enclosing
+        reconvergence point -- the conservative alternative the paper
+        defers to future work).
+    """
+
+    warp_size: int = 32
+    batching: str = "linear"
+    emulate_locks: bool = False
+    lock_reconvergence: str = "unlock"
+
+
+class ThreadFuserAnalyzer:
+    """Analyzes a :class:`TraceSet` into an :class:`AnalysisReport`."""
+
+    def __init__(self, config: Optional[AnalyzerConfig] = None) -> None:
+        self.config = config or AnalyzerConfig()
+
+    def prepare(self, traces: TraceSet) -> DCFGSet:
+        """Build the DCFGs and IPDOM tables (reusable across warp sizes)."""
+        dcfgs = build_dcfgs(traces)
+        compute_all_ipdoms(dcfgs)
+        return dcfgs
+
+    def analyze(self, traces: TraceSet,
+                dcfgs: Optional[DCFGSet] = None,
+                visitor_factory=None) -> AnalysisReport:
+        """Run the full pipeline on ``traces``.
+
+        ``visitor_factory``, when given, is called once per warp with the
+        warp index and must return a replay visitor (or None); the trace
+        generator uses this to emit simulator traces during replay.
+        """
+        cfg = self.config
+        if dcfgs is None:
+            dcfgs = self.prepare(traces)
+        warps = form_warps(traces, cfg.warp_size, cfg.batching)
+        aggregate = AggregateMetrics(cfg.warp_size)
+        for warp_index, warp in enumerate(warps):
+            visitor = (
+                visitor_factory(warp_index) if visitor_factory else None
+            )
+            replayer = WarpReplayer(
+                warp,
+                dcfgs,
+                warp_size=cfg.warp_size,
+                emulate_locks=cfg.emulate_locks,
+                visitor=visitor,
+                lock_reconvergence=cfg.lock_reconvergence,
+            )
+            metrics = replayer.run()
+            aggregate.merge(metrics, n_threads=len(warp))
+        return AnalysisReport(
+            workload=traces.workload,
+            metrics=aggregate,
+            traced_fraction=traces.traced_fraction(),
+            skipped_by_reason=traces.skipped_by_reason(),
+        )
+
+
+def sweep_warp_sizes(traces: TraceSet, warp_sizes=(8, 16, 32),
+                     batching: str = "linear",
+                     emulate_locks: bool = False):
+    """SIMT efficiency across warp widths (the Fig. 1 sweep).
+
+    Builds the DCFG/IPDOM tables once and replays per width; returns
+    ``{warp_size: AnalysisReport}``.
+    """
+    analyzer = ThreadFuserAnalyzer()
+    dcfgs = analyzer.prepare(traces)
+    out = {}
+    for warp_size in warp_sizes:
+        analyzer.config = AnalyzerConfig(
+            warp_size=warp_size, batching=batching,
+            emulate_locks=emulate_locks,
+        )
+        out[warp_size] = analyzer.analyze(traces, dcfgs=dcfgs)
+    return out
+
+
+def analyze_traces(traces: TraceSet, warp_size: int = 32,
+                   batching: str = "linear",
+                   emulate_locks: bool = False,
+                   lock_reconvergence: str = "unlock") -> AnalysisReport:
+    """One-call convenience wrapper around :class:`ThreadFuserAnalyzer`."""
+    config = AnalyzerConfig(
+        warp_size=warp_size, batching=batching, emulate_locks=emulate_locks,
+        lock_reconvergence=lock_reconvergence,
+    )
+    return ThreadFuserAnalyzer(config).analyze(traces)

@@ -1,0 +1,126 @@
+"""Dynamic Control Flow Graph (DCFG) construction.
+
+The analyzer builds one DCFG *per function* from the merged per-thread
+traces, exactly as the paper describes: building one graph for the whole
+trace would let a shared function's return edge point at many blocks and
+make IPDOM overly conservative, so every function gets its own graph with
+a *virtual exit block* appended, forcing divergent threads to reconverge at
+function end like contemporary SIMT hardware does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Set
+
+from ..tracer.events import (
+    TOK_BLOCK,
+    TOK_CALL,
+    TOK_RET,
+    ThreadTrace,
+    TraceSet,
+)
+
+#: Sentinel node: the per-function virtual exit block.
+VEXIT = -1
+
+
+class FunctionDCFG:
+    """The merged dynamic CFG of one function (plus virtual exit)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.succs: Dict[int, Set[int]] = {VEXIT: set()}
+        self.preds: Dict[int, Set[int]] = {VEXIT: set()}
+        self.entries: Set[int] = set()
+        self.ipdom: Dict[int, int] = {}
+
+    def add_edge(self, src: int, dst: int) -> None:
+        self.succs.setdefault(src, set()).add(dst)
+        self.succs.setdefault(dst, set())
+        self.preds.setdefault(dst, set()).add(src)
+        self.preds.setdefault(src, set())
+
+    @property
+    def nodes(self) -> Iterable[int]:
+        return self.succs.keys()
+
+    def __len__(self) -> int:
+        return len(self.succs)
+
+    def __repr__(self) -> str:
+        return f"<FunctionDCFG {self.name} nodes={len(self.succs)}>"
+
+
+class DCFGSet:
+    """All per-function DCFGs observed in a trace set."""
+
+    def __init__(self) -> None:
+        self.functions: Dict[str, FunctionDCFG] = {}
+
+    def get(self, name: str) -> FunctionDCFG:
+        dcfg = self.functions.get(name)
+        if dcfg is None:
+            dcfg = FunctionDCFG(name)
+            self.functions[name] = dcfg
+        return dcfg
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.functions
+
+    def __getitem__(self, name: str) -> FunctionDCFG:
+        return self.functions[name]
+
+    def __iter__(self):
+        return iter(self.functions.values())
+
+
+class _Frame:
+    __slots__ = ("dcfg", "last")
+
+    def __init__(self, dcfg: FunctionDCFG) -> None:
+        self.dcfg = dcfg
+        self.last: int = VEXIT  # VEXIT means "no block seen yet"
+        # ``last`` is overwritten on the first block; the sentinel is never
+        # used as an edge source because we guard on ``seen``.
+
+
+def _scan_thread(trace: ThreadTrace, dcfgs: DCFGSet) -> None:
+    stack = [_Frame(dcfgs.get(trace.root))]
+    seen_block = [False]
+    for token in trace.tokens:
+        kind = token[0]
+        if kind == TOK_BLOCK:
+            frame = stack[-1]
+            addr = token[1]
+            if seen_block[-1]:
+                frame.dcfg.add_edge(frame.last, addr)
+            else:
+                frame.dcfg.entries.add(addr)
+                frame.dcfg.succs.setdefault(addr, set())
+                frame.dcfg.preds.setdefault(addr, set())
+                seen_block[-1] = True
+            frame.last = addr
+        elif kind == TOK_CALL:
+            stack.append(_Frame(dcfgs.get(token[1])))
+            seen_block.append(False)
+        elif kind == TOK_RET:
+            frame = stack.pop()
+            if seen_block.pop():
+                frame.dcfg.add_edge(frame.last, VEXIT)
+        # LOCK/UNLOCK tokens carry no control-flow information.
+    # A thread that ended inside open frames (HALT / truncation) still
+    # pins each open frame's last block to the virtual exit so IPDOM stays
+    # well-defined.
+    while stack:
+        frame = stack.pop()
+        had_block = seen_block.pop()
+        if had_block:
+            frame.dcfg.add_edge(frame.last, VEXIT)
+
+
+def build_dcfgs(traces: TraceSet) -> DCFGSet:
+    """Build merged per-function DCFGs from all logical-thread traces."""
+    dcfgs = DCFGSet()
+    for trace in traces:
+        _scan_thread(trace, dcfgs)
+    return dcfgs

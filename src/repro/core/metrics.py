@@ -1,0 +1,218 @@
+"""Metric accumulation for the lock-step replay.
+
+Collects, per warp and aggregated: SIMT (control) efficiency per Eq. 1 of
+the paper, per-function *exclusive* efficiency, coalesced 32-byte memory
+transactions split by heap/stack segment, and lock-serialization counters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..machine.memory import SEG_HEAP, SEG_STACK, segment_of
+
+#: Memory transaction granularity (bytes), matching GPU 32B sectors.
+TRANSACTION_BYTES = 32
+
+
+def transactions_for(addr_size_pairs: Iterable[Tuple[int, int]]) -> int:
+    """Number of 32-byte transactions covering the given accesses.
+
+    This is the coalescing rule from the paper's Fig. 4: the lanes' byte
+    ranges are merged and counted in unique 32-byte segments.
+    """
+    segments = set()
+    for addr, size in addr_size_pairs:
+        first = addr // TRANSACTION_BYTES
+        last = (addr + size - 1) // TRANSACTION_BYTES
+        for seg in range(first, last + 1):
+            segments.add(seg)
+    return len(segments)
+
+
+class FunctionStats:
+    """Exclusive (callee-free) lock-step statistics for one function."""
+
+    __slots__ = ("name", "issues", "thread_instructions", "calls")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.issues = 0
+        self.thread_instructions = 0
+        self.calls = 0
+
+    def efficiency(self, warp_size: int) -> float:
+        if self.issues == 0:
+            return 1.0
+        return self.thread_instructions / (self.issues * warp_size)
+
+
+class SegmentStats:
+    """Memory-divergence counters for one address segment (heap/stack)."""
+
+    __slots__ = ("instructions", "accesses", "transactions")
+
+    def __init__(self) -> None:
+        self.instructions = 0   # warp-level load/store issues
+        self.accesses = 0       # per-lane accesses
+        self.transactions = 0   # 32B transactions after coalescing
+
+    def transactions_per_instruction(self) -> float:
+        if self.instructions == 0:
+            return 0.0
+        return self.transactions / self.instructions
+
+    def accesses_per_instruction(self) -> float:
+        if self.instructions == 0:
+            return 0.0
+        return self.accesses / self.instructions
+
+
+class LockStats:
+    """Synchronization counters."""
+
+    __slots__ = ("lock_events", "contended_events", "serialized_threads",
+                 "serialized_issues")
+
+    def __init__(self) -> None:
+        self.lock_events = 0
+        self.contended_events = 0
+        self.serialized_threads = 0
+        self.serialized_issues = 0
+
+
+class WarpMetrics:
+    """All counters for one warp's replay."""
+
+    def __init__(self, warp_size: int) -> None:
+        self.warp_size = warp_size
+        self.issues = 0
+        self.thread_instructions = 0
+        self.per_function: Dict[str, FunctionStats] = {}
+        self.memory: Dict[str, SegmentStats] = {
+            SEG_HEAP: SegmentStats(),
+            SEG_STACK: SegmentStats(),
+        }
+        self.locks = LockStats()
+        #: (function, branch block addr) -> times the warp split there.
+        self.divergence_events: Dict[Tuple[str, int], int] = {}
+
+    # -- accounting hooks used by the replay engine --------------------------
+
+    def function_stats(self, name: str) -> FunctionStats:
+        stats = self.per_function.get(name)
+        if stats is None:
+            stats = FunctionStats(name)
+            self.per_function[name] = stats
+        return stats
+
+    def account_block(self, function: str, n_instructions: int,
+                      n_active: int, serialized: bool = False) -> None:
+        self.issues += n_instructions
+        self.thread_instructions += n_instructions * n_active
+        stats = self.function_stats(function)
+        stats.issues += n_instructions
+        stats.thread_instructions += n_instructions * n_active
+        if serialized:
+            self.locks.serialized_issues += n_instructions
+
+    def account_call(self, function: str) -> None:
+        self.function_stats(function).calls += 1
+
+    def account_divergence(self, function: str, block_addr: int) -> None:
+        key = (function, block_addr)
+        self.divergence_events[key] = self.divergence_events.get(key, 0) + 1
+
+    def account_memory(self, accesses: List[Tuple[int, int]]) -> None:
+        """One warp-level memory instruction issue.
+
+        ``accesses`` holds ``(addr, size)`` per active lane; all lanes of
+        one instruction target the same segment class by construction
+        (stack addresses are per-thread stack slots, heap addresses are
+        shared data).
+        """
+        if not accesses:
+            return
+        seg = self.memory[segment_of(accesses[0][0])]
+        seg.instructions += 1
+        seg.accesses += len(accesses)
+        seg.transactions += transactions_for(accesses)
+
+    def efficiency(self) -> float:
+        """Warp SIMT efficiency per the paper's Eq. 1."""
+        if self.issues == 0:
+            return 1.0
+        return self.thread_instructions / (self.issues * self.warp_size)
+
+
+class AggregateMetrics:
+    """Merged metrics over all warps of a workload."""
+
+    def __init__(self, warp_size: int) -> None:
+        self.warp_size = warp_size
+        self.n_warps = 0
+        self.n_threads = 0
+        self.issues = 0
+        self.thread_instructions = 0
+        self.per_function: Dict[str, FunctionStats] = {}
+        self.memory: Dict[str, SegmentStats] = {
+            SEG_HEAP: SegmentStats(),
+            SEG_STACK: SegmentStats(),
+        }
+        self.locks = LockStats()
+        self.divergence_events: Dict[Tuple[str, int], int] = {}
+        self.warp_efficiencies: List[float] = []
+
+    def merge(self, warp: WarpMetrics, n_threads: int) -> None:
+        self.n_warps += 1
+        self.n_threads += n_threads
+        self.issues += warp.issues
+        self.thread_instructions += warp.thread_instructions
+        self.warp_efficiencies.append(warp.efficiency())
+        for name, stats in warp.per_function.items():
+            mine = self.per_function.get(name)
+            if mine is None:
+                mine = FunctionStats(name)
+                self.per_function[name] = mine
+            mine.issues += stats.issues
+            mine.thread_instructions += stats.thread_instructions
+            mine.calls += stats.calls
+        for seg_name, seg in warp.memory.items():
+            mine_seg = self.memory[seg_name]
+            mine_seg.instructions += seg.instructions
+            mine_seg.accesses += seg.accesses
+            mine_seg.transactions += seg.transactions
+        for key, count in warp.divergence_events.items():
+            self.divergence_events[key] = (
+                self.divergence_events.get(key, 0) + count
+            )
+        self.locks.lock_events += warp.locks.lock_events
+        self.locks.contended_events += warp.locks.contended_events
+        self.locks.serialized_threads += warp.locks.serialized_threads
+        self.locks.serialized_issues += warp.locks.serialized_issues
+
+    def efficiency(self) -> float:
+        """Workload SIMT efficiency (instruction-weighted over warps)."""
+        if self.issues == 0:
+            return 1.0
+        return self.thread_instructions / (self.issues * self.warp_size)
+
+    def mean_warp_efficiency(self) -> float:
+        """Unweighted average of per-warp efficiencies (paper Sec. III)."""
+        if not self.warp_efficiencies:
+            return 1.0
+        return sum(self.warp_efficiencies) / len(self.warp_efficiencies)
+
+    def total_transactions(self, segment: Optional[str] = None) -> int:
+        if segment is not None:
+            return self.memory[segment].transactions
+        return sum(seg.transactions for seg in self.memory.values())
+
+    def transactions_per_memory_instruction(
+            self, segment: Optional[str] = None) -> float:
+        if segment is not None:
+            return self.memory[segment].transactions_per_instruction()
+        instructions = sum(s.instructions for s in self.memory.values())
+        if instructions == 0:
+            return 0.0
+        return self.total_transactions() / instructions

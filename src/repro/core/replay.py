@@ -1,0 +1,440 @@
+"""Lock-step warp replay with a SIMT reconvergence stack.
+
+This is ThreadFuser's execution-emulation stage: the logical threads fused
+into one warp are replayed in lock-step exactly as SIMT hardware would run
+them --
+
+* a SIMT stack of ``(pc, rpc, mask)`` entries manages control divergence,
+  pushing one entry per divergent target with the reconvergence point set
+  to the branch block's IPDOM (paper Sec. II / Fig. 2);
+* calls recurse into a fresh per-function frame that reconverges at the
+  callee's virtual exit block (the paper's per-function DCFG rule), which
+  also yields per-function *exclusive* efficiency attribution;
+* threads contending on the same lock are serialized through their
+  critical sections via extra stack entries, reconverging after the unlock
+  (paper Sec. III, "Synchronization handling");
+* every lock-step memory instruction is coalesced into 32-byte
+  transactions across the active lanes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..tracer.events import (
+    TOK_BLOCK,
+    TOK_CALL,
+    TOK_LOCK,
+    TOK_RET,
+    TOK_UNLOCK,
+    ThreadTrace,
+)
+from .dcfg import DCFGSet, VEXIT
+from .metrics import WarpMetrics
+
+
+class ReplayError(Exception):
+    """The trace stream and the DCFG/IPDOM model disagree."""
+
+
+class _Cursor:
+    """A consuming reader over one logical thread's token stream."""
+
+    __slots__ = ("tokens", "pos")
+
+    def __init__(self, trace: ThreadTrace) -> None:
+        self.tokens = trace.tokens
+        self.pos = 0
+
+    def peek(self) -> Optional[tuple]:
+        if self.pos < len(self.tokens):
+            return self.tokens[self.pos]
+        return None
+
+    def next(self) -> tuple:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.tokens)
+
+
+class _Entry:
+    """One SIMT stack entry."""
+
+    __slots__ = ("pc", "rpc", "mask")
+
+    def __init__(self, pc: int, rpc: int, mask: List[int]) -> None:
+        self.pc = pc
+        self.rpc = rpc
+        self.mask = mask
+
+    def __repr__(self) -> str:
+        return f"<Entry pc={self.pc:#x} rpc={self.rpc} lanes={self.mask}>"
+
+
+class WarpReplayer:
+    """Replays one warp of logical threads in lock-step.
+
+    Parameters
+    ----------
+    warp:
+        The logical threads fused into this warp (1..warp_size of them).
+    dcfgs:
+        Per-function DCFGs with IPDOM information already computed.
+    warp_size:
+        Nominal hardware warp width (the Eq. 1 denominator), which may be
+        larger than ``len(warp)`` for a tail warp.
+    emulate_locks:
+        When True, same-lock critical sections are serialized (the paper's
+        intra-warp locking emulation, Fig. 9); when False, lock events are
+        consumed without serialization (the fine-grain-locking assumption
+        used in the headline efficiency numbers).
+    visitor:
+        Optional object receiving ``on_issue(function, block_addr,
+        n_instructions, lanes)`` and ``on_mem_issue(function, block_addr,
+        slot, is_store, lane_accesses)`` callbacks; the warp-trace
+        generator (:mod:`repro.tracegen`) plugs in here so simulator traces
+        are produced by the *same* replay the metrics come from.
+    """
+
+    def __init__(self, warp: Sequence[ThreadTrace], dcfgs: DCFGSet,
+                 warp_size: int, emulate_locks: bool = False,
+                 visitor=None, lock_reconvergence: str = "unlock") -> None:
+        if not warp:
+            raise ValueError("cannot replay an empty warp")
+        if lock_reconvergence not in ("unlock", "exit"):
+            raise ValueError(
+                f"unknown lock reconvergence policy {lock_reconvergence!r}"
+            )
+        self.warp = list(warp)
+        self.dcfgs = dcfgs
+        self.warp_size = warp_size
+        self.emulate_locks = emulate_locks
+        self.lock_reconvergence = lock_reconvergence
+        self.visitor = visitor
+        self.metrics = WarpMetrics(warp_size)
+        self.cursors: Dict[int, _Cursor] = {}
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> WarpMetrics:
+        """Replay the whole warp; returns its metrics."""
+        # All threads in a warp must run the same worker function, as on a
+        # GPU where all threads of a kernel share the same entry.
+        roots = {t.root for t in self.warp}
+        if len(roots) != 1:
+            raise ReplayError(
+                f"warp fuses threads with different roots: {sorted(roots)}"
+            )
+        lanes = []
+        for lane, trace in enumerate(self.warp):
+            self.cursors[lane] = _Cursor(trace)
+            lanes.append(lane)
+        root = next(iter(roots))
+        live = [lane for lane in lanes if not self.cursors[lane].at_end()]
+        if live:
+            self._replay_frame(root, live)
+        for lane in lanes:
+            if not self.cursors[lane].at_end():
+                raise ReplayError(
+                    f"lane {lane} has {len(self.cursors[lane].tokens) - self.cursors[lane].pos} "
+                    "unconsumed tokens after replay"
+                )
+        return self.metrics
+
+    # ------------------------------------------------------------------
+
+    def _next_block_of(self, lane: int) -> int:
+        """The next block this lane will execute in the current frame."""
+        token = self.cursors[lane].peek()
+        if token is None or token[0] == TOK_RET:
+            return VEXIT
+        if token[0] == TOK_BLOCK:
+            return token[1]
+        raise ReplayError(
+            f"lane {lane} has unexpected token {token[0]!r} at a block "
+            "boundary"
+        )
+
+    def _ipdom(self, function: str, block: int) -> int:
+        dcfg = self.dcfgs[function]
+        try:
+            return dcfg.ipdom[block]
+        except KeyError:
+            raise ReplayError(
+                f"no IPDOM for block {block:#x} in {function}"
+            ) from None
+
+    def _replay_frame(self, function: str, lanes: List[int]) -> None:
+        """Replay one function activation for the given lanes.
+
+        On entry every lane's cursor points at the callee's entry block
+        token; on exit every lane's cursor sits just past the function's
+        RET token (or at stream end for lanes whose thread terminated).
+        """
+        self.metrics.account_call(function)
+        entry = self._next_block_of(lanes[0])
+        if entry == VEXIT:
+            # Degenerate: thread ended immediately; drain RET tokens below.
+            pass
+        stack = [_Entry(entry, VEXIT, list(lanes))]
+        while stack:
+            e = stack[-1]
+            if not e.mask or e.pc == e.rpc:
+                stack.pop()
+                continue
+            if e.pc == VEXIT:
+                # Lanes drained to the virtual exit inside a pushed entry.
+                stack.pop()
+                continue
+            self._step_entry(function, e, stack)
+        # Consume the RET tokens that delimit this activation.
+        for lane in lanes:
+            token = self.cursors[lane].peek()
+            if token is not None and token[0] == TOK_RET:
+                self.cursors[lane].next()
+            elif token is None:
+                continue  # thread terminated inside this function
+            else:
+                raise ReplayError(
+                    f"lane {lane} expected RET leaving {function}, "
+                    f"found {token[0]!r}"
+                )
+
+    def _step_entry(self, function: str, e: _Entry,
+                    stack: List[_Entry]) -> None:
+        block_addr = e.pc
+        mask = e.mask
+
+        # 1. Consume the block token on every active lane.
+        rep_token = None
+        for lane in mask:
+            token = self.cursors[lane].next()
+            if token[0] != TOK_BLOCK or token[1] != block_addr:
+                raise ReplayError(
+                    f"lane {lane} diverged from lock-step in {function}: "
+                    f"expected block {block_addr:#x}, got {token!r}"
+                )
+            if rep_token is None:
+                rep_token = token
+        n_instructions = rep_token[2]
+        self.metrics.account_block(function, n_instructions, len(mask))
+        if self.visitor is not None:
+            self.visitor.on_issue(function, block_addr, n_instructions,
+                                  list(mask))
+        self._coalesce_block(function, block_addr, mask)
+
+        # 2. Handle post-block events (call / lock / unlock), which the
+        #    tracer emits between the terminating block and its successor.
+        follow = self.cursors[mask[0]].peek()
+        if follow is not None and follow[0] == TOK_CALL:
+            callee = follow[1]
+            for lane in mask:
+                token = self.cursors[lane].next()
+                if token[0] != TOK_CALL or token[1] != callee:
+                    raise ReplayError(
+                        f"lane {lane} expected call to {callee}, "
+                        f"got {token!r}"
+                    )
+            self._replay_frame(callee, list(mask))
+        elif follow is not None and follow[0] == TOK_LOCK:
+            if self._handle_locks(function, e, stack):
+                return  # lock handler already regrouped the entry
+        elif follow is not None and follow[0] == TOK_UNLOCK:
+            for lane in mask:
+                token = self.cursors[lane].next()
+                if token[0] != TOK_UNLOCK:
+                    raise ReplayError(
+                        f"lane {lane} expected unlock, got {token!r}"
+                    )
+
+        # 3. Group lanes by their next block and update the SIMT stack.
+        self._regroup(function, e, stack, block_addr)
+
+    def _regroup(self, function: str, e: _Entry, stack: List[_Entry],
+                 branch_block: int) -> None:
+        """Standard IPDOM divergence handling after executing a block."""
+        nexts: Dict[int, List[int]] = {}
+        for lane in e.mask:
+            nexts.setdefault(self._next_block_of(lane), []).append(lane)
+        if len(nexts) == 1:
+            e.pc = next(iter(nexts))
+            return
+        self.metrics.account_divergence(function, branch_block)
+        rpc = self._ipdom(function, branch_block)
+        e.pc = rpc
+        # Push divergent paths; lanes already headed to the reconvergence
+        # point simply wait in this entry.
+        for target, lanes in nexts.items():
+            if target != rpc:
+                stack.append(_Entry(target, rpc, lanes))
+
+    # ------------------------------------------------------------------
+    # Memory coalescing.
+
+    def _coalesce_block(self, function: str, block_addr: int,
+                        mask: List[int]) -> None:
+        """Coalesce the block's memory records across active lanes."""
+        rep = self.cursors[mask[0]].tokens[self.cursors[mask[0]].pos - 1]
+        rep_mems = rep[3]
+        if not rep_mems:
+            return
+        lane_mems = {
+            lane: self.cursors[lane].tokens[self.cursors[lane].pos - 1][3]
+            for lane in mask
+        }
+        for i, (slot, is_store, _addr, _size) in enumerate(rep_mems):
+            accesses: List[Tuple[int, int]] = []
+            for lane in mask:
+                mems = lane_mems[lane]
+                if i >= len(mems) or mems[i][0] != slot or mems[i][1] != is_store:
+                    raise ReplayError(
+                        f"memory records misaligned across lanes at block "
+                        f"{block_addr:#x} slot {slot}"
+                    )
+                accesses.append((mems[i][2], mems[i][3]))
+            self.metrics.account_memory(accesses)
+            if self.visitor is not None:
+                self.visitor.on_mem_issue(function, block_addr, slot,
+                                          is_store, accesses)
+
+    # ------------------------------------------------------------------
+    # Lock serialization.
+
+    def _handle_locks(self, function: str, e: _Entry,
+                      stack: List[_Entry]) -> bool:
+        """Consume LOCK tokens; serialize contended critical sections.
+
+        Returns True when the handler performed its own regrouping (the
+        caller must not run the standard one).
+        """
+        lock_of: Dict[int, int] = {}
+        for lane in e.mask:
+            token = self.cursors[lane].next()
+            if token[0] != TOK_LOCK:
+                raise ReplayError(
+                    f"lane {lane} expected lock token, got {token!r}"
+                )
+            lock_of[lane] = token[1]
+
+        groups: Dict[int, List[int]] = {}
+        for lane, addr in lock_of.items():
+            groups.setdefault(addr, []).append(lane)
+        self.metrics.locks.lock_events += len(groups)
+
+        contended = {a: ls for a, ls in groups.items() if len(ls) > 1}
+        if not contended or not self.emulate_locks:
+            if contended:
+                self.metrics.locks.contended_events += len(contended)
+                self.metrics.locks.serialized_threads += sum(
+                    len(ls) for ls in contended.values()
+                )
+            return False  # lock-step continues through the CS
+
+        self.metrics.locks.contended_events += len(contended)
+        serialized: List[int] = []
+        unlock_blocks = set()
+        for addr in sorted(contended):
+            lanes = contended[addr]
+            self.metrics.locks.serialized_threads += len(lanes)
+            for lane in lanes:
+                unlock_blocks.add(
+                    self._solo_until_unlock(function, lane, addr)
+                )
+                serialized.append(lane)
+
+        singles = [
+            lane for lane in e.mask
+            if len(groups[lock_of[lane]]) == 1
+        ]
+
+        # Choose the anticipated reconvergence point (paper: one of the
+        # unlock pairs; "different choices ... may have varying effects on
+        # the control flow efficiency", left to future work -- both
+        # policies are implemented here).  "unlock": with a common unlock
+        # block its IPDOM is a sound reconvergence point; "exit" (or an
+        # irregular locking structure): fall back to the enclosing entry's
+        # reconvergence point, serializing the remainder.
+        if self.lock_reconvergence == "unlock" and len(unlock_blocks) == 1:
+            rpc = self._ipdom(function, next(iter(unlock_blocks)))
+        else:
+            rpc = e.rpc
+        e.pc = rpc
+
+        if singles:
+            # Uncontended lanes execute their critical sections together.
+            firsts = {self._next_block_of(lane) for lane in singles}
+            for target in sorted(firsts):
+                group = [l for l in singles
+                         if self._next_block_of(l) == target]
+                if target != rpc:
+                    stack.append(_Entry(target, rpc, group))
+        for lane in serialized:
+            target = self._next_block_of(lane)
+            if target != rpc:
+                stack.append(_Entry(target, rpc, [lane]))
+        return True
+
+    def _solo_until_unlock(self, function: str, lane: int,
+                           lock_addr: int) -> int:
+        """Serially replay one lane's critical section.
+
+        Consumes tokens until (and including) the UNLOCK of ``lock_addr``;
+        returns the address of the block containing the unlock.  Nested
+        calls and nested *different* locks are replayed inline.
+        """
+        cursor = self.cursors[lane]
+        func_stack = [function]
+        last_block = None
+        while True:
+            token = cursor.peek()
+            if token is None:
+                raise ReplayError(
+                    f"lane {lane} ended while holding lock {lock_addr:#x}"
+                )
+            cursor.next()
+            kind = token[0]
+            if kind == TOK_BLOCK:
+                last_block = token[1]
+                self.metrics.account_block(
+                    func_stack[-1], token[2], 1, serialized=True
+                )
+                if self.visitor is not None:
+                    self.visitor.on_issue(func_stack[-1], token[1],
+                                          token[2], [lane])
+                for slot, is_store, addr, size in token[3]:
+                    self.metrics.account_memory([(addr, size)])
+                    if self.visitor is not None:
+                        self.visitor.on_mem_issue(
+                            func_stack[-1], token[1], slot, is_store,
+                            [(addr, size)]
+                        )
+            elif kind == TOK_CALL:
+                self.metrics.account_call(token[1])
+                func_stack.append(token[1])
+            elif kind == TOK_RET:
+                if len(func_stack) == 1:
+                    raise ReplayError(
+                        f"lane {lane} returned from {function} while "
+                        f"holding lock {lock_addr:#x}"
+                    )
+                func_stack.pop()
+            elif kind == TOK_UNLOCK:
+                if token[1] == lock_addr:
+                    if len(func_stack) != 1:
+                        raise ReplayError(
+                            f"lane {lane} unlocked {lock_addr:#x} in a "
+                            "nested call; unsupported locking structure"
+                        )
+                    return last_block
+            elif kind == TOK_LOCK:
+                if token[1] == lock_addr:
+                    raise ReplayError(
+                        f"lane {lane} re-acquired held lock {lock_addr:#x}"
+                    )
+                # A nested different lock inside a serialized CS cannot
+                # contend within the warp (the lane runs alone here).
+            else:
+                raise ReplayError(f"unknown token {token!r}")

@@ -1,0 +1,162 @@
+"""Analysis reports: the analyzer's user-facing output.
+
+Mirrors the reports the paper describes: whole-program SIMT efficiency,
+a per-function breakdown excluding nested calls (used to pinpoint
+bottleneck functions, Fig. 7), memory divergence split by heap/stack
+segment (Fig. 10), tracing coverage (Fig. 8) and lock statistics (Fig. 9).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..machine.memory import SEG_HEAP, SEG_STACK
+from .metrics import AggregateMetrics
+
+
+class FunctionReport:
+    """Per-function exclusive statistics."""
+
+    __slots__ = ("name", "calls", "issues", "thread_instructions",
+                 "instruction_share", "efficiency")
+
+    def __init__(self, name: str, calls: int, issues: int,
+                 thread_instructions: int, instruction_share: float,
+                 efficiency: float) -> None:
+        self.name = name
+        self.calls = calls
+        self.issues = issues
+        self.thread_instructions = thread_instructions
+        self.instruction_share = instruction_share
+        self.efficiency = efficiency
+
+    def __repr__(self) -> str:
+        return (
+            f"<FunctionReport {self.name} share={self.instruction_share:.1%} "
+            f"eff={self.efficiency:.1%}>"
+        )
+
+
+class AnalysisReport:
+    """The full ThreadFuser analyzer report for one workload run."""
+
+    def __init__(self, workload: str, metrics: AggregateMetrics,
+                 traced_fraction: float,
+                 skipped_by_reason: Dict[str, int]) -> None:
+        self.workload = workload
+        self.metrics = metrics
+        self.traced_fraction = traced_fraction
+        self.skipped_by_reason = dict(skipped_by_reason)
+
+    # -- headline metrics ------------------------------------------------
+
+    @property
+    def warp_size(self) -> int:
+        return self.metrics.warp_size
+
+    @property
+    def simt_efficiency(self) -> float:
+        """Whole-program SIMT efficiency (paper Eq. 1)."""
+        return self.metrics.efficiency()
+
+    @property
+    def n_threads(self) -> int:
+        return self.metrics.n_threads
+
+    @property
+    def n_warps(self) -> int:
+        return self.metrics.n_warps
+
+    @property
+    def heap_transactions(self) -> int:
+        return self.metrics.memory[SEG_HEAP].transactions
+
+    @property
+    def stack_transactions(self) -> int:
+        return self.metrics.memory[SEG_STACK].transactions
+
+    def transactions_per_load_store(self, segment: Optional[str] = None) -> float:
+        """Memory divergence: 32B transactions per warp load/store issue."""
+        return self.metrics.transactions_per_memory_instruction(segment)
+
+    # -- per-function view -------------------------------------------------
+
+    def per_function(self, min_share: float = 0.0) -> List[FunctionReport]:
+        """Exclusive per-function report, largest instruction share first."""
+        total = self.metrics.thread_instructions or 1
+        reports = []
+        for name, stats in self.metrics.per_function.items():
+            share = stats.thread_instructions / total
+            if share < min_share:
+                continue
+            reports.append(
+                FunctionReport(
+                    name=name,
+                    calls=stats.calls,
+                    issues=stats.issues,
+                    thread_instructions=stats.thread_instructions,
+                    instruction_share=share,
+                    efficiency=stats.efficiency(self.warp_size),
+                )
+            )
+        reports.sort(key=lambda r: -r.instruction_share)
+        return reports
+
+    def function_efficiency(self, name: str) -> float:
+        return self.metrics.per_function[name].efficiency(self.warp_size)
+
+    def divergence_hotspots(self, top: int = 10,
+                            program=None) -> List[Tuple[str, int, int, str]]:
+        """The branches where warps split most often.
+
+        Returns ``(function, block_addr, split_count, label)`` tuples,
+        hottest first.  ``label`` is the source block label when the
+        linked program is supplied -- this is the "pinpoint the code
+        region" capability of the paper's developer use case, one level
+        finer than the per-function report.
+        """
+        rows = []
+        for (function, addr), count in self.metrics.divergence_events.items():
+            label = ""
+            if program is not None:
+                block = program.block_by_addr.get(addr)
+                label = block.label if block is not None else ""
+            rows.append((function, addr, count, label))
+        rows.sort(key=lambda r: -r[2])
+        return rows[:top]
+
+    # -- formatting ------------------------------------------------------
+
+    def format_text(self, top: int = 10) -> str:
+        lines = [
+            f"ThreadFuser report: {self.workload}",
+            f"  threads={self.n_threads}  warps={self.n_warps}  "
+            f"warp_size={self.warp_size}",
+            f"  SIMT efficiency:        {self.simt_efficiency:7.2%}",
+            f"  traced instructions:    {self.traced_fraction:7.2%}",
+            f"  heap txn/load-store:    "
+            f"{self.transactions_per_load_store(SEG_HEAP):7.2f}",
+            f"  stack txn/load-store:   "
+            f"{self.transactions_per_load_store(SEG_STACK):7.2f}",
+            f"  lock events: {self.metrics.locks.lock_events}  "
+            f"contended: {self.metrics.locks.contended_events}  "
+            f"serialized issues: {self.metrics.locks.serialized_issues}",
+            "  per-function (exclusive):",
+            "    {:<28} {:>7} {:>10} {:>8}".format(
+                "function", "calls", "instr%", "eff"
+            ),
+        ]
+        for fr in self.per_function()[:top]:
+            lines.append(
+                "    {:<28} {:>7} {:>9.1%} {:>7.1%}".format(
+                    fr.name[:28], fr.calls, fr.instruction_share,
+                    fr.efficiency,
+                )
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"<AnalysisReport {self.workload!r} ws={self.warp_size} "
+            f"eff={self.simt_efficiency:.3f}>"
+        )

@@ -1,0 +1,80 @@
+"""Warp formation: batching logical threads into warps.
+
+ThreadFuser makes the batching algorithm configurable so architects can
+study alternative warp-formation policies; the default mirrors GPU
+hardware (consecutive thread ids map to the same warp).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from ..tracer.events import ThreadTrace, TraceSet
+
+BatchingPolicy = Callable[[Sequence[ThreadTrace], int], List[List[ThreadTrace]]]
+
+
+def linear_batching(threads: Sequence[ThreadTrace],
+                    warp_size: int) -> List[List[ThreadTrace]]:
+    """Consecutive logical thread ids share a warp (GPU default)."""
+    ordered = sorted(threads, key=lambda t: t.index)
+    return [
+        list(ordered[i:i + warp_size])
+        for i in range(0, len(ordered), warp_size)
+    ]
+
+
+def cpu_affine_batching(threads: Sequence[ThreadTrace],
+                        warp_size: int) -> List[List[ThreadTrace]]:
+    """Group threads spawned by the same CPU thread before batching."""
+    ordered = sorted(threads, key=lambda t: (t.cpu_tid, t.index))
+    return [
+        list(ordered[i:i + warp_size])
+        for i in range(0, len(ordered), warp_size)
+    ]
+
+
+def strided_batching(threads: Sequence[ThreadTrace],
+                     warp_size: int) -> List[List[ThreadTrace]]:
+    """Stripe threads across warps (an intentionally adversarial policy)."""
+    ordered = sorted(threads, key=lambda t: t.index)
+    n_warps = (len(ordered) + warp_size - 1) // warp_size
+    warps: List[List[ThreadTrace]] = [[] for _ in range(n_warps)]
+    for i, thread in enumerate(ordered):
+        warps[i % n_warps].append(thread)
+    return [w for w in warps if w]
+
+
+POLICIES: Dict[str, BatchingPolicy] = {
+    "linear": linear_batching,
+    "cpu_affine": cpu_affine_batching,
+    "strided": strided_batching,
+}
+
+
+def form_warps(traces: TraceSet, warp_size: int,
+               policy: str = "linear") -> List[List[ThreadTrace]]:
+    """Batch a trace set's logical threads into warps of ``warp_size``.
+
+    Threads are first partitioned by their worker (root) function -- all
+    threads of a warp must share an entry point, just as all threads of a
+    GPU kernel share its code -- and the batching policy is applied within
+    each partition.  For heterogeneous services this fuses same-handler
+    requests, matching the paper's request-level-similarity setup.
+    """
+    if warp_size < 1:
+        raise ValueError("warp_size must be >= 1")
+    try:
+        batcher = POLICIES[policy]
+    except KeyError:
+        raise ValueError(
+            f"unknown batching policy {policy!r}; "
+            f"choose from {sorted(POLICIES)}"
+        ) from None
+    by_root: Dict[str, List[ThreadTrace]] = {}
+    for trace in traces:
+        by_root.setdefault(trace.root, []).append(trace)
+    warps: List[List[ThreadTrace]] = []
+    for root in sorted(by_root):
+        warps.extend(batcher(by_root[root], warp_size))
+    return warps

@@ -1,0 +1,13 @@
+"""Multicore CPU timing model (the Fig. 6 speedup baseline).
+
+Projects multithreaded CPU execution time from the same MIMD traces the
+analyzer consumes: per-class CPI plus cache-hierarchy penalties, with
+logical threads laid back onto their CPU threads and CPU threads packed
+onto cores.  The paper normalizes GPU speedups to multithreaded CPU
+execution on a 20-core Xeon; this model plays that role, and because the
+same traces feed both sides of the ratio, trace scale cancels.
+"""
+
+from .model import CPUConfig, CPUSimulator, CPUStats, xeon_e5_2630
+
+__all__ = ["CPUConfig", "CPUSimulator", "CPUStats", "xeon_e5_2630"]

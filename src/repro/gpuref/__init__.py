@@ -1,0 +1,6 @@
+"""GPU oracle: direct lock-step SPMD execution (the 'hardware' in Fig. 5)."""
+
+from .oracle import LockstepGPU, OracleError
+from .staticcfg import build_static_cfgs
+
+__all__ = ["LockstepGPU", "OracleError", "build_static_cfgs"]

@@ -1,0 +1,374 @@
+"""The GPU oracle: a direct lock-step SPMD interpreter.
+
+Plays the role of the NVIDIA H100 in the paper's correlation study
+(Fig. 5): it *is* a SIMT machine for the mini ISA.  Unlike the analyzer --
+which predicts lock-step behaviour from MIMD traces of a CPU binary -- the
+oracle actually executes the clean SPMD kernel with a hardware-style SIMT
+stack, per-lane register files, static-CFG IPDOM reconvergence and a
+32-byte coalescer.  Correlating analyzer predictions against oracle
+measurements therefore exercises the same methodology as the paper:
+the CPU-side compiler perturbations (O0-O3) are what create the error.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.dcfg import DCFGSet, VEXIT
+from ..core.metrics import AggregateMetrics, WarpMetrics
+from ..core.report import AnalysisReport
+from ..isa import Imm, Mem, Op, Reg, semantics
+from ..machine.memory import Memory, stack_top
+from ..program.ir import BasicBlock, Program
+from .staticcfg import build_static_cfgs
+
+
+class OracleError(Exception):
+    """Raised on kernel constructs the SIMT oracle does not support."""
+
+
+class _Lane:
+    """Per-thread architectural state on the SIMT machine."""
+
+    __slots__ = ("tid", "regs", "sp", "flags", "retval", "done")
+
+    def __init__(self, tid: int) -> None:
+        self.tid = tid
+        self.regs: List = []
+        self.sp = stack_top(tid)
+        self.flags = 0
+        self.retval = 0
+        self.done = False
+
+
+class _Entry:
+    __slots__ = ("pc", "rpc", "mask")
+
+    def __init__(self, pc: int, rpc: int, mask: List[int]) -> None:
+        self.pc = pc
+        self.rpc = rpc
+        self.mask = mask
+
+
+class LockstepGPU:
+    """Executes SPMD kernels warp-by-warp in lock-step.
+
+    Parameters
+    ----------
+    program:
+        The linked kernel program ("the CUDA implementation").
+    warp_size:
+        Hardware warp width.
+    visitor:
+        Optional replay-visitor (same protocol as
+        :class:`repro.core.replay.WarpReplayer`); lets the trace generator
+        emit "nvbit" traces from real SIMT execution for Fig. 6.
+    """
+
+    def __init__(self, program: Program, warp_size: int = 32,
+                 visitor=None) -> None:
+        self.program = program
+        self.warp_size = warp_size
+        self.cfgs: DCFGSet = build_static_cfgs(program)
+        self.memory = Memory()
+        self.visitor = visitor
+        self.metrics: Optional[AggregateMetrics] = None
+
+    # ------------------------------------------------------------------
+
+    def run_kernel(self, function_name: str,
+                   args_per_thread: Sequence[Sequence],
+                   visitor_factory=None) -> AnalysisReport:
+        """Launch ``function_name`` over all threads; returns the report.
+
+        ``visitor_factory(warp_index)``, when given, supplies a per-warp
+        replay visitor (same protocol as the analyzer's) so the trace
+        generator can capture real SIMT execution.
+        """
+        aggregate = AggregateMetrics(self.warp_size)
+        n = len(args_per_thread)
+        for warp_index, base in enumerate(range(0, n, self.warp_size)):
+            warp_args = args_per_thread[base:base + self.warp_size]
+            if visitor_factory is not None:
+                self.visitor = visitor_factory(warp_index)
+            warp = _WarpExec(self, base, warp_args)
+            metrics = warp.run(function_name)
+            if self.visitor is not None and hasattr(self.visitor, "finish"):
+                self.visitor.finish()
+            aggregate.merge(metrics, n_threads=len(warp_args))
+        self.metrics = aggregate
+        return AnalysisReport(
+            workload=f"oracle:{function_name}",
+            metrics=aggregate,
+            traced_fraction=1.0,
+            skipped_by_reason={},
+        )
+
+
+class _WarpExec:
+    """Lock-step execution of a single warp."""
+
+    def __init__(self, gpu: LockstepGPU, base_tid: int,
+                 args_per_thread: Sequence[Sequence]) -> None:
+        self.gpu = gpu
+        self.program = gpu.program
+        self.memory = gpu.memory
+        self.metrics = WarpMetrics(gpu.warp_size)
+        self.lanes = [
+            _Lane(base_tid + i) for i in range(len(args_per_thread))
+        ]
+        self._launch_args = args_per_thread
+
+    # -- operand evaluation (per lane) -----------------------------------
+
+    def _ea(self, lane: _Lane, mem: Mem) -> int:
+        addr = mem.disp
+        if mem.base is not None:
+            addr += lane.regs[mem.base.index]
+        if mem.index is not None:
+            addr += lane.regs[mem.index.index] * mem.scale
+        return addr
+
+    def _read(self, lane: _Lane, operand, loads: Optional[list]):
+        if isinstance(operand, Reg):
+            return lane.regs[operand.index]
+        if isinstance(operand, Imm):
+            return operand.value
+        addr = self._ea(lane, operand)
+        if loads is not None:
+            loads.append((addr, operand.size))
+        return self.memory.load(addr, operand.size)
+
+    def _write(self, lane: _Lane, operand, value,
+               stores: Optional[list]) -> None:
+        if isinstance(operand, Reg):
+            lane.regs[operand.index] = value
+            return
+        addr = self._ea(lane, operand)
+        if stores is not None:
+            stores.append((addr, operand.size))
+        self.memory.store(addr, value, operand.size)
+
+    # -- kernel entry -----------------------------------------------------
+
+    def run(self, function_name: str) -> WarpMetrics:
+        function = self.program.functions[function_name]
+        for lane, args in zip(self.lanes, self._launch_args):
+            if len(args) != function.num_args:
+                raise OracleError(
+                    f"kernel {function_name} expects {function.num_args} "
+                    f"args, got {len(args)}"
+                )
+            lane.sp = stack_top(lane.tid) - function.frame_size
+            lane.regs = [0] * function.num_regs
+            lane.regs[0] = lane.sp
+            for i, value in enumerate(args):
+                lane.regs[1 + i] = value
+        self._exec_function(function_name, list(range(len(self.lanes))))
+        return self.metrics
+
+    # -- frame execution ----------------------------------------------------
+
+    def _exec_function(self, function_name: str,
+                       mask: List[int]) -> None:
+        function = self.program.functions[function_name]
+        cfg = self.gpu.cfgs[function_name]
+        self.metrics.account_call(function_name)
+        stack = [_Entry(function.entry.addr, VEXIT, list(mask))]
+        nexts: Dict[int, int] = {}
+        while stack:
+            e = stack[-1]
+            if not e.mask or e.pc == e.rpc:
+                stack.pop()
+                continue
+            block = self.program.block_by_addr[e.pc]
+            self._exec_block(function_name, block, e.mask, nexts)
+            groups: Dict[int, List[int]] = {}
+            for lane_i in e.mask:
+                groups.setdefault(nexts[lane_i], []).append(lane_i)
+            if len(groups) == 1:
+                e.pc = next(iter(groups))
+                continue
+            self.metrics.account_divergence(function_name, e.pc)
+            rpc = cfg.ipdom[e.pc]
+            e.pc = rpc
+            for target, lanes in groups.items():
+                if target != rpc:
+                    stack.append(_Entry(target, rpc, lanes))
+
+    def _exec_block(self, function_name: str, block: BasicBlock,
+                    mask: List[int], nexts: Dict[int, int]) -> None:
+        instructions = block.instructions
+        self.metrics.account_block(function_name, len(instructions),
+                                   len(mask))
+        if self.gpu.visitor is not None:
+            self.gpu.visitor.on_issue(function_name, block.addr,
+                                      len(instructions), list(mask))
+        call_done = False
+        for slot, instr in enumerate(instructions):
+            op = instr.op
+            if op in (Op.JMP, Op.JE, Op.JNE, Op.JL, Op.JLE, Op.JG, Op.JGE):
+                target = instr.target
+                fall = self.program.next_block(block)
+                for lane_i in mask:
+                    lane = self.lanes[lane_i]
+                    if op == Op.JMP or semantics.JCC_TEST[op](lane.flags):
+                        nexts[lane_i] = target
+                    else:
+                        nexts[lane_i] = fall.addr
+                return
+            if op == Op.RET:
+                for lane_i in mask:
+                    lane = self.lanes[lane_i]
+                    lane.retval = (
+                        self._read(lane, instr.operands[0], None)
+                        if instr.operands else 0
+                    )
+                    nexts[lane_i] = VEXIT
+                return
+            if op == Op.HALT:
+                for lane_i in mask:
+                    self.lanes[lane_i].done = True
+                    nexts[lane_i] = VEXIT
+                return
+            if op == Op.CALL:
+                self._exec_call(function_name, block, instr, mask)
+                call_done = True
+                continue
+            if op in (Op.LOCK, Op.UNLOCK):
+                raise OracleError(
+                    "SPMD kernels must use atomics, not blocking locks"
+                )
+            if op == Op.BARRIER:
+                continue  # intra-warp barriers are free in lock-step
+            self._exec_scalar_op(function_name, block, slot, instr, mask)
+        # Fall-through block (or block whose CALL was mid-layout).
+        fall = self.program.next_block(block)
+        if fall is None:
+            for lane_i in mask:
+                nexts[lane_i] = VEXIT
+        else:
+            for lane_i in mask:
+                nexts[lane_i] = fall.addr
+        if call_done:
+            return
+
+    def _exec_call(self, caller: str, block: BasicBlock, instr,
+                   mask: List[int]) -> None:
+        callee_block = self.program.block_by_addr[instr.target]
+        callee = callee_block.function
+        dst = instr.operands[0]
+        saved: List[Tuple[List, int]] = []
+        for lane_i in mask:
+            lane = self.lanes[lane_i]
+            args = [self._read(lane, a, None) for a in instr.operands[1:]]
+            if len(args) != callee.num_args:
+                raise OracleError(
+                    f"call to {callee.name} with {len(args)} args"
+                )
+            saved.append((lane.regs, lane.sp))
+            lane.sp -= callee.frame_size
+            regs = [0] * callee.num_regs
+            regs[0] = lane.sp
+            for i, value in enumerate(args):
+                regs[1 + i] = value
+            lane.regs = regs
+        self._exec_function(callee.name, list(mask))
+        for lane_i, (regs, sp) in zip(mask, saved):
+            lane = self.lanes[lane_i]
+            retval = lane.retval
+            lane.regs = regs
+            lane.sp = sp
+            if dst is not None:
+                lane.regs[dst.index] = retval
+
+    def _exec_scalar_op(self, function_name: str, block: BasicBlock,
+                        slot: int, instr, mask: List[int]) -> None:
+        """Execute one non-control instruction on all active lanes."""
+        op = instr.op
+        loads: List[Tuple[int, int]] = []
+        stores: List[Tuple[int, int]] = []
+        if op == Op.MOV:
+            dst, src = instr.operands
+            for lane_i in mask:
+                lane = self.lanes[lane_i]
+                self._write(lane, dst, self._read(lane, src, loads), stores)
+        elif op == Op.LEA:
+            dst, src = instr.operands
+            for lane_i in mask:
+                lane = self.lanes[lane_i]
+                lane.regs[dst.index] = self._ea(lane, src)
+        elif op in semantics.CMOV_TEST:
+            dst, src = instr.operands
+            for lane_i in mask:
+                lane = self.lanes[lane_i]
+                if semantics.CMOV_TEST[op](lane.flags):
+                    lane.regs[dst.index] = self._read(lane, src, loads)
+        elif op in (Op.CMP, Op.FCMP):
+            a, b = instr.operands
+            for lane_i in mask:
+                lane = self.lanes[lane_i]
+                lane.flags = semantics.compare(
+                    self._read(lane, a, loads), self._read(lane, b, loads)
+                )
+        elif op in semantics.BINARY:
+            fn = semantics.BINARY[op]
+            dst, a, b = instr.operands
+            for lane_i in mask:
+                lane = self.lanes[lane_i]
+                try:
+                    result = fn(self._read(lane, a, loads),
+                                self._read(lane, b, loads))
+                except ZeroDivisionError:
+                    raise OracleError("division by zero in kernel") from None
+                self._write(lane, dst, result, stores)
+        elif op in semantics.UNARY:
+            fn = semantics.UNARY[op]
+            dst, a = instr.operands
+            for lane_i in mask:
+                lane = self.lanes[lane_i]
+                self._write(lane, dst, fn(self._read(lane, a, loads)),
+                            stores)
+        elif op == Op.AADD:
+            dst, mem, src = instr.operands
+            # Lanes perform the atomic serially in lane order.
+            for lane_i in mask:
+                lane = self.lanes[lane_i]
+                addr = self._ea(lane, mem)
+                old = self.memory.load(addr, mem.size)
+                loads.append((addr, mem.size))
+                stores.append((addr, mem.size))
+                self.memory.store(
+                    addr, old + self._read(lane, src, None), mem.size
+                )
+                if dst is not None:
+                    lane.regs[dst.index] = old
+        elif op == Op.XCHG:
+            dst, mem = instr.operands
+            for lane_i in mask:
+                lane = self.lanes[lane_i]
+                addr = self._ea(lane, mem)
+                old = self.memory.load(addr, mem.size)
+                loads.append((addr, mem.size))
+                stores.append((addr, mem.size))
+                self.memory.store(addr, lane.regs[dst.index], mem.size)
+                lane.regs[dst.index] = old
+        elif op == Op.NOP:
+            pass
+        elif op in (Op.IOREAD, Op.IOWRITE):
+            raise OracleError("I/O instructions are invalid in SPMD kernels")
+        else:
+            raise OracleError(f"unsupported kernel opcode {op.name}")
+
+        if loads:
+            self.metrics.account_memory(loads)
+            if self.gpu.visitor is not None:
+                self.gpu.visitor.on_mem_issue(
+                    function_name, block.addr, slot, False, loads
+                )
+        if stores:
+            self.metrics.account_memory(stores)
+            if self.gpu.visitor is not None:
+                self.gpu.visitor.on_mem_issue(
+                    function_name, block.addr, slot, True, stores
+                )

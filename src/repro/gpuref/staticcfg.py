@@ -1,0 +1,36 @@
+"""Static per-function CFGs for the GPU oracle.
+
+Real SIMT hardware reconverges at IPDOMs computed by the compiler over the
+*static* CFG.  The oracle therefore builds per-function static CFGs (with
+the same virtual-exit convention as the analyzer's DCFGs) and reuses the
+analyzer's IPDOM implementation on them.
+"""
+
+from __future__ import annotations
+
+from ..core.dcfg import DCFGSet, VEXIT
+from ..core.ipdom import compute_all_ipdoms
+from ..isa import Op
+from ..program.ir import Program
+
+
+def build_static_cfgs(program: Program) -> DCFGSet:
+    """Static CFG + IPDOM per function of a linked program."""
+    cfgs = DCFGSet()
+    for function in program.functions.values():
+        cfg = cfgs.get(function.name)
+        cfg.entries.add(function.entry.addr)
+        for block in function.blocks:
+            cfg.succs.setdefault(block.addr, set())
+            cfg.preds.setdefault(block.addr, set())
+            term = block.terminator
+            if term is not None and term.op in (Op.RET, Op.HALT):
+                cfg.add_edge(block.addr, VEXIT)
+                continue
+            succs = program.static_successors(block)
+            if not succs:
+                cfg.add_edge(block.addr, VEXIT)
+            for succ in succs:
+                cfg.add_edge(block.addr, succ.addr)
+    compute_all_ipdoms(cfgs)
+    return cfgs

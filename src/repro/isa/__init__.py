@@ -1,0 +1,25 @@
+"""Mini x86-like CISC instruction set (see DESIGN.md, "Substitutions")."""
+
+from .opcodes import (
+    Op,
+    BLOCK_TERMINATORS,
+    CONDITIONAL_JUMPS,
+    FLOAT_OPS,
+)
+from .operands import Reg, Imm, Mem, Label, SP
+from . import classes
+from .classes import classify
+
+__all__ = [
+    "Op",
+    "BLOCK_TERMINATORS",
+    "CONDITIONAL_JUMPS",
+    "FLOAT_OPS",
+    "Reg",
+    "Imm",
+    "Mem",
+    "Label",
+    "SP",
+    "classes",
+    "classify",
+]

@@ -1,0 +1,93 @@
+"""Instruction class taxonomy used by the timing models and trace generator.
+
+The GPU simulator, the CPU timing model and the CISC-to-RISC decomposer all
+dispatch on a small set of functional classes rather than on raw opcodes,
+the same way Accel-Sim maps traced instructions onto virtual opcodes.
+"""
+
+from __future__ import annotations
+
+from .opcodes import Op
+
+#: Functional classes.
+INT_ALU = "int_alu"
+INT_MUL = "int_mul"
+INT_DIV = "int_div"
+FP_ALU = "fp_alu"
+FP_MUL = "fp_mul"
+FP_DIV = "fp_div"
+SFU = "sfu"          # transcendental special-function unit
+MOVE = "move"
+BRANCH = "branch"
+CALL = "call"
+RET = "ret"
+SYNC = "sync"
+IO = "io"
+NOP = "nop"
+LOAD = "load"        # only produced by the RISC decomposer
+STORE = "store"      # only produced by the RISC decomposer
+
+_CLASS_OF = {
+    Op.MOV: MOVE,
+    Op.LEA: INT_ALU,
+    Op.ADD: INT_ALU,
+    Op.SUB: INT_ALU,
+    Op.IMUL: INT_MUL,
+    Op.IDIV: INT_DIV,
+    Op.IMOD: INT_DIV,
+    Op.AND: INT_ALU,
+    Op.OR: INT_ALU,
+    Op.XOR: INT_ALU,
+    Op.NOT: INT_ALU,
+    Op.NEG: INT_ALU,
+    Op.SHL: INT_ALU,
+    Op.SHR: INT_ALU,
+    Op.IMIN: INT_ALU,
+    Op.IMAX: INT_ALU,
+    Op.FADD: FP_ALU,
+    Op.FSUB: FP_ALU,
+    Op.FMUL: FP_MUL,
+    Op.FDIV: FP_DIV,
+    Op.FSQRT: SFU,
+    Op.FABS: FP_ALU,
+    Op.FNEG: FP_ALU,
+    Op.FMIN: FP_ALU,
+    Op.FMAX: FP_ALU,
+    Op.FEXP: SFU,
+    Op.FLOG: SFU,
+    Op.FSIN: SFU,
+    Op.FCOS: SFU,
+    Op.CVTIF: FP_ALU,
+    Op.CVTFI: FP_ALU,
+    Op.CMP: INT_ALU,
+    Op.FCMP: FP_ALU,
+    Op.JMP: BRANCH,
+    Op.JE: BRANCH,
+    Op.JNE: BRANCH,
+    Op.JL: BRANCH,
+    Op.JLE: BRANCH,
+    Op.JG: BRANCH,
+    Op.JGE: BRANCH,
+    Op.CALL: CALL,
+    Op.RET: RET,
+    Op.CMOVE: MOVE,
+    Op.CMOVNE: MOVE,
+    Op.CMOVL: MOVE,
+    Op.CMOVLE: MOVE,
+    Op.CMOVG: MOVE,
+    Op.CMOVGE: MOVE,
+    Op.LOCK: SYNC,
+    Op.UNLOCK: SYNC,
+    Op.XCHG: SYNC,
+    Op.AADD: SYNC,
+    Op.BARRIER: SYNC,
+    Op.IOREAD: IO,
+    Op.IOWRITE: IO,
+    Op.NOP: NOP,
+    Op.HALT: RET,
+}
+
+
+def classify(op: Op) -> str:
+    """Return the functional class of ``op``."""
+    return _CLASS_OF[op]

@@ -1,0 +1,141 @@
+"""Opcode definitions for the mini x86-like CISC ISA.
+
+The paper's tracer consumes dynamic x86 traces produced by Intel PIN.  We
+cannot run PIN here, so the reproduction defines a compact CISC-flavoured
+instruction set that preserves the properties the analyzer cares about:
+
+* instructions may carry one memory operand (``add r1, [r2+8]``), which the
+  warp-trace generator later decomposes into RISC micro-ops, mirroring the
+  paper's CISC-to-RISC conversion;
+* control flow is expressed with condition codes set by ``CMP``/``FCMP`` and
+  consumed by conditional jumps, so basic-block shapes match x86 output;
+* synchronization (``LOCK``/``UNLOCK``/atomics), I/O and thread exit are
+  explicit so the tracer can record lock events and skip spin/I-O work the
+  way the paper's PIN tool does.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Op(enum.IntEnum):
+    """Every opcode understood by the machine, tracer and analyzer."""
+
+    # Data movement.
+    MOV = 1      # mov dst, src        (load/store when an operand is Mem)
+    LEA = 2      # lea dst, mem        (effective address, no memory access)
+
+    # Integer ALU (three-operand form: dst, src1, src2).
+    ADD = 10
+    SUB = 11
+    IMUL = 12
+    IDIV = 13
+    IMOD = 14
+    AND = 15
+    OR = 16
+    XOR = 17
+    NOT = 18     # dst, src
+    NEG = 19     # dst, src
+    SHL = 20
+    SHR = 21
+    IMIN = 22
+    IMAX = 23
+
+    # Floating point.
+    FADD = 30
+    FSUB = 31
+    FMUL = 32
+    FDIV = 33
+    FSQRT = 34   # dst, src
+    FABS = 35    # dst, src
+    FNEG = 36    # dst, src
+    FMIN = 37
+    FMAX = 38
+    FEXP = 39    # dst, src (SFU class)
+    FLOG = 40    # dst, src (SFU class)
+    FSIN = 41    # dst, src (SFU class)
+    FCOS = 42    # dst, src (SFU class)
+    CVTIF = 43   # dst, src  int -> float
+    CVTFI = 44   # dst, src  float -> int (truncating)
+
+    # Flags and control flow.
+    CMP = 50     # cmp a, b   (signed integer compare, sets flags)
+    FCMP = 51    # fcmp a, b  (float compare, sets flags)
+    JMP = 52
+    JE = 53
+    JNE = 54
+    JL = 55
+    JLE = 56
+    JG = 57
+    JGE = 58
+    CALL = 59
+    RET = 60
+
+    # Conditional moves (gcc if-conversion at -O2/-O3): dst = src when the
+    # flags satisfy the condition.  Never block terminators.
+    CMOVE = 61
+    CMOVNE = 62
+    CMOVL = 63
+    CMOVLE = 64
+    CMOVG = 65
+    CMOVGE = 66
+
+    # Synchronization intrinsics.  The paper's tracer recognizes calls to
+    # pthread synchronization primitives and records the lock addresses; we
+    # surface the same events as dedicated opcodes (see DESIGN.md).
+    LOCK = 70    # lock [addr]    blocking acquire; spinning is skip-counted
+    UNLOCK = 71  # unlock [addr]
+    XCHG = 72    # xchg dst, mem  (atomic exchange)
+    AADD = 73    # aadd dst, mem, src (atomic fetch-and-add)
+    BARRIER = 74  # barrier id     (all threads in the machine's group)
+
+    # I/O intrinsics -- skipped by the tracer like the paper's I/O syscalls.
+    IOREAD = 80   # ioread dst
+    IOWRITE = 81  # iowrite src
+
+    NOP = 90
+    HALT = 91     # thread exit
+
+
+#: Opcodes that terminate a basic block.
+BLOCK_TERMINATORS = frozenset(
+    {
+        Op.JMP,
+        Op.JE,
+        Op.JNE,
+        Op.JL,
+        Op.JLE,
+        Op.JG,
+        Op.JGE,
+        Op.CALL,
+        Op.RET,
+        Op.HALT,
+        Op.LOCK,
+        Op.UNLOCK,
+        Op.BARRIER,
+    }
+)
+
+#: Conditional jumps (two successors).
+CONDITIONAL_JUMPS = frozenset({Op.JE, Op.JNE, Op.JL, Op.JLE, Op.JG, Op.JGE})
+
+#: Opcodes whose result register is floating point.
+FLOAT_OPS = frozenset(
+    {
+        Op.FADD,
+        Op.FSUB,
+        Op.FMUL,
+        Op.FDIV,
+        Op.FSQRT,
+        Op.FABS,
+        Op.FNEG,
+        Op.FMIN,
+        Op.FMAX,
+        Op.FEXP,
+        Op.FLOG,
+        Op.FSIN,
+        Op.FCOS,
+        Op.CVTIF,
+    }
+)

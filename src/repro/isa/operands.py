@@ -1,0 +1,115 @@
+"""Operand kinds: registers, immediates and x86-style memory references."""
+
+from __future__ import annotations
+
+
+class Reg:
+    """A virtual register.
+
+    Register 0 (:data:`SP`) is the frame pointer by ABI convention: the
+    machine initializes it to the base of the function's stack frame on
+    entry.  Registers 1..k hold the arguments of a function on entry.
+    """
+
+    __slots__ = ("index",)
+
+    def __init__(self, index: int) -> None:
+        if index < 0:
+            raise ValueError(f"register index must be >= 0, got {index}")
+        self.index = index
+
+    def __repr__(self) -> str:
+        return f"r{self.index}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Reg) and other.index == self.index
+
+    def __hash__(self) -> int:
+        return hash(("reg", self.index))
+
+
+#: ABI frame-pointer register.
+SP = Reg(0)
+
+
+class Imm:
+    """An immediate (integer or float) operand."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"${self.value}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Imm) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("imm", self.value))
+
+
+class Mem:
+    """An x86-style memory reference ``[base + index*scale + disp]``.
+
+    ``size`` is the access width in bytes (1, 4 or 8); the coalescing model
+    and the memory-divergence report use it to compute 32-byte transactions.
+    """
+
+    __slots__ = ("base", "disp", "index", "scale", "size")
+
+    def __init__(self, base, disp: int = 0, index=None, scale: int = 1,
+                 size: int = 8) -> None:
+        if base is not None and not isinstance(base, Reg):
+            raise TypeError("Mem base must be a Reg or None")
+        if index is not None and not isinstance(index, Reg):
+            raise TypeError("Mem index must be a Reg or None")
+        if size not in (1, 4, 8):
+            raise ValueError(f"unsupported access size {size}")
+        self.base = base
+        self.disp = disp
+        self.index = index
+        self.scale = scale
+        self.size = size
+
+    def __repr__(self) -> str:
+        parts = []
+        if self.base is not None:
+            parts.append(repr(self.base))
+        if self.index is not None:
+            parts.append(f"{self.index!r}*{self.scale}")
+        if self.disp or not parts:
+            parts.append(str(self.disp))
+        return f"[{' + '.join(parts)}]:{self.size}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Mem)
+            and other.base == self.base
+            and other.disp == self.disp
+            and other.index == self.index
+            and other.scale == self.scale
+            and other.size == self.size
+        )
+
+    def __hash__(self) -> int:
+        return hash(("mem", self.base, self.disp, self.index, self.scale, self.size))
+
+
+class Label:
+    """A symbolic branch/call target, resolved by the linker."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"@{self.name}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Label) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("label", self.name))

@@ -1,0 +1,90 @@
+"""Pure arithmetic semantics shared by every interpreter in the package.
+
+The MIMD machine (:mod:`repro.machine`), the GPU oracle
+(:mod:`repro.gpuref`) and any future executor must agree bit-for-bit on
+instruction semantics, so the scalar operation tables live here.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict
+
+from .opcodes import Op
+
+
+def idiv(a: int, b: int) -> int:
+    """C-style truncating integer division."""
+    if b == 0:
+        raise ZeroDivisionError("integer division by zero")
+    q = abs(a) // abs(b)
+    return q if (a < 0) == (b < 0) else -q
+
+
+def imod(a: int, b: int) -> int:
+    """C-style remainder (sign follows the dividend)."""
+    return a - idiv(a, b) * b
+
+
+#: Binary operations: ``dst = fn(src1, src2)``.
+BINARY: Dict[Op, Callable] = {
+    Op.ADD: lambda a, b: a + b,
+    Op.SUB: lambda a, b: a - b,
+    Op.IMUL: lambda a, b: a * b,
+    Op.IDIV: idiv,
+    Op.IMOD: imod,
+    Op.AND: lambda a, b: a & b,
+    Op.OR: lambda a, b: a | b,
+    Op.XOR: lambda a, b: a ^ b,
+    Op.SHL: lambda a, b: a << b,
+    Op.SHR: lambda a, b: a >> b,
+    Op.IMIN: min,
+    Op.IMAX: max,
+    Op.FADD: lambda a, b: a + b,
+    Op.FSUB: lambda a, b: a - b,
+    Op.FMUL: lambda a, b: a * b,
+    Op.FDIV: lambda a, b: a / b if b else math.inf,
+    Op.FMIN: min,
+    Op.FMAX: max,
+}
+
+#: Unary operations: ``dst = fn(src)``.
+UNARY: Dict[Op, Callable] = {
+    Op.NOT: lambda a: ~a,
+    Op.NEG: lambda a: -a,
+    Op.FSQRT: lambda a: math.sqrt(a) if a > 0 else 0.0,
+    Op.FABS: abs,
+    Op.FNEG: lambda a: -a,
+    Op.FEXP: lambda a: math.exp(min(a, 700.0)),
+    Op.FLOG: lambda a: math.log(a) if a > 0 else -math.inf,
+    Op.FSIN: math.sin,
+    Op.FCOS: math.cos,
+    Op.CVTIF: float,
+    Op.CVTFI: int,
+}
+
+#: Conditional-jump predicates over the 3-way compare flag (-1/0/+1).
+JCC_TEST: Dict[Op, Callable[[int], bool]] = {
+    Op.JE: lambda f: f == 0,
+    Op.JNE: lambda f: f != 0,
+    Op.JL: lambda f: f < 0,
+    Op.JLE: lambda f: f <= 0,
+    Op.JG: lambda f: f > 0,
+    Op.JGE: lambda f: f >= 0,
+}
+
+
+#: Conditional-move predicates over the compare flag.
+CMOV_TEST: Dict[Op, Callable[[int], bool]] = {
+    Op.CMOVE: lambda f: f == 0,
+    Op.CMOVNE: lambda f: f != 0,
+    Op.CMOVL: lambda f: f < 0,
+    Op.CMOVLE: lambda f: f <= 0,
+    Op.CMOVG: lambda f: f > 0,
+    Op.CMOVGE: lambda f: f >= 0,
+}
+
+
+def compare(a, b) -> int:
+    """Three-way compare used by CMP/FCMP."""
+    return (a > b) - (a < b)

@@ -1,0 +1,31 @@
+"""The MIMD machine: memory, threads and the multithreaded interpreter."""
+
+from .errors import DeadlockError, InstructionLimitError, MachineError
+from .memory import (
+    HEAP_BASE,
+    STACK_BASE,
+    STACK_SIZE,
+    SEG_HEAP,
+    SEG_STACK,
+    Memory,
+    segment_of,
+    stack_top,
+)
+from .machine import Machine, NullHooks, ThreadContext
+
+__all__ = [
+    "DeadlockError",
+    "InstructionLimitError",
+    "MachineError",
+    "HEAP_BASE",
+    "STACK_BASE",
+    "STACK_SIZE",
+    "SEG_HEAP",
+    "SEG_STACK",
+    "Memory",
+    "segment_of",
+    "stack_top",
+    "Machine",
+    "NullHooks",
+    "ThreadContext",
+]

@@ -1,0 +1,13 @@
+"""Machine exception types."""
+
+
+class MachineError(Exception):
+    """Base class for execution errors in the MIMD machine."""
+
+
+class DeadlockError(MachineError):
+    """All runnable threads are blocked (lock spin or barrier wait)."""
+
+
+class InstructionLimitError(MachineError):
+    """The machine exceeded its configured dynamic instruction budget."""

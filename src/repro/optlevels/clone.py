@@ -1,0 +1,55 @@
+"""Structural cloning of linked programs back into re-linkable form.
+
+The O0-O3 transforms must not mutate the workload's canonical program, so
+they operate on a deep structural clone whose branch/call targets are
+rewritten from resolved addresses back to symbolic labels.
+"""
+
+from __future__ import annotations
+
+from ..isa import Label, Op
+from ..program.ir import BasicBlock, Function, Instruction, LoopInfo, Program
+
+
+def clone_program(program: Program) -> Program:
+    """Deep-copy ``program`` into an unlinked clone (labels re-symbolized)."""
+    if not program.instr_by_addr:
+        raise ValueError("clone_program expects a linked program")
+    clone = Program()
+    for name, obj in program.data_objects.items():
+        new_obj = clone.add_data(name, obj.size)
+        if new_obj.addr != obj.addr:
+            raise AssertionError(
+                "data layout must be deterministic across clones"
+            )
+    for function in program.functions.values():
+        clone.add_function(_clone_function(program, function))
+    return clone
+
+
+def _clone_function(program: Program, function: Function) -> Function:
+    new_fn = Function(function.name, function.num_args, function.frame_size)
+    new_fn.num_regs = function.num_regs
+    for block in function.blocks:
+        new_block = BasicBlock(block.label)
+        for instr in block.instructions:
+            new_block.append(_clone_instruction(program, instr))
+        new_fn.add_block(new_block)
+    for loop in function.loops:
+        new_fn.loops.append(
+            LoopInfo(header=loop.header, body_first=loop.body_first,
+                     cont=loop.cont, exit=loop.exit,
+                     preheader=loop.preheader, counter=loop.counter,
+                     step=loop.step, stop=loop.stop)
+        )
+    return new_fn
+
+
+def _clone_instruction(program: Program, instr: Instruction) -> Instruction:
+    target = instr.target
+    if isinstance(target, int):
+        if instr.op == Op.CALL:
+            target = Label(program.block_by_addr[target].function.name)
+        else:
+            target = Label(program.block_by_addr[target].label)
+    return Instruction(instr.op, instr.operands, target=target)

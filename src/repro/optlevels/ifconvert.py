@@ -1,0 +1,168 @@
+"""If-conversion: branches over small register-only bodies become CMOVs.
+
+This is the gcc -O2/-O3 behaviour the paper singles out as a source of
+analyzer-vs-hardware divergence: once a data-dependent branch is replaced
+by conditional moves, the CPU trace shows straight-line code, so the
+analyzer sees *less* divergence than SIMT hardware running the original
+branchy kernel -- the efficiency over-estimate of Fig. 5a.
+
+Pattern matched (exactly what the builder's ``if_then`` lowers to)::
+
+    B:   ... ; CMP a, b ; Jcc END
+    C:   <register-only ops> ; JMP END     (layout successor of B)
+    END: ...                               (layout successor of C)
+
+and rewritten to::
+
+    B:   ... ; CMP a, b ; <ops into temps> ; CMOV!cc r, t ... ; (falls to END)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from ..isa import Mem, Op, Reg, semantics
+from ..program.ir import BasicBlock, Function, Instruction, Program
+
+#: Jcc -> the CMOV executed when the jump is NOT taken (body executes).
+_CMOV_FOR_UNTAKEN = {
+    Op.JE: Op.CMOVNE,
+    Op.JNE: Op.CMOVE,
+    Op.JL: Op.CMOVGE,
+    Op.JLE: Op.CMOVG,
+    Op.JG: Op.CMOVLE,
+    Op.JGE: Op.CMOVL,
+}
+
+#: Opcodes safe to speculate (no memory, no faults, no flag writes).
+_SAFE_OPS = (
+    set(semantics.BINARY) | set(semantics.UNARY) | {Op.MOV, Op.LEA}
+) - {Op.IDIV, Op.IMOD, Op.FDIV}
+
+
+def _branch_targets(function: Function) -> Set[str]:
+    targets: Set[str] = set()
+    for block in function.blocks:
+        for instr in block.instructions:
+            if instr.target is not None and hasattr(instr.target, "name"):
+                if instr.op != Op.CALL:
+                    targets.add(instr.target.name)
+    return targets
+
+
+def _is_safe_body(block: BasicBlock) -> bool:
+    if not block.instructions:
+        return False
+    for instr in block.instructions[:-1]:
+        if instr.op not in _SAFE_OPS:
+            return False
+        if instr.mem_operand is not None:
+            return False
+        if not isinstance(instr.operands[0], Reg):
+            return False
+    term = block.terminator
+    return term is not None and term.op == Op.JMP
+
+
+def if_convert(program: Program, max_body: int = 4) -> int:
+    """Apply if-conversion across all functions; returns conversions."""
+    converted = 0
+    for function in program.functions.values():
+        converted += _convert_function(function, max_body)
+    return converted
+
+
+def _convert_function(function: Function, max_body: int) -> int:
+    converted = 0
+    changed = True
+    while changed:
+        changed = False
+        blocks = function.blocks
+        for i in range(len(blocks) - 2):
+            head, body, join = blocks[i], blocks[i + 1], blocks[i + 2]
+            term = head.terminator
+            if term is None or term.op not in _CMOV_FOR_UNTAKEN:
+                continue
+            if len(head.instructions) < 2:
+                continue
+            if head.instructions[-2].op not in (Op.CMP, Op.FCMP):
+                continue
+            if not hasattr(term.target, "name"):
+                continue
+            end_label = term.target.name
+            if join.label != end_label:
+                continue
+            if len(body.instructions) - 1 > max_body:
+                continue
+            if not _is_safe_body(body):
+                continue
+            body_term = body.terminator
+            if (not hasattr(body_term.target, "name")
+                    or body_term.target.name != end_label):
+                continue
+            # The body must have no other predecessors.
+            others = _branch_targets(function) - {end_label}
+            if body.label in others:
+                continue
+
+            _rewrite(function, head, body, term.op)
+            converted += 1
+            changed = True
+            break
+    return converted
+
+
+def _rewrite(function: Function, head: BasicBlock, body: BasicBlock,
+             jcc: Op) -> None:
+    head.instructions.pop()  # drop the Jcc; CMP stays for the CMOVs
+    rename: Dict[int, Reg] = {}
+
+    def subst(operand):
+        if isinstance(operand, Reg) and operand.index in rename:
+            return rename[operand.index]
+        if isinstance(operand, Mem):
+            return operand  # unreachable: safe bodies have no Mem
+        return operand
+
+    for instr in body.instructions[:-1]:
+        dst = instr.operands[0]
+        sources = tuple(subst(o) for o in instr.operands[1:])
+        temp = Reg(function.num_regs)
+        function.num_regs += 1
+        head.instructions.append(
+            Instruction(instr.op, (temp,) + sources, target=instr.target)
+        )
+        rename[dst.index] = temp
+    cmov = _CMOV_FOR_UNTAKEN[jcc]
+    for orig_index, temp in rename.items():
+        head.instructions.append(
+            Instruction(cmov, (Reg(orig_index), temp))
+        )
+    function.blocks.remove(body)
+    del function.block_by_label[body.label]
+
+
+def merge_straightline_blocks(program: Program) -> int:
+    """Merge a block into its layout predecessor when the predecessor
+    falls through to it and nothing branches to it (cleanup after
+    if-conversion; re-exposes single-block loop bodies for unrolling)."""
+    merged = 0
+    for function in program.functions.values():
+        targets = _branch_targets(function)
+        changed = True
+        while changed:
+            changed = False
+            blocks = function.blocks
+            for i in range(len(blocks) - 1):
+                pred, block = blocks[i], blocks[i + 1]
+                if pred.is_terminated():
+                    continue
+                if block.label in targets or block is function.entry:
+                    continue
+                pred.instructions.extend(block.instructions)
+                function.blocks.remove(block)
+                del function.block_by_label[block.label]
+                merged += 1
+                changed = True
+                break
+    return merged

@@ -1,0 +1,294 @@
+"""O2/O3 optimization passes: redundancy elimination, scalar promotion,
+loop unrolling.
+
+These reproduce the gcc behaviours the paper identifies as the source of
+analyzer/hardware divergence: higher optimization keeps values in
+registers (fewer memory transactions) and unrolls loops (fewer dynamic
+branches, hence less *apparent* control divergence in the traces).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..isa import Imm, Mem, Op, Reg
+from ..program.ir import BasicBlock, Function, Instruction, LoopInfo, Program
+
+_BARRIER_OPS = {Op.CALL, Op.LOCK, Op.UNLOCK, Op.BARRIER, Op.XCHG, Op.AADD,
+                Op.IOREAD, Op.IOWRITE}
+
+
+def _mem_key(mem: Mem) -> Tuple:
+    base = mem.base.index if mem.base is not None else None
+    index = mem.index.index if mem.index is not None else None
+    return (base, mem.disp, index, mem.scale, mem.size)
+
+
+def _written_reg(instr: Instruction) -> Optional[int]:
+    if instr.op in (Op.CMP, Op.FCMP, Op.RET, Op.JMP, Op.JE, Op.JNE, Op.JL,
+                    Op.JLE, Op.JG, Op.JGE, Op.NOP, Op.HALT, Op.LOCK,
+                    Op.UNLOCK, Op.BARRIER, Op.IOWRITE):
+        return None
+    if instr.operands and isinstance(instr.operands[0], Reg):
+        return instr.operands[0].index
+    return None
+
+
+def eliminate_redundant_loads(program: Program) -> int:
+    """Block-local redundant-load elimination (part of O2).
+
+    A reload of an address already loaded in the same block -- with no
+    intervening store, call or atomic, and with the addressing registers
+    unmodified -- is rewritten into a register move.  Returns the number
+    of loads eliminated.
+    """
+    eliminated = 0
+    for function in program.functions.values():
+        for block in function.blocks:
+            available: Dict[Tuple, int] = {}
+            for pos, instr in enumerate(block.instructions):
+                if instr.op in _BARRIER_OPS or instr.writes_memory():
+                    available.clear()
+                is_plain_load = (
+                    instr.op == Op.MOV
+                    and isinstance(instr.operands[0], Reg)
+                    and isinstance(instr.operands[1], Mem)
+                )
+                if is_plain_load:
+                    key = _mem_key(instr.operands[1])
+                    held = available.get(key)
+                    if held is not None:
+                        block.instructions[pos] = Instruction(
+                            Op.MOV, (instr.operands[0], Reg(held))
+                        )
+                        eliminated += 1
+                        instr = block.instructions[pos]
+                written = _written_reg(instr)
+                if written is not None:
+                    for key in list(available):
+                        base, _d, index, _s, _z = key
+                        if (available[key] == written or base == written
+                                or index == written):
+                            del available[key]
+                if is_plain_load and instr.op == Op.MOV and isinstance(
+                        instr.operands[1], Mem):
+                    key = _mem_key(instr.operands[1])
+                    available[key] = instr.operands[0].index
+    return eliminated
+
+
+# ----------------------------------------------------------------------
+# Loop utilities.
+
+def _loop_blocks(function: Function, loop: LoopInfo):
+    """(header, body, cont, indices) when the loop body is a single block."""
+    labels = function.block_by_label
+    header = labels.get(loop.header)
+    body = labels.get(loop.body_first)
+    cont = labels.get(loop.cont)
+    if header is None or body is None or cont is None:
+        return None
+    idx = {b.label: i for i, b in enumerate(function.blocks)}
+    hi, bi, ci = idx[header.label], idx[body.label], idx[cont.label]
+    if bi != hi + 1 or ci != bi + 1:
+        return None  # multi-block body (nested control flow)
+    term = body.terminator
+    if term is None or term.op != Op.JMP:
+        return None
+    target = term.target
+    target_name = target.name if hasattr(target, "name") else None
+    if target_name != loop.cont:
+        return None
+    return header, body, cont, hi
+
+
+def _regs_written_in(block: BasicBlock) -> set:
+    written = set()
+    for instr in block.instructions:
+        reg = _written_reg(instr)
+        if reg is not None:
+            written.add(reg)
+    return written
+
+
+def _mem_addr_regs(mem: Mem) -> set:
+    regs = set()
+    if mem.base is not None:
+        regs.add(mem.base.index)
+    if mem.index is not None:
+        regs.add(mem.index.index)
+    return regs
+
+
+def promote_accumulators(program: Program) -> int:
+    """Loop-invariant scalar promotion (part of O2).
+
+    For counted loops with a single-block body whose only store pairs with
+    a load of the same invariant address (the ``*out += ...`` pattern),
+    hoist the load to the preheader, keep the running value in a register,
+    and sink the store to the loop exit.  Returns loops promoted.
+    """
+    promoted = 0
+    for function in program.functions.values():
+        for loop in function.loops:
+            if _promote_one(function, loop):
+                promoted += 1
+    return promoted
+
+
+def _promote_one(function: Function, loop: LoopInfo) -> bool:
+    found = _loop_blocks(function, loop)
+    if found is None:
+        return False
+    _header, body, _cont, _hi = found
+    if any(i.op in _BARRIER_OPS for i in body.instructions):
+        return False
+    stores = [
+        (pos, i) for pos, i in enumerate(body.instructions)
+        if i.writes_memory()
+    ]
+    if len(stores) != 1:
+        return False
+    store_pos, store = stores[0]
+    if store.op != Op.MOV or not isinstance(store.operands[0], Mem):
+        return False
+    target_mem = store.operands[0]
+    written = _regs_written_in(body)
+    addr_regs = _mem_addr_regs(target_mem)
+    if addr_regs & written or loop.counter.index in addr_regs:
+        return False
+    key = _mem_key(target_mem)
+    load_positions = [
+        pos for pos, i in enumerate(body.instructions)
+        if (i.op == Op.MOV and isinstance(i.operands[0], Reg)
+            and isinstance(i.operands[1], Mem)
+            and _mem_key(i.operands[1]) == key)
+    ]
+    # Other loads in the body must not alias the promoted address; with the
+    # single-store constraint, loads of *different* keys are safe (their
+    # values are unaffected by this store only if disjoint -- conservative:
+    # require all other memory reads to use a different base register or a
+    # provably different displacement).  We accept the common case and bail
+    # on exotic aliasing by requiring all same-key loads to be plain MOVs.
+    for pos, i in enumerate(body.instructions):
+        if pos in load_positions or pos == store_pos:
+            continue
+        mem = i.mem_operand
+        if mem is not None and i.op != Op.LEA and _mem_key(mem) == key:
+            return False
+
+    acc = Reg(function.num_regs)
+    function.num_regs += 1
+
+    preheader = function.block_by_label.get(loop.preheader)
+    exit_block = function.block_by_label.get(loop.exit)
+    if preheader is None or exit_block is None:
+        return False
+    # Hoist: load before the preheader's terminating jump.
+    preheader.instructions.insert(
+        len(preheader.instructions) - 1,
+        Instruction(Op.MOV, (acc, target_mem)),
+    )
+    # Rewrite the body.
+    for pos in load_positions:
+        old = body.instructions[pos]
+        body.instructions[pos] = Instruction(Op.MOV, (old.operands[0], acc))
+    body.instructions[store_pos] = Instruction(
+        Op.MOV, (acc, store.operands[1])
+    )
+    # Sink: store at the loop exit.
+    exit_block.instructions.insert(
+        0, Instruction(Op.MOV, (target_mem, acc))
+    )
+    return True
+
+
+def unroll_loops(program: Program, factor: int = 4) -> int:
+    """Unroll single-block-body counted loops (part of O3).
+
+    Produces a guarded main loop executing ``factor`` iterations per trip
+    plus the original loop as the remainder.  Returns loops unrolled.
+    """
+    unrolled = 0
+    for function in program.functions.values():
+        remaining: List[LoopInfo] = []
+        for loop in function.loops:
+            if _unroll_one(function, loop, factor):
+                unrolled += 1
+            else:
+                remaining.append(loop)
+        function.loops = remaining
+    return unrolled
+
+
+def _unroll_one(function: Function, loop: LoopInfo, factor: int) -> bool:
+    if loop.step <= 0:
+        return False
+    found = _loop_blocks(function, loop)
+    if found is None:
+        return False
+    header, body, cont, hi = found
+    written = _regs_written_in(body)
+    if loop.counter.index in written:
+        return False
+    if isinstance(loop.stop, Reg) and loop.stop.index in written:
+        return False
+    if not isinstance(loop.stop, (Reg, Imm)):
+        return False
+
+    from ..isa import Label
+
+    rem_label = f"{loop.header}__rem"
+    bu_label = f"{loop.header}__unrolled"
+    if rem_label in function.block_by_label:
+        return False  # already unrolled
+
+    # Main-loop header: guard `counter < stop - (factor-1)*step`.
+    slack = (factor - 1) * loop.step
+    new_header = BasicBlock(loop.header)
+    if isinstance(loop.stop, Imm):
+        new_header.append(
+            Instruction(Op.CMP, (loop.counter, Imm(loop.stop.value - slack)))
+        )
+    else:
+        t = Reg(function.num_regs)
+        function.num_regs += 1
+        new_header.append(Instruction(Op.SUB, (t, loop.stop, Imm(slack))))
+        new_header.append(Instruction(Op.CMP, (loop.counter, t)))
+    new_header.append(Instruction(Op.JGE, (), target=Label(rem_label)))
+
+    # Unrolled body: factor copies with interleaved increments.
+    bu = BasicBlock(bu_label)
+    body_core = body.instructions[:-1]  # strip the jmp-to-cont terminator
+    for _k in range(factor):
+        for instr in body_core:
+            bu.append(Instruction(instr.op, instr.operands,
+                                  target=instr.target))
+        bu.append(
+            Instruction(Op.ADD, (loop.counter, loop.counter, Imm(loop.step)))
+        )
+    bu.append(Instruction(Op.JMP, (), target=Label(loop.header)))
+
+    # Remainder header: the original guard.
+    rem_header = BasicBlock(rem_label)
+    for instr in header.instructions:
+        rem_header.append(Instruction(instr.op, instr.operands,
+                                      target=instr.target))
+
+    # Retarget the remainder back edge (in cont) to the remainder header.
+    for pos, instr in enumerate(cont.instructions):
+        target = instr.target
+        if (instr.op == Op.JMP and hasattr(target, "name")
+                and target.name == loop.header):
+            cont.instructions[pos] = Instruction(
+                Op.JMP, (), target=Label(rem_label)
+            )
+
+    blocks = function.blocks
+    function.blocks = (
+        blocks[:hi] + [new_header, bu, rem_header] + blocks[hi + 1:]
+    )
+    function.block_by_label = {b.label: b for b in function.blocks}
+    for block in function.blocks:
+        block.function = function
+    return True

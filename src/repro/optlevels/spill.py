@@ -1,0 +1,140 @@
+"""The O0 transform: demote every virtual register to a stack slot.
+
+gcc -O0 keeps programme variables in memory, emitting a load before every
+use and a store after every definition.  This pass reproduces that on the
+mini ISA: each register (except the frame pointer) gets a frame slot;
+every instruction is bracketed with reloads of its sources and spills of
+its destination.  The result is the paper's observed -O0 behaviour --
+a large dynamic instruction count and heavy stack traffic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from ..isa import Mem, Op, Reg
+from ..program.ir import BasicBlock, Function, Instruction, Program
+
+#: Opcodes whose first operand is a destination register (when it is a Reg).
+_NO_DST = {Op.CMP, Op.FCMP, Op.RET, Op.IOWRITE, Op.LOCK, Op.UNLOCK,
+           Op.BARRIER, Op.JMP, Op.JE, Op.JNE, Op.JL, Op.JLE, Op.JG, Op.JGE,
+           Op.NOP, Op.HALT}
+
+
+def _used_regs(function: Function) -> Set[int]:
+    regs: Set[int] = set()
+    for block in function.blocks:
+        for instr in block.instructions:
+            for operand in instr.operands:
+                if isinstance(operand, Reg):
+                    regs.add(operand.index)
+                elif isinstance(operand, Mem):
+                    if operand.base is not None:
+                        regs.add(operand.base.index)
+                    if operand.index is not None:
+                        regs.add(operand.index.index)
+    regs.discard(0)  # never spill the frame pointer
+    return regs
+
+
+def _sources_of(instr: Instruction) -> List[Reg]:
+    """Register sources of ``instr`` (including Mem base/index registers)."""
+    sources: List[Reg] = []
+    operands = instr.operands
+    start = 0
+    if instr.op not in _NO_DST and operands and isinstance(operands[0], Reg):
+        # XCHG/AADD destinations are also read; plain destinations are not.
+        if instr.op in (Op.XCHG,):
+            sources.append(operands[0])
+        start = 1
+    for operand in operands[start:]:
+        if isinstance(operand, Reg):
+            sources.append(operand)
+        elif isinstance(operand, Mem):
+            if operand.base is not None:
+                sources.append(operand.base)
+            if operand.index is not None:
+                sources.append(operand.index)
+    # Mem destination of a store also contributes its addressing registers.
+    if start == 0 and operands and isinstance(operands[0], Mem):
+        pass  # already covered by the loop above
+    return sources
+
+
+def _dest_of(instr: Instruction) -> Optional[Reg]:
+    if instr.op in _NO_DST:
+        return None
+    if instr.op == Op.CALL:
+        dst = instr.operands[0]
+        return dst if isinstance(dst, Reg) else None
+    if instr.operands and isinstance(instr.operands[0], Reg):
+        return instr.operands[0]
+    return None
+
+
+def spill_all(program: Program) -> None:
+    """Apply the O0 register-demotion transform in place (pre-link)."""
+    for function in program.functions.values():
+        _spill_function(function)
+
+
+def _spill_function(function: Function) -> None:
+    regs = _used_regs(function)
+    if not regs:
+        return
+    base = function.frame_size
+    slot = {r: base + i * 8 for i, r in enumerate(sorted(regs))}
+    function.frame_size = base + len(regs) * 8
+
+    def load_of(reg: Reg) -> Instruction:
+        return Instruction(Op.MOV, (reg, Mem(Reg(0), disp=slot[reg.index])))
+
+    def store_of(reg: Reg) -> Instruction:
+        return Instruction(Op.MOV, (Mem(Reg(0), disp=slot[reg.index]), reg))
+
+    new_blocks: List[BasicBlock] = []
+    pending_store: Optional[Reg] = None  # call dst spilled in next block
+    for block in function.blocks:
+        new_block = BasicBlock(block.label)
+        if pending_store is not None:
+            new_block.append(store_of(pending_store))
+            pending_store = None
+        if block is function.blocks[0]:
+            # Arguments arrive in registers; pin them to their slots.
+            for i in range(function.num_args):
+                reg = Reg(1 + i)
+                if reg.index in slot:
+                    new_block.append(store_of(reg))
+        for instr in block.instructions:
+            seen: Set[int] = set()
+            for src in _sources_of(instr):
+                if src.index in slot and src.index not in seen:
+                    new_block.append(load_of(src))
+                    seen.add(src.index)
+            new_block.append(
+                Instruction(instr.op, instr.operands, target=instr.target)
+            )
+            dst = _dest_of(instr)
+            if dst is not None and dst.index in slot:
+                if instr.op == Op.CALL:
+                    # The call terminates the block; the spill must land on
+                    # the return path only, i.e. at the top of the
+                    # fall-through block (other predecessors of later
+                    # blocks must not observe it).
+                    pending_store = dst
+                else:
+                    new_block.append(store_of(dst))
+        new_blocks.append(new_block)
+    if pending_store is not None:
+        # Function ended on a call; the builder's epilogue guarantees a
+        # fall-through block exists, so this cannot trigger.
+        raise ValueError(
+            f"{function.name}: call with destination has no return block"
+        )
+    function.blocks = new_blocks
+    function.block_by_label = {b.label: b for b in new_blocks}
+    for block in new_blocks:
+        block.function = function
+    # Loop metadata is invalidated by instruction insertion only in the
+    # sense that bodies are no longer single blocks of the original shape;
+    # headers/conts keep their labels, so we keep the metadata.

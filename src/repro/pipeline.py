@@ -1,0 +1,75 @@
+"""End-to-end convenience pipeline: program -> machine run -> traces -> report.
+
+This is the "zero effort" entry point the paper advertises to developers:
+hand over a program, how to launch its threads, and which worker functions
+to trace; get back the SIMT analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Tuple
+
+from .core.analyzer import AnalyzerConfig, ThreadFuserAnalyzer
+from .core.report import AnalysisReport
+from .machine.machine import Machine
+from .program.ir import Program
+from .tracer.events import TraceSet
+from .tracer.recorder import TraceRecorder
+
+#: A spawn request: (function_name, args, io_in or None).
+SpawnSpec = Tuple[str, Sequence, Optional[Sequence]]
+
+
+def trace_program(program: Program,
+                  spawns: Iterable[SpawnSpec],
+                  roots: Iterable[str],
+                  setup: Optional[Callable[[Machine], None]] = None,
+                  exclude: Iterable[str] = (),
+                  workload: str = "",
+                  **machine_kwargs) -> TraceSet:
+    """Run ``program`` under the tracer and return the collected traces.
+
+    Parameters
+    ----------
+    spawns:
+        One entry per CPU thread: ``(function_name, args, io_in)``.
+    roots:
+        Worker functions; each dynamic invocation becomes a logical SIMT
+        thread (the paper's per-iteration / per-worker-call granularity).
+    setup:
+        Optional host-side initialization (writes workload inputs into the
+        machine's memory before threads run, like a program's untraced
+        load phase).
+    exclude:
+        Function names whose dynamic extent is skip-counted, not traced.
+    """
+    recorder = TraceRecorder(
+        roots=roots, exclude=exclude, workload=workload, program=program
+    )
+    machine = Machine(program, hooks=recorder, **machine_kwargs)
+    if setup is not None:
+        setup(machine)
+    for function_name, args, io_in in spawns:
+        machine.spawn(function_name, args, io_in=io_in)
+    machine.run()
+    return recorder.traces
+
+
+def analyze_program(program: Program,
+                    spawns: Iterable[SpawnSpec],
+                    roots: Iterable[str],
+                    setup: Optional[Callable[[Machine], None]] = None,
+                    warp_size: int = 32,
+                    batching: str = "linear",
+                    emulate_locks: bool = False,
+                    workload: str = "",
+                    **machine_kwargs) -> AnalysisReport:
+    """Trace and analyze in one call."""
+    traces = trace_program(
+        program, spawns, roots, setup=setup, workload=workload,
+        **machine_kwargs
+    )
+    config = AnalyzerConfig(
+        warp_size=warp_size, batching=batching, emulate_locks=emulate_locks
+    )
+    return ThreadFuserAnalyzer(config).analyze(traces)

@@ -1,0 +1,24 @@
+"""Program IR, address layout and the structured builder DSL."""
+
+from .ir import (
+    INSTR_PITCH,
+    BasicBlock,
+    DataObject,
+    Function,
+    Instruction,
+    LoopInfo,
+    Program,
+)
+from .builder import FunctionBuilder, ProgramBuilder
+
+__all__ = [
+    "INSTR_PITCH",
+    "BasicBlock",
+    "DataObject",
+    "Function",
+    "Instruction",
+    "LoopInfo",
+    "Program",
+    "FunctionBuilder",
+    "ProgramBuilder",
+]

@@ -1,0 +1,389 @@
+"""Structured builder DSL for authoring mini-ISA programs.
+
+Workloads (see :mod:`repro.workloads`) are written against this builder the
+way the paper's workloads are written in C: structured control flow
+(``if``/``while``/``for``) that lowers to compare-and-branch basic blocks,
+function calls with an ABI, stack frames and global data.  The lowering is
+deliberately gcc-shaped so the O0-O3 transforms in :mod:`repro.optlevels`
+perturb it the way gcc perturbs real binaries.
+
+Example::
+
+    b = ProgramBuilder()
+    with b.function("saxpy", args=["i", "x", "y", "a"]) as f:
+        xi, yi = f.reg(), f.reg()
+        f.load(xi, Mem(f.a(1), index=f.a(0), scale=8))
+        f.load(yi, Mem(f.a(2), index=f.a(0), scale=8))
+        f.emit(Op.FMUL, xi, xi, f.a(3))
+        f.emit(Op.FADD, yi, yi, xi)
+        f.store(Mem(f.a(2), index=f.a(0), scale=8), yi)
+        f.ret()
+    program = b.build()
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from ..isa import Op, Reg, Imm, Mem, Label
+from .ir import BasicBlock, Function, Instruction, LoopInfo, Program
+
+Operand = Union[Reg, Imm, Mem]
+CondTriple = Tuple[Operand, str, Operand]
+
+#: Maps a comparison operator to the jump taken when the comparison holds.
+_JUMP_FOR = {
+    "==": Op.JE,
+    "!=": Op.JNE,
+    "<": Op.JL,
+    "<=": Op.JLE,
+    ">": Op.JG,
+    ">=": Op.JGE,
+}
+
+#: Maps a comparison operator to its negation.
+_NEGATE = {"==": "!=", "!=": "==", "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
+
+
+def _as_operand(value) -> Operand:
+    """Coerce raw ints/floats to immediates so workload code stays terse."""
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return Imm(value)
+    return value
+
+
+class FunctionBuilder:
+    """Builds one :class:`Function`; obtained from ``ProgramBuilder.function``."""
+
+    def __init__(self, program_builder: "ProgramBuilder", name: str,
+                 arg_names: Sequence[str]) -> None:
+        self._pb = program_builder
+        self.function = Function(name, num_args=len(arg_names))
+        self._arg_names = list(arg_names)
+        self._next_reg = 1 + len(arg_names)
+        self._next_label = 0
+        self._frame_offset = 0
+        self._block: Optional[BasicBlock] = None
+        self._loop_stack: List[Tuple[str, str]] = []  # (continue, break)
+        self._start_block(self._fresh_label("entry"))
+
+    # -- registers and stack ------------------------------------------------
+
+    @property
+    def sp(self) -> Reg:
+        """The ABI frame pointer (register 0)."""
+        return Reg(0)
+
+    def a(self, i: int) -> Reg:
+        """The ``i``-th argument register."""
+        if not 0 <= i < self.function.num_args:
+            raise IndexError(
+                f"{self.function.name} has {self.function.num_args} args"
+            )
+        return Reg(1 + i)
+
+    def reg(self) -> Reg:
+        """Allocate a fresh virtual register."""
+        r = Reg(self._next_reg)
+        self._next_reg += 1
+        self.function.num_regs = self._next_reg
+        return r
+
+    def stack_alloc(self, nbytes: int) -> int:
+        """Reserve ``nbytes`` in the frame; returns the frame offset."""
+        offset = self._frame_offset
+        self._frame_offset += (nbytes + 7) & ~7
+        self.function.frame_size = self._frame_offset
+        return offset
+
+    def stack_slot(self, offset: int, size: int = 8) -> Mem:
+        """A memory operand addressing ``[sp + offset]``."""
+        return Mem(self.sp, disp=offset, size=size)
+
+    # -- blocks and raw emission ---------------------------------------------
+
+    def _fresh_label(self, hint: str = "L") -> str:
+        label = f"{hint}_{self._next_label}"
+        self._next_label += 1
+        return label
+
+    def _start_block(self, label: str) -> BasicBlock:
+        block = BasicBlock(label)
+        self.function.add_block(block)
+        self._block = block
+        return block
+
+    def _current_block(self) -> BasicBlock:
+        if self._block is None or self._block.is_terminated():
+            self._start_block(self._fresh_label())
+        return self._block
+
+    def label(self, name: Optional[str] = None) -> str:
+        """Begin a new labelled block (fall-through from the current one)."""
+        name = name or self._fresh_label()
+        self._start_block(name)
+        return name
+
+    def emit(self, op: Op, *operands, target=None) -> Instruction:
+        operands = tuple(_as_operand(o) for o in operands)
+        if isinstance(target, str):
+            target = Label(target)
+        instr = Instruction(op, operands, target=target)
+        self._current_block().append(instr)
+        return instr
+
+    # -- common instruction sugar ---------------------------------------------
+
+    def mov(self, dst, src) -> Instruction:
+        return self.emit(Op.MOV, dst, src)
+
+    def load(self, dst: Reg, mem: Mem) -> Instruction:
+        return self.emit(Op.MOV, dst, mem)
+
+    def store(self, mem: Mem, src) -> Instruction:
+        return self.emit(Op.MOV, mem, src)
+
+    def lea(self, dst: Reg, mem: Mem) -> Instruction:
+        return self.emit(Op.LEA, dst, mem)
+
+    def add(self, dst, a, b) -> Instruction:
+        return self.emit(Op.ADD, dst, a, b)
+
+    def sub(self, dst, a, b) -> Instruction:
+        return self.emit(Op.SUB, dst, a, b)
+
+    def mul(self, dst, a, b) -> Instruction:
+        return self.emit(Op.IMUL, dst, a, b)
+
+    def div(self, dst, a, b) -> Instruction:
+        return self.emit(Op.IDIV, dst, a, b)
+
+    def mod(self, dst, a, b) -> Instruction:
+        return self.emit(Op.IMOD, dst, a, b)
+
+    def xor(self, dst, a, b) -> Instruction:
+        return self.emit(Op.XOR, dst, a, b)
+
+    def and_(self, dst, a, b) -> Instruction:
+        return self.emit(Op.AND, dst, a, b)
+
+    def or_(self, dst, a, b) -> Instruction:
+        return self.emit(Op.OR, dst, a, b)
+
+    def shl(self, dst, a, b) -> Instruction:
+        return self.emit(Op.SHL, dst, a, b)
+
+    def shr(self, dst, a, b) -> Instruction:
+        return self.emit(Op.SHR, dst, a, b)
+
+    def fadd(self, dst, a, b) -> Instruction:
+        return self.emit(Op.FADD, dst, a, b)
+
+    def fsub(self, dst, a, b) -> Instruction:
+        return self.emit(Op.FSUB, dst, a, b)
+
+    def fmul(self, dst, a, b) -> Instruction:
+        return self.emit(Op.FMUL, dst, a, b)
+
+    def fdiv(self, dst, a, b) -> Instruction:
+        return self.emit(Op.FDIV, dst, a, b)
+
+    def nop(self) -> Instruction:
+        return self.emit(Op.NOP)
+
+    # -- calls, returns, synchronization ---------------------------------------
+
+    def call(self, dst: Optional[Reg], callee: str, args: Sequence = ()) -> None:
+        """Call ``callee``; its return value lands in ``dst`` (or is dropped).
+
+        The call terminates the current block (mirroring the tracer's
+        block-splitting around call sites) and execution falls through to a
+        fresh block on return.
+        """
+        operands = (dst,) + tuple(_as_operand(a) for a in args)
+        instr = Instruction(Op.CALL, operands, target=Label(callee))
+        self._current_block().append(instr)
+
+    def ret(self, value=None) -> None:
+        operands = () if value is None else (_as_operand(value),)
+        self._current_block().append(Instruction(Op.RET, operands))
+
+    def halt(self) -> None:
+        self._current_block().append(Instruction(Op.HALT))
+
+    def lock(self, addr) -> None:
+        """Acquire the lock whose address is in ``addr`` (terminates block)."""
+        self.emit(Op.LOCK, addr)
+
+    def unlock(self, addr) -> None:
+        self.emit(Op.UNLOCK, addr)
+
+    def barrier(self, bar_id: int = 0) -> None:
+        self.emit(Op.BARRIER, bar_id)
+
+    def atomic_add(self, dst: Optional[Reg], mem: Mem, value) -> None:
+        """Atomic fetch-and-add; old value in ``dst`` when given."""
+        self.emit(Op.AADD, dst if dst is not None else self.reg(), mem, value)
+
+    def io_read(self, dst: Reg) -> Instruction:
+        return self.emit(Op.IOREAD, dst)
+
+    def io_write(self, src) -> Instruction:
+        return self.emit(Op.IOWRITE, src)
+
+    # -- structured control flow -----------------------------------------------
+
+    def _branch_if(self, cond: CondTriple, target: str, fp: bool = False) -> None:
+        lhs, op, rhs = cond
+        if op not in _JUMP_FOR:
+            raise ValueError(f"unknown comparison {op!r}")
+        self.emit(Op.FCMP if fp else Op.CMP, _as_operand(lhs), _as_operand(rhs))
+        self.emit(_JUMP_FOR[op], target=target)
+
+    def if_then(self, lhs, op: str, rhs, then_fn: Callable[[], None],
+                fp: bool = False) -> None:
+        """``if (lhs op rhs) then_fn()``."""
+        end = self._fresh_label("endif")
+        self._branch_if((lhs, _NEGATE[op], rhs), end, fp=fp)
+        then_fn()
+        self.emit(Op.JMP, target=end)
+        self._start_block(end)
+
+    def if_else(self, lhs, op: str, rhs, then_fn: Callable[[], None],
+                else_fn: Callable[[], None], fp: bool = False) -> None:
+        """``if (lhs op rhs) then_fn() else else_fn()``."""
+        els = self._fresh_label("else")
+        end = self._fresh_label("endif")
+        self._branch_if((lhs, _NEGATE[op], rhs), els, fp=fp)
+        then_fn()
+        self.emit(Op.JMP, target=end)
+        self._start_block(els)
+        else_fn()
+        self.emit(Op.JMP, target=end)
+        self._start_block(end)
+
+    def while_(self, cond_fn: Callable[[], CondTriple],
+               body_fn: Callable[[], None], fp: bool = False) -> None:
+        """``while (cond_fn()) body_fn()``.
+
+        ``cond_fn`` may emit instructions to compute its operands; it returns
+        the ``(lhs, op, rhs)`` triple tested each iteration.
+        """
+        header = self._fresh_label("while")
+        exit_ = self._fresh_label("endwhile")
+        self.emit(Op.JMP, target=header)
+        self._start_block(header)
+        cond = cond_fn()
+        lhs, op, rhs = cond
+        self._branch_if((lhs, _NEGATE[op], rhs), exit_, fp=fp)
+        self._loop_stack.append((header, exit_))
+        body_fn()
+        self._loop_stack.pop()
+        self.emit(Op.JMP, target=header)
+        self._start_block(exit_)
+
+    def for_range(self, counter: Reg, start, stop,
+                  body_fn: Callable[[], None], step: int = 1) -> None:
+        """``for (counter = start; counter < stop; counter += step) body``.
+
+        ``stop`` may be a register or immediate; it is re-read each
+        iteration, like an un-hoisted C loop bound.
+        """
+        if step == 0:
+            raise ValueError("for_range step must be nonzero")
+        header = self._fresh_label("for")
+        cont = self._fresh_label("forinc")
+        exit_ = self._fresh_label("endfor")
+        self.mov(counter, start)
+        preheader = self._current_block().label
+        self.emit(Op.JMP, target=header)
+        self._start_block(header)
+        cmp_op = ">=" if step > 0 else "<="
+        self._branch_if((counter, cmp_op, stop), exit_)
+        body_first = self._start_block(self._fresh_label("forbody")).label
+        self._loop_stack.append((cont, exit_))
+        body_fn()
+        self._loop_stack.pop()
+        self.emit(Op.JMP, target=cont)
+        self._start_block(cont)
+        self.add(counter, counter, step)
+        self.emit(Op.JMP, target=header)
+        self._start_block(exit_)
+        self.function.loops.append(
+            LoopInfo(header=header, body_first=body_first, cont=cont,
+                     exit=exit_, preheader=preheader, counter=counter,
+                     step=step, stop=_as_operand(stop))
+        )
+
+    def break_(self) -> None:
+        if not self._loop_stack:
+            raise RuntimeError("break_ outside of a loop")
+        self.emit(Op.JMP, target=self._loop_stack[-1][1])
+        self._start_block(self._fresh_label("dead"))
+
+    def continue_(self) -> None:
+        if not self._loop_stack:
+            raise RuntimeError("continue_ outside of a loop")
+        self.emit(Op.JMP, target=self._loop_stack[-1][0])
+        self._start_block(self._fresh_label("dead"))
+
+    # -- finalization -----------------------------------------------------------
+
+    def _finish(self) -> Function:
+        # Guarantee the function cannot run off its end: the last block must
+        # end in RET/HALT/JMP, not in a falls-through terminator like CALL.
+        last = self.function.blocks[-1]
+        if not last.is_terminated():
+            last.append(Instruction(Op.RET, ()))
+        elif last.terminator.op in (Op.CALL, Op.LOCK, Op.UNLOCK, Op.BARRIER):
+            self._start_block(self._fresh_label("epilogue"))
+            self.emit(Op.RET)
+        self._prune_dead_blocks()
+        return self.function
+
+    def _prune_dead_blocks(self) -> None:
+        """Drop empty never-terminated blocks created after break/continue."""
+        keep = []
+        for block in self.function.blocks:
+            if block.instructions or block is self.function.entry:
+                keep.append(block)
+            else:
+                del self.function.block_by_label[block.label]
+        self.function.blocks = keep
+
+
+class ProgramBuilder:
+    """Top-level builder assembling a :class:`Program`."""
+
+    def __init__(self) -> None:
+        self.program = Program()
+        self._open: Optional[FunctionBuilder] = None
+
+    def function(self, name: str, args: Sequence[str] = ()) -> "_FunctionScope":
+        """Open a function definition (use as a context manager)."""
+        return _FunctionScope(self, name, args)
+
+    def data(self, name: str, size: int) -> Imm:
+        """Reserve global data; returns its base address as an immediate."""
+        obj = self.program.add_data(name, size)
+        return Imm(obj.addr)
+
+    def data_addr(self, name: str) -> int:
+        return self.program.data_objects[name].addr
+
+    def build(self) -> Program:
+        """Link and return the finished program."""
+        return self.program.link()
+
+
+class _FunctionScope:
+    def __init__(self, pb: ProgramBuilder, name: str, args: Sequence[str]) -> None:
+        self._pb = pb
+        self._fb = FunctionBuilder(pb, name, list(args))
+
+    def __enter__(self) -> FunctionBuilder:
+        return self._fb
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self._pb.program.add_function(self._fb._finish())

@@ -1,0 +1,18 @@
+"""Cycle-level trace-driven SIMT GPU simulator (Accel-Sim stand-in)."""
+
+from .cache import Cache
+from .config import CacheConfig, GPUConfig, rtx3070, small_simt_cpu
+from .gpu import GPUSimulator, GPUStats
+from .speedup import SpeedupResult, project_speedup
+
+__all__ = [
+    "Cache",
+    "CacheConfig",
+    "GPUConfig",
+    "rtx3070",
+    "small_simt_cpu",
+    "GPUSimulator",
+    "GPUStats",
+    "SpeedupResult",
+    "project_speedup",
+]

@@ -1,0 +1,94 @@
+"""GPU simulator configurations.
+
+``RTX3070`` mirrors the paper's Accel-Sim setup (Fig. 6 uses NVIDIA RTX
+3070 settings); the class structure lets architects define arbitrary SIMT
+machines, including small CPU-like designs with tens of lanes (the
+SIMR/Simty-style exploration the paper motivates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..isa import classes
+
+
+def _default_latencies() -> Dict[str, int]:
+    """Issue-to-ready latencies per functional class (initiation cycles)."""
+    return {
+        classes.INT_ALU: 1,
+        classes.INT_MUL: 2,
+        classes.INT_DIV: 8,
+        classes.FP_ALU: 1,
+        classes.FP_MUL: 1,
+        classes.FP_DIV: 6,
+        classes.SFU: 4,
+        classes.MOVE: 1,
+        classes.BRANCH: 1,
+        classes.CALL: 2,
+        classes.RET: 2,
+        classes.SYNC: 2,
+        classes.IO: 1,
+        classes.NOP: 1,
+    }
+
+
+@dataclass
+class CacheConfig:
+    size_bytes: int
+    assoc: int
+    line_bytes: int = 32
+    hit_latency: int = 28
+
+    @property
+    def n_sets(self) -> int:
+        return max(self.size_bytes // (self.line_bytes * self.assoc), 1)
+
+
+@dataclass
+class GPUConfig:
+    """A SIMT machine description for the trace-driven simulator."""
+
+    name: str = "RTX3070"
+    num_sms: int = 46
+    warp_size: int = 32
+    max_warps_per_sm: int = 48
+    issue_width: int = 1
+    warps_per_block: int = 8
+    scheduler: str = "gto"  # "gto" (greedy-then-oldest) or "lrr"
+    clock_ghz: float = 1.5
+    latencies: Dict[str, int] = field(default_factory=_default_latencies)
+    l1: CacheConfig = field(
+        default_factory=lambda: CacheConfig(128 * 1024, 4, hit_latency=28)
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(4 * 1024 * 1024, 16,
+                                            hit_latency=120)
+    )
+    dram_latency: int = 260
+    dram_bytes_per_cycle: float = 300.0  # ~450 GB/s at 1.5 GHz
+    lsu_throughput: int = 4  # transactions issued per cycle per SM
+
+
+def rtx3070() -> GPUConfig:
+    return GPUConfig()
+
+
+def small_simt_cpu() -> GPUConfig:
+    """A CPU-like SIMT design (hundreds of lanes, big caches, low latency).
+
+    Models the Simty/SIMT-X class of machines the paper says architects
+    can now explore with MIMD software.
+    """
+    return GPUConfig(
+        name="small-simt-cpu",
+        num_sms=8,
+        warp_size=8,
+        max_warps_per_sm=16,
+        clock_ghz=3.0,
+        l1=CacheConfig(64 * 1024, 8, hit_latency=4),
+        l2=CacheConfig(8 * 1024 * 1024, 16, hit_latency=40),
+        dram_latency=180,
+        dram_bytes_per_cycle=64.0,
+    )

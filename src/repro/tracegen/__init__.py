@@ -1,0 +1,33 @@
+"""Warp-based SIMT instruction trace generation (simulator integration)."""
+
+from .risc import decompose, micro_op_count
+from .warptrace import (
+    SPACE_GLOBAL,
+    SPACE_LOCAL,
+    KernelTrace,
+    WarpInstruction,
+    WarpStream,
+    space_of,
+)
+from .generator import (
+    WarpTraceVisitor,
+    generate_kernel_trace,
+    generate_oracle_kernel_trace,
+)
+from .writer import load_kernel_trace, save_kernel_trace
+
+__all__ = [
+    "decompose",
+    "micro_op_count",
+    "SPACE_GLOBAL",
+    "SPACE_LOCAL",
+    "KernelTrace",
+    "WarpInstruction",
+    "WarpStream",
+    "space_of",
+    "WarpTraceVisitor",
+    "generate_kernel_trace",
+    "generate_oracle_kernel_trace",
+    "load_kernel_trace",
+    "save_kernel_trace",
+]

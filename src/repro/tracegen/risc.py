@@ -1,0 +1,47 @@
+"""CISC-to-RISC decomposition of mini-ISA instructions.
+
+ThreadFuser converts traced x86 CISC instructions into multiple RISC
+micro-ops before handing them to the SIMT simulator: an ``add`` with a
+memory source becomes a ``load`` plus an ``add``; a read-modify-write
+memory destination becomes ``load``/``op``/``store``.  The resulting
+micro-op classes are what the simulator's functional units consume.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..isa import Op, classes
+from ..isa.classes import classify
+from ..program.ir import Instruction
+
+
+def decompose(instr: Instruction) -> List[str]:
+    """RISC micro-op classes for one CISC instruction, in issue order.
+
+    The returned list always contains at least one element.  Memory
+    micro-ops (``load``/``store``) are emitted in the position the access
+    occurs: loads before the compute op, stores after.
+    """
+    iclass = classify(instr.op)
+    mem = instr.mem_operand
+    if instr.op in (Op.XCHG, Op.AADD):
+        return [classes.LOAD, classes.INT_ALU, classes.STORE]
+    if mem is None or instr.op == Op.LEA:
+        return [iclass]
+    if instr.op == Op.MOV:
+        if instr.reads_memory():
+            return [classes.LOAD]
+        return [classes.STORE]
+    ops: List[str] = []
+    if instr.reads_memory():
+        ops.append(classes.LOAD)
+    ops.append(iclass)
+    if instr.writes_memory():
+        ops.append(classes.STORE)
+    return ops
+
+
+def micro_op_count(instr: Instruction) -> int:
+    """Number of RISC micro-ops ``instr`` expands to."""
+    return len(decompose(instr))

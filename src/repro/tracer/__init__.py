@@ -1,0 +1,26 @@
+"""ThreadFuser tracer: PIN-style instrumentation producing logical-thread traces."""
+
+from .events import (
+    TOK_BLOCK,
+    TOK_CALL,
+    TOK_LOCK,
+    TOK_RET,
+    TOK_UNLOCK,
+    ThreadTrace,
+    TraceSet,
+)
+from .recorder import TraceRecorder
+from .io import load_traces, save_traces
+
+__all__ = [
+    "TOK_BLOCK",
+    "TOK_CALL",
+    "TOK_LOCK",
+    "TOK_RET",
+    "TOK_UNLOCK",
+    "ThreadTrace",
+    "TraceSet",
+    "TraceRecorder",
+    "load_traces",
+    "save_traces",
+]

@@ -1,0 +1,112 @@
+"""Trace containers and token formats.
+
+A *logical thread* follows the paper's correlation methodology: one trace
+per dynamic invocation of a traced worker function (one OpenMP iteration /
+one Pthread worker call), so CPU scheduling does not perturb the
+CPU-vs-GPU thread mapping.
+
+Token stream grammar (one stream per logical thread)::
+
+    ("B", block_addr, n_instructions, mems)   executed basic block
+    ("C", callee_name)                        call into callee (traced)
+    ("R",)                                    return to caller
+    ("L", lock_addr)                          lock acquired
+    ("U", lock_addr)                          lock released
+
+``mems`` is a tuple of ``(slot, is_store, addr, size)`` records, where
+``slot`` is the instruction's index inside the block -- the alignment key
+the coalescer uses to gather the same instruction's addresses across the
+lanes of a warp.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+TOK_BLOCK = "B"
+TOK_CALL = "C"
+TOK_RET = "R"
+TOK_LOCK = "L"
+TOK_UNLOCK = "U"
+
+
+class ThreadTrace:
+    """The dynamic trace of one logical (SIMT) thread."""
+
+    __slots__ = ("index", "cpu_tid", "root", "tokens", "skipped", "closed")
+
+    def __init__(self, index: int, cpu_tid: int, root: str) -> None:
+        self.index = index
+        self.cpu_tid = cpu_tid
+        self.root = root
+        self.tokens: List[tuple] = []
+        self.skipped: Dict[str, int] = {}
+        self.closed = False
+
+    @property
+    def n_instructions(self) -> int:
+        """Traced dynamic instruction count."""
+        return sum(t[2] for t in self.tokens if t[0] == TOK_BLOCK)
+
+    @property
+    def n_skipped(self) -> int:
+        return sum(self.skipped.values())
+
+    def add_skip(self, count: int, reason: str) -> None:
+        self.skipped[reason] = self.skipped.get(reason, 0) + count
+
+    def __repr__(self) -> str:
+        return (
+            f"<ThreadTrace #{self.index} root={self.root} "
+            f"tokens={len(self.tokens)} instrs={self.n_instructions}>"
+        )
+
+
+class TraceSet:
+    """All logical-thread traces collected from one program run."""
+
+    def __init__(self, workload: str = "", program=None) -> None:
+        self.workload = workload
+        self.program = program
+        self.threads: List[ThreadTrace] = []
+        #: Skipped instructions attributed outside any traced extent.
+        self.untraced_skipped: Dict[str, int] = {}
+
+    def new_thread(self, cpu_tid: int, root: str) -> ThreadTrace:
+        trace = ThreadTrace(len(self.threads), cpu_tid, root)
+        self.threads.append(trace)
+        return trace
+
+    def __len__(self) -> int:
+        return len(self.threads)
+
+    def __iter__(self):
+        return iter(self.threads)
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(t.n_instructions for t in self.threads)
+
+    @property
+    def total_skipped(self) -> int:
+        in_trace = sum(t.n_skipped for t in self.threads)
+        return in_trace + sum(self.untraced_skipped.values())
+
+    def skipped_by_reason(self) -> Dict[str, int]:
+        totals: Dict[str, int] = dict(self.untraced_skipped)
+        for trace in self.threads:
+            for reason, count in trace.skipped.items():
+                totals[reason] = totals.get(reason, 0) + count
+        return totals
+
+    def traced_fraction(self) -> float:
+        """Fraction of dynamic instructions that were traced (Fig. 8)."""
+        traced = self.total_instructions
+        total = traced + self.total_skipped
+        return traced / total if total else 1.0
+
+    def __repr__(self) -> str:
+        return (
+            f"<TraceSet {self.workload!r} threads={len(self.threads)} "
+            f"instrs={self.total_instructions}>"
+        )

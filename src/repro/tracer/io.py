@@ -1,0 +1,85 @@
+"""Trace-file (de)serialization.
+
+The paper's tracer writes trace files consumed later by the analyzer; we
+mirror that with a compact JSON-lines format: one header line, then one
+line per logical thread.  Memory records are flattened to keep files small.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Union
+
+from .events import TraceSet
+
+FORMAT_VERSION = 1
+
+
+def _encode_token(token: tuple) -> list:
+    if token[0] == "B":
+        kind, addr, nins, mems = token
+        flat = [rec for mem in mems for rec in
+                (mem[0], 1 if mem[1] else 0, mem[2], mem[3])]
+        return [kind, addr, nins, flat]
+    return list(token)
+
+
+def _decode_token(raw: list) -> tuple:
+    if raw[0] == "B":
+        kind, addr, nins, flat = raw
+        mems = tuple(
+            (flat[i], bool(flat[i + 1]), flat[i + 2], flat[i + 3])
+            for i in range(0, len(flat), 4)
+        )
+        return (kind, addr, nins, mems)
+    return tuple(raw)
+
+
+def save_traces(traces: TraceSet, fp: Union[str, IO]) -> None:
+    """Write ``traces`` to a path or file object as JSON lines."""
+    own = isinstance(fp, str)
+    out = open(fp, "w") if own else fp
+    try:
+        header = {
+            "version": FORMAT_VERSION,
+            "workload": traces.workload,
+            "untraced_skipped": traces.untraced_skipped,
+            "n_threads": len(traces.threads),
+        }
+        out.write(json.dumps(header) + "\n")
+        for trace in traces.threads:
+            record = {
+                "index": trace.index,
+                "cpu_tid": trace.cpu_tid,
+                "root": trace.root,
+                "skipped": trace.skipped,
+                "tokens": [_encode_token(t) for t in trace.tokens],
+            }
+            out.write(json.dumps(record) + "\n")
+    finally:
+        if own:
+            out.close()
+
+
+def load_traces(fp: Union[str, IO], program=None) -> TraceSet:
+    """Read a :class:`TraceSet` written by :func:`save_traces`."""
+    own = isinstance(fp, str)
+    inp = open(fp) if own else fp
+    try:
+        header = json.loads(inp.readline())
+        if header.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace format version {header.get('version')}"
+            )
+        traces = TraceSet(workload=header.get("workload", ""), program=program)
+        traces.untraced_skipped = dict(header.get("untraced_skipped", {}))
+        for line in inp:
+            record = json.loads(line)
+            trace = traces.new_thread(record["cpu_tid"], record["root"])
+            trace.skipped = dict(record["skipped"])
+            trace.tokens = [_decode_token(t) for t in record["tokens"]]
+            trace.closed = True
+        return traces
+    finally:
+        if own:
+            inp.close()

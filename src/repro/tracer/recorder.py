@@ -1,0 +1,190 @@
+"""The ThreadFuser tracer: machine instrumentation hooks -> token streams.
+
+Plays the role of the paper's PIN tool: it observes basic-block executions,
+per-instruction memory accesses, call/return events and lock operations,
+splits each CPU thread's stream into one logical trace per invocation of a
+*root* (worker) function, and skip-counts lock spinning, I/O and
+explicitly excluded functions instead of tracing them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..machine.memory import STACK_BASE, STACK_SIZE
+from ..program.ir import BasicBlock
+from .events import (
+    TOK_BLOCK,
+    TOK_CALL,
+    TOK_LOCK,
+    TOK_RET,
+    TOK_UNLOCK,
+    ThreadTrace,
+    TraceSet,
+)
+
+
+class _CpuThreadState:
+    """Per CPU-thread tracing state."""
+
+    __slots__ = (
+        "trace", "depth", "excluded_depth", "open_block", "open_mems",
+    )
+
+    def __init__(self) -> None:
+        self.trace: Optional[ThreadTrace] = None
+        self.depth = 0
+        self.excluded_depth = 0
+        self.open_block: Optional[BasicBlock] = None
+        self.open_mems: List[tuple] = []
+
+
+class TraceRecorder:
+    """Machine hooks implementation that records a :class:`TraceSet`.
+
+    Parameters
+    ----------
+    roots:
+        Names of worker functions; each dynamic call to one of them starts
+        a fresh logical thread trace (the paper's per-iteration /
+        per-worker-call trace granularity).
+    exclude:
+        Functions whose dynamic extent is skip-counted rather than traced
+        (the paper's selective-tracing configuration knob).
+    workload:
+        Free-form label stored on the resulting :class:`TraceSet`.
+    """
+
+    def __init__(self, roots: Iterable[str], exclude: Iterable[str] = (),
+                 workload: str = "", program=None) -> None:
+        self.roots: Set[str] = set(roots)
+        self.exclude: Set[str] = set(exclude)
+        self.traces = TraceSet(workload=workload, program=program)
+        self._cpu: Dict[int, _CpuThreadState] = {}
+
+    # ------------------------------------------------------------------
+
+    def _state(self, tid: int) -> _CpuThreadState:
+        state = self._cpu.get(tid)
+        if state is None:
+            state = _CpuThreadState()
+            self._cpu[tid] = state
+        return state
+
+    def _flush_block(self, state: _CpuThreadState) -> None:
+        if state.open_block is None:
+            return
+        block = state.open_block
+        mems = tuple(state.open_mems)
+        state.open_block = None
+        state.open_mems = []
+        if state.excluded_depth > 0:
+            state.trace.add_skip(len(block.instructions), "filtered")
+        else:
+            state.trace.tokens.append(
+                (TOK_BLOCK, block.addr, len(block.instructions), mems)
+            )
+
+    def _begin(self, tid: int, root: str) -> None:
+        state = self._state(tid)
+        state.trace = self.traces.new_thread(tid, root)
+        state.depth = 1
+        state.excluded_depth = 0
+        state.open_block = None
+        state.open_mems = []
+
+    def _close(self, state: _CpuThreadState) -> None:
+        self._flush_block(state)
+        if state.trace is not None:
+            state.trace.closed = True
+        state.trace = None
+        state.depth = 0
+        state.excluded_depth = 0
+
+    # ------------------------------------------------------------------
+    # Machine hook interface.
+
+    def on_thread_start(self, tid: int, function_name: str) -> None:
+        if function_name in self.roots:
+            self._begin(tid, function_name)
+
+    def on_thread_end(self, tid: int) -> None:
+        state = self._state(tid)
+        if state.trace is not None:
+            self._close(state)
+
+    def on_block(self, tid: int, block: BasicBlock) -> None:
+        state = self._state(tid)
+        if state.trace is None:
+            return
+        self._flush_block(state)
+        state.open_block = block
+
+    def on_mem(self, tid: int, slot: int, is_store: bool, addr: int,
+               size: int) -> None:
+        state = self._state(tid)
+        if state.trace is None or state.excluded_depth > 0:
+            return
+        if addr >= STACK_BASE:
+            # Rebase stack addresses onto a per-*logical*-thread stack: on
+            # SIMT hardware every fused thread owns private local memory,
+            # whereas on the traced CPU all worker invocations of one
+            # thread reuse the same stack region (paper Fig. 10: "each
+            # thread having its private stack").
+            region = (addr - STACK_BASE) % STACK_SIZE
+            addr = STACK_BASE + state.trace.index * STACK_SIZE + region
+        state.open_mems.append((slot, is_store, addr, size))
+
+    def on_call(self, tid: int, function_name: str) -> None:
+        state = self._state(tid)
+        if state.trace is None:
+            if function_name in self.roots:
+                self._begin(tid, function_name)
+            return
+        self._flush_block(state)
+        state.depth += 1
+        if state.excluded_depth > 0 or function_name in self.exclude:
+            state.excluded_depth += 1
+        else:
+            state.trace.tokens.append((TOK_CALL, function_name))
+
+    def on_ret(self, tid: int) -> None:
+        state = self._state(tid)
+        if state.trace is None:
+            return
+        self._flush_block(state)
+        state.depth -= 1
+        if state.excluded_depth > 0:
+            state.excluded_depth -= 1
+            if state.depth == 0:
+                self._close(state)
+            return
+        if state.depth == 0:
+            self._close(state)
+        else:
+            state.trace.tokens.append((TOK_RET,))
+
+    def on_lock(self, tid: int, lock_addr: int) -> None:
+        state = self._state(tid)
+        if state.trace is None:
+            return
+        self._flush_block(state)
+        if state.excluded_depth == 0:
+            state.trace.tokens.append((TOK_LOCK, lock_addr))
+
+    def on_unlock(self, tid: int, lock_addr: int) -> None:
+        state = self._state(tid)
+        if state.trace is None:
+            return
+        self._flush_block(state)
+        if state.excluded_depth == 0:
+            state.trace.tokens.append((TOK_UNLOCK, lock_addr))
+
+    def on_skip(self, tid: int, count: int, reason: str) -> None:
+        state = self._state(tid)
+        if state.trace is not None:
+            state.trace.add_skip(count, reason)
+        else:
+            self.traces.untraced_skipped[reason] = (
+                self.traces.untraced_skipped.get(reason, 0) + count
+            )

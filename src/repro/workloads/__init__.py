@@ -1,0 +1,40 @@
+"""The paper's Table I workload catalog, reimplemented in the mini ISA."""
+
+from .base import (
+    SUITE_DEATHSTAR,
+    SUITE_MICRO,
+    SUITE_OTHER,
+    SUITE_PAROPOLY,
+    SUITE_PARSEC,
+    SUITE_RODINIA,
+    SUITE_USUITE,
+    GpuKernel,
+    Workload,
+    WorkloadInstance,
+    all_workloads,
+    correlation_workloads,
+    get_workload,
+    register,
+)
+from .runner import run_instance, trace_instance
+from .stdlib import Stdlib
+
+__all__ = [
+    "SUITE_DEATHSTAR",
+    "SUITE_MICRO",
+    "SUITE_OTHER",
+    "SUITE_PAROPOLY",
+    "SUITE_PARSEC",
+    "SUITE_RODINIA",
+    "SUITE_USUITE",
+    "GpuKernel",
+    "Workload",
+    "WorkloadInstance",
+    "all_workloads",
+    "correlation_workloads",
+    "get_workload",
+    "register",
+    "run_instance",
+    "trace_instance",
+    "Stdlib",
+]

@@ -1,0 +1,9 @@
+"""Workload catalog: importing this package registers every workload."""
+
+from . import micro  # noqa: F401
+from . import rodinia  # noqa: F401
+from . import paropoly  # noqa: F401
+from . import usuite  # noqa: F401
+from . import deathstar  # noqa: F401
+from . import parsec  # noqa: F401
+from . import other  # noqa: F401

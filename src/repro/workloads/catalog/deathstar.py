@@ -1,0 +1,380 @@
+"""DeathStarBench social-network microservices: Post, Text, UrlShort,
+UniqueId, UserTag, User.
+
+Same launch shape as the uSuite services (server threads x request
+chunks; the handler is the traced root).  Control-flow character follows
+each service's real hot path: text processing is length-divergent,
+unique-id generation is uniform, storage services mix hash walks with
+fine-grained locks and glibc-malloc allocations.
+"""
+
+from __future__ import annotations
+
+from ...isa import Mem
+from ...program.builder import ProgramBuilder
+from ..base import SUITE_DEATHSTAR, WorkloadInstance, register
+from ..inputs import uniform_ints, zipf_ints
+from ..stdlib import Stdlib
+from .usuite import _def_server, _service_instance
+
+N_BUCKETS = 64
+
+
+def _make_service(name, n_threads, seed, define_handler, extra_setup=None,
+                  n_servers=8):
+    b = ProgramBuilder()
+    lib = Stdlib(b)
+    data = define_handler(b, lib, n_threads, seed)
+    _def_server(b)
+    program = b.build()
+    instance = _service_instance(name, b, lib, program, n_threads,
+                                 n_servers=n_servers)
+    base_setup = instance.setup
+
+    def setup(machine) -> None:
+        base_setup(machine)
+        if extra_setup is not None:
+            extra_setup(machine)
+        for addr, values in data:
+            machine.memory.write_words(addr, values)
+
+    instance.setup = setup
+    return instance
+
+
+@register("dsb_post", SUITE_DEATHSTAR, 2048,
+          description="ComposePost: allocate, copy text, index under lock.")
+def build_dsb_post(n_threads: int, seed: int) -> WorkloadInstance:
+    def define(b, lib, n, seed):
+        d_lens = b.data("post_lens", 8 * n)
+        d_text = b.data("post_text", 8 * n * 16)
+        d_index = b.data("post_index", 8 * N_BUCKETS)
+        d_locks = b.data("post_locks", 8 * N_BUCKETS)
+        lib.install()
+
+        with b.function("handle", args=["rid"]) as f:
+            hdr = f.reg()
+            ln = f.reg()
+            buf = f.reg()
+            src = f.reg()
+            f.io_read(hdr)
+            f.load(ln, Mem(None, disp=d_lens.value, index=f.a(0), scale=8))
+            t = f.reg()
+            f.mul(t, ln, 8)
+            f.call(buf, "malloc_fg", [t, f.a(0)])
+            f.mul(src, f.a(0), 16 * 8)
+            f.add(src, src, d_text.value)
+            f.call(None, "memcpy_words", [buf, src, ln])
+            h = f.reg()
+            bucket = f.reg()
+            laddr = f.reg()
+            f.call(h, "hash64", [buf])
+            f.mod(bucket, h, N_BUCKETS)
+            f.mul(laddr, bucket, 8)
+            f.add(laddr, laddr, d_locks.value)
+            f.lock(laddr)
+            old = f.reg()
+            f.load(old, Mem(None, disp=d_index.value, index=bucket, scale=8))
+            f.store(Mem(None, disp=d_index.value, index=bucket, scale=8),
+                    buf)
+            f.unlock(laddr)
+            f.io_write(bucket)
+            f.ret(bucket)
+
+        lens = [4 + z % 12 for z in zipf_ints(n, 16, seed + 51)]
+        text = uniform_ints(n * 16, seed + 53, 0, 1 << 30)
+        return [(d_lens.value, lens), (d_text.value, text)]
+
+    return _make_service("dsb_post", n_threads, seed, define)
+
+
+@register("dsb_text", SUITE_DEATHSTAR, 2048,
+          description="TextService: per-char classification, divergent lengths.")
+def build_dsb_text(n_threads: int, seed: int) -> WorkloadInstance:
+    def define(b, lib, n, seed):
+        d_lens = b.data("txt_lens", 8 * n)
+        d_chars = b.data("txt_chars", 8 * n * 32)
+        lib.install()
+
+        with b.function("handle", args=["rid"]) as f:
+            hdr = f.reg()
+            ln = f.reg()
+            i = f.reg()
+            words = f.reg()
+            mentions = f.reg()
+            base = f.reg()
+            hist = f.stack_alloc(8 * 4)  # char-class histogram
+            zi = f.reg()
+
+            def zero():
+                slot = f.reg()
+                f.mul(slot, zi, 8)
+                f.add(slot, slot, f.sp)
+                f.store(Mem(slot, disp=hist), 0)
+
+            f.for_range(zi, 0, 4, zero)
+            f.io_read(hdr)
+            f.load(ln, Mem(None, disp=d_lens.value, index=f.a(0), scale=8))
+            f.mul(base, f.a(0), 32 * 8)
+            f.add(base, base, d_chars.value)
+            f.mov(words, 0)
+            f.mov(mentions, 0)
+
+            def classify():
+                ch = f.reg()
+                cls = f.reg()
+                cnt = f.reg()
+                slot = f.reg()
+                f.load(ch, Mem(base, index=i, scale=8))
+                f.mod(cls, ch, 4)
+                f.mul(slot, cls, 8)
+                f.add(slot, slot, f.sp)
+                f.load(cnt, Mem(slot, disp=hist))
+                f.add(cnt, cnt, 1)
+                f.store(Mem(slot, disp=hist), cnt)
+                f.if_then(ch, "==", 32, lambda: f.add(words, words, 1))
+                f.if_then(ch, "==", 64, lambda: f.add(mentions, mentions, 1))
+
+                def url_scan():
+                    # ':' starts a URL: consume until space (nested walk)
+                    j = f.reg()
+                    c2 = f.reg()
+                    f.mov(j, i)
+
+                    def until_space():
+                        f.load(c2, Mem(base, index=j, scale=8))
+                        return (c2, "!=", 32)
+
+                    def bump():
+                        f.add(j, j, 1)
+                        f.if_then(j, ">=", ln, f.break_)
+
+                    f.while_(until_space, bump)
+                    f.mov(i, j)
+
+                f.if_then(ch, "==", 58, url_scan)
+
+            f.for_range(i, 0, ln, classify)
+            out = f.reg()
+            f.mul(out, mentions, 100)
+            f.add(out, out, words)
+            f.io_write(out)
+            f.ret(out)
+
+        lens = [6 + z % 26 for z in zipf_ints(n, 32, seed + 57)]
+        chars = [(c % 96) + 32 for c in uniform_ints(n * 32, seed + 59,
+                                                     0, 96 * 4)]
+        return [(d_lens.value, lens), (d_chars.value, chars)]
+
+    return _make_service("dsb_text", n_threads, seed, define)
+
+
+@register("dsb_urlshort", SUITE_DEATHSTAR, 2048,
+          description="UrlShorten: hash + table insert under bucket lock.")
+def build_dsb_urlshort(n_threads: int, seed: int) -> WorkloadInstance:
+    def define(b, lib, n, seed):
+        d_urls = b.data("urls", 8 * n)
+        d_nurls = b.data("n_urls", 8 * n)
+        d_table = b.data("short_tbl", 8 * N_BUCKETS)
+        d_locks = b.data("short_locks", 8 * N_BUCKETS)
+        lib.install()
+
+        with b.function("handle", args=["rid"]) as f:
+            hdr = f.reg()
+            k = f.reg()
+            nu = f.reg()
+            acc = f.reg()
+            f.io_read(hdr)
+            f.load(nu, Mem(None, disp=d_nurls.value, index=f.a(0), scale=8))
+            f.mov(acc, 0)
+
+            def shorten():
+                url = f.reg()
+                h = f.reg()
+                short = f.reg()
+                bucket = f.reg()
+                laddr = f.reg()
+                f.load(url, Mem(None, disp=d_urls.value, index=f.a(0),
+                                scale=8))
+                f.add(url, url, k)
+                f.call(h, "hash64", [url])
+                # Base-62 encode 6 output characters (uniform work that
+                # dominates the short critical section below).
+                ch = f.reg()
+                enc = f.reg()
+                f.mov(enc, 0)
+
+                def encode():
+                    digit = f.reg()
+                    f.mod(digit, h, 62)
+                    f.div(h, h, 62)
+                    f.shl(enc, enc, 6)
+                    f.or_(enc, enc, digit)
+
+                f.for_range(ch, 0, 6, encode)
+                f.and_(short, enc, 0xFFFFFF)
+                f.mod(bucket, h, N_BUCKETS)
+                f.mul(laddr, bucket, 8)
+                f.add(laddr, laddr, d_locks.value)
+                f.lock(laddr)
+                f.store(Mem(None, disp=d_table.value, index=bucket,
+                            scale=8), short)
+                f.unlock(laddr)
+                f.add(acc, acc, short)
+
+            f.for_range(k, 0, nu, shorten)
+            f.io_write(acc)
+            f.ret(acc)
+
+        urls = uniform_ints(n, seed + 61, 0, 1 << 40)
+        nurls = [1 + z % 3 for z in zipf_ints(n, 8, seed + 63)]
+        return [(d_urls.value, urls), (d_nurls.value, nurls)]
+
+    return _make_service("dsb_urlshort", n_threads, seed, define)
+
+
+@register("dsb_uniqueid", SUITE_DEATHSTAR, 2048,
+          description="UniqueId: atomic counter + hash (uniform).")
+def build_dsb_uniqueid(n_threads: int, seed: int) -> WorkloadInstance:
+    def define(b, lib, n, seed):
+        d_counter = b.data("uid_counter", 8)
+        d_machine = b.data("uid_machine", 8)
+        lib.install()
+
+        with b.function("handle", args=["rid"]) as f:
+            hdr = f.reg()
+            seq = f.reg()
+            mid = f.reg()
+            uid = f.reg()
+            f.io_read(hdr)
+            f.atomic_add(seq, Mem(None, disp=d_counter.value), 1)
+            f.load(mid, Mem(None, disp=d_machine.value))
+            f.shl(uid, mid, 32)
+            f.or_(uid, uid, seq)
+            h = f.reg()
+            r2 = f.reg()
+            f.mov(h, uid)
+            # Multi-round id mixing + base-62 formatting (uniform).
+            f.for_range(r2, 0, 4, lambda: f.call(h, "hash64", [h]))
+            ch = f.reg()
+            enc = f.reg()
+            f.mov(enc, 0)
+
+            def fmt():
+                digit = f.reg()
+                f.mod(digit, h, 62)
+                f.div(h, h, 62)
+                f.shl(enc, enc, 6)
+                f.or_(enc, enc, digit)
+
+            f.for_range(ch, 0, 8, fmt)
+            f.io_write(enc)
+            f.ret(enc)
+
+        return [(d_machine.value, [42])]
+
+    return _make_service("dsb_uniqueid", n_threads, seed, define)
+
+
+@register("dsb_usertag", SUITE_DEATHSTAR, 2048,
+          description="UserTag: tag-chain walk + per-tag scoring.")
+def build_dsb_usertag(n_threads: int, seed: int) -> WorkloadInstance:
+    def define(b, lib, n, seed):
+        d_users = b.data("ut_users", 8 * n)
+        d_tag_off = b.data("ut_off", 8 * 65)
+        d_tags = b.data("ut_tags", 8 * 64 * 12)
+        lib.install()
+
+        with b.function("handle", args=["rid"]) as f:
+            hdr = f.reg()
+            user = f.reg()
+            lo = f.reg()
+            hi = f.reg()
+            i = f.reg()
+            score = f.reg()
+            f.io_read(hdr)
+            f.load(user, Mem(None, disp=d_users.value, index=f.a(0),
+                             scale=8))
+            u64 = f.reg()
+            f.mod(u64, user, 64)
+            f.load(lo, Mem(None, disp=d_tag_off.value, index=u64, scale=8))
+            t = f.reg()
+            f.add(t, u64, 1)
+            f.load(hi, Mem(None, disp=d_tag_off.value, index=t, scale=8))
+            f.mov(score, 0)
+
+            def per_tag():
+                tag = f.reg()
+                h = f.reg()
+                f.load(tag, Mem(None, disp=d_tags.value, index=i, scale=8))
+                f.call(h, "hash64", [tag])
+                f.and_(h, h, 0xFF)
+                f.add(score, score, h)
+
+            f.for_range(i, lo, hi, per_tag)
+            f.io_write(score)
+            f.ret(score)
+
+        users = zipf_ints(n, 256, seed + 67)
+        counts = [1 + z % 10 for z in zipf_ints(64, 12, seed + 69)]
+        offsets = [0]
+        for c in counts:
+            offsets.append(offsets[-1] + c)
+        tags = uniform_ints(offsets[-1] + 1, seed + 71, 0, 1 << 20)
+        return [(d_users.value, users), (d_tag_off.value, offsets),
+                (d_tags.value, tags)]
+
+    return _make_service("dsb_usertag", n_threads, seed, define)
+
+
+@register("dsb_user", SUITE_DEATHSTAR, 2048,
+          description="UserService: credential hash + validation branches.")
+def build_dsb_user(n_threads: int, seed: int) -> WorkloadInstance:
+    def define(b, lib, n, seed):
+        d_uids = b.data("us_uids", 8 * n)
+        d_pwds = b.data("us_pwds", 8 * n)
+        d_salts = b.data("us_salts", 8 * 256)
+        lib.install()
+
+        with b.function("handle", args=["rid"]) as f:
+            hdr = f.reg()
+            uid = f.reg()
+            pwd = f.reg()
+            salt = f.reg()
+            f.io_read(hdr)
+            f.load(uid, Mem(None, disp=d_uids.value, index=f.a(0), scale=8))
+            f.load(pwd, Mem(None, disp=d_pwds.value, index=f.a(0), scale=8))
+            u = f.reg()
+            f.mod(u, uid, 256)
+            f.load(salt, Mem(None, disp=d_salts.value, index=u, scale=8))
+            mixed = f.reg()
+            h = f.reg()
+            r = f.reg()
+            f.xor(mixed, pwd, salt)
+            f.mov(h, mixed)
+            rr = f.reg()
+            # PBKDF-style stretching rounds (uniform).
+            f.for_range(rr, 0, 5, lambda: f.call(h, "hash64", [h]))
+            f.mov(r, 0)
+            ok = f.reg()
+            f.and_(ok, h, 0x7)
+
+            def grant():
+                h2 = f.reg()
+                f.call(h2, "hash64", [h])
+                f.mov(r, h2)
+
+            def deny():
+                f.mov(r, -1)
+
+            f.if_else(ok, "!=", 0, grant, deny)
+            f.io_write(r)
+            f.ret(r)
+
+        uids = zipf_ints(n, 512, seed + 73)
+        pwds = uniform_ints(n, seed + 75, 0, 1 << 40)
+        salts = uniform_ints(256, seed + 77, 0, 1 << 40)
+        return [(d_uids.value, uids), (d_pwds.value, pwds),
+                (d_salts.value, salts)]
+
+    return _make_service("dsb_user", n_threads, seed, define)

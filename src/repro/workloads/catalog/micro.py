@@ -1,0 +1,115 @@
+"""Microbenchmarks: VectorAdd and the uncoalesced vector operation.
+
+These are the paper's two hand-written correlation kernels: simple vector
+multiply-add loops differing only in memory access pattern.  The CPU
+version is written naive-C style (memory-resident accumulator, reloaded
+operands) so the O0-O3 transforms reproduce gcc's behaviour on it; the
+CUDA version keeps the accumulator in a register, as real CUDA code does.
+"""
+
+from __future__ import annotations
+
+from ...isa import Mem, Op
+from ...program.builder import ProgramBuilder
+from ..base import (
+    SUITE_MICRO,
+    GpuKernel,
+    WorkloadInstance,
+    register,
+)
+from ..inputs import uniform_floats
+
+#: Multiply-add passes per element (gives O2/O3 promotion something to do).
+REPS = 6
+
+
+def _build_vector_workload(name: str, n_threads: int, seed: int,
+                           stride: int) -> WorkloadInstance:
+    b = ProgramBuilder()
+    n = n_threads * stride if stride > 1 else n_threads
+    va = b.data("a", 8 * n)
+    vb = b.data("b", 8 * n)
+    vout = b.data("out", 8 * n)
+
+    # CPU implementation (naive C): out[i] += a[i] * b[i], REPS times,
+    # with everything re-read from memory each pass.
+    with b.function("worker", args=["tid"]) as f:
+        idx = f.reg()
+        k = f.reg()
+        if stride > 1:
+            f.mul(idx, f.a(0), stride)  # strided index: uncoalesced
+        else:
+            f.mov(idx, f.a(0))
+
+        def body():
+            x = f.reg()
+            y = f.reg()
+            acc = f.reg()
+            f.load(x, Mem(None, disp=va.value, index=idx, scale=8))
+            f.load(y, Mem(None, disp=vb.value, index=idx, scale=8))
+            f.emit(Op.FMUL, x, x, y)
+            f.load(acc, Mem(None, disp=vout.value, index=idx, scale=8))
+            f.emit(Op.FADD, acc, acc, x)
+            f.store(Mem(None, disp=vout.value, index=idx, scale=8), acc)
+
+        f.for_range(k, 0, REPS, body)
+        f.ret(0)
+
+    # CUDA implementation: the scalar accumulator lives in a register
+    # (nvcc promotes it), but the operand loads stay in the loop -- the
+    # unqualified pointers may alias, so the compiler cannot hoist them.
+    with b.function("worker_gpu", args=["tid"]) as f:
+        idx = f.reg()
+        acc = f.reg()
+        k = f.reg()
+        if stride > 1:
+            f.mul(idx, f.a(0), stride)
+        else:
+            f.mov(idx, f.a(0))
+        f.load(acc, Mem(None, disp=vout.value, index=idx, scale=8))
+
+        def rep():
+            x = f.reg()
+            y = f.reg()
+            f.load(x, Mem(None, disp=va.value, index=idx, scale=8))
+            f.load(y, Mem(None, disp=vb.value, index=idx, scale=8))
+            f.emit(Op.FMUL, x, x, y)
+            f.emit(Op.FADD, acc, acc, x)
+
+        f.for_range(k, 0, REPS, rep)
+        f.store(Mem(None, disp=vout.value, index=idx, scale=8), acc)
+        f.ret(0)
+
+    program = b.build()
+    av = uniform_floats(n, seed)
+    bv = uniform_floats(n, seed + 1)
+
+    def setup(machine) -> None:
+        machine.memory.write_words(va.value, av)
+        machine.memory.write_words(vb.value, bv)
+
+    return WorkloadInstance(
+        name=name,
+        program=program,
+        spawns=[("worker", [t], None) for t in range(n_threads)],
+        roots=["worker"],
+        setup=setup,
+        gpu=GpuKernel(
+            program=program,
+            kernel="worker_gpu",
+            args_per_thread=[[t] for t in range(n_threads)],
+            setup=setup,
+        ),
+    )
+
+
+@register("vectoradd", SUITE_MICRO, 1024, has_gpu_impl=True,
+          description="Coalesced vector multiply-add (correlation kernel).")
+def build_vectoradd(n_threads: int, seed: int) -> WorkloadInstance:
+    return _build_vector_workload("vectoradd", n_threads, seed, stride=1)
+
+
+@register("uncoalesced", SUITE_MICRO, 1024, has_gpu_impl=True,
+          description="Strided vector multiply-add: divergent memory.")
+def build_uncoalesced(n_threads: int, seed: int) -> WorkloadInstance:
+    return _build_vector_workload("uncoalesced", n_threads, seed, stride=7)

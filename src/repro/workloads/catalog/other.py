@@ -1,0 +1,257 @@
+"""Other workloads: pigz (parallel gzip), Rotate, MD5.
+
+``pigz`` is the paper's canonical low-efficiency workload: LZ-style
+compression whose control flow is intrinsically data-dependent (match
+searching, literal-vs-match decisions per symbol).  ``md5`` and ``rotate``
+sit at the other end: fixed-round mixing and pure index arithmetic.
+"""
+
+from __future__ import annotations
+
+from ...isa import Mem, Op
+from ...program.builder import ProgramBuilder
+from ..base import SUITE_OTHER, WorkloadInstance, register
+from ..inputs import compressible_bytes, uniform_ints
+
+BLOCK_BYTES = 48
+WINDOW = 16
+MIN_MATCH = 3
+
+
+@register("pigz", SUITE_OTHER, 128, default_threads=32,
+          description="Parallel gzip block compression (very divergent).")
+def build_pigz(n_threads: int, seed: int) -> WorkloadInstance:
+    b = ProgramBuilder()
+    n = n_threads
+    d_in = b.data("pz_in", 8 * n * BLOCK_BYTES)
+    d_out = b.data("pz_out", 8 * n)
+
+    # Greedy LZ77 over one block per logical thread: at each position scan
+    # the window for the longest match; emit a match (skip ahead) or a
+    # literal.  Both loops are input-dependent -- the source of pigz's
+    # single-digit SIMT efficiency.
+    with b.function("worker", args=["blk"]) as f:
+        base = f.reg()
+        pos = f.reg()
+        tokens = f.reg()
+        f.mul(base, f.a(0), BLOCK_BYTES * 8)
+        f.add(base, base, d_in.value)
+        f.mov(pos, 0)
+        f.mov(tokens, 0)
+
+        def compress():
+            return (pos, "<", BLOCK_BYTES)
+
+        def step():
+            best_len = f.reg()
+            cand = f.reg()
+            start = f.reg()
+            f.mov(best_len, 0)
+            f.emit(Op.IMAX, start, pos, WINDOW)
+            f.sub(start, start, WINDOW)
+
+            def try_candidate():
+                mlen = f.reg()
+                f.mov(mlen, 0)
+
+                def matching():
+                    a = f.reg()
+                    c = f.reg()
+                    pa = f.reg()
+                    pc = f.reg()
+                    f.add(pa, pos, mlen)
+                    f.if_then(pa, ">=", BLOCK_BYTES, f.break_)
+                    f.add(pc, cand, mlen)
+                    f.load(a, Mem(base, index=pa, scale=8))
+                    f.load(c, Mem(base, index=pc, scale=8))
+                    f.if_then(a, "!=", c, f.break_)
+                    f.add(mlen, mlen, 1)
+                    f.if_then(mlen, ">=", WINDOW, f.break_)
+
+                def always():
+                    return (mlen, ">=", 0)
+
+                f.while_(always, matching)
+                f.emit(Op.IMAX, best_len, best_len, mlen)
+
+            f.for_range(cand, start, pos, try_candidate)
+
+            def emit_match():
+                f.add(pos, pos, best_len)
+                f.add(tokens, tokens, 1)
+
+            def emit_literal():
+                f.add(pos, pos, 1)
+                f.add(tokens, tokens, 1)
+
+            f.if_else(best_len, ">=", MIN_MATCH, emit_match, emit_literal)
+
+        f.while_(compress, step)
+        f.store(Mem(None, disp=d_out.value, index=f.a(0), scale=8), tokens)
+        f.ret(tokens)
+
+    program = b.build()
+    data = compressible_bytes(n * BLOCK_BYTES, seed)
+
+    def setup(machine) -> None:
+        machine.memory.write_words(d_in.value, data)
+
+    return WorkloadInstance(
+        name="pigz",
+        program=program,
+        spawns=[("worker", [t], None) for t in range(n)],
+        roots=["worker"],
+        setup=setup,
+    )
+
+
+IMG_W = 24
+
+
+@register("rotate", SUITE_OTHER, 1024,
+          description="Image rotation: uniform index arithmetic, "
+                      "uncoalesced writes.")
+def build_rotate(n_threads: int, seed: int) -> WorkloadInstance:
+    b = ProgramBuilder()
+    n = n_threads  # one row per logical thread
+    d_src = b.data("rot_src", 8 * n * IMG_W)
+    d_dst = b.data("rot_dst", 8 * n * IMG_W)
+
+    with b.function("worker", args=["row"]) as f:
+        col = f.reg()
+
+        def per_pixel():
+            sidx = f.reg()
+            didx = f.reg()
+            v = f.reg()
+            f.mul(sidx, f.a(0), IMG_W)
+            f.add(sidx, sidx, col)
+            f.load(v, Mem(None, disp=d_src.value, index=sidx, scale=8))
+            # 90-degree rotation: dst[col][H-1-row] = src[row][col]
+            f.mul(didx, col, n)
+            t = f.reg()
+            f.sub(t, n - 1, f.a(0))
+            f.add(didx, didx, t)
+            f.store(Mem(None, disp=d_dst.value, index=didx, scale=8), v)
+
+        f.for_range(col, 0, IMG_W, per_pixel)
+        f.ret(0)
+
+    program = b.build()
+    img = uniform_ints(n * IMG_W, seed, 0, 255)
+
+    def setup(machine) -> None:
+        machine.memory.write_words(d_src.value, img)
+
+    return WorkloadInstance(
+        name="rotate",
+        program=program,
+        spawns=[("worker", [t], None) for t in range(n)],
+        roots=["worker"],
+        setup=setup,
+    )
+
+
+MD5_ROUNDS = 32
+MSG_WORDS = 8
+M32 = (1 << 32) - 1
+
+
+@register("md5", SUITE_OTHER, 512,
+          description="MD5-style fixed-round digest (uniform, ALU-heavy).")
+def build_md5(n_threads: int, seed: int) -> WorkloadInstance:
+    b = ProgramBuilder()
+    n = n_threads
+    d_msg = b.data("md5_msg", 8 * n * MSG_WORDS)
+    d_k = b.data("md5_k", 8 * MD5_ROUNDS)
+    d_out = b.data("md5_out", 8 * n)
+
+    with b.function("worker", args=["m"]) as f:
+        a = f.reg()
+        bb = f.reg()
+        c = f.reg()
+        d = f.reg()
+        r = f.reg()
+        base = f.reg()
+        sched = f.stack_alloc(8 * MSG_WORDS)  # w[] message schedule
+        f.mov(a, 0x67452301)
+        f.mov(bb, 0xEFCDAB89)
+        f.mov(c, 0x98BADCFE)
+        f.mov(d, 0x10325476)
+        f.mul(base, f.a(0), MSG_WORDS)
+        # Stage the message block into the stack-resident schedule.
+        w = f.reg()
+        k0 = f.reg()
+
+        def stage():
+            idx = f.reg()
+            f.add(idx, base, k0)
+            f.load(w, Mem(None, disp=d_msg.value, index=idx, scale=8))
+            slot = f.reg()
+            f.mul(slot, k0, 8)
+            f.add(slot, slot, f.sp)
+            f.store(Mem(slot, disp=sched), w)
+
+        f.for_range(k0, 0, MSG_WORDS, stage)
+
+        def round_fn():
+            fx = f.reg()
+            kv = f.reg()
+            mw = f.reg()
+            idx = f.reg()
+            nb = f.reg()
+            # F = (b & c) | (~b & d)  -- round 1 mixer, used throughout.
+            t1 = f.reg()
+            t2 = f.reg()
+            f.and_(t1, bb, c)
+            f.emit(Op.NOT, t2, bb)
+            f.and_(t2, t2, d)
+            f.and_(t2, t2, M32)
+            f.or_(fx, t1, t2)
+            f.load(kv, Mem(None, disp=d_k.value, index=r, scale=8))
+            f.mod(idx, r, MSG_WORDS)
+            slot2 = f.reg()
+            f.mul(slot2, idx, 8)
+            f.add(slot2, slot2, f.sp)
+            f.load(mw, Mem(slot2, disp=sched))
+            f.add(fx, fx, a)
+            f.add(fx, fx, kv)
+            f.add(fx, fx, mw)
+            f.and_(fx, fx, M32)
+            # rotate left 7
+            hi = f.reg()
+            lo = f.reg()
+            f.shl(hi, fx, 7)
+            f.and_(hi, hi, M32)
+            f.shr(lo, fx, 25)
+            f.or_(nb, hi, lo)
+            f.add(nb, nb, bb)
+            f.and_(nb, nb, M32)
+            f.mov(a, d)
+            f.mov(d, c)
+            f.mov(c, bb)
+            f.mov(bb, nb)
+
+        f.for_range(r, 0, MD5_ROUNDS, round_fn)
+        digest = f.reg()
+        f.xor(digest, a, bb)
+        f.xor(digest, digest, c)
+        f.xor(digest, digest, d)
+        f.store(Mem(None, disp=d_out.value, index=f.a(0), scale=8), digest)
+        f.ret(digest)
+
+    program = b.build()
+    msgs = uniform_ints(n * MSG_WORDS, seed, 0, M32)
+    ks = uniform_ints(MD5_ROUNDS, seed + 91, 0, M32)
+
+    def setup(machine) -> None:
+        machine.memory.write_words(d_msg.value, msgs)
+        machine.memory.write_words(d_k.value, ks)
+
+    return WorkloadInstance(
+        name="md5",
+        program=program,
+        spawns=[("worker", [t], None) for t in range(n)],
+        roots=["worker"],
+        setup=setup,
+    )

@@ -1,0 +1,205 @@
+"""Paropoly correlation workloads: BFS, Connected Components, PageRank,
+N-body (Pthread reimplementations per paper Sec. IV).
+"""
+
+from __future__ import annotations
+
+from ...isa import Mem, Op
+from ...program.builder import ProgramBuilder
+from ..base import SUITE_PAROPOLY, WorkloadInstance, register
+from ..inputs import csr_graph, positions_3d, uniform_floats
+from .rodinia import _shared_kernel_instance
+
+
+@register("pp_bfs", SUITE_PAROPOLY, 4096, has_gpu_impl=True,
+          description="Pthread BFS level over a denser power-law graph.")
+def build_pp_bfs(n_threads: int, seed: int) -> WorkloadInstance:
+    # Same algorithmic core as rodinia_bfs, on a denser graph and a later
+    # (larger, more divergent) frontier -- the Paropoly variant stresses
+    # polymorphic control flow.
+    from .rodinia import build_bfs
+
+    instance = build_bfs(n_threads, seed + 101)
+    instance.name = "pp_bfs"
+    return instance
+
+
+@register("cc", SUITE_PAROPOLY, 4096, has_gpu_impl=True,
+          description="Connected components: min-label propagation.")
+def build_cc(n_threads: int, seed: int) -> WorkloadInstance:
+    b = ProgramBuilder()
+    n = n_threads
+    offsets, cols = csr_graph(n, avg_degree=5, seed=seed + 11)
+    d_rows = b.data("rows", 8 * (n + 1))
+    d_cols = b.data("cols", 8 * max(len(cols), 1))
+    d_comp = b.data("comp", 8 * n)
+    d_changed = b.data("changed", 8 * n)
+
+    with b.function("worker", args=["u"]) as f:
+        lo = f.reg()
+        hi = f.reg()
+        e = f.reg()
+        v = f.reg()
+        my = f.reg()
+        theirs = f.reg()
+        t = f.reg()
+        f.load(lo, Mem(None, disp=d_rows.value, index=f.a(0), scale=8))
+        f.add(t, f.a(0), 1)
+        f.load(hi, Mem(None, disp=d_rows.value, index=t, scale=8))
+        f.load(my, Mem(None, disp=d_comp.value, index=f.a(0), scale=8))
+
+        def hook():
+            f.load(v, Mem(None, disp=d_cols.value, index=e, scale=8))
+            f.load(theirs, Mem(None, disp=d_comp.value, index=v, scale=8))
+
+            def adopt():
+                f.mov(my, theirs)
+                f.store(Mem(None, disp=d_changed.value, index=f.a(0),
+                            scale=8), 1)
+
+            f.if_then(theirs, "<", my, adopt)
+
+        f.for_range(e, lo, hi, hook)
+        f.store(Mem(None, disp=d_comp.value, index=f.a(0), scale=8), my)
+        f.ret(my)
+
+    program = b.build()
+
+    def setup(machine) -> None:
+        mem = machine.memory
+        mem.write_words(d_rows.value, offsets)
+        mem.write_words(d_cols.value, cols)
+        mem.write_words(d_comp.value, list(range(n)))
+
+    return _shared_kernel_instance("cc", program, setup, n_threads)
+
+
+@register("pagerank", SUITE_PAROPOLY, 4096, has_gpu_impl=True,
+          description="PageRank iteration: degree-divergent gather.")
+def build_pagerank(n_threads: int, seed: int) -> WorkloadInstance:
+    b = ProgramBuilder()
+    n = n_threads
+    offsets, cols = csr_graph(n, avg_degree=6, seed=seed + 23)
+    d_rows = b.data("rows", 8 * (n + 1))
+    d_cols = b.data("cols", 8 * max(len(cols), 1))
+    d_rank = b.data("rank", 8 * n)
+    d_deg = b.data("deg", 8 * n)
+    d_new = b.data("new_rank", 8 * n)
+
+    with b.function("worker", args=["u"]) as f:
+        lo = f.reg()
+        hi = f.reg()
+        e = f.reg()
+        v = f.reg()
+        acc = f.reg()
+        t = f.reg()
+        f.load(lo, Mem(None, disp=d_rows.value, index=f.a(0), scale=8))
+        f.add(t, f.a(0), 1)
+        f.load(hi, Mem(None, disp=d_rows.value, index=t, scale=8))
+        f.mov(acc, 0.0)
+
+        def gather():
+            r = f.reg()
+            dg = f.reg()
+            f.load(v, Mem(None, disp=d_cols.value, index=e, scale=8))
+            f.load(r, Mem(None, disp=d_rank.value, index=v, scale=8))
+            f.load(dg, Mem(None, disp=d_deg.value, index=v, scale=8))
+            contrib = f.reg()
+            fdg = f.reg()
+            f.emit(Op.CVTIF, fdg, dg)
+            f.fdiv(contrib, r, fdg)
+            f.fadd(acc, acc, contrib)
+
+        f.for_range(e, lo, hi, gather)
+        damped = f.reg()
+        f.fmul(damped, acc, 0.85)
+        f.fadd(damped, damped, 0.15 / max(n, 1))
+        f.store(Mem(None, disp=d_new.value, index=f.a(0), scale=8), damped)
+        f.ret(0)
+
+    program = b.build()
+    degrees = [max(offsets[i + 1] - offsets[i], 1) for i in range(n)]
+    ranks = uniform_floats(n, seed, 0.1, 1.0)
+
+    def setup(machine) -> None:
+        mem = machine.memory
+        mem.write_words(d_rows.value, offsets)
+        mem.write_words(d_cols.value, cols)
+        mem.write_words(d_rank.value, ranks)
+        mem.write_words(d_deg.value, degrees)
+
+    return _shared_kernel_instance("pagerank", program, setup, n_threads)
+
+
+NB_TILE = 96  # interaction tile: per-thread work independent of launch size
+
+
+@register("nbody", SUITE_PAROPOLY, 4096, has_gpu_impl=True,
+          description="All-pairs N-body forces: uniform control flow.")
+def build_nbody(n_threads: int, seed: int) -> WorkloadInstance:
+    b = ProgramBuilder()
+    n = max(n_threads, NB_TILE)
+    d_pos = b.data("pos", 8 * 3 * n)
+    d_force = b.data("force", 8 * 3 * n)
+
+    with b.function("worker", args=["i"]) as f:
+        xi = f.reg()
+        yi = f.reg()
+        zi = f.reg()
+        fx = f.reg()
+        fy = f.reg()
+        fz = f.reg()
+        j = f.reg()
+        base = f.reg()
+        f.mul(base, f.a(0), 24)
+        f.load(xi, Mem(base, disp=d_pos.value))
+        f.load(yi, Mem(base, disp=d_pos.value + 8))
+        f.load(zi, Mem(base, disp=d_pos.value + 16))
+        f.mov(fx, 0.0)
+        f.mov(fy, 0.0)
+        f.mov(fz, 0.0)
+
+        def interact():
+            jb = f.reg()
+            dx = f.reg()
+            dy = f.reg()
+            dz = f.reg()
+            r2 = f.reg()
+            inv = f.reg()
+            f.mul(jb, j, 24)
+            f.load(dx, Mem(jb, disp=d_pos.value))
+            f.load(dy, Mem(jb, disp=d_pos.value + 8))
+            f.load(dz, Mem(jb, disp=d_pos.value + 16))
+            f.fsub(dx, dx, xi)
+            f.fsub(dy, dy, yi)
+            f.fsub(dz, dz, zi)
+            f.fmul(r2, dx, dx)
+            t = f.reg()
+            f.fmul(t, dy, dy)
+            f.fadd(r2, r2, t)
+            f.fmul(t, dz, dz)
+            f.fadd(r2, r2, t)
+            f.fadd(r2, r2, 0.01)  # softening
+            f.emit(Op.FSQRT, inv, r2)
+            f.fmul(inv, inv, r2)
+            f.fdiv(inv, 1.0, inv)
+            f.fmul(t, dx, inv)
+            f.fadd(fx, fx, t)
+            f.fmul(t, dy, inv)
+            f.fadd(fy, fy, t)
+            f.fmul(t, dz, inv)
+            f.fadd(fz, fz, t)
+
+        f.for_range(j, 0, NB_TILE, interact)
+        f.store(Mem(base, disp=d_force.value), fx)
+        f.store(Mem(base, disp=d_force.value + 8), fy)
+        f.store(Mem(base, disp=d_force.value + 16), fz)
+        f.ret(0)
+
+    program = b.build()
+    pos = positions_3d(n, seed)
+
+    def setup(machine) -> None:
+        machine.memory.write_words(d_pos.value, pos)
+
+    return _shared_kernel_instance("nbody", program, setup, n_threads)

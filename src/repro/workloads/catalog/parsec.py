@@ -1,0 +1,576 @@
+"""PARSEC 3.0 workloads: blackscholes, streamcluster, bodytrack, facesim,
+fluidanimate, freqmine, swaptions, vips, x264.
+
+Pthread compute workloads partitioned into per-thread chunks (the SPMD
+pattern the paper notes); the per-item worker is the traced root, so each
+work item becomes one logical SIMT thread.
+"""
+
+from __future__ import annotations
+
+from ...isa import Mem, Op
+from ...program.builder import ProgramBuilder
+from ..base import SUITE_PARSEC, WorkloadInstance, register
+from ..inputs import (
+    gaussian_floats,
+    positions_3d,
+    uniform_floats,
+    uniform_ints,
+    zipf_ints,
+)
+
+
+def _compute_instance(name, program, setup, n_threads,
+                      machine_kwargs=None) -> WorkloadInstance:
+    return WorkloadInstance(
+        name=name,
+        program=program,
+        spawns=[("worker", [t], None) for t in range(n_threads)],
+        roots=["worker"],
+        setup=setup,
+        machine_kwargs=machine_kwargs or {},
+    )
+
+
+@register("blackscholes", SUITE_PARSEC, 1024,
+          description="Black-Scholes option pricing: SFU-heavy, near-uniform.")
+def build_blackscholes(n_threads: int, seed: int) -> WorkloadInstance:
+    b = ProgramBuilder()
+    n = n_threads
+    d_s = b.data("bs_s", 8 * n)      # spot
+    d_k = b.data("bs_k", 8 * n)      # strike
+    d_t = b.data("bs_t", 8 * n)      # time
+    d_type = b.data("bs_type", 8 * n)  # 0=call 1=put
+    d_out = b.data("bs_out", 8 * n)
+
+    with b.function("cndf", args=["x"]) as f:
+        # Abramowitz-Stegun style polynomial CNDF with a sign branch.
+        ax = f.reg()
+        kx = f.reg()
+        poly = f.reg()
+        e = f.reg()
+        f.emit(Op.FABS, ax, f.a(0))
+        den = f.reg()
+        f.fmul(den, ax, 0.2316419)
+        f.fadd(den, den, 1.0)
+        f.fdiv(kx, 1.0, den)
+        acc = f.reg()
+        f.fmul(acc, kx, 1.330274429)
+        f.fsub(acc, acc, 1.821255978)
+        f.fmul(acc, acc, kx)
+        f.fadd(acc, acc, 1.781477937)
+        f.fmul(acc, acc, kx)
+        f.fsub(acc, acc, 0.356563782)
+        f.fmul(acc, acc, kx)
+        f.fadd(acc, acc, 0.319381530)
+        f.fmul(poly, acc, kx)
+        sq = f.reg()
+        f.fmul(sq, f.a(0), f.a(0))
+        f.fmul(sq, sq, -0.5)
+        f.emit(Op.FEXP, e, sq)
+        f.fmul(e, e, 0.3989422804)
+        nd = f.reg()
+        f.fmul(nd, e, poly)
+        r = f.reg()
+        f.fsub(r, 1.0, nd)
+
+        def negative():
+            f.fsub(r, 1.0, r)
+
+        f.if_then(f.a(0), "<", 0.0, negative, fp=True)
+        f.ret(r)
+
+    with b.function("worker", args=["i"]) as f:
+        s = f.reg()
+        k = f.reg()
+        t = f.reg()
+        typ = f.reg()
+        f.load(s, Mem(None, disp=d_s.value, index=f.a(0), scale=8))
+        f.load(k, Mem(None, disp=d_k.value, index=f.a(0), scale=8))
+        f.load(t, Mem(None, disp=d_t.value, index=f.a(0), scale=8))
+        f.load(typ, Mem(None, disp=d_type.value, index=f.a(0), scale=8))
+        rate, vol = 0.05, 0.2
+        sqt = f.reg()
+        f.emit(Op.FSQRT, sqt, t)
+        d1 = f.reg()
+        ratio = f.reg()
+        f.fdiv(ratio, s, k)
+        f.emit(Op.FLOG, d1, ratio)
+        drift = f.reg()
+        f.mov(drift, rate + 0.5 * vol * vol)
+        f.fmul(drift, drift, t)
+        f.fadd(d1, d1, drift)
+        den = f.reg()
+        f.fmul(den, sqt, vol)
+        f.fdiv(d1, d1, den)
+        d2 = f.reg()
+        f.fsub(d2, d1, den)
+        n1 = f.reg()
+        n2 = f.reg()
+        f.call(n1, "cndf", [d1])
+        f.call(n2, "cndf", [d2])
+        disc = f.reg()
+        f.fmul(disc, t, -rate)
+        f.emit(Op.FEXP, disc, disc)
+        f.fmul(disc, disc, k)
+        price = f.reg()
+
+        def call_leg():
+            a = f.reg()
+            bb = f.reg()
+            f.fmul(a, s, n1)
+            f.fmul(bb, disc, n2)
+            f.fsub(price, a, bb)
+
+        def put_leg():
+            a = f.reg()
+            bb = f.reg()
+            m1 = f.reg()
+            m2 = f.reg()
+            f.fsub(m1, 1.0, n1)
+            f.fsub(m2, 1.0, n2)
+            f.fmul(a, disc, m2)
+            f.fmul(bb, s, m1)
+            f.fsub(price, a, bb)
+
+        f.if_else(typ, "==", 0, call_leg, put_leg)
+        f.store(Mem(None, disp=d_out.value, index=f.a(0), scale=8), price)
+        f.ret(0)
+
+    program = b.build()
+    spots = uniform_floats(n, seed, 20.0, 120.0)
+    strikes = uniform_floats(n, seed + 1, 20.0, 120.0)
+    times = uniform_floats(n, seed + 2, 0.1, 2.0)
+    types = [v % 2 for v in uniform_ints(n, seed + 3, 0, 100)]
+
+    def setup(machine) -> None:
+        mem = machine.memory
+        mem.write_words(d_s.value, spots)
+        mem.write_words(d_k.value, strikes)
+        mem.write_words(d_t.value, times)
+        mem.write_words(d_type.value, types)
+
+    return _compute_instance("blackscholes", program, setup, n_threads)
+
+
+@register("parsec_streamcluster", SUITE_PARSEC, 8192,
+          description="PARSEC streamcluster: wider k-means assign step.")
+def build_parsec_streamcluster(n_threads: int, seed: int) -> WorkloadInstance:
+    from .rodinia import build_streamcluster
+
+    instance = build_streamcluster(n_threads, seed + 211)
+    instance.name = "parsec_streamcluster"
+    instance.gpu = None
+    return instance
+
+
+N_PARTS = 6
+
+
+@register("bodytrack", SUITE_PARSEC, 1024,
+          description="Bodytrack particle likelihood: invalid-pose early-outs.")
+def build_bodytrack(n_threads: int, seed: int) -> WorkloadInstance:
+    b = ProgramBuilder()
+    n = n_threads
+    d_pose = b.data("bt_pose", 8 * n * N_PARTS)
+    d_edge = b.data("bt_edge", 8 * 256)
+    d_out = b.data("bt_out", 8 * n)
+
+    with b.function("worker", args=["p"]) as f:
+        score = f.reg()
+        part = f.reg()
+        base = f.reg()
+        valid = f.reg()
+        f.mov(score, 0.0)
+        f.mov(valid, 1)
+        f.mul(base, f.a(0), N_PARTS * 8)
+
+        def per_part():
+            angle = f.reg()
+            f.load(angle, Mem(base, disp=d_pose.value, index=part, scale=8))
+
+            def invalid():
+                f.mov(valid, 0)
+                f.break_()
+
+            f.if_then(angle, ">", 2.8, invalid, fp=True)
+            e = f.reg()
+            idx = f.reg()
+            scaled = f.reg()
+            f.fmul(scaled, angle, 40.0)
+            f.emit(Op.CVTFI, idx, scaled)
+            f.and_(idx, idx, 0xFF)
+            f.load(e, Mem(None, disp=d_edge.value, index=idx, scale=8))
+            f.fmul(e, e, angle)
+            f.fadd(score, score, e)
+
+        f.for_range(part, 0, N_PARTS, per_part)
+
+        def zero_out():
+            f.mov(score, 0.0)
+
+        f.if_then(valid, "==", 0, zero_out)
+        f.store(Mem(None, disp=d_out.value, index=f.a(0), scale=8), score)
+        f.ret(0)
+
+    program = b.build()
+    poses = uniform_floats(n * N_PARTS, seed, 0.0, 3.0)
+    edges = uniform_floats(256, seed + 5, 0.0, 1.0)
+
+    def setup(machine) -> None:
+        machine.memory.write_words(d_pose.value, poses)
+        machine.memory.write_words(d_edge.value, edges)
+
+    return _compute_instance("bodytrack", program, setup, n_threads)
+
+
+N_NEIGH = 6
+
+
+@register("facesim", SUITE_PARSEC, 1024,
+          description="Facesim spring forces: fixed neighbor stencil.")
+def build_facesim(n_threads: int, seed: int) -> WorkloadInstance:
+    b = ProgramBuilder()
+    n = n_threads
+    d_pos = b.data("fs_pos", 8 * (n + N_NEIGH + 1))
+    d_rest = b.data("fs_rest", 8 * N_NEIGH)
+    d_out = b.data("fs_out", 8 * n)
+
+    with b.function("worker", args=["v"]) as f:
+        x = f.reg()
+        force = f.reg()
+        k = f.reg()
+        f.load(x, Mem(None, disp=d_pos.value, index=f.a(0), scale=8))
+        f.mov(force, 0.0)
+
+        def spring():
+            nb = f.reg()
+            idx = f.reg()
+            rest = f.reg()
+            d = f.reg()
+            f.add(idx, f.a(0), k)
+            f.add(idx, idx, 1)
+            f.load(nb, Mem(None, disp=d_pos.value, index=idx, scale=8))
+            f.load(rest, Mem(None, disp=d_rest.value, index=k, scale=8))
+            f.fsub(d, nb, x)
+            f.fsub(d, d, rest)
+            f.fmul(d, d, 0.7)
+            f.fadd(force, force, d)
+
+        f.for_range(k, 0, N_NEIGH, spring)
+        f.store(Mem(None, disp=d_out.value, index=f.a(0), scale=8), force)
+        f.ret(0)
+
+    program = b.build()
+    pos = gaussian_floats(n + N_NEIGH + 1, seed, 0.0, 1.0)
+    rest = uniform_floats(N_NEIGH, seed + 7, 0.1, 0.5)
+
+    def setup(machine) -> None:
+        machine.memory.write_words(d_pos.value, pos)
+        machine.memory.write_words(d_rest.value, rest)
+
+    return _compute_instance("facesim", program, setup, n_threads)
+
+
+MAX_PER_CELL = 10
+
+
+@register("fluidanimate", SUITE_PARSEC, 4096,
+          description="Fluidanimate: density-divergent cell interactions "
+                      "with per-cell locks.")
+def build_fluidanimate(n_threads: int, seed: int) -> WorkloadInstance:
+    b = ProgramBuilder()
+    n = n_threads  # one cell per logical thread
+    d_count = b.data("fl_count", 8 * (n + 2))
+    d_parts = b.data("fl_parts", 8 * (n + 2) * MAX_PER_CELL)
+    d_locks = b.data("fl_locks", 8 * (n + 2))
+    d_dens = b.data("fl_dens", 8 * (n + 2))
+
+    with b.function("worker", args=["cell"]) as f:
+        cnt = f.reg()
+        i = f.reg()
+        acc = f.reg()
+        base = f.reg()
+        f.load(cnt, Mem(None, disp=d_count.value, index=f.a(0), scale=8))
+        f.mul(base, f.a(0), MAX_PER_CELL * 8)
+        f.add(base, base, d_parts.value)
+        f.mov(acc, 0.0)
+
+        def per_particle():
+            p = f.reg()
+            j = f.reg()
+            f.load(p, Mem(base, index=i, scale=8))
+
+            def pair():
+                q = f.reg()
+                d = f.reg()
+                f.load(q, Mem(base, index=j, scale=8))
+                f.fsub(d, p, q)
+                f.fmul(d, d, d)
+                f.fadd(acc, acc, d)
+
+            f.for_range(j, 0, cnt, pair)
+
+        f.for_range(i, 0, cnt, per_particle)
+
+        # Scatter half the density to the neighbor cell under its lock.
+        nb = f.reg()
+        laddr = f.reg()
+        old = f.reg()
+        half = f.reg()
+        f.add(nb, f.a(0), 1)
+        f.mul(laddr, nb, 8)
+        f.add(laddr, laddr, d_locks.value)
+        f.fmul(half, acc, 0.5)
+        f.lock(laddr)
+        f.load(old, Mem(None, disp=d_dens.value, index=nb, scale=8))
+        f.fadd(old, old, half)
+        f.store(Mem(None, disp=d_dens.value, index=nb, scale=8), old)
+        f.unlock(laddr)
+        f.store(Mem(None, disp=d_dens.value, index=f.a(0), scale=8), acc)
+        f.ret(0)
+
+    program = b.build()
+    counts = [min(1 + z, MAX_PER_CELL) for z in
+              zipf_ints(n + 2, MAX_PER_CELL, seed + 11)]
+    parts = uniform_floats((n + 2) * MAX_PER_CELL, seed + 13, 0.0, 1.0)
+
+    def setup(machine) -> None:
+        machine.memory.write_words(d_count.value, counts)
+        machine.memory.write_words(d_parts.value, parts)
+
+    return _compute_instance("fluidanimate", program, setup, n_threads)
+
+
+@register("freqmine", SUITE_PARSEC, 2048,
+          description="Freqmine: FP-tree prefix walks of varying depth.")
+def build_freqmine(n_threads: int, seed: int) -> WorkloadInstance:
+    b = ProgramBuilder()
+    n = n_threads
+    n_nodes = 256
+    d_parent = b.data("fm_parent", 8 * n_nodes)
+    d_count = b.data("fm_count", 8 * n_nodes)
+    d_start = b.data("fm_start", 8 * n)
+    d_out = b.data("fm_out", 8 * n)
+
+    with b.function("worker", args=["t"]) as f:
+        node = f.reg()
+        support = f.reg()
+        f.load(node, Mem(None, disp=d_start.value, index=f.a(0), scale=8))
+        f.mov(support, 0)
+
+        def walking():
+            return (node, ">", 0)
+
+        def climb():
+            c = f.reg()
+            f.load(c, Mem(None, disp=d_count.value, index=node, scale=8))
+            f.add(support, support, c)
+            f.load(node, Mem(None, disp=d_parent.value, index=node,
+                             scale=8))
+
+        f.while_(walking, climb)
+        f.store(Mem(None, disp=d_out.value, index=f.a(0), scale=8), support)
+        f.ret(support)
+
+    program = b.build()
+    # Tree: node i's parent is a random lower index; depths vary widely.
+    import random as _random
+
+    r = _random.Random(seed + 17)
+    parents = [0] + [r.randrange(max(i // 2, 1)) if i > 1 else 0
+                     for i in range(1, n_nodes)]
+    counts = uniform_ints(n_nodes, seed + 19, 1, 9)
+    starts = [z % n_nodes for z in zipf_ints(n, n_nodes, seed + 23)]
+
+    def setup(machine) -> None:
+        machine.memory.write_words(d_parent.value, parents)
+        machine.memory.write_words(d_count.value, counts)
+        machine.memory.write_words(d_start.value, starts)
+
+    return _compute_instance("freqmine", program, setup, n_threads)
+
+
+N_STEPS = 8
+N_FACTORS = 3
+
+
+@register("swaptions", SUITE_PARSEC, 512,
+          description="Swaptions HJM paths: nested fixed loops (uniform).")
+def build_swaptions(n_threads: int, seed: int) -> WorkloadInstance:
+    b = ProgramBuilder()
+    n = n_threads
+    d_rates = b.data("sw_rates", 8 * n)
+    d_vols = b.data("sw_vols", 8 * N_FACTORS)
+    d_out = b.data("sw_out", 8 * n)
+
+    with b.function("worker", args=["s"]) as f:
+        rate = f.reg()
+        t = f.reg()
+        price = f.reg()
+        f.load(rate, Mem(None, disp=d_rates.value, index=f.a(0), scale=8))
+        f.mov(price, 0.0)
+
+        def per_step():
+            k = f.reg()
+            drift = f.reg()
+            f.mov(drift, 0.0)
+
+            def per_factor():
+                v = f.reg()
+                f.load(v, Mem(None, disp=d_vols.value, index=k, scale=8))
+                f.fmul(v, v, rate)
+                f.fadd(drift, drift, v)
+
+            f.for_range(k, 0, N_FACTORS, per_factor)
+            f.fmul(drift, drift, 0.01)
+            f.fadd(rate, rate, drift)
+            disc = f.reg()
+            f.fmul(disc, rate, -0.25)
+            f.emit(Op.FEXP, disc, disc)
+            f.fadd(price, price, disc)
+
+        f.for_range(t, 0, N_STEPS, per_step)
+        f.store(Mem(None, disp=d_out.value, index=f.a(0), scale=8), price)
+        f.ret(0)
+
+    program = b.build()
+    rates = uniform_floats(n, seed, 0.01, 0.08)
+    vols = uniform_floats(N_FACTORS, seed + 29, 0.1, 0.3)
+
+    def setup(machine) -> None:
+        machine.memory.write_words(d_rates.value, rates)
+        machine.memory.write_words(d_vols.value, vols)
+
+    return _compute_instance("swaptions", program, setup, n_threads)
+
+
+TILE = 16
+
+
+@register("vips", SUITE_PARSEC, 512,
+          description="VIPS tile convolution: uniform per-pixel arithmetic.")
+def build_vips(n_threads: int, seed: int) -> WorkloadInstance:
+    b = ProgramBuilder()
+    n = n_threads
+    d_img = b.data("vp_img", 8 * (n * TILE + 2))
+    d_out = b.data("vp_out", 8 * n * TILE)
+
+    with b.function("worker", args=["tile"]) as f:
+        i = f.reg()
+        base = f.reg()
+        f.mul(base, f.a(0), TILE)
+
+        def per_pixel():
+            idx = f.reg()
+            a = f.reg()
+            c = f.reg()
+            d = f.reg()
+            f.add(idx, base, i)
+            f.load(a, Mem(None, disp=d_img.value, index=idx, scale=8))
+            t = f.reg()
+            f.add(t, idx, 1)
+            f.load(c, Mem(None, disp=d_img.value, index=t, scale=8))
+            f.add(t, idx, 2)
+            f.load(d, Mem(None, disp=d_img.value, index=t, scale=8))
+            f.fmul(a, a, 0.25)
+            f.fmul(c, c, 0.5)
+            f.fmul(d, d, 0.25)
+            f.fadd(a, a, c)
+            f.fadd(a, a, d)
+            f.store(Mem(None, disp=d_out.value, index=idx, scale=8), a)
+
+        f.for_range(i, 0, TILE, per_pixel)
+        f.ret(0)
+
+    program = b.build()
+    img = uniform_floats(n * TILE + 2, seed, 0.0, 255.0)
+
+    def setup(machine) -> None:
+        machine.memory.write_words(d_img.value, img)
+
+    return _compute_instance("vips", program, setup, n_threads)
+
+
+SEARCH_RANGE = 12
+BLOCK = 8
+
+
+@register("x264", SUITE_PARSEC, 4096,
+          description="x264 motion search: early-terminating SAD loops.")
+def build_x264(n_threads: int, seed: int) -> WorkloadInstance:
+    b = ProgramBuilder()
+    n = n_threads
+    d_cur = b.data("x_cur", 8 * n * BLOCK)
+    d_ref = b.data("x_ref", 8 * (n * BLOCK + SEARCH_RANGE + BLOCK))
+    d_mv = b.data("x_mv", 8 * n)
+
+    with b.function("worker", args=["mb"]) as f:
+        best = f.reg()
+        best_mv = f.reg()
+        off = f.reg()
+        cbase = f.reg()
+        f.mov(best, 1 << 50)
+        f.mov(best_mv, 0)
+        f.mul(cbase, f.a(0), BLOCK)
+
+        def candidate():
+            sad = f.reg()
+            px = f.reg()
+            f.mov(sad, 0)
+
+            def per_pixel():
+                cidx = f.reg()
+                ridx = f.reg()
+                cv = f.reg()
+                rv = f.reg()
+                d = f.reg()
+                f.add(cidx, cbase, px)
+                f.load(cv, Mem(None, disp=d_cur.value, index=cidx, scale=8))
+                f.add(ridx, cidx, off)
+                f.load(rv, Mem(None, disp=d_ref.value, index=ridx, scale=8))
+                f.sub(d, cv, rv)
+                ad = f.reg()
+                f.emit(Op.IMAX, ad, d, 0)
+                nd = f.reg()
+                f.emit(Op.NEG, nd, d)
+                f.emit(Op.IMAX, ad, ad, nd)
+                f.add(sad, sad, ad)
+                # Early termination: this candidate can't win.
+                f.if_then(sad, ">", best, f.break_)
+
+            f.for_range(px, 0, BLOCK, per_pixel)
+
+            def adopt():
+                f.mov(best, sad)
+                f.mov(best_mv, off)
+
+            f.if_then(sad, "<", best, adopt)
+            # Good-enough cutoff ends the whole search (very divergent).
+            f.if_then(best, "<", 24, f.break_)
+
+        f.for_range(off, 0, SEARCH_RANGE, candidate)
+        f.store(Mem(None, disp=d_mv.value, index=f.a(0), scale=8), best_mv)
+        f.ret(best_mv)
+
+    program = b.build()
+    cur = uniform_ints(n * BLOCK, seed, 0, 255)
+    # Reference = shifted noisy copy so matches exist at varying offsets.
+    ref = []
+    import random as _random
+
+    r = _random.Random(seed + 31)
+    shift = [r.randrange(SEARCH_RANGE) for _ in range(n)]
+    ref = [0] * (n * BLOCK + SEARCH_RANGE + BLOCK)
+    for mb in range(n):
+        for px in range(BLOCK):
+            idx = mb * BLOCK + px + shift[mb]
+            if idx < len(ref):
+                noise = r.randrange(6)
+                ref[idx] = cur[mb * BLOCK + px] + noise
+
+    def setup(machine) -> None:
+        machine.memory.write_words(d_cur.value, cur)
+        machine.memory.write_words(d_ref.value, ref)
+
+    return _compute_instance("x264", program, setup, n_threads)

@@ -1,0 +1,399 @@
+"""Rodinia 3.1 correlation workloads: BFS, NN, StreamCluster, B+Tree,
+ParticleFilter.
+
+These are the suite's OpenMP programs whose CUDA twins are "identical
+implementations" (paper Sec. IV), so the CPU worker *is* the GPU kernel:
+one logical thread per OpenMP iteration.
+"""
+
+from __future__ import annotations
+
+from ...isa import Mem, Op
+from ...program.builder import ProgramBuilder
+from ..base import SUITE_RODINIA, GpuKernel, WorkloadInstance, register
+from ..inputs import csr_graph, gaussian_floats, uniform_floats, uniform_ints
+
+
+def _shared_kernel_instance(name, program, setup, n_threads,
+                            args_fn=None) -> WorkloadInstance:
+    """CPU and GPU share the worker function (Rodinia's identical impls)."""
+    args_fn = args_fn or (lambda t: [t])
+    return WorkloadInstance(
+        name=name,
+        program=program,
+        spawns=[("worker", args_fn(t), None) for t in range(n_threads)],
+        roots=["worker"],
+        setup=setup,
+        gpu=GpuKernel(
+            program=program,
+            kernel="worker",
+            args_per_thread=[args_fn(t) for t in range(n_threads)],
+            setup=setup,
+        ),
+    )
+
+
+@register("rodinia_bfs", SUITE_RODINIA, 4096, has_gpu_impl=True,
+          description="One BFS level: frontier check + neighbor expansion.")
+def build_bfs(n_threads: int, seed: int) -> WorkloadInstance:
+    b = ProgramBuilder()
+    n = n_threads
+    offsets, cols = csr_graph(n, avg_degree=6, seed=seed)
+    d_rows = b.data("rows", 8 * (n + 1))
+    d_cols = b.data("cols", 8 * max(len(cols), 1))
+    d_front = b.data("frontier", 8 * n)
+    d_next = b.data("next_frontier", 8 * n)
+    d_dist = b.data("dist", 8 * n)
+
+    with b.function("worker", args=["node"]) as f:
+        inf = f.reg()
+        f.load(inf, Mem(None, disp=d_front.value, index=f.a(0), scale=8))
+
+        def expand():
+            lo = f.reg()
+            hi = f.reg()
+            e = f.reg()
+            nb = f.reg()
+            seen = f.reg()
+            my_d = f.reg()
+            f.load(lo, Mem(None, disp=d_rows.value, index=f.a(0), scale=8))
+            t = f.reg()
+            f.add(t, f.a(0), 1)
+            f.load(hi, Mem(None, disp=d_rows.value, index=t, scale=8))
+            f.load(my_d, Mem(None, disp=d_dist.value, index=f.a(0), scale=8))
+
+            def visit():
+                f.load(nb, Mem(None, disp=d_cols.value, index=e, scale=8))
+                f.load(seen, Mem(None, disp=d_dist.value, index=nb, scale=8))
+
+                def mark():
+                    nd = f.reg()
+                    f.add(nd, my_d, 1)
+                    f.store(Mem(None, disp=d_dist.value, index=nb, scale=8),
+                            nd)
+                    f.store(Mem(None, disp=d_next.value, index=nb, scale=8),
+                            1)
+
+                f.if_then(seen, "==", -1, mark)
+
+            f.for_range(e, lo, hi, visit)
+
+        f.if_then(inf, "==", 1, expand)
+        f.ret(0)
+
+    program = b.build()
+
+    # Host-side: seed distances with a partial BFS so a mid-size frontier
+    # (a realistically divergent level) is active.
+    src = 0
+    dist = [-1] * n
+    dist[src] = 0
+    level = [src]
+    for depth in range(2):
+        nxt = []
+        for u in level:
+            for e in range(offsets[u], offsets[u + 1]):
+                v = cols[e]
+                if dist[v] == -1:
+                    dist[v] = depth + 1
+                    nxt.append(v)
+        level = nxt
+    frontier = [0] * n
+    for u in level:
+        frontier[u] = 1
+
+    def setup(machine) -> None:
+        mem = machine.memory
+        mem.write_words(d_rows.value, offsets)
+        mem.write_words(d_cols.value, cols)
+        mem.write_words(d_front.value, frontier)
+        mem.write_words(d_dist.value, dist)
+
+    return _shared_kernel_instance("rodinia_bfs", program, setup, n_threads)
+
+
+@register("nn", SUITE_RODINIA, 42 * 1024, has_gpu_impl=True,
+          description="Nearest-neighbor distance kernel (uniform).")
+def build_nn(n_threads: int, seed: int) -> WorkloadInstance:
+    b = ProgramBuilder()
+    n = n_threads
+    d_lat = b.data("lat", 8 * n)
+    d_lng = b.data("lng", 8 * n)
+    d_out = b.data("out", 8 * n)
+    target_lat, target_lng = 30.0, 60.0
+
+    with b.function("worker", args=["i"]) as f:
+        lat = f.reg()
+        lng = f.reg()
+        d1 = f.reg()
+        d2 = f.reg()
+        f.load(lat, Mem(None, disp=d_lat.value, index=f.a(0), scale=8))
+        f.load(lng, Mem(None, disp=d_lng.value, index=f.a(0), scale=8))
+        f.fsub(d1, lat, target_lat)
+        f.fsub(d2, lng, target_lng)
+        f.fmul(d1, d1, d1)
+        f.fmul(d2, d2, d2)
+        f.fadd(d1, d1, d2)
+        f.emit(Op.FSQRT, d1, d1)
+        f.store(Mem(None, disp=d_out.value, index=f.a(0), scale=8), d1)
+        f.ret(0)
+
+    program = b.build()
+    lats = uniform_floats(n, seed, 0.0, 90.0)
+    lngs = uniform_floats(n, seed + 1, 0.0, 180.0)
+
+    def setup(machine) -> None:
+        machine.memory.write_words(d_lat.value, lats)
+        machine.memory.write_words(d_lng.value, lngs)
+
+    return _shared_kernel_instance("nn", program, setup, n_threads)
+
+
+N_CENTERS = 8
+N_DIMS = 4
+
+
+@register("streamcluster", SUITE_RODINIA, 16 * 1024, has_gpu_impl=True,
+          description="Assign each point to its nearest cluster center.")
+def build_streamcluster(n_threads: int, seed: int) -> WorkloadInstance:
+    b = ProgramBuilder()
+    n = n_threads
+    d_pts = b.data("pts", 8 * n * N_DIMS)
+    d_ctr = b.data("ctr", 8 * N_CENTERS * N_DIMS)
+    d_assign = b.data("assign", 8 * n)
+
+    with b.function("worker", args=["i"]) as f:
+        best = f.reg()
+        best_c = f.reg()
+        c = f.reg()
+        base = f.reg()
+        f.mov(best, 1e30)
+        f.mov(best_c, -1)
+        f.mul(base, f.a(0), N_DIMS * 8)
+
+        def per_center():
+            dist = f.reg()
+            k = f.reg()
+            f.mov(dist, 0.0)
+            cbase = f.reg()
+            f.mul(cbase, c, N_DIMS * 8)
+
+            def per_dim():
+                p = f.reg()
+                q = f.reg()
+                off = f.reg()
+                f.mul(off, k, 8)
+                pa = f.reg()
+                f.add(pa, base, off)
+                f.load(p, Mem(pa, disp=d_pts.value))
+                ca = f.reg()
+                f.add(ca, cbase, off)
+                f.load(q, Mem(ca, disp=d_ctr.value))
+                f.fsub(p, p, q)
+                f.fmul(p, p, p)
+                f.fadd(dist, dist, p)
+
+            f.for_range(k, 0, N_DIMS, per_dim)
+
+            def better():
+                f.mov(best, dist)
+                f.mov(best_c, c)
+
+            f.if_then(dist, "<", best, better, fp=True)
+
+        f.for_range(c, 0, N_CENTERS, per_center)
+        f.store(Mem(None, disp=d_assign.value, index=f.a(0), scale=8),
+                best_c)
+        f.ret(best_c)
+
+    program = b.build()
+    pts = gaussian_floats(n * N_DIMS, seed, 0.0, 3.0)
+    ctrs = gaussian_floats(N_CENTERS * N_DIMS, seed + 1, 0.0, 3.0)
+
+    def setup(machine) -> None:
+        machine.memory.write_words(d_pts.value, pts)
+        machine.memory.write_words(d_ctr.value, ctrs)
+
+    return _shared_kernel_instance("streamcluster", program, setup,
+                                   n_threads)
+
+
+# B+tree node layout (words): [n_keys, is_leaf, keys*FANOUT, kids*FANOUT]
+FANOUT = 4
+NODE_WORDS = 2 + 2 * FANOUT
+
+
+@register("btree", SUITE_RODINIA, 4096, has_gpu_impl=True,
+          description="B+tree point queries: data-dependent descent.")
+def build_btree(n_threads: int, seed: int) -> WorkloadInstance:
+    b = ProgramBuilder()
+    n_keys_total = 256
+    d_tree = b.data("tree", 8 * NODE_WORDS * 2 * n_keys_total)
+    d_queries = b.data("queries", 8 * n_threads)
+    d_out = b.data("btree_out", 8 * n_threads)
+
+    with b.function("worker", args=["qid"]) as f:
+        q = f.reg()
+        node = f.reg()
+        f.load(q, Mem(None, disp=d_queries.value, index=f.a(0), scale=8))
+        f.mov(node, 0)  # node index 0 is the root
+        is_leaf = f.reg()
+        base = f.reg()
+
+        def descend():
+            nk = f.reg()
+            i = f.reg()
+            key = f.reg()
+            f.mul(base, node, NODE_WORDS * 8)
+            f.load(nk, Mem(base, disp=d_tree.value))
+            f.load(is_leaf, Mem(base, disp=d_tree.value + 8))
+            f.mov(i, 0)
+
+            def scan_guard():
+                return (i, "<", nk)
+
+            # linear scan: while (i < nk && keys[i] <= q) i++
+            def scan_body():
+                f.load(key, Mem(base, disp=d_tree.value + 16, index=i,
+                                scale=8))
+                f.if_then(key, ">", q, f.break_)
+                f.add(i, i, 1)
+
+            f.while_(scan_guard, scan_body)
+
+            def go_child():
+                f.load(node, Mem(base,
+                                 disp=d_tree.value + 16 + 8 * FANOUT,
+                                 index=i, scale=8))
+
+            f.if_then(is_leaf, "==", 0, go_child)
+
+        def not_leaf():
+            return (is_leaf, "==", 0)
+
+        f.mul(base, node, NODE_WORDS * 8)
+        f.load(is_leaf, Mem(base, disp=d_tree.value + 8))
+        descend()
+        f.while_(not_leaf, descend)
+        f.store(Mem(None, disp=d_out.value, index=f.a(0), scale=8), node)
+        f.ret(node)
+
+    program = b.build()
+
+    # Host-side bulk-loaded b+tree over sorted random keys.
+    keys = sorted(set(uniform_ints(n_keys_total, seed, 0, 10_000)))
+    nodes = []  # list of (n_keys, is_leaf, keys, kids)
+
+    def build_level(leaf_entries):
+        level = []
+        for i in range(0, len(leaf_entries), FANOUT):
+            chunk = leaf_entries[i:i + FANOUT]
+            level.append(chunk)
+        return level
+
+    # Leaves.
+    leaves = []
+    for i in range(0, len(keys), FANOUT):
+        chunk = keys[i:i + FANOUT]
+        leaves.append((len(chunk), 1, chunk, [0] * FANOUT))
+    node_list = list(leaves)
+    child_ids = list(range(len(leaves)))
+    child_mins = [leaf[2][0] for leaf in leaves]
+    while len(child_ids) > 1:
+        new_ids = []
+        new_mins = []
+        for i in range(0, len(child_ids), FANOUT):
+            ids = child_ids[i:i + FANOUT]
+            mins = child_mins[i:i + FANOUT]
+            seps = mins[1:]
+            node_list.append((len(seps), 0, seps, ids))
+            new_ids.append(len(node_list) - 1)
+            new_mins.append(mins[0])
+        child_ids = new_ids
+        child_mins = new_mins
+    root = child_ids[0]
+    # Index 0 must be the root: swap.
+    order = list(range(len(node_list)))
+    order[0], order[root] = order[root], order[0]
+    remap = {old: new for new, old in enumerate(order)}
+    flat = []
+    for old in order:
+        nk, leaf, ks, kids = node_list[old]
+        ks = list(ks) + [0] * (FANOUT - len(ks))
+        kids = [remap.get(k, k) if not leaf else 0 for k in kids]
+        kids = kids + [0] * (FANOUT - len(kids))
+        flat.extend([nk, leaf] + ks[:FANOUT] + kids[:FANOUT])
+    queries = uniform_ints(n_threads, seed + 5, 0, 10_000)
+
+    def setup(machine) -> None:
+        machine.memory.write_words(d_tree.value, flat)
+        machine.memory.write_words(d_queries.value, queries)
+
+    return _shared_kernel_instance("btree", program, setup, n_threads)
+
+
+N_OBS = 12
+
+
+@register("particlefilter", SUITE_RODINIA, 4096, has_gpu_impl=True,
+          description="Particle weights + divergent CDF resampling search.")
+def build_particlefilter(n_threads: int, seed: int) -> WorkloadInstance:
+    b = ProgramBuilder()
+    n = n_threads
+    d_x = b.data("px", 8 * n)
+    d_obs = b.data("obs", 8 * N_OBS)
+    N_CDF = 256
+    d_cdf = b.data("cdf", 8 * N_CDF)
+    d_u = b.data("u", 8 * n)
+    d_out = b.data("pf_out", 8 * n)
+
+    with b.function("worker", args=["p"]) as f:
+        w = f.reg()
+        x = f.reg()
+        k = f.reg()
+        f.load(x, Mem(None, disp=d_x.value, index=f.a(0), scale=8))
+        f.mov(w, 0.0)
+
+        def likelihood():
+            o = f.reg()
+            dlt = f.reg()
+            f.load(o, Mem(None, disp=d_obs.value, index=k, scale=8))
+            f.fsub(dlt, x, o)
+            f.fmul(dlt, dlt, dlt)
+            f.fadd(w, w, dlt)
+
+        f.for_range(k, 0, N_OBS, likelihood)
+
+        # Resampling: find first j with cdf[j] >= u[p] (divergent length).
+        j = f.reg()
+        u = f.reg()
+        cv = f.reg()
+        f.load(u, Mem(None, disp=d_u.value, index=f.a(0), scale=8))
+        f.mov(j, 0)
+
+        def search_cond():
+            f.load(cv, Mem(None, disp=d_cdf.value, index=j, scale=8))
+            return (cv, "<", u)
+
+        def bump():
+            f.add(j, j, 1)
+
+        f.while_(search_cond, bump, fp=True)
+        f.store(Mem(None, disp=d_out.value, index=f.a(0), scale=8), j)
+        f.ret(j)
+
+    program = b.build()
+    xs = gaussian_floats(n, seed)
+    obs = gaussian_floats(N_OBS, seed + 1)
+    us = uniform_floats(n, seed + 2, 0.0, 0.999)
+    cdf = [(i + 1) / N_CDF for i in range(N_CDF)]
+
+    def setup(machine) -> None:
+        mem = machine.memory
+        mem.write_words(d_x.value, xs)
+        mem.write_words(d_obs.value, obs)
+        mem.write_words(d_cdf.value, cdf)
+        mem.write_words(d_u.value, us)
+
+    return _shared_kernel_instance("particlefilter", program, setup,
+                                   n_threads)

@@ -1,0 +1,678 @@
+"""uSuite microservices: McRouter/Memcached, TextSearch, HDSearch.
+
+Each service runs several CPU server threads, each handling a chunk of
+requests; the request handler is the traced root, so every request becomes
+one logical SIMT thread (the paper's request-level-parallelism setup).
+Handlers perform I/O (recv/send, skip-counted), allocate from the
+glibc-style global-lock ``malloc``, and touch shared tables under
+fine-grained bucket locks -- the ingredients of Figs. 7, 8, 9 and 10.
+
+``hdsearch_mid`` reproduces the paper's Fig. 7 case study: the ``getpoint``
+routine's data-dependent ``push_back`` loop (FLANN kd-tree bucket walk)
+destroys SIMT efficiency; ``hdsearch_mid_fixed`` applies the paper's fix
+(uniform top-10 computation) and recovers it.
+"""
+
+from __future__ import annotations
+
+from ...isa import Mem, Op
+from ...program.builder import ProgramBuilder
+from ..base import SUITE_USUITE, WorkloadInstance, register
+from ..inputs import uniform_ints, zipf_ints
+from ..stdlib import Stdlib
+
+
+def _service_instance(name, builder, stdlib, program, n_requests,
+                      n_servers, handler="handle",
+                      io_per_request=2) -> WorkloadInstance:
+    """Standard launch plan: ``n_servers`` CPU threads x request chunks."""
+    n_servers = max(1, min(n_servers, n_requests))
+    chunk = n_requests // n_servers
+
+    def setup(machine) -> None:
+        stdlib.init_memory(machine, machine.brk_addr)
+
+    spawns = []
+    for s in range(n_servers):
+        io_in = [0x5EED + r for r in range(chunk * io_per_request)]
+        spawns.append(("server", [s * chunk, (s + 1) * chunk], io_in))
+    return WorkloadInstance(
+        name=name,
+        program=program,
+        spawns=spawns,
+        roots=[handler],
+        setup=setup,
+        # Syscall/spin skip costs calibrated against the paper's Fig. 8:
+        # microservices trace ~90% of dynamic instructions.
+        machine_kwargs={"io_cost": 8, "spin_cost": 12},
+    )
+
+
+def _def_server(b: ProgramBuilder, handler: str = "handle") -> None:
+    """server(lo, hi): sequentially handle requests [lo, hi)."""
+    with b.function("server", args=["lo", "hi"]) as f:
+        rid = f.reg()
+        r = f.reg()
+        f.for_range(rid, f.a(0), f.a(1),
+                    lambda: f.call(r, handler, [rid]))
+        f.ret(0)
+
+
+N_SHARDS = 16
+N_BUCKETS = 64
+
+
+@register("mcrouter_mid", SUITE_USUITE, 2048,
+          description="McRouter mid tier: key hashing + shard routing.")
+def build_mcrouter_mid(n_threads: int, seed: int) -> WorkloadInstance:
+    b = ProgramBuilder()
+    lib = Stdlib(b)
+    d_keys = b.data("req_keys", 8 * n_threads)
+    d_shards = b.data("shard_tbl", 8 * N_SHARDS)
+    d_down = b.data("down_flags", 8 * N_SHARDS)
+    lib.install()
+
+    with b.function("handle", args=["rid"]) as f:
+        hdr = f.reg()
+        key = f.reg()
+        h = f.reg()
+        shard = f.reg()
+        host = f.reg()
+        flag = f.reg()
+        f.io_read(hdr)  # recv request
+        f.load(key, Mem(None, disp=d_keys.value, index=f.a(0), scale=8))
+        f.call(h, "hash64", [key])
+        f.mod(shard, h, N_SHARDS)
+        f.load(host, Mem(None, disp=d_shards.value, index=shard, scale=8))
+        f.load(flag, Mem(None, disp=d_down.value, index=shard, scale=8))
+
+        def failover():
+            s2 = f.reg()
+            f.add(s2, shard, 1)
+            f.mod(s2, s2, N_SHARDS)
+            f.load(host, Mem(None, disp=d_shards.value, index=s2, scale=8))
+
+        f.if_then(flag, "==", 1, failover)
+        # Serialize the forwarded request header (uniform framing work).
+        frame = f.reg()
+        k2 = f.reg()
+        f.mov(frame, 0)
+
+        def framing():
+            hx = f.reg()
+            mix = f.reg()
+            f.add(mix, host, k2)
+            f.xor(mix, mix, key)
+            f.call(hx, "hash64", [mix])
+            f.and_(hx, hx, 0xFFFF)
+            f.add(frame, frame, hx)
+
+        f.for_range(k2, 0, 5, framing)
+        f.io_write(frame)  # forward
+        f.ret(host)
+
+    _def_server(b)
+    program = b.build()
+    keys = zipf_ints(n_threads, 512, seed)
+    downs = [1 if i % 11 == 0 else 0 for i in range(N_SHARDS)]
+
+    instance = _service_instance("mcrouter_mid", b, lib, program,
+                                 n_threads, n_servers=8)
+    base_setup = instance.setup
+
+    def setup(machine) -> None:
+        base_setup(machine)
+        machine.memory.write_words(d_keys.value, keys)
+        machine.memory.write_words(
+            d_shards.value, [100 + i for i in range(N_SHARDS)])
+        machine.memory.write_words(d_down.value, downs)
+
+    instance.setup = setup
+    return instance
+
+
+@register("mcrouter_leaf", SUITE_USUITE, 2048,
+          description="McRouter leaf: request parse + route ack.")
+def build_mcrouter_leaf(n_threads: int, seed: int) -> WorkloadInstance:
+    b = ProgramBuilder()
+    lib = Stdlib(b)
+    d_sizes = b.data("msg_sizes", 8 * n_threads)
+    lib.install()
+
+    with b.function("handle", args=["rid"]) as f:
+        hdr = f.reg()
+        size = f.reg()
+        buf = f.reg()
+        i = f.reg()
+        csum = f.reg()
+        f.io_read(hdr)
+        f.load(size, Mem(None, disp=d_sizes.value, index=f.a(0), scale=8))
+        f.call(buf, "malloc_fg", [64, f.a(0)])
+        f.mov(csum, 0)
+
+        def parse():
+            word = f.reg()
+            f.add(word, hdr, i)
+            f.call(word, "hash64", [word])
+            f.and_(word, word, 0xFF)
+            f.add(csum, csum, word)
+            t = f.reg()
+            f.mod(t, i, 8)
+            f.store(Mem(buf, index=t, scale=8), csum)
+
+        f.for_range(i, 0, size, parse)
+        f.io_write(csum)
+        f.ret(csum)
+
+    _def_server(b)
+    program = b.build()
+    sizes = [4 + s % 5 for s in zipf_ints(n_threads, 16, seed + 3)]
+
+    instance = _service_instance("mcrouter_leaf", b, lib, program,
+                                 n_threads, n_servers=8)
+    base_setup = instance.setup
+
+    def setup(machine) -> None:
+        base_setup(machine)
+        machine.memory.write_words(d_sizes.value, sizes)
+
+    instance.setup = setup
+    return instance
+
+
+@register("memcached", SUITE_USUITE, 2048,
+          description="Memcached leaf: chained hash GET/SET with bucket locks.")
+def build_memcached(n_threads: int, seed: int) -> WorkloadInstance:
+    b = ProgramBuilder()
+    lib = Stdlib(b)
+    d_keys = b.data("mc_keys", 8 * n_threads)
+    d_ops = b.data("mc_ops", 8 * n_threads)  # 0 = GET, 1 = SET
+    d_heads = b.data("mc_heads", 8 * N_BUCKETS)
+    d_locks = b.data("mc_locks", 8 * N_BUCKETS)
+    lib.install()
+
+    # Node layout (words): [key, value, next]
+    with b.function("handle", args=["rid"]) as f:
+        hdr = f.reg()
+        key = f.reg()
+        op = f.reg()
+        h = f.reg()
+        bucket = f.reg()
+        node = f.reg()
+        found = f.reg()
+        f.io_read(hdr)
+        f.load(key, Mem(None, disp=d_keys.value, index=f.a(0), scale=8))
+        f.load(op, Mem(None, disp=d_ops.value, index=f.a(0), scale=8))
+        f.call(h, "hash64", [key])
+        f.mod(bucket, h, N_BUCKETS)
+        f.load(node, Mem(None, disp=d_heads.value, index=bucket, scale=8))
+        f.mov(found, 0)
+
+        # Chain walk (divergent: zipf chain lengths).
+        def walking():
+            return (node, "!=", 0)
+
+        def step():
+            nk = f.reg()
+            f.load(nk, Mem(node))
+
+            def hit():
+                f.load(found, Mem(node, disp=8))
+                f.break_()
+
+            f.if_then(nk, "==", key, hit)
+            f.load(node, Mem(node, disp=16))
+
+        f.while_(walking, step)
+
+        def do_set():
+            # Allocate a node (global malloc lock), insert under the
+            # fine-grained bucket lock.
+            nn = f.reg()
+            laddr = f.reg()
+            head = f.reg()
+            f.call(nn, "malloc_fg", [24, f.a(0)])
+            f.store(Mem(nn), key)
+            f.store(Mem(nn, disp=8), hdr)
+            f.mul(laddr, bucket, 8)
+            f.add(laddr, laddr, d_locks.value)
+            f.lock(laddr)
+            f.load(head, Mem(None, disp=d_heads.value, index=bucket,
+                             scale=8))
+            f.store(Mem(nn, disp=16), head)
+            f.store(Mem(None, disp=d_heads.value, index=bucket, scale=8),
+                    nn)
+            f.unlock(laddr)
+
+        f.if_then(op, "==", 1, do_set)
+        # Serialize the response: checksum over the (fixed-size) value,
+        # plus protocol framing hashes -- uniform post-lookup work.
+        csum = f.reg()
+        k2 = f.reg()
+        f.mov(csum, 0)
+
+        def frame():
+            hx = f.reg()
+            mix = f.reg()
+            f.add(mix, found, k2)
+            f.call(hx, "hash64", [mix])
+            f.and_(hx, hx, 0xFFFF)
+            f.add(csum, csum, hx)
+
+        f.for_range(k2, 0, 6, frame)
+        f.io_write(csum)
+        f.ret(found)
+
+    _def_server(b)
+    program = b.build()
+    keys = zipf_ints(n_threads, 128, seed + 7)
+    ops = [1 if k % 4 == 0 else 0 for k in uniform_ints(n_threads, seed + 9,
+                                                        0, 100)]
+
+    instance = _service_instance("memcached", b, lib, program, n_threads,
+                                 n_servers=8)
+    base_setup = instance.setup
+
+    def setup(machine) -> None:
+        base_setup(machine)
+        machine.memory.write_words(d_keys.value, keys)
+        machine.memory.write_words(d_ops.value, ops)
+
+    instance.setup = setup
+    return instance
+
+
+QUERY_TERMS = 4
+
+
+@register("textsearch_mid", SUITE_USUITE, 2048,
+          description="TextSearch mid tier: fixed-length query parse/route.")
+def build_textsearch_mid(n_threads: int, seed: int) -> WorkloadInstance:
+    b = ProgramBuilder()
+    lib = Stdlib(b)
+    d_queries = b.data("ts_queries", 8 * n_threads * QUERY_TERMS)
+    lib.install()
+
+    with b.function("handle", args=["rid"]) as f:
+        hdr = f.reg()
+        t = f.reg()
+        acc = f.reg()
+        base = f.reg()
+        shards = f.stack_alloc(8 * QUERY_TERMS)  # per-request scratch
+        f.io_read(hdr)
+        f.mul(base, f.a(0), QUERY_TERMS)
+        f.mov(acc, 0)
+
+        def per_term():
+            term = f.reg()
+            h = f.reg()
+            shard = f.reg()
+            idx = f.reg()
+            slot = f.reg()
+            f.add(idx, base, t)
+            f.load(term, Mem(None, disp=d_queries.value, index=idx,
+                             scale=8))
+            f.call(h, "hash64", [term])
+            f.mod(shard, h, N_SHARDS)
+            f.mul(slot, t, 8)
+            f.add(slot, slot, f.sp)
+            f.store(Mem(slot, disp=shards), shard)
+
+        f.for_range(t, 0, QUERY_TERMS, per_term)
+
+        # Compose the fan-out plan from the staged shard list.
+        def compose():
+            shard = f.reg()
+            slot = f.reg()
+            f.mul(slot, t, 8)
+            f.add(slot, slot, f.sp)
+            f.load(shard, Mem(slot, disp=shards))
+            f.add(acc, acc, shard)
+
+        f.for_range(t, 0, QUERY_TERMS, compose)
+        f.io_write(acc)
+        f.ret(acc)
+
+    _def_server(b)
+    program = b.build()
+    queries = zipf_ints(n_threads * QUERY_TERMS, 1024, seed + 13)
+
+    instance = _service_instance("textsearch_mid", b, lib, program,
+                                 n_threads, n_servers=8)
+    base_setup = instance.setup
+
+    def setup(machine) -> None:
+        base_setup(machine)
+        machine.memory.write_words(d_queries.value, queries)
+
+    instance.setup = setup
+    return instance
+
+
+N_POSTINGS = 256
+
+
+@register("textsearch_leaf", SUITE_USUITE, 2048,
+          description="TextSearch leaf: posting-list scan and scoring.")
+def build_textsearch_leaf(n_threads: int, seed: int) -> WorkloadInstance:
+    b = ProgramBuilder()
+    lib = Stdlib(b)
+    d_terms = b.data("tsl_terms", 8 * n_threads)
+    d_plens = b.data("tsl_plens", 8 * 64)
+    d_posts = b.data("tsl_posts", 8 * 64 * 32)
+    lib.install()
+
+    with b.function("handle", args=["rid"]) as f:
+        hdr = f.reg()
+        term = f.reg()
+        lst = f.reg()
+        plen = f.reg()
+        i = f.reg()
+        score = f.reg()
+        f.io_read(hdr)
+        f.load(term, Mem(None, disp=d_terms.value, index=f.a(0), scale=8))
+        f.mod(lst, term, 64)
+        f.load(plen, Mem(None, disp=d_plens.value, index=lst, scale=8))
+        f.mov(score, 0)
+        pbase = f.reg()
+        f.mul(pbase, lst, 32 * 8)
+        f.add(pbase, pbase, d_posts.value)
+
+        def scan():
+            doc = f.reg()
+            f.load(doc, Mem(pbase, index=i, scale=8))
+            w = f.reg()
+            f.and_(w, doc, 0xF)
+            f.add(score, score, w)
+
+        f.for_range(i, 0, plen, scan)
+        f.io_write(score)
+        f.ret(score)
+
+    _def_server(b)
+    program = b.build()
+    terms = zipf_ints(n_threads, 512, seed + 17)
+    plens = [min(4 + p, 32) for p in zipf_ints(64, 28, seed + 19)]
+    posts = uniform_ints(64 * 32, seed + 23, 0, 1 << 20)
+
+    instance = _service_instance("textsearch_leaf", b, lib, program,
+                                 n_threads, n_servers=8)
+    base_setup = instance.setup
+
+    def setup(machine) -> None:
+        base_setup(machine)
+        machine.memory.write_words(d_terms.value, terms)
+        machine.memory.write_words(d_plens.value, plens)
+        machine.memory.write_words(d_posts.value, posts)
+
+    instance.setup = setup
+    return instance
+
+
+# ---------------------------------------------------------------------------
+# HDSearch (the Fig. 7 case study).
+
+N_TABLES = 2
+N_XOR_MASKS = 2
+N_HASH_BUCKETS = 32
+TOP_K = 10
+
+
+def _build_hdsearch_mid(name: str, n_threads: int, seed: int,
+                        fixed: bool) -> WorkloadInstance:
+    b = ProgramBuilder()
+    lib = Stdlib(b)
+    d_keys = b.data("hd_keys", 8 * n_threads)
+    d_bucket_sizes = b.data("hd_bsizes", 8 * N_HASH_BUCKETS)
+    d_bucket_pts = b.data("hd_bpts", 8 * N_HASH_BUCKETS * 64)
+    lib.install()
+
+    # vector_grow(vec): double a vector's capacity (vec layout:
+    # [len, cap, dataptr]); reallocates under the global malloc lock,
+    # like std::vector via the glibc allocator.
+    with b.function("vector_grow", args=["vec"]) as f:
+        ln = f.reg()
+        cap = f.reg()
+        newcap = f.reg()
+        newdata = f.reg()
+        f.load(ln, Mem(f.a(0)))
+        f.load(cap, Mem(f.a(0), disp=8))
+        f.mul(newcap, cap, 2)
+        t = f.reg()
+        f.mul(t, newcap, 8)
+        f.call(newdata, "malloc", [t])
+        old = f.reg()
+        f.load(old, Mem(f.a(0), disp=16))
+        f.call(None, "memcpy_words", [newdata, old, ln])
+        f.store(Mem(f.a(0), disp=8), newcap)
+        f.store(Mem(f.a(0), disp=16), newdata)
+        f.ret(0)
+
+    # vector(): allocate a fresh result vector (paper: limited by the
+    # serialization of dynamic memory allocation).
+    with b.function("vector", args=[]) as f:
+        vec = f.reg()
+        data = f.reg()
+        f.call(vec, "malloc", [24])
+        f.call(data, "malloc", [8 * 64])
+        f.store(Mem(vec), 0)
+        f.store(Mem(vec, disp=8), 64)
+        f.store(Mem(vec, disp=16), data)
+        f.ret(vec)
+
+    # getpoint(key, vec): the FLANN bucket walk of Listing 1.  The
+    # push_back of the inner loop is inlined (as the compiler inlines
+    # std::vector::push_back), so the divergent loop's cost is attributed
+    # to getpoint in the per-function report, exactly as in Fig. 7b.  The
+    # stock version pushes num_point entries per (table, xor_mask) pair,
+    # where num_point is the data-dependent bucket size; the fixed version
+    # pins the loop to the TOP_K results actually reported to the client.
+    with b.function("getpoint", args=["key", "vec"]) as f:
+        table = f.reg()
+        xm = f.reg()
+        f.mov(table, 0)
+
+        def per_table():
+            def per_mask():
+                sub_key = f.reg()
+                h = f.reg()
+                bucket = f.reg()
+                num_point = f.reg()
+                j = f.reg()
+                mask_val = f.reg()
+                f.mul(mask_val, xm, 0x2D)
+                f.xor(sub_key, f.a(0), mask_val)
+                f.call(h, "hash64", [sub_key])
+                f.mod(bucket, h, N_HASH_BUCKETS)
+                if fixed:
+                    f.mov(num_point, TOP_K)
+                else:
+                    f.load(num_point,
+                           Mem(None, disp=d_bucket_sizes.value,
+                               index=bucket, scale=8))
+                pbase = f.reg()
+                f.mul(pbase, bucket, 64 * 8)
+                f.add(pbase, pbase, d_bucket_pts.value)
+
+                def push():
+                    # inlined point_id_vec->push_back(point), guarded by a
+                    # per-point distance filter (the residual data-dependent
+                    # branch that keeps even the fixed variant below 100%).
+                    pt = f.reg()
+                    jm = f.reg()
+                    flt = f.reg()
+                    f.mod(jm, j, 64)
+                    f.load(pt, Mem(pbase, index=jm, scale=8))
+                    f.and_(flt, pt, 0x7)
+
+                    def accept():
+                        ln = f.reg()
+                        cap = f.reg()
+                        data = f.reg()
+                        f.load(ln, Mem(f.a(1)))
+                        f.load(cap, Mem(f.a(1), disp=8))
+                        f.if_then(
+                            ln, ">=", cap,
+                            lambda: f.call(None, "vector_grow", [f.a(1)]))
+                        f.load(data, Mem(f.a(1), disp=16))
+                        f.store(Mem(data, index=ln, scale=8), pt)
+                        f.add(ln, ln, 1)
+                        f.store(Mem(f.a(1)), ln)
+
+                    f.if_then(flt, "!=", 0, accept)
+
+                f.for_range(j, 0, num_point, push)
+
+            f.for_range(xm, 0, N_XOR_MASKS, per_mask)
+
+        f.for_range(table, 0, N_TABLES, per_table)
+        f.ret(0)
+
+    # ProcessRequest: recv -> allocate -> gather -> reduce -> send.
+    with b.function("handle", args=["rid"]) as f:
+        hdr = f.reg()
+        key = f.reg()
+        vec = f.reg()
+        f.io_read(hdr)
+        f.load(key, Mem(None, disp=d_keys.value, index=f.a(0), scale=8))
+        f.call(vec, "vector", [])
+        f.call(None, "getpoint", [key, vec])
+        # Reduce: sum the first TOP_K gathered points.
+        ln = f.reg()
+        data = f.reg()
+        i = f.reg()
+        best = f.reg()
+        lim = f.reg()
+        f.load(ln, Mem(vec))
+        f.load(data, Mem(vec, disp=16))
+        f.emit(Op.IMIN, lim, ln, TOP_K)
+        f.mov(best, 0)
+
+        def reduce():
+            v = f.reg()
+            f.load(v, Mem(data, index=i, scale=8))
+            f.add(best, best, v)
+
+        f.for_range(i, 0, lim, reduce)
+        f.io_write(best)
+        f.ret(best)
+
+    _def_server(b)
+    program = b.build()
+    keys = uniform_ints(n_threads, seed + 29, 0, 1 << 40)
+    # Heavily skewed bucket sizes: a couple of huge buckets destroy
+    # lock-step (kd-tree hash buckets in FLANN are similarly heavy-tailed).
+    bsizes = [56 if i % 16 == 3 else 2 + i % 3
+              for i in range(N_HASH_BUCKETS)]
+    pts = uniform_ints(N_HASH_BUCKETS * 64, seed + 37, 0, 1 << 16)
+
+    instance = _service_instance(name, b, lib, program, n_threads,
+                                 n_servers=8)
+    base_setup = instance.setup
+
+    def setup(machine) -> None:
+        base_setup(machine)
+        machine.memory.write_words(d_keys.value, keys)
+        machine.memory.write_words(d_bucket_sizes.value, bsizes)
+        machine.memory.write_words(d_bucket_pts.value, pts)
+
+    instance.setup = setup
+    return instance
+
+
+@register("hdsearch_mid", SUITE_USUITE, 2048,
+          description="HDSearch mid tier (Fig. 7): divergent getpoint loop.")
+def build_hdsearch_mid(n_threads: int, seed: int) -> WorkloadInstance:
+    return _build_hdsearch_mid("hdsearch_mid", n_threads, seed, fixed=False)
+
+
+@register("hdsearch_mid_fixed", SUITE_USUITE, 2048,
+          description="HDSearch mid tier with the paper's uniform top-10 fix.")
+def build_hdsearch_mid_fixed(n_threads: int, seed: int) -> WorkloadInstance:
+    return _build_hdsearch_mid("hdsearch_mid_fixed", n_threads, seed,
+                               fixed=True)
+
+
+N_CAND = 12
+HD_DIMS = 8
+
+
+@register("hdsearch_leaf", SUITE_USUITE, 2048,
+          description="HDSearch leaf: fixed-size distance computations.")
+def build_hdsearch_leaf(n_threads: int, seed: int) -> WorkloadInstance:
+    b = ProgramBuilder()
+    lib = Stdlib(b)
+    d_queries = b.data("hdl_q", 8 * n_threads * HD_DIMS)
+    d_cands = b.data("hdl_c", 8 * N_CAND * HD_DIMS)
+    lib.install()
+
+    with b.function("handle", args=["rid"]) as f:
+        hdr = f.reg()
+        c = f.reg()
+        best = f.reg()
+        qbase = f.reg()
+        qlocal = f.stack_alloc(8 * HD_DIMS)  # local copy of the query
+        f.io_read(hdr)
+        f.mul(qbase, f.a(0), HD_DIMS * 8)
+        f.mov(best, 1 << 60)
+        kc = f.reg()
+
+        def copy_query():
+            v = f.reg()
+            off = f.reg()
+            f.mul(off, kc, 8)
+            src = f.reg()
+            f.add(src, qbase, off)
+            f.load(v, Mem(src, disp=d_queries.value))
+            dst = f.reg()
+            f.add(dst, f.sp, off)
+            f.store(Mem(dst, disp=qlocal), v)
+
+        f.for_range(kc, 0, HD_DIMS, copy_query)
+
+        def per_candidate():
+            dist = f.reg()
+            k = f.reg()
+            cbase = f.reg()
+            f.mov(dist, 0)
+            f.mul(cbase, c, HD_DIMS * 8)
+
+            def per_dim():
+                qv = f.reg()
+                cv = f.reg()
+                off = f.reg()
+                f.mul(off, k, 8)
+                qa = f.reg()
+                f.add(qa, f.sp, off)
+                f.load(qv, Mem(qa, disp=qlocal))
+                ca = f.reg()
+                f.add(ca, cbase, off)
+                f.load(cv, Mem(ca, disp=d_cands.value))
+                d = f.reg()
+                f.sub(d, qv, cv)
+                f.mul(d, d, d)
+                f.add(dist, dist, d)
+
+            f.for_range(k, 0, HD_DIMS, per_dim)
+            f.emit(Op.IMIN, best, best, dist)
+
+        f.for_range(c, 0, N_CAND, per_candidate)
+        f.io_write(best)
+        f.ret(best)
+
+    _def_server(b)
+    program = b.build()
+    qs = uniform_ints(n_threads * HD_DIMS, seed + 41, 0, 255)
+    cs = uniform_ints(N_CAND * HD_DIMS, seed + 43, 0, 255)
+
+    instance = _service_instance("hdsearch_leaf", b, lib, program,
+                                 n_threads, n_servers=8)
+    base_setup = instance.setup
+
+    def setup(machine) -> None:
+        base_setup(machine)
+        machine.memory.write_words(d_queries.value, qs)
+        machine.memory.write_words(d_cands.value, cs)
+
+    instance.setup = setup
+    return instance

@@ -1,0 +1,116 @@
+"""Synthetic input generators (host side, untraced).
+
+The paper runs real datasets; we generate deterministic synthetic inputs
+with the same statistical character the workloads' control flow depends
+on: power-law graph degrees, zipfian request keys, compressible byte
+streams, Gaussian float fields.  Everything is seeded for bit-for-bit
+reproducibility.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+
+def rng(seed: int) -> random.Random:
+    return random.Random(0x5EED ^ seed)
+
+
+def uniform_floats(n: int, seed: int, lo: float = 0.0,
+                   hi: float = 1.0) -> List[float]:
+    r = rng(seed)
+    return [lo + (hi - lo) * r.random() for _ in range(n)]
+
+
+def uniform_ints(n: int, seed: int, lo: int = 0, hi: int = 1 << 30) -> List[int]:
+    r = rng(seed)
+    return [r.randint(lo, hi) for _ in range(n)]
+
+
+def zipf_ints(n: int, n_keys: int, seed: int, skew: float = 1.1) -> List[int]:
+    """Zipf-distributed keys in [0, n_keys): models request popularity."""
+    r = rng(seed)
+    weights = [1.0 / (k + 1) ** skew for k in range(n_keys)]
+    total = sum(weights)
+    cdf = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cdf.append(acc)
+    out = []
+    for _ in range(n):
+        u = r.random()
+        lo, hi = 0, n_keys - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cdf[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        out.append(lo)
+    return out
+
+
+def csr_graph(n_nodes: int, avg_degree: int, seed: int,
+              power_law: bool = True) -> Tuple[List[int], List[int]]:
+    """A directed graph in CSR form: (row_offsets[n+1], columns).
+
+    ``power_law=True`` draws degrees from a heavy-tailed distribution so
+    per-node work diverges, like real BFS/PageRank inputs.
+    """
+    r = rng(seed)
+    degrees = []
+    for _ in range(n_nodes):
+        if power_law:
+            # Discrete Pareto-ish: most nodes small, few heavy hubs.
+            u = r.random()
+            degree = min(int(avg_degree * 0.5 / max(u, 1e-3) ** 0.7),
+                         avg_degree * 8)
+        else:
+            degree = avg_degree
+        degrees.append(max(degree, 1))
+    offsets = [0]
+    cols: List[int] = []
+    for degree in degrees:
+        for _ in range(degree):
+            cols.append(r.randrange(n_nodes))
+        offsets.append(len(cols))
+    return offsets, cols
+
+
+def compressible_bytes(n: int, seed: int, repeat_prob: float = 0.6,
+                       alphabet: int = 24) -> List[int]:
+    """A byte stream with LZ-compressible repeats (pigz input)."""
+    r = rng(seed)
+    out: List[int] = []
+    while len(out) < n:
+        if out and r.random() < repeat_prob:
+            # Copy a recent window (creates matches of varying length).
+            start = r.randrange(max(len(out) - 64, 0), len(out))
+            length = min(r.randint(3, 20), len(out) - start, n - len(out))
+            out.extend(out[start:start + length])
+        else:
+            out.append(r.randrange(alphabet))
+    return out[:n]
+
+
+def text_corpus(n_docs: int, words_per_doc: int, vocab: int,
+                seed: int) -> List[List[int]]:
+    """Documents as lists of zipfian word ids (TextSearch input)."""
+    docs = []
+    for d in range(n_docs):
+        docs.append(zipf_ints(words_per_doc, vocab, seed * 977 + d))
+    return docs
+
+
+def gaussian_floats(n: int, seed: int, mu: float = 0.0,
+                    sigma: float = 1.0) -> List[float]:
+    r = rng(seed)
+    return [r.gauss(mu, sigma) for _ in range(n)]
+
+
+def positions_3d(n: int, seed: int, box: float = 10.0) -> List[float]:
+    """Flattened xyz positions in a box (nbody / fluidanimate input)."""
+    r = rng(seed)
+    return [r.random() * box for _ in range(3 * n)]

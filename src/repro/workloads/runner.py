@@ -1,0 +1,53 @@
+"""Running workload instances: tracing and plain execution helpers."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..machine.machine import Machine
+from ..program.ir import Program
+from ..tracer.events import TraceSet
+from ..tracer.recorder import TraceRecorder
+from .base import WorkloadInstance
+
+
+def trace_instance(instance: WorkloadInstance,
+                   program: Optional[Program] = None,
+                   **machine_overrides) -> Tuple[TraceSet, Machine]:
+    """Run ``instance`` under the tracer; returns (traces, machine).
+
+    ``program`` overrides the instance's program (used to run the same
+    workload compiled at a different optimization level -- the clone
+    preserves function names and data addresses, so the launch plan and
+    setup apply unchanged).
+    """
+    kwargs = dict(instance.machine_kwargs)
+    kwargs.update(machine_overrides)
+    recorder = TraceRecorder(
+        roots=instance.roots,
+        exclude=instance.exclude,
+        workload=instance.name,
+        program=program or instance.program,
+    )
+    machine = Machine(program or instance.program, hooks=recorder, **kwargs)
+    if instance.setup is not None:
+        instance.setup(machine)
+    for name, args, io_in in instance.spawns:
+        machine.spawn(name, args, io_in=io_in)
+    machine.run()
+    return recorder.traces, machine
+
+
+def run_instance(instance: WorkloadInstance,
+                 program: Optional[Program] = None,
+                 **machine_overrides) -> Machine:
+    """Run ``instance`` natively (no tracing); returns the machine."""
+    kwargs = dict(instance.machine_kwargs)
+    kwargs.update(machine_overrides)
+    machine = Machine(program or instance.program, **kwargs)
+    if instance.setup is not None:
+        instance.setup(machine)
+    for name, args, io_in in instance.spawns:
+        machine.spawn(name, args, io_in=io_in)
+    machine.run()
+    return machine

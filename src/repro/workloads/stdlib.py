@@ -1,0 +1,128 @@
+"""ISA-level standard library shared by the workloads.
+
+The paper's microservices link against glibc, whose allocator serializes
+threads on a single mutex ("the C++ glibc allocator uses a single shared
+mutex for dynamic memory allocation").  To reproduce that -- including its
+visibility in traces and its intra-warp serialization cost -- ``malloc``
+here is a real traced function taking a global lock, and a fine-grained
+per-arena variant models the optimized concurrent allocators the paper
+assumes for well-tuned services.
+"""
+
+from __future__ import annotations
+
+from ..isa import Mem
+from ..program.builder import ProgramBuilder
+
+#: Number of arenas for the fine-grained allocator.
+N_ARENAS = 64
+
+
+class Stdlib:
+    """Installs shared runtime functions and their globals into a builder.
+
+    Usage::
+
+        b = ProgramBuilder()
+        lib = Stdlib(b)             # reserves globals
+        lib.install()               # defines malloc/hash/memcpy/...
+        ... define workload functions that f.call(..., "malloc", [...]) ...
+    """
+
+    def __init__(self, builder: ProgramBuilder) -> None:
+        self.b = builder
+        self.malloc_lock = builder.data("__malloc_lock", 8)
+        self.brk_ptr = builder.data("__brk", 8)
+        self.arena_area = builder.data("__arenas", 8 * N_ARENAS)
+        self._installed = False
+
+    # -- host-side initialization ------------------------------------------
+
+    def init_memory(self, machine, heap_start: int,
+                    arena_bytes: int = 1 << 16) -> None:
+        """Initialize allocator state (call from the workload's setup)."""
+        machine.memory.store(self.brk_ptr.value, heap_start)
+        base = heap_start + 0x100000  # arenas carved above the shared brk
+        for i in range(N_ARENAS):
+            machine.memory.store(self.arena_area.value + 8 * i,
+                                 base + i * arena_bytes)
+
+    # -- function definitions -------------------------------------------------
+
+    def install(self) -> None:
+        if self._installed:
+            return
+        self._installed = True
+        self._def_malloc()
+        self._def_malloc_fg()
+        self._def_hash64()
+        self._def_memcpy()
+
+    def _def_malloc(self) -> None:
+        """glibc-style allocator: global mutex around a shared break."""
+        b = self.b
+        with b.function("malloc", args=["size"]) as f:
+            old = f.reg()
+            new = f.reg()
+            size = f.reg()
+            # round size up to 8 bytes (header-free bump allocator)
+            f.add(size, f.a(0), 7)
+            f.and_(size, size, ~7)
+            f.lock(self.malloc_lock)
+            f.load(old, Mem(None, disp=self.brk_ptr.value))
+            f.add(new, old, size)
+            f.store(Mem(None, disp=self.brk_ptr.value), new)
+            f.unlock(self.malloc_lock)
+            f.ret(old)
+
+    def _def_malloc_fg(self) -> None:
+        """Fine-grained arena allocator (per-thread arena, no shared lock)."""
+        b = self.b
+        with b.function("malloc_fg", args=["size", "arena"]) as f:
+            slot = f.reg()
+            old = f.reg()
+            new = f.reg()
+            size = f.reg()
+            f.add(size, f.a(0), 7)
+            f.and_(size, size, ~7)
+            f.mod(slot, f.a(1), N_ARENAS)
+            f.mul(slot, slot, 8)
+            f.add(slot, slot, self.arena_area.value)
+            f.load(old, Mem(slot))
+            f.add(new, old, size)
+            f.store(Mem(slot), new)
+            f.ret(old)
+
+    def _def_hash64(self) -> None:
+        """xorshift-multiply hash, wrapped to 64 bits."""
+        b = self.b
+        mask = (1 << 64) - 1
+        with b.function("hash64", args=["x"]) as f:
+            h = f.reg()
+            t = f.reg()
+            f.mov(h, f.a(0))
+            f.shr(t, h, 33)
+            f.xor(h, h, t)
+            f.mul(h, h, 0xFF51AFD7ED558CCD)
+            f.and_(h, h, mask)
+            f.shr(t, h, 33)
+            f.xor(h, h, t)
+            f.mul(h, h, 0xC4CEB9FE1A85EC53)
+            f.and_(h, h, mask)
+            f.shr(t, h, 33)
+            f.xor(h, h, t)
+            f.ret(h)
+
+    def _def_memcpy(self) -> None:
+        """Word-wise copy: memcpy_words(dst, src, n_words)."""
+        b = self.b
+        with b.function("memcpy_words", args=["dst", "src", "n"]) as f:
+            i = f.reg()
+            v = f.reg()
+
+            def body():
+                f.load(v, Mem(f.a(1), index=i, scale=8))
+                f.store(Mem(f.a(0), index=i, scale=8), v)
+
+            f.for_range(i, 0, f.a(2), body)
+            f.ret(0)

@@ -1,0 +1,121 @@
+"""Tests for the XAPP baseline and the evaluation statistics helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    error_band_summary,
+    geomean,
+    mean_absolute_error,
+    pearson,
+)
+from repro.baselines import (
+    FEATURE_NAMES,
+    XAPPModel,
+    extract_features,
+    leave_one_out_errors,
+)
+from repro.workloads import get_workload, trace_instance
+
+
+class TestStats:
+    def test_mae_absolute(self):
+        assert mean_absolute_error([1, 2], [2, 4]) == pytest.approx(1.5)
+
+    def test_mae_relative(self):
+        assert mean_absolute_error([1, 2], [2, 4], relative=True) == (
+            pytest.approx(0.5)
+        )
+
+    def test_mae_empty(self):
+        assert mean_absolute_error([], []) == 0.0
+
+    def test_mae_length_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_absolute_error([1], [1, 2])
+
+    def test_pearson_perfect_positive(self):
+        assert pearson([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_pearson_perfect_negative(self):
+        assert pearson([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_pearson_uncorrelated(self):
+        xs = [1, 2, 3, 4]
+        ys = [1, -1, 1, -1]
+        assert abs(pearson(xs, ys)) < 0.5
+
+    def test_pearson_constant_series(self):
+        assert pearson([1, 1, 1], [1, 1, 1]) == 1.0
+
+    def test_geomean(self):
+        assert geomean([1, 100]) == pytest.approx(10.0)
+        assert geomean([2, 2, 2]) == pytest.approx(2.0)
+
+    def test_error_band_summary(self):
+        mean, std, within = error_band_summary([1, 2, 3], [1, 2, 3])
+        assert mean == 0.0 and std == 0.0 and within == 1.0
+        mean, std, within = error_band_summary([1.0, 5.0], [2.0, 2.0])
+        assert mean == pytest.approx(2.0)
+        assert 0.0 <= within <= 1.0
+
+
+class TestXAPPFeatures:
+    @pytest.fixture(scope="class")
+    def feats(self):
+        out = {}
+        for name in ("nbody", "pigz", "blackscholes"):
+            instance = get_workload(name).instantiate(8)
+            traces, _m = trace_instance(instance)
+            out[name] = extract_features(traces, instance.program)
+        return out
+
+    def test_feature_vector_shape(self, feats):
+        for vec in feats.values():
+            assert vec.shape == (len(FEATURE_NAMES),)
+            assert np.all(np.isfinite(vec))
+
+    def test_fp_heavy_workload_detected(self, feats):
+        fp_idx = FEATURE_NAMES.index("frac_fp")
+        assert feats["nbody"][fp_idx] > feats["pigz"][fp_idx]
+
+    def test_sfu_detected_in_blackscholes(self, feats):
+        sfu_idx = FEATURE_NAMES.index("frac_sfu")
+        assert feats["blackscholes"][sfu_idx] > 0
+
+    def test_branchy_workload_detected(self, feats):
+        br_idx = FEATURE_NAMES.index("frac_branch")
+        assert feats["pigz"][br_idx] > feats["nbody"][br_idx]
+
+
+class TestXAPPModel:
+    def _synthetic(self, n=12, noise=0.0, seed=3):
+        rng = np.random.default_rng(seed)
+        feats = [rng.normal(size=len(FEATURE_NAMES)) for _ in range(n)]
+        true_w = rng.normal(size=len(FEATURE_NAMES)) * 0.3
+        speedups = [
+            float(np.exp(f @ true_w + rng.normal() * noise)) for f in feats
+        ]
+        return feats, speedups
+
+    def test_fits_noiseless_data(self):
+        feats, speedups = self._synthetic(noise=0.0)
+        model = XAPPModel(alpha=1e-6).fit(feats, speedups)
+        for f, s in zip(feats, speedups):
+            assert model.predict(f) == pytest.approx(s, rel=0.05)
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError):
+            XAPPModel().predict(np.zeros(len(FEATURE_NAMES)))
+
+    def test_loo_errors_reasonable_on_learnable_data(self):
+        feats, speedups = self._synthetic(n=16, noise=0.05)
+        errors = leave_one_out_errors(feats, speedups, alpha=0.1)
+        assert len(errors) == 16
+        assert float(np.median(errors)) < 1.0
+
+    def test_fit_rejects_empty(self):
+        with pytest.raises(ValueError):
+            XAPPModel().fit([], [])

@@ -1,0 +1,208 @@
+"""Unit tests for the structured builder DSL's control-flow lowering."""
+
+import pytest
+
+from repro.isa import Mem, Op
+from repro.machine import Machine
+from repro.program import ProgramBuilder
+
+
+def _run(program, fn, args):
+    m = Machine(program)
+    m.spawn(fn, args)
+    m.run()
+    return m.threads[0].retval
+
+
+class TestIfLowering:
+    def test_if_then_taken_and_not_taken(self):
+        b = ProgramBuilder()
+        with b.function("f", args=["x"]) as f:
+            r = f.reg()
+            f.mov(r, 1)
+            f.if_then(f.a(0), ">", 10, lambda: f.mov(r, 2))
+            f.ret(r)
+        program = b.build()
+        assert _run(program, "f", [20]) == 2
+        assert _run(program, "f", [5]) == 1
+
+    def test_if_else_both_arms(self):
+        b = ProgramBuilder()
+        with b.function("f", args=["x"]) as f:
+            r = f.reg()
+            f.if_else(f.a(0), "==", 0,
+                      lambda: f.mov(r, 100),
+                      lambda: f.mov(r, 200))
+            f.ret(r)
+        program = b.build()
+        assert _run(program, "f", [0]) == 100
+        assert _run(program, "f", [1]) == 200
+
+    @pytest.mark.parametrize("op,x,expected", [
+        ("<", 1, 1), ("<", 5, 0),
+        ("<=", 5, 1), ("<=", 6, 0),
+        (">", 6, 1), (">", 5, 0),
+        (">=", 5, 1), (">=", 4, 0),
+        ("==", 5, 1), ("==", 4, 0),
+        ("!=", 4, 1), ("!=", 5, 0),
+    ])
+    def test_all_comparison_operators(self, op, x, expected):
+        b = ProgramBuilder()
+        with b.function("f", args=["x"]) as f:
+            r = f.reg()
+            f.mov(r, 0)
+            f.if_then(f.a(0), op, 5, lambda: f.mov(r, 1))
+            f.ret(r)
+        assert _run(b.build(), "f", [x]) == expected
+
+
+class TestLoopLowering:
+    def test_for_range_sums(self):
+        b = ProgramBuilder()
+        with b.function("f", args=["n"]) as f:
+            acc, i = f.reg(), f.reg()
+            f.mov(acc, 0)
+            f.for_range(i, 0, f.a(0), lambda: f.add(acc, acc, i))
+            f.ret(acc)
+        program = b.build()
+        assert _run(program, "f", [5]) == 10
+        assert _run(program, "f", [0]) == 0
+
+    def test_for_range_with_step(self):
+        b = ProgramBuilder()
+        with b.function("f", args=["n"]) as f:
+            acc, i = f.reg(), f.reg()
+            f.mov(acc, 0)
+            f.for_range(i, 0, f.a(0), lambda: f.add(acc, acc, 1), step=3)
+            f.ret(acc)
+        assert _run(b.build(), "f", [10]) == 4  # 0,3,6,9
+
+    def test_for_range_negative_step(self):
+        b = ProgramBuilder()
+        with b.function("f", args=["n"]) as f:
+            acc, i = f.reg(), f.reg()
+            f.mov(acc, 0)
+            f.for_range(i, f.a(0), 0, lambda: f.add(acc, acc, i), step=-1)
+            f.ret(acc)
+        assert _run(b.build(), "f", [4]) == 4 + 3 + 2 + 1
+
+    def test_for_range_zero_step_rejected(self):
+        b = ProgramBuilder()
+        with pytest.raises(ValueError):
+            with b.function("f", args=["n"]) as f:
+                i = f.reg()
+                f.for_range(i, 0, f.a(0), lambda: None, step=0)
+
+    def test_while_loop(self):
+        b = ProgramBuilder()
+        with b.function("f", args=["n"]) as f:
+            acc = f.reg()
+            f.mov(acc, f.a(0))
+
+            def body():
+                f.div(acc, acc, 2)
+
+            f.while_(lambda: (acc, ">", 1), body)
+            f.ret(acc)
+        assert _run(b.build(), "f", [64]) == 1
+
+    def test_break_exits_loop(self):
+        b = ProgramBuilder()
+        with b.function("f", args=["n"]) as f:
+            acc, i = f.reg(), f.reg()
+            f.mov(acc, 0)
+
+            def body():
+                f.if_then(i, "==", 3, f.break_)
+                f.add(acc, acc, 1)
+
+            f.for_range(i, 0, f.a(0), body)
+            f.ret(acc)
+        assert _run(b.build(), "f", [100]) == 3
+
+    def test_continue_skips_iteration(self):
+        b = ProgramBuilder()
+        with b.function("f", args=["n"]) as f:
+            acc, i, m = f.reg(), f.reg(), f.reg()
+            f.mov(acc, 0)
+
+            def body():
+                f.mod(m, i, 2)
+                f.if_then(m, "==", 0, f.continue_)
+                f.add(acc, acc, 1)
+
+            f.for_range(i, 0, f.a(0), body)
+            f.ret(acc)
+        assert _run(b.build(), "f", [10]) == 5
+
+    def test_break_outside_loop_rejected(self):
+        b = ProgramBuilder()
+        with pytest.raises(RuntimeError):
+            with b.function("f", args=[]) as f:
+                f.break_()
+
+    def test_nested_loops(self):
+        b = ProgramBuilder()
+        with b.function("f", args=["n"]) as f:
+            acc, i, j = f.reg(), f.reg(), f.reg()
+            f.mov(acc, 0)
+            f.for_range(
+                i, 0, f.a(0),
+                lambda: f.for_range(j, 0, f.a(0),
+                                    lambda: f.add(acc, acc, 1)),
+            )
+            f.ret(acc)
+        assert _run(b.build(), "f", [4]) == 16
+
+
+class TestFrameAndStack:
+    def test_stack_alloc_offsets_aligned(self):
+        b = ProgramBuilder()
+        with b.function("f", args=[]) as f:
+            o1 = f.stack_alloc(5)
+            o2 = f.stack_alloc(16)
+            assert o1 == 0
+            assert o2 == 8
+            f.ret(0)
+        assert b.program.functions["f"].frame_size == 24
+
+    def test_stack_slot_roundtrip(self):
+        b = ProgramBuilder()
+        with b.function("f", args=["x"]) as f:
+            off = f.stack_alloc(8)
+            v = f.reg()
+            f.store(f.stack_slot(off), f.a(0))
+            f.load(v, f.stack_slot(off))
+            f.add(v, v, 1)
+            f.ret(v)
+        assert _run(b.build(), "f", [41]) == 42
+
+    def test_arg_out_of_range_rejected(self):
+        b = ProgramBuilder()
+        with pytest.raises(IndexError):
+            with b.function("f", args=["x"]) as f:
+                f.a(1)
+
+    def test_dead_blocks_pruned(self):
+        b = ProgramBuilder()
+        with b.function("f", args=["n"]) as f:
+            i = f.reg()
+
+            def body():
+                f.break_()
+
+            f.for_range(i, 0, f.a(0), body)
+            f.ret(0)
+        program = b.build()
+        for block in program.functions["f"].blocks:
+            assert block.instructions, f"empty block {block.label} survived"
+
+    def test_function_ending_in_call_gets_epilogue(self):
+        b = ProgramBuilder()
+        with b.function("g", args=[]) as f:
+            f.ret(7)
+        with b.function("f", args=[]) as f:
+            f.call(None, "g", [])
+        program = b.build()
+        # Must be runnable without falling off the function end.
+        assert _run(program, "f", []) == 0

@@ -1,0 +1,185 @@
+"""Unit tests for DCFG construction and IPDOM analysis."""
+
+import pytest
+
+from repro.core import (
+    VEXIT,
+    build_dcfgs,
+    compute_all_ipdoms,
+    compute_ipdoms,
+    compute_postdominators,
+)
+from repro.core.dcfg import FunctionDCFG
+from repro.program import ProgramBuilder
+
+from util import (
+    build_call_program,
+    build_diamond_program,
+    build_loop_program,
+    run_traced,
+)
+
+
+def _label_of(program, addr):
+    return program.block_by_addr[addr].label if addr != VEXIT else "VEXIT"
+
+
+class TestDCFGConstruction:
+    def test_diamond_shape(self):
+        program = build_diamond_program()
+        traces, _m = run_traced(
+            program, [("worker", [t], None) for t in range(2)], ["worker"]
+        )
+        dcfgs = build_dcfgs(traces)
+        dcfg = dcfgs["worker"]
+        entry = program.functions["worker"].entry.addr
+        assert entry in dcfg.entries
+        # Both diverged paths observed -> entry has two successors.
+        assert len(dcfg.succs[entry]) == 2
+
+    def test_single_thread_sees_one_path(self):
+        program = build_diamond_program()
+        traces, _m = run_traced(program, [("worker", [0], None)], ["worker"])
+        dcfg = build_dcfgs(traces)["worker"]
+        entry = program.functions["worker"].entry.addr
+        assert len(dcfg.succs[entry]) == 1
+
+    def test_every_trace_ends_at_vexit(self):
+        program = build_diamond_program()
+        traces, _m = run_traced(
+            program, [("worker", [t], None) for t in range(4)], ["worker"]
+        )
+        dcfg = build_dcfgs(traces)["worker"]
+        assert dcfg.preds[VEXIT], "no edge into the virtual exit"
+
+    def test_per_function_graphs_are_separate(self):
+        program = build_call_program()
+        traces, _m = run_traced(
+            program, [("worker", [t], None) for t in range(2)], ["worker"]
+        )
+        dcfgs = build_dcfgs(traces)
+        assert "worker" in dcfgs
+        assert "square" in dcfgs
+        worker_nodes = set(dcfgs["worker"].succs) - {VEXIT}
+        square_nodes = set(dcfgs["square"].succs) - {VEXIT}
+        assert not worker_nodes & square_nodes
+
+    def test_loop_back_edge_present(self):
+        program = build_loop_program()
+        traces, _m = run_traced(program, [("worker", [3], None)], ["worker"])
+        dcfg = build_dcfgs(traces)["worker"]
+        # A loop implies a cycle: some node reaches itself.
+        def reaches(src, dst, seen=None):
+            seen = seen or set()
+            for nxt in dcfg.succs.get(src, ()):
+                if nxt == dst:
+                    return True
+                if nxt not in seen:
+                    seen.add(nxt)
+                    if reaches(nxt, dst, seen):
+                        return True
+            return False
+
+        assert any(reaches(n, n) for n in dcfg.succs if n != VEXIT)
+
+
+class TestIpdom:
+    def _hand_built(self, edges, entry=0):
+        dcfg = FunctionDCFG("f")
+        for src, dst in edges:
+            dcfg.add_edge(src, dst)
+        dcfg.entries.add(entry)
+        return dcfg
+
+    def test_diamond_ipdom_is_join(self):
+        #   1 -> 2 -> 4, 1 -> 3 -> 4, 4 -> VEXIT
+        dcfg = self._hand_built(
+            [(1, 2), (1, 3), (2, 4), (3, 4), (4, VEXIT)], entry=1
+        )
+        ipdom = compute_ipdoms(dcfg)
+        assert ipdom[1] == 4
+        assert ipdom[2] == 4
+        assert ipdom[3] == 4
+        assert ipdom[4] == VEXIT
+
+    def test_early_return_reconverges_at_vexit(self):
+        # 1 -> 2 -> VEXIT (early return), 1 -> 3 -> 4 -> VEXIT
+        dcfg = self._hand_built(
+            [(1, 2), (2, VEXIT), (1, 3), (3, 4), (4, VEXIT)], entry=1
+        )
+        ipdom = compute_ipdoms(dcfg)
+        assert ipdom[1] == VEXIT
+
+    def test_loop_exit_is_ipdom_of_latch(self):
+        # header 1 -> body 2 -> 1 (back edge); 1 -> exit 3 -> VEXIT
+        dcfg = self._hand_built(
+            [(1, 2), (2, 1), (1, 3), (3, VEXIT)], entry=1
+        )
+        ipdom = compute_ipdoms(dcfg)
+        assert ipdom[1] == 3
+        assert ipdom[2] == 1
+
+    def test_nested_diamonds(self):
+        # outer: 1 -> {2, 7}; inner within 2: 2 -> {3,4} -> 5; 5 -> 6;
+        # 7 -> 6; 6 -> VEXIT
+        dcfg = self._hand_built(
+            [(1, 2), (1, 7), (2, 3), (2, 4), (3, 5), (4, 5), (5, 6),
+             (7, 6), (6, VEXIT)], entry=1
+        )
+        ipdom = compute_ipdoms(dcfg)
+        assert ipdom[2] == 5
+        assert ipdom[1] == 6
+
+    def test_chain_ipdoms(self):
+        dcfg = self._hand_built([(1, 2), (2, 3), (3, VEXIT)], entry=1)
+        ipdom = compute_ipdoms(dcfg)
+        assert ipdom[1] == 2
+        assert ipdom[2] == 3
+        assert ipdom[3] == VEXIT
+
+    def test_postdominator_sets_contain_self_and_exit(self):
+        dcfg = self._hand_built(
+            [(1, 2), (1, 3), (2, 4), (3, 4), (4, VEXIT)], entry=1
+        )
+        pdoms = compute_postdominators(dcfg)
+        for node, members in pdoms.items():
+            assert node in members
+            assert VEXIT in members
+
+    def test_postdominator_chain_property(self):
+        """pdom sets along any node's chain are nested (total order)."""
+        dcfg = self._hand_built(
+            [(1, 2), (1, 3), (2, 4), (3, 4), (4, 5), (5, VEXIT), (2, 5)],
+            entry=1,
+        )
+        pdoms = compute_postdominators(dcfg)
+        for node, members in pdoms.items():
+            sets = sorted(
+                (frozenset(pdoms[m]) for m in members), key=len
+            )
+            for smaller, larger in zip(sets, sets[1:]):
+                assert smaller <= larger
+
+    def test_ipdom_from_real_traces(self):
+        program = build_diamond_program()
+        traces, _m = run_traced(
+            program, [("worker", [t], None) for t in range(2)], ["worker"]
+        )
+        dcfgs = build_dcfgs(traces)
+        compute_all_ipdoms(dcfgs)
+        dcfg = dcfgs["worker"]
+        entry = program.functions["worker"].entry.addr
+        join = dcfg.ipdom[entry]
+        # The reconvergence point of the diamond must be a real block (the
+        # join), not the virtual exit.
+        assert join != VEXIT
+        # and it must post-dominate: both successors' ipdom chains hit it.
+        for succ in dcfg.succs[entry]:
+            node = succ
+            seen = set()
+            while node != VEXIT and node not in seen:
+                seen.add(node)
+                if node == join:
+                    break
+                node = dcfg.ipdom[node]
+            assert node == join

@@ -1,0 +1,88 @@
+"""Tests for per-branch divergence hotspot reporting."""
+
+import pytest
+
+from repro.core import analyze_traces
+from repro.gpuref import LockstepGPU
+from repro.program import ProgramBuilder
+
+from util import build_diamond_program, build_loop_program, run_traced
+
+
+class TestHotspots:
+    def test_uniform_program_has_no_hotspots(self):
+        program = build_loop_program()
+        traces, _m = run_traced(
+            program, [("worker", [8], None) for _ in range(8)], ["worker"]
+        )
+        report = analyze_traces(traces, warp_size=8)
+        assert report.divergence_hotspots() == []
+
+    def test_diamond_has_exactly_one_hotspot(self):
+        program = build_diamond_program()
+        traces, _m = run_traced(
+            program, [("worker", [t], None) for t in range(8)], ["worker"]
+        )
+        report = analyze_traces(traces, warp_size=8)
+        hotspots = report.divergence_hotspots(program=program)
+        assert len(hotspots) == 1
+        function, addr, count, label = hotspots[0]
+        assert function == "worker"
+        assert count == 1  # one warp, one split
+        assert label == program.block_by_addr[addr].label
+
+    def test_split_count_scales_with_warps(self):
+        program = build_diamond_program()
+        traces, _m = run_traced(
+            program, [("worker", [t], None) for t in range(16)], ["worker"]
+        )
+        report = analyze_traces(traces, warp_size=4)  # 4 warps
+        (hotspot,) = report.divergence_hotspots()
+        assert hotspot[2] == 4
+
+    def test_loop_divergence_counts_per_iteration(self):
+        """A trip-count-divergent loop splits the warp every extra round."""
+        program = build_loop_program()
+        traces, _m = run_traced(
+            program, [("worker", [n], None) for n in (1, 5)], ["worker"]
+        )
+        report = analyze_traces(traces, warp_size=2)
+        hotspots = report.divergence_hotspots(program=program)
+        assert len(hotspots) == 1
+        assert hotspots[0][2] == 1  # one split; the short lane then waits
+
+    def test_hotspots_ranked_and_limited(self):
+        b = ProgramBuilder()
+        with b.function("worker", args=["tid"]) as f:
+            t = f.reg()
+            i = f.reg()
+            f.mod(t, f.a(0), 2)
+            # Hot branch: inside a loop (splits every iteration).
+            def body():
+                f.if_then(t, "==", 0, f.nop)
+
+            f.for_range(i, 0, 6, body)
+            # Cold branch: splits once.
+            f.if_then(t, "==", 1, f.nop)
+            f.ret(0)
+        program = b.build()
+        traces, _m = run_traced(
+            program, [("worker", [t], None) for t in range(4)], ["worker"]
+        )
+        report = analyze_traces(traces, warp_size=4)
+        hotspots = report.divergence_hotspots(program=program)
+        counts = [h[2] for h in hotspots]
+        assert counts == sorted(counts, reverse=True)
+        assert counts[0] > counts[-1]
+        assert len(report.divergence_hotspots(top=1)) == 1
+
+    def test_oracle_and_analyzer_agree_on_hotspots(self):
+        program = build_diamond_program()
+        traces, _m = run_traced(
+            program, [("worker", [t], None) for t in range(8)], ["worker"]
+        )
+        predicted = analyze_traces(traces, warp_size=8)
+        oracle = LockstepGPU(program, warp_size=8)
+        measured = oracle.run_kernel("worker", [[t] for t in range(8)])
+        assert (predicted.metrics.divergence_events
+                == measured.metrics.divergence_events)

@@ -1,0 +1,126 @@
+"""Tests for trace-event containers and metric merge arithmetic."""
+
+import pytest
+
+from repro.core.metrics import (
+    AggregateMetrics,
+    FunctionStats,
+    WarpMetrics,
+)
+from repro.machine.memory import SEG_HEAP, SEG_STACK
+from repro.tracer.events import ThreadTrace, TraceSet
+
+
+class TestThreadTrace:
+    def test_instruction_count_sums_block_tokens(self):
+        trace = ThreadTrace(0, 0, "worker")
+        trace.tokens = [
+            ("B", 0x400000, 3, ()),
+            ("C", "helper"),
+            ("B", 0x400100, 5, ()),
+            ("R",),
+            ("B", 0x400010, 2, ()),
+        ]
+        assert trace.n_instructions == 10
+
+    def test_skip_accumulation(self):
+        trace = ThreadTrace(0, 0, "worker")
+        trace.add_skip(5, "io")
+        trace.add_skip(3, "io")
+        trace.add_skip(2, "spin")
+        assert trace.skipped == {"io": 8, "spin": 2}
+        assert trace.n_skipped == 10
+
+    def test_repr(self):
+        trace = ThreadTrace(4, 1, "handle")
+        assert "handle" in repr(trace)
+
+
+class TestTraceSet:
+    def _set(self):
+        traces = TraceSet(workload="w")
+        a = traces.new_thread(0, "worker")
+        a.tokens = [("B", 1, 10, ())]
+        a.add_skip(5, "io")
+        b = traces.new_thread(1, "worker")
+        b.tokens = [("B", 1, 30, ())]
+        traces.untraced_skipped = {"spin": 5}
+        return traces
+
+    def test_totals(self):
+        traces = self._set()
+        assert traces.total_instructions == 40
+        assert traces.total_skipped == 10
+        assert traces.traced_fraction() == pytest.approx(0.8)
+
+    def test_skipped_by_reason_merges_all_sources(self):
+        traces = self._set()
+        assert traces.skipped_by_reason() == {"io": 5, "spin": 5}
+
+    def test_indices_are_sequential(self):
+        traces = self._set()
+        assert [t.index for t in traces] == [0, 1]
+
+    def test_empty_set_fraction_is_one(self):
+        traces = TraceSet()
+        assert traces.traced_fraction() == 1.0
+
+
+class TestMetricsMerge:
+    def _warp(self, issues, per_lane, function="f", n_mem=0):
+        warp = WarpMetrics(4)
+        warp.account_block(function, issues, per_lane)
+        for _ in range(n_mem):
+            warp.account_memory([(0x1000_0000, 8), (0x1000_0100, 8)])
+        return warp
+
+    def test_merge_adds_counters(self):
+        agg = AggregateMetrics(4)
+        agg.merge(self._warp(10, 4), n_threads=4)
+        agg.merge(self._warp(20, 2), n_threads=2)
+        assert agg.issues == 30
+        assert agg.thread_instructions == 10 * 4 + 20 * 2
+        assert agg.n_warps == 2
+        assert agg.n_threads == 6
+
+    def test_merged_efficiency_is_instruction_weighted(self):
+        agg = AggregateMetrics(4)
+        agg.merge(self._warp(10, 4), n_threads=4)   # eff 1.0
+        agg.merge(self._warp(10, 2), n_threads=2)   # eff 0.5
+        assert agg.efficiency() == pytest.approx((40 + 20) / (20 * 4))
+        assert agg.mean_warp_efficiency() == pytest.approx(0.75)
+
+    def test_function_stats_merge_across_warps(self):
+        agg = AggregateMetrics(4)
+        agg.merge(self._warp(10, 4, function="g"), n_threads=4)
+        agg.merge(self._warp(5, 1, function="g"), n_threads=1)
+        stats = agg.per_function["g"]
+        assert stats.issues == 15
+        assert stats.thread_instructions == 45
+        assert stats.efficiency(4) == pytest.approx(45 / 60)
+
+    def test_memory_merge(self):
+        agg = AggregateMetrics(4)
+        agg.merge(self._warp(1, 1, n_mem=3), n_threads=1)
+        heap = agg.memory[SEG_HEAP]
+        assert heap.instructions == 3
+        assert heap.accesses == 6
+        assert heap.transactions == 6  # two distant 8B words each time
+        assert agg.total_transactions() == 6
+        assert agg.total_transactions(SEG_HEAP) == 6
+        assert agg.total_transactions(SEG_STACK) == 0
+        assert agg.transactions_per_memory_instruction() == pytest.approx(2)
+
+    def test_empty_aggregate_defaults(self):
+        agg = AggregateMetrics(32)
+        assert agg.efficiency() == 1.0
+        assert agg.mean_warp_efficiency() == 1.0
+        assert agg.transactions_per_memory_instruction() == 0.0
+
+    def test_function_stats_zero_issue_efficiency(self):
+        assert FunctionStats("f").efficiency(32) == 1.0
+
+    def test_account_memory_ignores_empty(self):
+        warp = WarpMetrics(4)
+        warp.account_memory([])
+        assert warp.memory[SEG_HEAP].instructions == 0

@@ -1,0 +1,29 @@
+"""Every example script must run to completion and tell its story."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def _run(name):
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, name)],
+        capture_output=True, text=True, timeout=300,
+    )
+
+
+@pytest.mark.parametrize("script,needle", [
+    ("quickstart.py", "SIMT efficiency"),
+    ("port_advisor.py", "bottleneck: 'getpoint'"),
+    ("architect_study.py", "SIMT-CPU"),
+    ("compiler_effects.py", "oracle"),
+    ("closed_source.py", "No source, no binary"),
+])
+def test_example_runs(script, needle):
+    result = _run(script)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert needle in result.stdout

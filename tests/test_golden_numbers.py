@@ -1,0 +1,102 @@
+"""Golden-number regression pins.
+
+The headline metrics of the reproduction, frozen with tolerances.  If a
+change to the machine, tracer, analyzer or a workload shifts any of
+these materially, this file fails and EXPERIMENTS.md needs re-validating.
+
+All values measured at 64 logical threads, seed 7, warp size 32.
+"""
+
+import pytest
+
+from repro.core import analyze_traces
+from repro.workloads import get_workload, trace_instance
+
+N = 64
+WARP = 32
+
+#: workload -> (simt_efficiency, abs tolerance)
+GOLDEN_EFFICIENCY = {
+    "vectoradd": (1.00, 0.001),
+    "uncoalesced": (1.00, 0.001),
+    "nn": (1.00, 0.001),
+    "nbody": (1.00, 0.001),
+    "md5": (1.00, 0.001),
+    "swaptions": (1.00, 0.001),
+    "rotate": (1.00, 0.001),
+    "streamcluster": (0.97, 0.02),
+    "blackscholes": (0.91, 0.04),
+    "memcached": (0.88, 0.05),
+    "btree": (0.73, 0.05),
+    "bodytrack": (0.74, 0.06),
+    "particlefilter": (0.57, 0.06),
+    "freqmine": (0.55, 0.08),
+    "x264": (0.54, 0.08),
+    "textsearch_leaf": (0.40, 0.08),
+    "dsb_text": (0.36, 0.08),
+    "pagerank": (0.33, 0.07),
+    "pigz": (0.24, 0.06),
+    "cc": (0.21, 0.06),
+    "fluidanimate": (0.20, 0.06),
+    "hdsearch_mid": (0.12, 0.05),
+    "rodinia_bfs": (0.10, 0.05),
+    "hdsearch_mid_fixed": (0.96, 0.04),
+}
+
+
+@pytest.fixture(scope="module")
+def efficiencies():
+    out = {}
+    for name in GOLDEN_EFFICIENCY:
+        instance = get_workload(name).instantiate(N)
+        traces, _machine = trace_instance(instance)
+        out[name] = analyze_traces(traces, warp_size=WARP).simt_efficiency
+    return out
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_EFFICIENCY))
+def test_golden_efficiency(name, efficiencies):
+    expected, tolerance = GOLDEN_EFFICIENCY[name]
+    assert efficiencies[name] == pytest.approx(expected, abs=tolerance), (
+        f"{name}: measured {efficiencies[name]:.3f}, "
+        f"golden {expected:.3f} +/- {tolerance}"
+    )
+
+
+def test_golden_ordering_extremes(efficiencies):
+    """The catalogue's qualitative ordering must stay intact."""
+    assert efficiencies["nbody"] > efficiencies["btree"]
+    assert efficiencies["btree"] > efficiencies["pigz"]
+    assert efficiencies["pigz"] > efficiencies["rodinia_bfs"]
+    assert (efficiencies["hdsearch_mid_fixed"]
+            > 4 * efficiencies["hdsearch_mid"])
+
+
+GOLDEN_MEMORY = {
+    # workload -> (heap txn/load-store, abs tolerance)
+    "vectoradd": (8.0, 0.01),     # perfectly coalesced floor
+    "rotate": (20.0, 1.0),        # transposed writes
+    "mcrouter_leaf": (17.9, 2.5),
+    "dsb_post": (13.6, 2.5),
+    "dsb_uniqueid": (1.0, 0.01),  # broadcast loads + atomic
+}
+
+
+@pytest.fixture(scope="module")
+def memory_divergence():
+    from repro.machine import SEG_HEAP
+
+    out = {}
+    for name in GOLDEN_MEMORY:
+        instance = get_workload(name).instantiate(N)
+        traces, _machine = trace_instance(instance)
+        report = analyze_traces(traces, warp_size=WARP)
+        out[name] = report.transactions_per_load_store(SEG_HEAP)
+    return out
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_MEMORY))
+def test_golden_memory_divergence(name, memory_divergence):
+    expected, tolerance = GOLDEN_MEMORY[name]
+    assert memory_divergence[name] == pytest.approx(expected,
+                                                    abs=tolerance), name

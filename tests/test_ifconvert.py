@@ -1,0 +1,202 @@
+"""Unit tests for the if-conversion pass and straight-line block merging."""
+
+import pytest
+
+from repro.isa import Mem, Op
+from repro.machine import Machine
+from repro.optlevels import clone_program, if_convert, merge_straightline_blocks
+from repro.program import ProgramBuilder
+
+
+def _run(program, fn, args):
+    machine = Machine(program)
+    machine.spawn(fn, args)
+    machine.run()
+    return machine.threads[0].retval
+
+
+def _count_branches(program):
+    from repro.isa import CONDITIONAL_JUMPS
+
+    return sum(
+        1
+        for f in program.functions.values()
+        for blk in f.blocks
+        for i in blk.instructions
+        if i.op in CONDITIONAL_JUMPS
+    )
+
+
+class TestIfConversion:
+    def _simple_if(self):
+        b = ProgramBuilder()
+        with b.function("worker", args=["x"]) as f:
+            r = f.reg()
+            f.mov(r, 10)
+            f.if_then(f.a(0), ">", 5, lambda: f.mov(r, 99))
+            f.add(r, r, 1)
+            f.ret(r)
+        return b.build()
+
+    def test_converts_simple_diamond(self):
+        program = self._simple_if()
+        clone = clone_program(program)
+        assert if_convert(clone) == 1
+        clone.link()
+        assert _count_branches(clone) < _count_branches(program)
+
+    @pytest.mark.parametrize("x,expected", [(3, 11), (7, 100)])
+    def test_semantics_preserved(self, x, expected):
+        program = self._simple_if()
+        clone = clone_program(program)
+        if_convert(clone)
+        merge_straightline_blocks(clone)
+        clone.link()
+        assert _run(program, "worker", [x]) == expected
+        assert _run(clone, "worker", [x]) == expected
+
+    def test_multi_instruction_body_with_dependencies(self):
+        b = ProgramBuilder()
+        with b.function("worker", args=["x"]) as f:
+            r = f.reg()
+            s = f.reg()
+            f.mov(r, 2)
+            f.mov(s, 3)
+
+            def body():
+                f.mov(r, 7)
+                f.add(s, r, 1)     # reads the body's own write of r
+                f.mul(r, s, 2)
+
+            f.if_then(f.a(0), "==", 1, body)
+            f.add(r, r, s)
+            f.ret(r)
+        program = b.build()
+        clone = clone_program(program)
+        assert if_convert(clone) == 1
+        clone.link()
+        for x in (0, 1):
+            assert _run(clone, "worker", [x]) == _run(program, "worker", [x])
+
+    def test_store_body_not_converted(self):
+        b = ProgramBuilder()
+        d = b.data("d", 8)
+        with b.function("worker", args=["x"]) as f:
+            f.if_then(f.a(0), ">", 0,
+                      lambda: f.store(Mem(None, disp=d.value), 1))
+            f.ret(0)
+        clone = clone_program(b.build())
+        assert if_convert(clone) == 0
+
+    def test_division_body_not_converted(self):
+        """Speculating a division could fault; must stay branchy."""
+        b = ProgramBuilder()
+        with b.function("worker", args=["x"]) as f:
+            r = f.reg()
+            f.mov(r, 0)
+            f.if_then(f.a(0), "!=", 0,
+                      lambda: f.div(r, 100, f.a(0)))
+            f.ret(r)
+        program = b.build()
+        clone = clone_program(program)
+        assert if_convert(clone) == 0
+        clone.link()
+        assert _run(clone, "worker", [0]) == 0  # would fault if converted
+
+    def test_call_body_not_converted(self):
+        b = ProgramBuilder()
+        with b.function("g", args=[]) as f:
+            f.ret(5)
+        with b.function("worker", args=["x"]) as f:
+            r = f.reg()
+            f.mov(r, 0)
+            f.if_then(f.a(0), ">", 0, lambda: f.call(r, "g", []))
+            f.ret(r)
+        clone = clone_program(b.build())
+        assert if_convert(clone) == 0
+
+    def test_oversized_body_not_converted(self):
+        b = ProgramBuilder()
+        with b.function("worker", args=["x"]) as f:
+            r = f.reg()
+            f.mov(r, 0)
+
+            def body():
+                for _ in range(8):  # exceeds max_body
+                    f.add(r, r, 1)
+
+            f.if_then(f.a(0), ">", 0, body)
+            f.ret(r)
+        clone = clone_program(b.build())
+        assert if_convert(clone, max_body=4) == 0
+        clone2 = clone_program(b.build())
+        assert if_convert(clone2, max_body=16) == 1
+
+    def test_converted_loop_body_becomes_unrollable(self):
+        from repro.optlevels import unroll_loops
+
+        b = ProgramBuilder()
+        arr = b.data("arr", 8 * 64)
+        with b.function("worker", args=["n"]) as f:
+            acc = f.reg()
+            i = f.reg()
+            f.mov(acc, 0)
+
+            def body():
+                v = f.reg()
+                f.load(v, Mem(None, disp=arr.value, index=i, scale=8))
+                f.if_then(v, ">", 50, lambda: f.mul(v, v, 2))
+                f.add(acc, acc, v)
+
+            f.for_range(i, 0, f.a(0), body)
+            f.ret(acc)
+        program = b.build()
+        # Without if-conversion the body is multi-block: not unrollable.
+        c1 = clone_program(program)
+        assert unroll_loops(c1) == 0
+        # After conversion + merging it unrolls.
+        c2 = clone_program(program)
+        assert if_convert(c2) == 1
+        merge_straightline_blocks(c2)
+        assert unroll_loops(c2) == 1
+        c2.link()
+        machine = Machine(c2)
+        machine.memory.write_words(arr.value, [10 * k for k in range(64)])
+        machine.spawn("worker", [13])
+        machine.run()
+        expected = sum(
+            v * 2 if v > 50 else v for v in (10 * k for k in range(13))
+        )
+        assert machine.threads[0].retval == expected
+
+
+class TestBlockMerging:
+    def test_merges_fallthrough_only_blocks(self):
+        b = ProgramBuilder()
+        with b.function("worker", args=["x"]) as f:
+            r = f.reg()
+            f.mov(r, 1)
+            f.label("middle")  # fall-through label, never branched to
+            f.add(r, r, 1)
+            f.ret(r)
+        program = b.build()
+        clone = clone_program(program)
+        merged = merge_straightline_blocks(clone)
+        assert merged >= 1
+        clone.link()
+        assert _run(clone, "worker", [0]) == 2
+
+    def test_does_not_merge_branch_targets(self):
+        b = ProgramBuilder()
+        with b.function("worker", args=["x"]) as f:
+            r = f.reg()
+            f.mov(r, 0)
+            f.if_then(f.a(0), ">", 0, lambda: f.add(r, r, 5))
+            f.add(r, r, 1)
+            f.ret(r)
+        clone = clone_program(b.build())
+        before = sum(len(fn.blocks) for fn in clone.functions.values())
+        merge_straightline_blocks(clone)
+        clone.link()
+        assert _run(clone, "worker", [1]) == 6
+        assert _run(clone, "worker", [0]) == 1

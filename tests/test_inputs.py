@@ -1,0 +1,114 @@
+"""Tests for the synthetic input generators."""
+
+import pytest
+
+from repro.workloads.inputs import (
+    compressible_bytes,
+    csr_graph,
+    gaussian_floats,
+    positions_3d,
+    text_corpus,
+    uniform_floats,
+    uniform_ints,
+    zipf_ints,
+)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("maker", [
+        lambda s: uniform_floats(50, s),
+        lambda s: uniform_ints(50, s),
+        lambda s: zipf_ints(50, 100, s),
+        lambda s: compressible_bytes(100, s),
+        lambda s: gaussian_floats(50, s),
+        lambda s: positions_3d(20, s),
+        lambda s: csr_graph(30, 4, s),
+    ])
+    def test_same_seed_same_data(self, maker):
+        assert maker(11) == maker(11)
+
+    def test_different_seeds_differ(self):
+        assert uniform_ints(50, 1) != uniform_ints(50, 2)
+
+
+class TestDistributions:
+    def test_uniform_floats_in_range(self):
+        values = uniform_floats(500, 3, lo=2.0, hi=5.0)
+        assert all(2.0 <= v < 5.0 for v in values)
+
+    def test_uniform_ints_in_range(self):
+        values = uniform_ints(500, 3, lo=10, hi=20)
+        assert all(10 <= v <= 20 for v in values)
+
+    def test_zipf_is_skewed_toward_popular_keys(self):
+        values = zipf_ints(2000, 100, 5)
+        assert all(0 <= v < 100 for v in values)
+        head = sum(1 for v in values if v < 10)
+        assert head > len(values) * 0.3  # popular keys dominate
+
+    def test_gaussian_roughly_centered(self):
+        values = gaussian_floats(2000, 9, mu=5.0, sigma=1.0)
+        mean = sum(values) / len(values)
+        assert 4.8 < mean < 5.2
+
+
+class TestGraphs:
+    def test_csr_well_formed(self):
+        offsets, cols = csr_graph(50, 5, 7)
+        assert len(offsets) == 51
+        assert offsets[0] == 0
+        assert offsets[-1] == len(cols)
+        assert all(a <= b for a, b in zip(offsets, offsets[1:]))
+        assert all(0 <= c < 50 for c in cols)
+
+    def test_every_node_has_an_edge(self):
+        offsets, _cols = csr_graph(50, 5, 7)
+        degrees = [offsets[i + 1] - offsets[i] for i in range(50)]
+        assert min(degrees) >= 1
+
+    def test_power_law_has_heavy_tail(self):
+        offsets, _cols = csr_graph(300, 6, 7, power_law=True)
+        degrees = sorted(
+            offsets[i + 1] - offsets[i] for i in range(300)
+        )
+        assert degrees[-1] > 3 * (sum(degrees) / len(degrees))
+
+    def test_regular_graph_has_constant_degree(self):
+        offsets, _cols = csr_graph(50, 5, 7, power_law=False)
+        degrees = {offsets[i + 1] - offsets[i] for i in range(50)}
+        assert degrees == {5}
+
+
+class TestCompressible:
+    def test_exact_length_and_alphabet(self):
+        data = compressible_bytes(333, 3, alphabet=16)
+        assert len(data) == 333
+        assert all(0 <= b < 16 for b in data)
+
+    def test_contains_repeats(self):
+        data = compressible_bytes(400, 3, repeat_prob=0.7)
+        # Count length-4 windows seen more than once: repeats must exist.
+        windows = {}
+        for i in range(len(data) - 4):
+            key = tuple(data[i:i + 4])
+            windows[key] = windows.get(key, 0) + 1
+        assert max(windows.values()) >= 2
+
+    def test_low_repeat_prob_is_noisier(self):
+        noisy = compressible_bytes(400, 3, repeat_prob=0.05, alphabet=64)
+        compressible = compressible_bytes(400, 3, repeat_prob=0.8,
+                                          alphabet=64)
+
+        def distinct_windows(data):
+            return len({tuple(data[i:i + 4])
+                        for i in range(len(data) - 4)})
+
+        assert distinct_windows(noisy) > distinct_windows(compressible)
+
+
+class TestTextCorpus:
+    def test_shape(self):
+        docs = text_corpus(5, 40, 100, 3)
+        assert len(docs) == 5
+        assert all(len(d) == 40 for d in docs)
+        assert all(0 <= w < 100 for d in docs for w in d)

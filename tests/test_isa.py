@@ -1,0 +1,104 @@
+"""Unit tests for the ISA layer: opcodes, operands, classification."""
+
+import pytest
+
+from repro.isa import (
+    BLOCK_TERMINATORS,
+    CONDITIONAL_JUMPS,
+    FLOAT_OPS,
+    Imm,
+    Label,
+    Mem,
+    Op,
+    Reg,
+    SP,
+    classify,
+)
+from repro.isa import classes
+
+
+class TestOpcodes:
+    def test_every_opcode_has_a_class(self):
+        for op in Op:
+            assert classify(op) is not None
+
+    def test_terminators_are_control_or_sync(self):
+        for op in BLOCK_TERMINATORS:
+            assert classify(op) in (
+                classes.BRANCH, classes.CALL, classes.RET, classes.SYNC,
+            )
+
+    def test_conditional_jumps_subset_of_terminators(self):
+        assert CONDITIONAL_JUMPS <= BLOCK_TERMINATORS
+
+    def test_jmp_is_terminator_but_not_conditional(self):
+        assert Op.JMP in BLOCK_TERMINATORS
+        assert Op.JMP not in CONDITIONAL_JUMPS
+
+    def test_float_ops_classified_fp_or_sfu(self):
+        for op in FLOAT_OPS:
+            assert classify(op) in (
+                classes.FP_ALU, classes.FP_MUL, classes.FP_DIV, classes.SFU,
+            )
+
+    def test_transcendentals_use_sfu(self):
+        for op in (Op.FEXP, Op.FLOG, Op.FSIN, Op.FCOS, Op.FSQRT):
+            assert classify(op) == classes.SFU
+
+    def test_io_ops_classified_io(self):
+        assert classify(Op.IOREAD) == classes.IO
+        assert classify(Op.IOWRITE) == classes.IO
+
+    def test_sync_ops_classified_sync(self):
+        for op in (Op.LOCK, Op.UNLOCK, Op.XCHG, Op.AADD, Op.BARRIER):
+            assert classify(op) == classes.SYNC
+
+
+class TestOperands:
+    def test_reg_equality_and_hash(self):
+        assert Reg(3) == Reg(3)
+        assert Reg(3) != Reg(4)
+        assert hash(Reg(3)) == hash(Reg(3))
+
+    def test_reg_rejects_negative_index(self):
+        with pytest.raises(ValueError):
+            Reg(-1)
+
+    def test_sp_is_register_zero(self):
+        assert SP == Reg(0)
+
+    def test_imm_holds_ints_and_floats(self):
+        assert Imm(7).value == 7
+        assert Imm(2.5).value == 2.5
+        assert Imm(7) == Imm(7)
+        assert Imm(7) != Imm(8)
+
+    def test_mem_effective_fields(self):
+        m = Mem(Reg(1), disp=16, index=Reg(2), scale=8, size=4)
+        assert m.base == Reg(1)
+        assert m.disp == 16
+        assert m.index == Reg(2)
+        assert m.scale == 8
+        assert m.size == 4
+
+    def test_mem_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            Mem(Reg(1), size=3)
+
+    def test_mem_rejects_non_reg_base(self):
+        with pytest.raises(TypeError):
+            Mem(5)
+
+    def test_mem_equality(self):
+        assert Mem(Reg(1), disp=8) == Mem(Reg(1), disp=8)
+        assert Mem(Reg(1), disp=8) != Mem(Reg(1), disp=16)
+
+    def test_label_equality(self):
+        assert Label("a") == Label("a")
+        assert Label("a") != Label("b")
+
+    def test_reprs_are_informative(self):
+        assert "r3" in repr(Reg(3))
+        assert "7" in repr(Imm(7))
+        assert "r1" in repr(Mem(Reg(1)))
+        assert "@foo" in repr(Label("foo"))

@@ -1,0 +1,228 @@
+"""Edge-case tests for the MIMD machine and tracer interaction."""
+
+import pytest
+
+from repro.isa import Mem, Op
+from repro.machine import DeadlockError, Machine, MachineError
+from repro.program import ProgramBuilder
+from repro.tracer import TOK_BLOCK, TOK_LOCK, TraceRecorder
+
+from util import run_traced
+
+
+class TestSchedulingEdge:
+    def test_quantum_one_interleaves_finely(self):
+        b = ProgramBuilder()
+        d = b.data("order", 8 * 64)
+        idx = b.data("idx", 8)
+        with b.function("worker", args=["tid"]) as f:
+            i = f.reg()
+            slot = f.reg()
+
+            def body():
+                f.atomic_add(slot, Mem(None, disp=idx.value), 1)
+                f.store(Mem(None, disp=d.value, index=slot, scale=8),
+                        f.a(0))
+
+            f.for_range(i, 0, 4, body)
+            f.ret(0)
+        program = b.build()
+        machine = Machine(program, quantum=1)
+        machine.spawn("worker", [1])
+        machine.spawn("worker", [2])
+        machine.run()
+        order = machine.memory.read_words(d.value, 8)
+        # With quantum=1 the two threads interleave rather than running
+        # back-to-back.
+        assert order.count(1) == 4 and order.count(2) == 4
+        assert order != [1, 1, 1, 1, 2, 2, 2, 2]
+
+    def test_large_quantum_runs_thread_to_stall(self):
+        b = ProgramBuilder()
+        with b.function("worker", args=["tid"]) as f:
+            i = f.reg()
+            f.for_range(i, 0, 10, f.nop)
+            f.ret(0)
+        program = b.build()
+        machine = Machine(program, quantum=10_000)
+        machine.spawn("worker", [0])
+        machine.spawn("worker", [1])
+        machine.run()
+        assert all(t.state == "done" for t in machine.threads)
+
+
+class TestLockEdge:
+    def test_two_lock_deadlock_detected(self):
+        b = ProgramBuilder()
+        la = b.data("la", 8)
+        lb = b.data("lb", 8)
+        with b.function("ab", args=[]) as f:
+            f.lock(la)
+            f.barrier(0)  # both threads hold their first lock
+            f.lock(lb)
+            f.unlock(lb)
+            f.unlock(la)
+            f.ret(0)
+        with b.function("ba", args=[]) as f:
+            f.lock(lb)
+            f.barrier(0)
+            f.lock(la)
+            f.unlock(la)
+            f.unlock(lb)
+            f.ret(0)
+        program = b.build()
+        machine = Machine(program)
+        machine.spawn("ab", [])
+        machine.spawn("ba", [])
+        with pytest.raises(DeadlockError):
+            machine.run()
+
+    def test_lock_handoff_across_many_threads(self):
+        b = ProgramBuilder()
+        lk = b.data("lk", 8)
+        token = b.data("token", 8)
+        with b.function("worker", args=["tid"]) as f:
+            v = f.reg()
+            f.lock(lk)
+            f.load(v, Mem(None, disp=token.value))
+            f.add(v, v, 1)
+            f.store(Mem(None, disp=token.value), v)
+            f.unlock(lk)
+            f.ret(v)
+        program = b.build()
+        machine = Machine(program, quantum=2)
+        for t in range(20):
+            machine.spawn("worker", [t])
+        machine.run()
+        # Every thread saw a unique token value: perfect mutual exclusion.
+        values = sorted(t.retval for t in machine.threads)
+        assert values == list(range(1, 21))
+
+    def test_lock_addr_from_register(self):
+        b = ProgramBuilder()
+        locks = b.data("locks", 8 * 4)
+        with b.function("worker", args=["which"]) as f:
+            a = f.reg()
+            f.mul(a, f.a(0), 8)
+            f.add(a, a, locks.value)
+            f.lock(a)
+            f.unlock(a)
+            f.ret(0)
+        program = b.build()
+        traces, _m = run_traced(
+            program, [("worker", [t % 4], None) for t in range(8)],
+            ["worker"],
+        )
+        lock_addrs = {
+            tok[1] for tr in traces for tok in tr.tokens
+            if tok[0] == TOK_LOCK
+        }
+        assert len(lock_addrs) == 4
+
+
+class TestTracerEdge:
+    def test_root_called_from_another_root(self):
+        """A nested call to a root function is a plain call, not a new
+        logical thread."""
+        b = ProgramBuilder()
+        with b.function("handle", args=["depth"]) as f:
+            r = f.reg()
+            f.mov(r, f.a(0))
+
+            def recurse():
+                t = f.reg()
+                f.sub(t, f.a(0), 1)
+                f.call(r, "handle", [t])
+
+            f.if_then(f.a(0), ">", 0, recurse)
+            f.ret(r)
+        program = b.build()
+        traces, _m = run_traced(
+            program, [("handle", [3], None)], ["handle"]
+        )
+        assert len(traces) == 1  # one logical thread despite recursion
+
+    def test_multiple_roots_in_one_program(self):
+        b = ProgramBuilder()
+        with b.function("get", args=["k"]) as f:
+            f.ret(f.a(0))
+        with b.function("put", args=["k"]) as f:
+            r = f.reg()
+            f.mul(r, f.a(0), 2)
+            f.ret(r)
+        with b.function("server", args=["n"]) as f:
+            i = f.reg()
+            r = f.reg()
+            m = f.reg()
+
+            def body():
+                f.mod(m, i, 2)
+                f.if_else(m, "==", 0,
+                          lambda: f.call(r, "get", [i]),
+                          lambda: f.call(r, "put", [i]))
+
+            f.for_range(i, 0, f.a(0), body)
+            f.ret(0)
+        program = b.build()
+        traces, _m = run_traced(
+            program, [("server", [6], None)], ["get", "put"]
+        )
+        assert len(traces) == 6
+        assert {t.root for t in traces} == {"get", "put"}
+        # Warp formation keeps roots separate.
+        from repro.core import form_warps
+
+        warps = form_warps(traces, warp_size=4)
+        for warp in warps:
+            assert len({t.root for t in warp}) == 1
+
+    def test_trace_block_counts_sum_to_machine_count(self):
+        from util import build_call_program
+
+        program = build_call_program()
+        recorder = TraceRecorder(roots=["worker"], program=program)
+        machine = Machine(program, hooks=recorder)
+        for t in range(4):
+            machine.spawn("worker", [t])
+        machine.run()
+        traced = sum(t.n_instructions for t in recorder.traces)
+        executed = sum(t.instructions_executed for t in machine.threads)
+        assert traced == executed
+
+    def test_unclosed_trace_flushes_on_thread_end(self):
+        b = ProgramBuilder()
+        with b.function("worker", args=[]) as f:
+            f.nop()
+            f.halt()
+        program = b.build()
+        traces, _m = run_traced(program, [("worker", [], None)], ["worker"])
+        assert traces.threads[0].closed
+        assert traces.threads[0].n_instructions == 2
+
+
+class TestProgramValidationEdge:
+    def test_empty_function_rejected_at_link(self):
+        from repro.program import Function, Program
+
+        program = Program()
+        program.add_function(Function("empty", 0))
+        with pytest.raises(ValueError):
+            program.link()
+
+    def test_write_to_immediate_rejected(self):
+        from repro.program import Program
+        from repro.program.ir import BasicBlock, Function, Instruction
+        from repro.isa import Imm, Reg
+
+        program = Program()
+        fn = Function("bad", 0)
+        block = BasicBlock("entry")
+        block.append(Instruction(Op.MOV, (Imm(1), Imm(2))))
+        block.append(Instruction(Op.RET, ()))
+        fn.add_block(block)
+        program.add_function(fn)
+        program.link()
+        machine = Machine(program)
+        machine.spawn("bad", [])
+        with pytest.raises(MachineError):
+            machine.run()

@@ -1,0 +1,250 @@
+"""Unit tests for the O0-O3 compiler transforms."""
+
+import pytest
+
+from repro.isa import Mem, Op
+from repro.machine import Machine
+from repro.optlevels import (
+    OPT_LEVELS,
+    apply_opt_level,
+    clone_program,
+    eliminate_redundant_loads,
+    promote_accumulators,
+    spill_all,
+    unroll_loops,
+)
+from repro.program import ProgramBuilder
+
+from util import build_call_program, build_diamond_program
+
+
+def _accumulator_program():
+    """Naive-C loop accumulating into a heap cell (promotable)."""
+    b = ProgramBuilder()
+    arr = b.data("arr", 8 * 64)
+    out = b.data("out", 8 * 8)
+    with b.function("worker", args=["tid", "n"]) as f:
+        i = f.reg()
+        oaddr = f.reg()
+        f.mul(oaddr, f.a(0), 8)
+        f.add(oaddr, oaddr, out.value)
+
+        def body():
+            v = f.reg()
+            t = f.reg()
+            f.load(v, Mem(None, disp=arr.value, index=i, scale=8))
+            f.load(t, Mem(oaddr))
+            f.add(t, t, v)
+            f.store(Mem(oaddr), t)
+
+        f.for_range(i, 0, f.a(1), body)
+        r = f.reg()
+        f.load(r, Mem(oaddr))
+        f.ret(r)
+    return b, b.build(), arr.value
+
+
+def _run(program, args, setup=None):
+    m = Machine(program)
+    if setup:
+        setup(m)
+    m.spawn("worker", args)
+    m.run()
+    return m.threads[0].retval, m.total_instructions
+
+
+class TestSemanticsPreservation:
+    @pytest.mark.parametrize("level", OPT_LEVELS)
+    def test_accumulator_program_results_stable(self, level):
+        _b, program, arr = _accumulator_program()
+        transformed = apply_opt_level(program, level)
+
+        def setup(m):
+            m.memory.write_words(arr, list(range(64)))
+
+        base, _ = _run(program, [2, 13], setup)
+        got, _ = _run(transformed, [2, 13], setup)
+        assert got == base == sum(range(13))
+
+    @pytest.mark.parametrize("level", OPT_LEVELS)
+    def test_diamond_program_results_stable(self, level):
+        program = build_diamond_program()
+        transformed = apply_opt_level(program, level)
+        for tid in range(4):
+            base, _ = _run(program, [tid])
+            got, _ = _run(transformed, [tid])
+            assert got == base
+
+    @pytest.mark.parametrize("level", OPT_LEVELS)
+    def test_calls_survive_transforms(self, level):
+        program = build_call_program()
+        transformed = apply_opt_level(program, level)
+        got, _ = _run(transformed, [6])
+        assert got == 72
+
+    def test_unknown_level_rejected(self):
+        program = build_diamond_program()
+        with pytest.raises(ValueError):
+            apply_opt_level(program, "O9")
+
+    def test_original_program_not_mutated(self):
+        _b, program, _arr = _accumulator_program()
+        before = program.total_instructions()
+        apply_opt_level(program, "O0")
+        apply_opt_level(program, "O3")
+        assert program.total_instructions() == before
+
+
+class TestO0Spill:
+    def test_spill_inflates_instruction_count(self):
+        _b, program, arr = _accumulator_program()
+        o0 = apply_opt_level(program, "O0")
+
+        def setup(m):
+            m.memory.write_words(arr, [1] * 64)
+
+        _, base_instr = _run(program, [0, 10], setup)
+        _, o0_instr = _run(o0, [0, 10], setup)
+        assert o0_instr > 2 * base_instr
+
+    def test_spill_creates_stack_traffic(self):
+        from util import run_traced
+        from repro.core import analyze_traces
+
+        _b, program, arr = _accumulator_program()
+        o0 = apply_opt_level(program, "O0")
+        traces, _m = run_traced(
+            o0, [("worker", [t, 8], None) for t in range(4)], ["worker"]
+        )
+        report = analyze_traces(traces, warp_size=4)
+        assert report.stack_transactions > 0
+
+    def test_frame_size_grows(self):
+        _b, program, _arr = _accumulator_program()
+        o0 = apply_opt_level(program, "O0")
+        assert (o0.functions["worker"].frame_size
+                > program.functions["worker"].frame_size)
+
+
+class TestO2Passes:
+    def test_redundant_load_elimination_counts(self):
+        b = ProgramBuilder()
+        d = b.data("d", 8)
+        with b.function("worker", args=["x"]) as f:
+            v1 = f.reg()
+            v2 = f.reg()
+            f.load(v1, Mem(None, disp=d.value))
+            f.load(v2, Mem(None, disp=d.value))  # redundant
+            f.add(v1, v1, v2)
+            f.ret(v1)
+        program = b.build()
+        clone = clone_program(program)
+        assert eliminate_redundant_loads(clone) == 1
+
+    def test_store_kills_available_loads(self):
+        b = ProgramBuilder()
+        d = b.data("d", 8)
+        with b.function("worker", args=["x"]) as f:
+            v1 = f.reg()
+            v2 = f.reg()
+            f.load(v1, Mem(None, disp=d.value))
+            f.store(Mem(None, disp=d.value), f.a(0))
+            f.load(v2, Mem(None, disp=d.value))  # NOT redundant
+            f.add(v1, v1, v2)
+            f.ret(v1)
+        program = b.build()
+        clone = clone_program(program)
+        assert eliminate_redundant_loads(clone) == 0
+
+    def test_promotion_reduces_heap_traffic(self):
+        from util import run_traced
+        from repro.core import analyze_traces
+
+        _b, program, arr = _accumulator_program()
+        o2 = apply_opt_level(program, "O2")
+
+        def setup(m):
+            m.memory.write_words(arr, [1] * 64)
+
+        t1, _ = run_traced(
+            program, [("worker", [t, 12], None) for t in range(4)],
+            ["worker"], setup=setup,
+        )
+        t2, _ = run_traced(
+            o2, [("worker", [t, 12], None) for t in range(4)],
+            ["worker"], setup=setup,
+        )
+        r1 = analyze_traces(t1, warp_size=4)
+        r2 = analyze_traces(t2, warp_size=4)
+        assert r2.heap_transactions < r1.heap_transactions
+
+    def test_promotion_count(self):
+        _b, program, _arr = _accumulator_program()
+        clone = clone_program(program)
+        assert promote_accumulators(clone) == 1
+
+
+class TestO3Unroll:
+    def test_unroll_reduces_dynamic_branches(self):
+        _b, program, arr = _accumulator_program()
+        o3 = apply_opt_level(program, "O3")
+
+        def setup(m):
+            m.memory.write_words(arr, [1] * 64)
+
+        _, base_instr = _run(program, [0, 32], setup)
+        _, o3_instr = _run(o3, [0, 32], setup)
+        assert o3_instr < base_instr
+
+    def test_unroll_count(self):
+        _b, program, _arr = _accumulator_program()
+        clone = clone_program(program)
+        assert unroll_loops(clone) == 1
+
+    @pytest.mark.parametrize("n", [0, 1, 2, 3, 4, 5, 7, 8, 9, 16, 31])
+    def test_unroll_remainder_handling_exact(self, n):
+        """Trip counts around the unroll factor must stay exact."""
+        _b, program, arr = _accumulator_program()
+        o3 = apply_opt_level(program, "O3")
+
+        def setup(m):
+            m.memory.write_words(arr, list(range(64)))
+
+        got, _ = _run(o3, [1, n], setup)
+        assert got == sum(range(n))
+
+    def test_multi_block_bodies_not_unrolled(self):
+        b = ProgramBuilder()
+        with b.function("worker", args=["n"]) as f:
+            acc = f.reg()
+            i = f.reg()
+            f.mov(acc, 0)
+
+            def body():
+                f.if_then(i, ">", 2, lambda: f.add(acc, acc, 1))
+
+            f.for_range(i, 0, f.a(0), body)
+            f.ret(acc)
+        program = b.build()
+        clone = clone_program(program)
+        assert unroll_loops(clone) == 0
+
+
+class TestClone:
+    def test_clone_preserves_data_addresses(self):
+        _b, program, _arr = _accumulator_program()
+        clone = clone_program(program).link()
+        for name, obj in program.data_objects.items():
+            assert clone.data_objects[name].addr == obj.addr
+
+    def test_clone_is_runnable(self):
+        program = build_call_program()
+        clone = clone_program(program).link()
+        got, _ = _run(clone, [5])
+        assert got == 50
+
+    def test_clone_requires_linked_input(self):
+        from repro.program import Program
+
+        with pytest.raises(ValueError):
+            clone_program(Program())

@@ -1,0 +1,140 @@
+"""Unit tests for the program IR: blocks, functions, linking, successors."""
+
+import pytest
+
+from repro.isa import Imm, Label, Mem, Op, Reg
+from repro.program import INSTR_PITCH, BasicBlock, Function, Instruction, Program
+from repro.program import ProgramBuilder
+
+
+def _simple_program():
+    b = ProgramBuilder()
+    with b.function("f", args=["x"]) as f:
+        r = f.reg()
+        f.add(r, f.a(0), 1)
+        f.ret(r)
+    return b.build()
+
+
+class TestInstruction:
+    def test_mem_operand_detection(self):
+        instr = Instruction(Op.ADD, (Reg(1), Reg(2), Mem(Reg(3))))
+        assert instr.mem_operand == Mem(Reg(3))
+        instr2 = Instruction(Op.ADD, (Reg(1), Reg(2), Imm(3)))
+        assert instr2.mem_operand is None
+
+    def test_mov_load_store_classification(self):
+        load = Instruction(Op.MOV, (Reg(1), Mem(Reg(2))))
+        store = Instruction(Op.MOV, (Mem(Reg(2)), Reg(1)))
+        assert load.reads_memory() and not load.writes_memory()
+        assert store.writes_memory() and not store.reads_memory()
+
+    def test_lea_never_accesses_memory(self):
+        lea = Instruction(Op.LEA, (Reg(1), Mem(Reg(2), disp=8)))
+        assert not lea.reads_memory()
+        assert not lea.writes_memory()
+
+    def test_alu_with_mem_source_reads(self):
+        instr = Instruction(Op.ADD, (Reg(1), Reg(1), Mem(Reg(2))))
+        assert instr.reads_memory()
+        assert not instr.writes_memory()
+
+    def test_atomic_reads_and_writes(self):
+        instr = Instruction(Op.AADD, (Reg(1), Mem(Reg(2)), Imm(1)))
+        assert instr.reads_memory()
+        assert instr.writes_memory()
+
+
+class TestBasicBlock:
+    def test_append_after_terminator_rejected(self):
+        block = BasicBlock("b")
+        block.append(Instruction(Op.RET))
+        with pytest.raises(ValueError):
+            block.append(Instruction(Op.NOP))
+
+    def test_terminator_property(self):
+        block = BasicBlock("b")
+        block.append(Instruction(Op.NOP))
+        assert block.terminator is None
+        block.append(Instruction(Op.JMP, (), target=Label("x")))
+        assert block.terminator.op == Op.JMP
+
+
+class TestLinking:
+    def test_addresses_assigned_and_unique(self):
+        program = _simple_program()
+        addrs = list(program.instr_by_addr)
+        assert len(addrs) == len(set(addrs))
+        assert all(a >= Program.CODE_BASE for a in addrs)
+
+    def test_instruction_pitch(self):
+        program = _simple_program()
+        addrs = sorted(program.instr_by_addr)
+        diffs = {b - a for a, b in zip(addrs, addrs[1:])}
+        assert diffs == {INSTR_PITCH}
+
+    def test_call_target_resolved_to_entry(self):
+        b = ProgramBuilder()
+        with b.function("callee", args=[]) as f:
+            f.ret(0)
+        with b.function("caller", args=[]) as f:
+            r = f.reg()
+            f.call(r, "callee", [])
+            f.ret(r)
+        program = b.build()
+        call = next(
+            i for blk in program.functions["caller"].blocks
+            for i in blk.instructions if i.op == Op.CALL
+        )
+        assert call.target == program.functions["callee"].entry.addr
+
+    def test_unknown_call_target_raises(self):
+        b = ProgramBuilder()
+        with b.function("caller", args=[]) as f:
+            r = f.reg()
+            f.call(r, "missing", [])
+            f.ret(r)
+        with pytest.raises(KeyError):
+            b.build()
+
+    def test_duplicate_function_rejected(self):
+        program = Program()
+        fn = Function("f", 0)
+        fn.add_block(BasicBlock("entry")).append(Instruction(Op.RET))
+        program.add_function(fn)
+        with pytest.raises(ValueError):
+            program.add_function(Function("f", 0))
+
+    def test_data_objects_aligned_and_disjoint(self):
+        b = ProgramBuilder()
+        a1 = b.data("a", 10)
+        a2 = b.data("b", 100)
+        assert a1.value % 32 == 0
+        assert a2.value % 32 == 0
+        assert a2.value >= a1.value + 10
+        program = b.program
+        assert program.data_end >= a2.value + 100
+
+    def test_duplicate_data_rejected(self):
+        b = ProgramBuilder()
+        b.data("a", 8)
+        with pytest.raises(ValueError):
+            b.data("a", 8)
+
+
+class TestStaticSuccessors:
+    def test_conditional_branch_has_two_successors(self):
+        b = ProgramBuilder()
+        with b.function("f", args=["x"]) as f:
+            f.if_then(f.a(0), ">", 0, lambda: f.nop())
+            f.ret(0)
+        program = b.build()
+        func = program.functions["f"]
+        entry_succs = program.static_successors(func.entry)
+        assert len(entry_succs) == 2
+
+    def test_ret_has_no_successors(self):
+        program = _simple_program()
+        func = program.functions["f"]
+        last = func.blocks[-1]
+        assert program.static_successors(last) == []

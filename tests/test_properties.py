@@ -1,0 +1,400 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+These cover the load-bearing algorithms with randomized inputs:
+post-dominator laws on random CFGs, coalescing bounds, replay
+conservation, compiler-pass semantic preservation, C-style arithmetic,
+statistics laws, and warp-formation partitioning.
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import geomean, mean_absolute_error, pearson
+from repro.core import analyze_traces, build_dcfgs, compute_all_ipdoms, form_warps
+from repro.core.dcfg import FunctionDCFG, VEXIT
+from repro.core.ipdom import compute_ipdoms, compute_postdominators
+from repro.core.metrics import TRANSACTION_BYTES, transactions_for
+from repro.isa import semantics
+from repro.machine import Machine, Memory
+from repro.optlevels import OPT_LEVELS, apply_opt_level
+from repro.program import ProgramBuilder
+
+from util import run_traced
+
+_settings = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ----------------------------------------------------------------------
+# Random CFGs for IPDOM laws.
+
+@st.composite
+def random_cfgs(draw):
+    """A random function CFG: every node reaches VEXIT."""
+    n = draw(st.integers(min_value=2, max_value=12))
+    dcfg = FunctionDCFG("f")
+    dcfg.entries.add(0)
+    for node in range(n):
+        # Forward edges keep reachability simple; back edges add loops.
+        succs = set()
+        n_succ = draw(st.integers(min_value=1, max_value=3))
+        for _ in range(n_succ):
+            kind = draw(st.integers(min_value=0, max_value=9))
+            if kind < 2 or node == n - 1:
+                succs.add(VEXIT)
+            elif kind < 8:
+                succs.add(draw(st.integers(min_value=node + 1,
+                                           max_value=n - 1)))
+            else:
+                succs.add(draw(st.integers(min_value=0, max_value=node)))
+        # Guarantee progress toward the exit.
+        if all(isinstance(s, int) and s <= node and s != VEXIT
+               for s in succs):
+            succs.add(VEXIT if node == n - 1 else node + 1)
+        for succ in succs:
+            dcfg.add_edge(node, succ)
+    return dcfg
+
+
+def _reaches_exit_avoiding(dcfg, start, avoid):
+    """Can ``start`` reach VEXIT without passing through ``avoid``?"""
+    if start == avoid:
+        return False
+    seen = {start}
+    stack = [start]
+    while stack:
+        node = stack.pop()
+        for succ in dcfg.succs.get(node, ()):
+            if succ == VEXIT:
+                return True
+            if succ != avoid and succ not in seen:
+                seen.add(succ)
+                stack.append(succ)
+    return False
+
+
+class TestIpdomLaws:
+    @_settings
+    @given(random_cfgs())
+    def test_ipdom_postdominates(self, dcfg):
+        """No path from n to VEXIT may bypass ipdom(n)."""
+        ipdom = compute_ipdoms(dcfg)
+        for node in dcfg.succs:
+            if node == VEXIT:
+                continue
+            dominator = ipdom[node]
+            if dominator == VEXIT:
+                continue
+            assert not _reaches_exit_avoiding(dcfg, node, dominator), (
+                f"node {node}: path to exit bypasses ipdom {dominator}"
+            )
+
+    @_settings
+    @given(random_cfgs())
+    def test_ipdom_is_member_of_pdom_set(self, dcfg):
+        pdoms = compute_postdominators(dcfg)
+        ipdom = compute_ipdoms(dcfg)
+        for node in dcfg.succs:
+            if node == VEXIT:
+                continue
+            assert ipdom[node] in pdoms[node]
+            assert ipdom[node] != node
+
+    @_settings
+    @given(random_cfgs())
+    def test_pdom_sets_form_chains(self, dcfg):
+        pdoms = compute_postdominators(dcfg)
+        for node, members in pdoms.items():
+            sets = sorted((frozenset(pdoms[m]) for m in members), key=len)
+            for small, large in zip(sets, sets[1:]):
+                assert small <= large
+
+
+# ----------------------------------------------------------------------
+# Coalescing laws.
+
+_accesses = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=1 << 34),
+        st.sampled_from([1, 4, 8]),
+    ),
+    min_size=1,
+    max_size=32,
+)
+
+
+class TestCoalescingLaws:
+    @_settings
+    @given(_accesses)
+    def test_bounds(self, accesses):
+        txns = transactions_for(accesses)
+        upper = sum(
+            (size + 2 * (TRANSACTION_BYTES - 1)) // TRANSACTION_BYTES + 1
+            for _a, size in accesses
+        )
+        assert 1 <= txns <= upper
+
+    @_settings
+    @given(_accesses)
+    def test_permutation_invariant(self, accesses):
+        assert transactions_for(accesses) == transactions_for(
+            list(reversed(accesses))
+        )
+
+    @_settings
+    @given(_accesses)
+    def test_monotone_under_union(self, accesses):
+        half = accesses[: len(accesses) // 2] or accesses
+        assert transactions_for(half) <= transactions_for(accesses)
+
+    @_settings
+    @given(st.integers(min_value=0, max_value=1 << 30))
+    def test_single_aligned_word_is_one_transaction(self, word):
+        addr = word * TRANSACTION_BYTES
+        assert transactions_for([(addr, 8)]) == 1
+
+
+# ----------------------------------------------------------------------
+# Machine arithmetic (C semantics).
+
+class TestArithmeticLaws:
+    @_settings
+    @given(st.integers(-10**12, 10**12),
+           st.integers(-10**6, 10**6).filter(lambda b: b != 0))
+    def test_idiv_imod_identity(self, a, b):
+        q = semantics.idiv(a, b)
+        r = semantics.imod(a, b)
+        assert q * b + r == a
+        assert abs(r) < abs(b)
+        if r != 0:
+            assert (r < 0) == (a < 0)  # remainder follows the dividend
+
+    @_settings
+    @given(st.integers(-10**9, 10**9), st.integers(-10**9, 10**9))
+    def test_compare_is_sign_of_difference(self, a, b):
+        flag = semantics.compare(a, b)
+        assert flag == (a > b) - (a < b)
+
+
+# ----------------------------------------------------------------------
+# Replay conservation on randomized divergent workloads.
+
+def _divergent_program():
+    b = ProgramBuilder()
+    with b.function("helper", args=["x"]) as f:
+        r = f.reg()
+        f.mul(r, f.a(0), 7)
+        f.ret(r)
+    with b.function("worker", args=["n", "mode"]) as f:
+        acc = f.reg()
+        i = f.reg()
+        t = f.reg()
+        f.mov(acc, 0)
+
+        def body():
+            f.mod(t, i, 3)
+            f.if_else(t, "==", 0,
+                      lambda: f.add(acc, acc, i),
+                      lambda: f.sub(acc, acc, 1))
+
+        f.for_range(i, 0, f.a(0), body)
+        f.if_then(f.a(1), "==", 1,
+                  lambda: f.call(acc, "helper", [acc]))
+        f.ret(acc)
+    return b.build()
+
+
+_PROGRAM = _divergent_program()
+
+
+class TestReplayConservation:
+    @_settings
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 12), st.integers(0, 1)),
+            min_size=1, max_size=24,
+        ),
+        st.integers(min_value=1, max_value=16),
+    )
+    def test_thread_instructions_conserved(self, params, warp_size):
+        traces, _m = run_traced(
+            _PROGRAM,
+            [("worker", [n, mode], None) for n, mode in params],
+            ["worker"],
+        )
+        report = analyze_traces(traces, warp_size=warp_size)
+        assert (report.metrics.thread_instructions
+                == traces.total_instructions)
+
+    @_settings
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 12), st.integers(0, 1)),
+            min_size=1, max_size=24,
+        ),
+        st.integers(min_value=1, max_value=16),
+    )
+    def test_efficiency_bounds(self, params, warp_size):
+        traces, _m = run_traced(
+            _PROGRAM,
+            [("worker", [n, mode], None) for n, mode in params],
+            ["worker"],
+        )
+        report = analyze_traces(traces, warp_size=warp_size)
+        assert 0.0 < report.simt_efficiency <= 1.0
+        # Issues can never undercut perfect lock-step.
+        per_warp_min = math.ceil(traces.total_instructions / warp_size)
+        assert report.metrics.issues >= per_warp_min // max(len(traces), 1)
+
+    @_settings
+    @given(st.integers(min_value=1, max_value=16))
+    def test_warp_size_one_is_always_perfect(self, n_threads):
+        traces, _m = run_traced(
+            _PROGRAM,
+            [("worker", [t % 7, t % 2], None) for t in range(n_threads)],
+            ["worker"],
+        )
+        report = analyze_traces(traces, warp_size=1)
+        assert report.simt_efficiency == pytest.approx(1.0)
+
+
+# ----------------------------------------------------------------------
+# Compiler passes preserve semantics under random inputs.
+
+def _accumulator_program():
+    b = ProgramBuilder()
+    arr = b.data("arr", 8 * 64)
+    out = b.data("out", 8 * 16)
+    from repro.isa import Mem
+
+    with b.function("worker", args=["tid", "n"]) as f:
+        i = f.reg()
+        oaddr = f.reg()
+        f.mul(oaddr, f.a(0), 8)
+        f.add(oaddr, oaddr, out.value)
+
+        def body():
+            v = f.reg()
+            t = f.reg()
+            m = f.reg()
+            f.load(v, Mem(None, disp=arr.value, index=i, scale=8))
+            f.mod(m, v, 2)
+            f.if_then(m, "==", 0, lambda: f.mul(v, v, 3))
+            f.load(t, Mem(oaddr))
+            f.add(t, t, v)
+            f.store(Mem(oaddr), t)
+
+        f.for_range(i, 0, f.a(1), body)
+        r = f.reg()
+        f.load(r, Mem(oaddr))
+        f.ret(r)
+    return b.build(), arr.value
+
+
+_ACC_PROGRAM, _ACC_ARR = _accumulator_program()
+
+
+class TestOptLevelEquivalence:
+    @_settings
+    @given(
+        st.lists(st.integers(0, 99), min_size=8, max_size=32),
+        st.integers(min_value=0, max_value=20),
+    )
+    def test_all_levels_compute_identically(self, values, n):
+        n = min(n, len(values))
+        expected = None
+        for level in OPT_LEVELS:
+            program = apply_opt_level(_ACC_PROGRAM, level)
+            machine = Machine(program)
+            machine.memory.write_words(_ACC_ARR, values)
+            machine.spawn("worker", [1, n])
+            machine.run()
+            result = machine.threads[0].retval
+            if expected is None:
+                expected = result
+            assert result == expected, level
+
+
+# ----------------------------------------------------------------------
+# Warp formation partitions the thread set.
+
+class TestWarpFormationLaws:
+    @_settings
+    @given(
+        st.integers(min_value=1, max_value=40),
+        st.integers(min_value=1, max_value=33),
+        st.sampled_from(["linear", "cpu_affine", "strided"]),
+    )
+    def test_partition(self, n_threads, warp_size, policy):
+        traces, _m = run_traced(
+            _PROGRAM,
+            [("worker", [t % 5, t % 2], None) for t in range(n_threads)],
+            ["worker"],
+        )
+        warps = form_warps(traces, warp_size, policy)
+        seen = [t.index for warp in warps for t in warp]
+        assert sorted(seen) == list(range(n_threads))
+        assert all(1 <= len(w) <= warp_size for w in warps)
+        for warp in warps:
+            assert len({t.root for t in warp}) == 1
+
+
+# ----------------------------------------------------------------------
+# Statistics laws.
+
+_floats = st.floats(min_value=-1e6, max_value=1e6,
+                    allow_nan=False, allow_infinity=False)
+
+
+class TestStatsLaws:
+    @_settings
+    @given(st.lists(st.tuples(_floats, _floats), min_size=2, max_size=40))
+    def test_pearson_in_range(self, pairs):
+        xs = [p[0] for p in pairs]
+        ys = [p[1] for p in pairs]
+        assert -1.0 - 1e-9 <= pearson(xs, ys) <= 1.0 + 1e-9
+
+    @_settings
+    @given(st.lists(_floats, min_size=2, max_size=40))
+    def test_pearson_self_correlation(self, xs):
+        assert pearson(xs, xs) == pytest.approx(1.0)
+
+    @_settings
+    @given(st.lists(st.floats(min_value=1e-3, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=30))
+    def test_geomean_between_min_and_max(self, xs):
+        g = geomean(xs)
+        slack = 1e-9 * max(xs)
+        assert min(xs) - slack <= g <= max(xs) + slack
+
+    @_settings
+    @given(st.lists(st.tuples(_floats, _floats), min_size=1, max_size=30))
+    def test_mae_nonnegative_and_zero_iff_equal(self, pairs):
+        xs = [p[0] for p in pairs]
+        ys = [p[1] for p in pairs]
+        assert mean_absolute_error(xs, ys) >= 0
+        assert mean_absolute_error(xs, xs) == 0
+
+
+# ----------------------------------------------------------------------
+# Memory model.
+
+class TestMemoryLaws:
+    @_settings
+    @given(st.lists(st.tuples(st.integers(0, 1 << 20),
+                              st.integers(-(1 << 40), 1 << 40)),
+                    min_size=1, max_size=60))
+    def test_last_write_wins(self, writes):
+        memory = Memory()
+        final = {}
+        for addr, value in writes:
+            memory.store(addr * 8, value)
+            final[addr * 8] = value
+        for addr, value in final.items():
+            assert memory.load(addr) == value

@@ -1,0 +1,299 @@
+"""Unit tests for the SIMT-stack lock-step replay and its metrics."""
+
+import pytest
+
+from repro.core import (
+    AnalyzerConfig,
+    ThreadFuserAnalyzer,
+    analyze_traces,
+    ReplayError,
+    WarpReplayer,
+    build_dcfgs,
+    compute_all_ipdoms,
+    form_warps,
+)
+from repro.core.metrics import transactions_for
+from repro.isa import Mem
+from repro.machine import SEG_HEAP, SEG_STACK
+from repro.program import ProgramBuilder
+
+from util import (
+    build_call_program,
+    build_diamond_program,
+    build_lock_program,
+    build_loop_program,
+    run_traced,
+)
+
+
+def _replay(traces, warp_size, emulate_locks=False):
+    dcfgs = build_dcfgs(traces)
+    compute_all_ipdoms(dcfgs)
+    warps = form_warps(traces, warp_size)
+    results = []
+    for warp in warps:
+        replayer = WarpReplayer(warp, dcfgs, warp_size,
+                                emulate_locks=emulate_locks)
+        results.append(replayer.run())
+    return results
+
+
+class TestUniformExecution:
+    def test_identical_threads_are_fully_efficient(self):
+        program = build_loop_program()
+        traces, _m = run_traced(
+            program, [("worker", [8], None) for _ in range(4)], ["worker"]
+        )
+        (metrics,) = _replay(traces, 4)
+        assert metrics.efficiency() == pytest.approx(1.0)
+
+    def test_instruction_conservation(self):
+        """Per-thread instructions in the replay equal the trace totals."""
+        program = build_diamond_program()
+        traces, _m = run_traced(
+            program, [("worker", [t], None) for t in range(8)], ["worker"]
+        )
+        (metrics,) = _replay(traces, 8)
+        assert metrics.thread_instructions == traces.total_instructions
+
+    def test_tail_warp_pays_full_denominator(self):
+        program = build_loop_program()
+        traces, _m = run_traced(
+            program, [("worker", [8], None) for _ in range(2)], ["worker"]
+        )
+        (metrics,) = _replay(traces, 32)
+        assert metrics.efficiency() == pytest.approx(2 / 32)
+
+
+class TestDivergence:
+    def test_diamond_divergence_costs_issues(self):
+        program = build_diamond_program()
+        traces, _m = run_traced(
+            program, [("worker", [t], None) for t in range(4)], ["worker"]
+        )
+        (metrics,) = _replay(traces, 4)
+        # Both arms execute serially -> issues exceed the single-thread
+        # instruction count, efficiency strictly below 1.
+        assert metrics.efficiency() < 1.0
+        single = traces.threads[0].n_instructions
+        assert metrics.issues > single
+
+    def test_diamond_reconverges_after_join(self):
+        """After the join, full-mask execution resumes: efficiency is far
+        above what serial execution of both paths end-to-end would give."""
+        program = build_diamond_program()
+        traces, _m = run_traced(
+            program, [("worker", [t], None) for t in range(4)], ["worker"]
+        )
+        (metrics,) = _replay(traces, 4)
+        assert metrics.efficiency() > 0.5
+
+    def test_loop_trip_count_divergence(self):
+        program = build_loop_program()
+        traces, _m = run_traced(
+            program, [("worker", [n], None) for n in (1, 9)], ["worker"]
+        )
+        (metrics,) = _replay(traces, 2)
+        eff = metrics.efficiency()
+        assert 0.5 < eff < 1.0  # long-trip thread runs alone for 8 rounds
+
+    def test_branch_free_warp_of_one_thread(self):
+        program = build_diamond_program()
+        traces, _m = run_traced(program, [("worker", [1], None)], ["worker"])
+        (metrics,) = _replay(traces, 1)
+        assert metrics.efficiency() == pytest.approx(1.0)
+
+
+class TestCalls:
+    def test_divergent_call_attribution(self):
+        """A helper called by half the lanes shows 50% function efficiency."""
+        b = ProgramBuilder()
+        with b.function("helper", args=["x"]) as f:
+            r = f.reg()
+            f.mul(r, f.a(0), 3)
+            f.mul(r, r, r)
+            f.ret(r)
+        with b.function("worker", args=["tid"]) as f:
+            t = f.reg()
+            r = f.reg()
+            f.mod(t, f.a(0), 2)
+            f.mov(r, 0)
+            f.if_then(t, "==", 1, lambda: f.call(r, "helper", [f.a(0)]))
+            f.ret(r)
+        program = b.build()
+        traces, _m = run_traced(
+            program, [("worker", [t], None) for t in range(4)], ["worker"]
+        )
+        (metrics,) = _replay(traces, 4)
+        helper = metrics.per_function["helper"]
+        assert helper.efficiency(4) == pytest.approx(0.5)
+
+    def test_exclusive_attribution_sums_to_total(self):
+        program = build_call_program()
+        traces, _m = run_traced(
+            program, [("worker", [t], None) for t in range(4)], ["worker"]
+        )
+        (metrics,) = _replay(traces, 4)
+        total = sum(
+            s.thread_instructions for s in metrics.per_function.values()
+        )
+        assert total == metrics.thread_instructions
+
+    def test_recursive_function_replays(self):
+        b = ProgramBuilder()
+        with b.function("fib", args=["n"]) as f:
+            r = f.reg()
+            x = f.reg()
+            y = f.reg()
+            t = f.reg()
+
+            def base():
+                f.mov(r, f.a(0))
+
+            def rec():
+                f.sub(t, f.a(0), 1)
+                f.call(x, "fib", [t])
+                f.sub(t, f.a(0), 2)
+                f.call(y, "fib", [t])
+                f.add(r, x, y)
+
+            f.if_else(f.a(0), "<", 2, base, rec)
+            f.ret(r)
+        with b.function("worker", args=["n"]) as f:
+            r = f.reg()
+            f.call(r, "fib", [f.a(0)])
+            f.ret(r)
+        program = b.build()
+        traces, m = run_traced(
+            program, [("worker", [n], None) for n in (5, 7)], ["worker"]
+        )
+        assert [t.retval for t in m.threads] == [5, 13]
+        (metrics,) = _replay(traces, 2)
+        assert metrics.thread_instructions == traces.total_instructions
+        assert 0.0 < metrics.efficiency() <= 1.0
+
+
+class TestCoalescing:
+    def test_transactions_for_coalesced(self):
+        # 8 lanes x 4B consecutive = 32 bytes = 1 transaction
+        accesses = [(0x1000_0000 + 4 * i, 4) for i in range(8)]
+        assert transactions_for(accesses) == 1
+
+    def test_transactions_for_strided(self):
+        # 32B stride -> every lane its own transaction
+        accesses = [(0x1000_0000 + 32 * i, 4) for i in range(8)]
+        assert transactions_for(accesses) == 8
+
+    def test_transactions_for_same_address(self):
+        accesses = [(0x1000_0000, 8)] * 16
+        assert transactions_for(accesses) == 1
+
+    def test_transaction_straddling_boundary_counts_twice(self):
+        assert transactions_for([(0x1000_001C, 8)]) == 2
+
+    def test_coalesced_workload_one_transaction_per_warp_load(self):
+        b = ProgramBuilder()
+        data = b.data("d", 4 * 64)
+        with b.function("worker", args=["tid"]) as f:
+            v = f.reg()
+            f.load(v, Mem(f.a(0), disp=data.value, scale=4, size=4))
+            f.ret(v)
+        program = b.build()
+        traces, _m = run_traced(
+            program, [("worker", [t], None) for t in range(8)], ["worker"]
+        )
+        (metrics,) = _replay(traces, 8)
+        heap = metrics.memory[SEG_HEAP]
+        assert heap.instructions == 1
+        assert heap.accesses == 8
+        assert heap.transactions == 1
+
+    def test_divergent_workload_many_transactions(self):
+        b = ProgramBuilder()
+        data = b.data("d", 8 * 1024)
+        with b.function("worker", args=["tid"]) as f:
+            a = f.reg()
+            v = f.reg()
+            f.mul(a, f.a(0), 128)  # 128-byte stride: no coalescing
+            f.load(v, Mem(a, disp=data.value))
+            f.ret(v)
+        program = b.build()
+        traces, _m = run_traced(
+            program, [("worker", [t], None) for t in range(8)], ["worker"]
+        )
+        (metrics,) = _replay(traces, 8)
+        assert metrics.memory[SEG_HEAP].transactions == 8
+
+    def test_stack_accesses_classified_stack(self):
+        b = ProgramBuilder()
+        with b.function("worker", args=["tid"]) as f:
+            off = f.stack_alloc(8)
+            v = f.reg()
+            f.store(f.stack_slot(off), f.a(0))
+            f.load(v, f.stack_slot(off))
+            f.ret(v)
+        program = b.build()
+        traces, _m = run_traced(
+            program, [("worker", [t], None) for t in range(4)], ["worker"]
+        )
+        (metrics,) = _replay(traces, 4)
+        assert metrics.memory[SEG_STACK].instructions == 2
+        assert metrics.memory[SEG_HEAP].instructions == 0
+        # Private stacks live >= 1 MiB apart: no cross-lane coalescing.
+        assert metrics.memory[SEG_STACK].transactions == 8
+
+
+class TestAnalyzerFacade:
+    def test_analyze_traces_end_to_end(self):
+        program = build_diamond_program()
+        traces, _m = run_traced(
+            program, [("worker", [t], None) for t in range(8)], ["worker"]
+        )
+        report = analyze_traces(traces, warp_size=4)
+        assert 0 < report.simt_efficiency <= 1.0
+        assert report.n_threads == 8
+        assert report.n_warps == 2
+        assert "worker" in {fr.name for fr in report.per_function()}
+
+    def test_efficiency_declines_with_warp_size(self):
+        """The paper's Fig. 1 trend on a divergent workload."""
+        program = build_diamond_program()
+        traces, _m = run_traced(
+            program, [("worker", [t], None) for t in range(32)], ["worker"]
+        )
+        analyzer = ThreadFuserAnalyzer()
+        dcfgs = analyzer.prepare(traces)
+        effs = []
+        for ws in (2, 4, 8):
+            analyzer.config = AnalyzerConfig(warp_size=ws)
+            effs.append(
+                analyzer.analyze(traces, dcfgs=dcfgs).simt_efficiency
+            )
+        assert effs[0] >= effs[1] >= effs[2]
+
+    def test_report_formatting_mentions_functions(self):
+        program = build_call_program()
+        traces, _m = run_traced(
+            program, [("worker", [t], None) for t in range(4)], ["worker"]
+        )
+        report = analyze_traces(traces, warp_size=4)
+        text = report.format_text()
+        assert "square" in text
+        assert "SIMT efficiency" in text
+
+    def test_mismatched_roots_rejected_in_one_warp(self):
+        program = build_diamond_program()
+        traces, _m = run_traced(
+            program, [("worker", [t], None) for t in range(2)], ["worker"]
+        )
+        traces.threads[1].root = "other"
+        dcfgs = build_dcfgs(traces)
+        compute_all_ipdoms(dcfgs)
+        with pytest.raises(ReplayError):
+            WarpReplayer(traces.threads, dcfgs, 2).run()
+
+    def test_unknown_policy_rejected(self):
+        program = build_diamond_program()
+        traces, _m = run_traced(program, [("worker", [0], None)], ["worker"])
+        with pytest.raises(ValueError):
+            form_warps(traces, 4, policy="nope")

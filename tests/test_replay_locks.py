@@ -1,0 +1,131 @@
+"""Unit tests for intra-warp lock serialization in the replay engine."""
+
+import pytest
+
+from repro.core import analyze_traces
+from repro.isa import Mem
+from repro.program import ProgramBuilder
+
+from util import build_lock_program, run_traced
+
+
+def _traces_for(shared_lock, n_threads=8, **mkw):
+    program, lock_addr, counter = build_lock_program(shared_lock=shared_lock)
+    traces, _m = run_traced(
+        program, [("worker", [t], None) for t in range(n_threads)],
+        ["worker"], **mkw
+    )
+    return traces
+
+
+class TestLockSerialization:
+    def test_shared_lock_serialization_reduces_efficiency(self):
+        traces = _traces_for(shared_lock=True)
+        off = analyze_traces(traces, warp_size=8, emulate_locks=False)
+        on = analyze_traces(traces, warp_size=8, emulate_locks=True)
+        assert on.simt_efficiency < off.simt_efficiency
+
+    def test_fine_grained_locks_do_not_serialize(self):
+        traces = _traces_for(shared_lock=False)
+        off = analyze_traces(traces, warp_size=8, emulate_locks=False)
+        on = analyze_traces(traces, warp_size=8, emulate_locks=True)
+        assert on.simt_efficiency == pytest.approx(off.simt_efficiency)
+        assert on.metrics.locks.contended_events == 0
+
+    def test_contended_lock_counters(self):
+        traces = _traces_for(shared_lock=True)
+        report = analyze_traces(traces, warp_size=8, emulate_locks=True)
+        locks = report.metrics.locks
+        assert locks.lock_events >= 1
+        assert locks.contended_events >= 1
+        assert locks.serialized_threads == 8
+        assert locks.serialized_issues > 0
+
+    def test_lock_events_seen_even_without_emulation(self):
+        traces = _traces_for(shared_lock=True)
+        report = analyze_traces(traces, warp_size=8, emulate_locks=False)
+        assert report.metrics.locks.lock_events >= 1
+        assert report.metrics.locks.serialized_issues == 0
+
+    def test_instruction_conservation_with_serialization(self):
+        traces = _traces_for(shared_lock=True)
+        report = analyze_traces(traces, warp_size=8, emulate_locks=True)
+        assert (
+            report.metrics.thread_instructions == traces.total_instructions
+        )
+
+    def test_threads_across_warps_do_not_serialize(self):
+        """Contention only matters within a warp: warp_size=1 -> no cost."""
+        traces = _traces_for(shared_lock=True)
+        report = analyze_traces(traces, warp_size=1, emulate_locks=True)
+        assert report.simt_efficiency == pytest.approx(1.0)
+        assert report.metrics.locks.contended_events == 0
+
+
+class TestMixedLockPatterns:
+    def _mixed_program(self):
+        """Even tids share lock 0; odd tids use private locks."""
+        b = ProgramBuilder()
+        locks = b.data("locks", 8 * 64)
+        ctr = b.data("ctr", 8 * 64)
+        with b.function("worker", args=["tid"]) as f:
+            laddr = f.reg()
+            v = f.reg()
+            t = f.reg()
+            f.mod(t, f.a(0), 2)
+            f.if_else(
+                t, "==", 0,
+                lambda: f.mov(laddr, locks.value),
+                lambda: (
+                    f.mul(laddr, f.a(0), 8),
+                    f.add(laddr, laddr, locks.value),
+                ) and None,
+            )
+            f.lock(laddr)
+            f.load(v, Mem(None, disp=ctr.value))
+            f.add(v, v, 1)
+            f.store(Mem(None, disp=ctr.value), v)
+            f.unlock(laddr)
+            f.ret(v)
+        return b.build()
+
+    def test_mixed_contention_serializes_only_shared_group(self):
+        program = self._mixed_program()
+        traces, _m = run_traced(
+            program, [("worker", [t], None) for t in range(8)], ["worker"]
+        )
+        report = analyze_traces(traces, warp_size=8, emulate_locks=True)
+        locks = report.metrics.locks
+        # Only the 4 even threads contend on the shared lock.
+        assert locks.serialized_threads == 4
+        assert 0 < report.simt_efficiency <= 1.0
+        assert (
+            report.metrics.thread_instructions == traces.total_instructions
+        )
+
+    def test_critical_section_with_inner_call(self):
+        b = ProgramBuilder()
+        lk = b.data("lk", 8)
+        ctr = b.data("c", 8)
+        with b.function("bump", args=[]) as f:
+            v = f.reg()
+            f.load(v, Mem(None, disp=ctr.value))
+            f.add(v, v, 1)
+            f.store(Mem(None, disp=ctr.value), v)
+            f.ret(v)
+        with b.function("worker", args=["tid"]) as f:
+            r = f.reg()
+            f.lock(lk)
+            f.call(r, "bump", [])
+            f.unlock(lk)
+            f.ret(r)
+        program = b.build()
+        traces, m = run_traced(
+            program, [("worker", [t], None) for t in range(4)], ["worker"]
+        )
+        assert m.memory.load(ctr.value) == 4
+        report = analyze_traces(traces, warp_size=4, emulate_locks=True)
+        assert (
+            report.metrics.thread_instructions == traces.total_instructions
+        )
+        assert report.metrics.locks.serialized_threads == 4

@@ -1,0 +1,139 @@
+"""Tests for the report objects and the end-to-end pipeline helpers."""
+
+import pytest
+
+from repro import analyze_program, trace_program
+from repro.core import analyze_traces
+from repro.core.report import AnalysisReport, FunctionReport
+from repro.machine import SEG_HEAP, SEG_STACK
+
+from util import build_call_program, build_diamond_program, run_traced
+
+
+class TestFunctionReports:
+    def _report(self):
+        program = build_call_program()
+        traces, _m = run_traced(
+            program, [("worker", [t], None) for t in range(8)], ["worker"]
+        )
+        return analyze_traces(traces, warp_size=4)
+
+    def test_shares_sum_to_one(self):
+        report = self._report()
+        total = sum(fr.instruction_share for fr in report.per_function())
+        assert total == pytest.approx(1.0)
+
+    def test_sorted_by_share_descending(self):
+        report = self._report()
+        shares = [fr.instruction_share for fr in report.per_function()]
+        assert shares == sorted(shares, reverse=True)
+
+    def test_min_share_filter(self):
+        report = self._report()
+        full = report.per_function()
+        filtered = report.per_function(min_share=0.5)
+        assert len(filtered) <= len(full)
+        for fr in filtered:
+            assert fr.instruction_share >= 0.5
+
+    def test_function_efficiency_lookup(self):
+        report = self._report()
+        assert 0 < report.function_efficiency("square") <= 1.0
+        with pytest.raises(KeyError):
+            report.function_efficiency("not-a-function")
+
+    def test_repr_is_informative(self):
+        report = self._report()
+        assert "eff=" in repr(report)
+        fr = report.per_function()[0]
+        assert fr.name in repr(fr)
+
+    def test_format_text_top_limits_rows(self):
+        report = self._report()
+        text_all = report.format_text(top=10)
+        text_one = report.format_text(top=1)
+        assert len(text_one.splitlines()) < len(text_all.splitlines())
+
+
+class TestTransactionsAccessors:
+    def test_segment_specific_and_total(self):
+        program = build_diamond_program()
+        traces, _m = run_traced(
+            program, [("worker", [t], None) for t in range(4)], ["worker"]
+        )
+        report = analyze_traces(traces, warp_size=4)
+        # Diamond program touches no memory at all.
+        assert report.heap_transactions == 0
+        assert report.stack_transactions == 0
+        assert report.transactions_per_load_store() == 0.0
+        assert report.transactions_per_load_store(SEG_HEAP) == 0.0
+        assert report.transactions_per_load_store(SEG_STACK) == 0.0
+
+
+class TestPipelineHelpers:
+    def test_trace_program_runs_setup(self):
+        from repro.isa import Mem
+        from repro.program import ProgramBuilder
+
+        b = ProgramBuilder()
+        d = b.data("d", 8)
+        with b.function("worker", args=[]) as f:
+            v = f.reg()
+            f.load(v, Mem(None, disp=d.value))
+            f.ret(v)
+        program = b.build()
+        seen = {}
+
+        def setup(machine):
+            machine.memory.store(d.value, 777)
+            seen["called"] = True
+
+        traces = trace_program(
+            program, [("worker", [], None)], ["worker"], setup=setup
+        )
+        assert seen["called"]
+        assert len(traces) == 1
+
+    def test_analyze_program_one_call(self):
+        program = build_diamond_program()
+        report = analyze_program(
+            program,
+            spawns=[("worker", [t], None) for t in range(8)],
+            roots=["worker"],
+            warp_size=8,
+            workload="pipeline-test",
+        )
+        assert isinstance(report, AnalysisReport)
+        assert report.workload == "pipeline-test"
+        assert report.n_threads == 8
+
+    def test_exclude_propagates(self):
+        program = build_call_program()
+        traces = trace_program(
+            program, [("worker", [1], None)], ["worker"],
+            exclude=["square"],
+        )
+        assert traces.threads[0].skipped.get("filtered", 0) > 0
+
+    def test_machine_kwargs_forwarded(self):
+        program = build_diamond_program()
+        from repro.machine import InstructionLimitError
+
+        with pytest.raises(InstructionLimitError):
+            trace_program(
+                program,
+                [("worker", [t], None) for t in range(4)],
+                ["worker"],
+                max_instructions=3,
+            )
+
+    def test_emulate_locks_flag_passthrough(self):
+        from util import build_lock_program
+
+        program, _lock, _counter = build_lock_program(shared_lock=True)
+        spawns = [("worker", [t], None) for t in range(4)]
+        relaxed = analyze_program(program, spawns, ["worker"],
+                                  warp_size=4, emulate_locks=False)
+        strict = analyze_program(program, spawns, ["worker"],
+                                 warp_size=4, emulate_locks=True)
+        assert strict.simt_efficiency < relaxed.simt_efficiency

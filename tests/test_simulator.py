@@ -1,0 +1,219 @@
+"""Unit tests for the GPU simulator, caches and CPU timing model."""
+
+import pytest
+
+from repro.isa import classes
+from repro.simulator import (
+    Cache,
+    CacheConfig,
+    GPUConfig,
+    GPUSimulator,
+    project_speedup,
+    rtx3070,
+    small_simt_cpu,
+)
+from repro.cpusim import CPUSimulator, xeon_e5_2630
+from repro.tracegen import (
+    SPACE_GLOBAL,
+    SPACE_LOCAL,
+    KernelTrace,
+    WarpInstruction,
+    generate_kernel_trace,
+)
+
+from util import build_diamond_program, build_loop_program, run_traced
+
+
+class TestCache:
+    def test_repeated_access_hits(self):
+        cache = Cache(CacheConfig(1024, 2))
+        assert not cache.access(0x100)
+        assert cache.access(0x100)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_same_line_different_bytes_hit(self):
+        cache = Cache(CacheConfig(1024, 2, line_bytes=32))
+        cache.access(0x100)
+        assert cache.access(0x108)
+
+    def test_lru_eviction(self):
+        # 2-way, line 32, size 64 -> exactly one set.
+        cache = Cache(CacheConfig(64, 2, line_bytes=32))
+        cache.access(0x000)
+        cache.access(0x400)
+        cache.access(0x000)   # touch A: B is now LRU
+        cache.access(0x800)   # evicts B
+        assert cache.access(0x000)
+        assert not cache.access(0x400)
+
+    def test_hit_rate(self):
+        cache = Cache(CacheConfig(1024, 4))
+        cache.access(0)
+        cache.access(0)
+        cache.access(0)
+        assert cache.hit_rate() == pytest.approx(2 / 3)
+
+
+def _mini_kernel(n_instr=100, n_warps=2, mem_every=0, space=SPACE_GLOBAL,
+                 stride=32):
+    kernel = KernelTrace("k", 32)
+    for w in range(n_warps):
+        stream = kernel.new_warp(32)
+        for i in range(n_instr):
+            if mem_every and i % mem_every == 0:
+                accesses = [(0x1000_0000 + w * 0x10000 + i * stride + lane * 8, 8)
+                            for lane in range(32)]
+                stream.append(WarpInstruction(
+                    0x400000 + 4 * i, classes.LOAD, (1 << 32) - 1,
+                    space=space, accesses=accesses))
+            else:
+                stream.append(WarpInstruction(
+                    0x400000 + 4 * i, classes.INT_ALU, (1 << 32) - 1))
+    return kernel
+
+
+class TestGPUSimulator:
+    def test_alu_kernel_is_issue_bound(self):
+        kernel = _mini_kernel(n_instr=200, n_warps=8)
+        sim = GPUSimulator(rtx3070())
+        stats = sim.run(kernel)
+        # 8 warps in one block on one SM, 1 issue/cycle.
+        assert stats.instructions == 1600
+        assert stats.cycles == pytest.approx(1600, rel=0.1)
+
+    def test_memory_kernel_slower_than_alu(self):
+        sim_a = GPUSimulator(rtx3070())
+        a = sim_a.run(_mini_kernel(n_instr=64, n_warps=1))
+        sim_b = GPUSimulator(rtx3070())
+        b = sim_b.run(_mini_kernel(n_instr=64, n_warps=1, mem_every=4))
+        assert b.cycles > a.cycles
+
+    def test_more_warps_hide_latency(self):
+        lone = GPUSimulator(rtx3070()).run(
+            _mini_kernel(n_instr=64, n_warps=1, mem_every=8))
+        many_sim = GPUSimulator(rtx3070())
+        many = many_sim.run(_mini_kernel(n_instr=64, n_warps=8, mem_every=8))
+        # 8x the work in much less than 8x the time.
+        assert many.cycles < 8 * lone.cycles * 0.6
+
+    def test_divergent_stream_costs_issue_slots(self):
+        full = _mini_kernel(n_instr=100, n_warps=1)
+        sparse = KernelTrace("k", 32)
+        stream = sparse.new_warp(32)
+        for i in range(100):
+            stream.append(WarpInstruction(0x400000, classes.INT_ALU, 0b1))
+        full_stats = GPUSimulator(rtx3070()).run(full)
+        sparse_stats = GPUSimulator(rtx3070()).run(sparse)
+        assert sparse_stats.cycles == pytest.approx(full_stats.cycles,
+                                                    rel=0.05)
+        assert sparse_stats.thread_instructions < full_stats.thread_instructions
+
+    def test_coalesced_cheaper_than_strided(self):
+        coal = GPUSimulator(rtx3070()).run(
+            _mini_kernel(n_instr=64, mem_every=4, stride=32))
+        strided_kernel = KernelTrace("k", 32)
+        stream = strided_kernel.new_warp(32)
+        for i in range(64):
+            if i % 4 == 0:
+                accesses = [(0x1000_0000 + i * 0x4000 + lane * 256, 8)
+                            for lane in range(32)]
+                stream.append(WarpInstruction(
+                    0x400000, classes.LOAD, (1 << 32) - 1,
+                    space=SPACE_GLOBAL, accesses=accesses))
+            else:
+                stream.append(WarpInstruction(0x400000, classes.INT_ALU,
+                                              (1 << 32) - 1))
+        strided = GPUSimulator(rtx3070()).run(strided_kernel)
+        assert strided.transactions > coal.transactions
+        assert strided.cycles > coal.cycles
+
+    def test_local_space_is_coalesced(self):
+        kernel = KernelTrace("k", 32)
+        stream = kernel.new_warp(32)
+        # Stack addresses 1 MiB apart would be 32 transactions in global
+        # space; local space interleaves them.
+        accesses = [(0x7000_0000 + lane * (1 << 20), 8) for lane in range(32)]
+        stream.append(WarpInstruction(0x400000, classes.LOAD,
+                                      (1 << 32) - 1, space=SPACE_LOCAL,
+                                      accesses=accesses))
+        stats = GPUSimulator(rtx3070()).run(kernel)
+        assert stats.transactions == 8  # 32 lanes x 8B / 32B
+
+    def test_replication_scales_work(self):
+        kernel = _mini_kernel(n_instr=64, n_warps=2)
+        one = GPUSimulator(rtx3070()).run(kernel, replicate=1)
+        four = GPUSimulator(rtx3070()).run(kernel, replicate=4)
+        assert four.instructions == 4 * one.instructions
+
+    def test_oversized_kernel_warp_rejected(self):
+        kernel = KernelTrace("k", 64)
+        config = rtx3070()
+        with pytest.raises(ValueError):
+            GPUSimulator(config).run(kernel)
+
+    def test_small_simt_cpu_config_valid(self):
+        config = small_simt_cpu()
+        kernel = _mini_kernel(n_instr=32, n_warps=2)
+        kernel.warp_size = 8
+        stats = GPUSimulator(config).run(kernel)
+        assert stats.cycles > 0
+
+
+class TestCPUSimulator:
+    def _traces(self):
+        program = build_loop_program()
+        return run_traced(
+            program, [("worker", [16], None) for _ in range(8)], ["worker"]
+        )[0], program
+
+    def test_cycles_positive_and_scale_with_work(self):
+        traces, program = self._traces()
+        stats = CPUSimulator(xeon_e5_2630()).run(traces, program)
+        assert stats.cycles > 0
+        assert stats.instructions == traces.total_instructions
+
+    def test_more_threads_than_cores_serialize(self):
+        program = build_loop_program()
+        few, _ = run_traced(program, [("worker", [32], None)], ["worker"])
+        import dataclasses
+
+        config = xeon_e5_2630()
+        config.cores = 1
+        one_core = CPUSimulator(config).run(few, program)
+        config20 = xeon_e5_2630()
+        many, _ = run_traced(
+            program, [("worker", [32], None) for _ in range(20)], ["worker"]
+        )
+        twenty = CPUSimulator(config20).run(many, program)
+        # 20x the work on 20 cores costs about the same as 1x on 1 core.
+        assert twenty.cycles == pytest.approx(one_core.cycles, rel=0.3)
+
+    def test_requires_program(self):
+        traces, _ = self._traces()
+        traces.program = None
+        with pytest.raises(ValueError):
+            CPUSimulator().run(traces)
+
+
+class TestSpeedupProjection:
+    def test_uniform_workload_speeds_up_with_scale(self):
+        program = build_loop_program()
+        traces, _m = run_traced(
+            program, [("worker", [32], None) for _ in range(64)], ["worker"]
+        )
+        small = project_speedup(traces, program, launch_threads=64)
+        large = project_speedup(traces, program, launch_threads=4096)
+        assert large.speedup > small.speedup
+
+    def test_result_fields_consistent(self):
+        program = build_diamond_program()
+        traces, _m = run_traced(
+            program, [("worker", [t], None) for t in range(32)], ["worker"]
+        )
+        result = project_speedup(traces, program)
+        assert result.gpu_seconds > 0
+        assert result.cpu_seconds > 0
+        assert result.speedup == pytest.approx(
+            result.cpu_seconds / result.gpu_seconds
+        )
+        assert 0 < result.simt_efficiency <= 1

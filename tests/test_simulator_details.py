@@ -1,0 +1,194 @@
+"""Detailed unit tests for GPU simulator internals and the CPU model."""
+
+import pytest
+
+from repro.cpusim import CPUConfig, CPUSimulator
+from repro.isa import classes
+from repro.simulator import (
+    CacheConfig,
+    GPUConfig,
+    GPUSimulator,
+    rtx3070,
+)
+from repro.tracegen import SPACE_GLOBAL, KernelTrace, WarpInstruction
+
+from util import build_loop_program, run_traced
+
+FULL = (1 << 32) - 1
+
+
+def _kernel(per_warp, n_warps=1, warp_size=32):
+    kernel = KernelTrace("k", warp_size)
+    for w in range(n_warps):
+        stream = kernel.new_warp(warp_size)
+        for instr in per_warp(w):
+            stream.append(instr)
+    return kernel
+
+
+def _alu(n):
+    return [WarpInstruction(0x400000 + 4 * i, classes.INT_ALU, FULL)
+            for i in range(n)]
+
+
+class TestSchedulers:
+    def _mem_kernel(self, n_warps):
+        def per_warp(w):
+            out = []
+            for i in range(64):
+                if i % 8 == 0:
+                    accesses = [(0x1000_0000 + w * 0x8000 + i * 64
+                                 + lane * 8, 8) for lane in range(32)]
+                    out.append(WarpInstruction(0x400000, classes.LOAD,
+                                               FULL, space=SPACE_GLOBAL,
+                                               accesses=accesses))
+                else:
+                    out.append(WarpInstruction(0x400000, classes.INT_ALU,
+                                               FULL))
+            return out
+
+        return _kernel(per_warp, n_warps=n_warps)
+
+    def test_gto_and_lrr_complete_same_work(self):
+        for scheduler in ("gto", "lrr"):
+            config = rtx3070()
+            config.scheduler = scheduler
+            stats = GPUSimulator(config).run(self._mem_kernel(8))
+            assert stats.instructions == 8 * 64
+
+    def test_schedulers_differ_in_cycles(self):
+        gto = rtx3070()
+        lrr = rtx3070()
+        lrr.scheduler = "lrr"
+        a = GPUSimulator(gto).run(self._mem_kernel(8))
+        b = GPUSimulator(lrr).run(self._mem_kernel(8))
+        assert a.cycles != b.cycles  # policies genuinely differ
+
+    def test_deterministic(self):
+        config = rtx3070()
+        a = GPUSimulator(config).run(self._mem_kernel(4))
+        b = GPUSimulator(rtx3070()).run(self._mem_kernel(4))
+        assert a.cycles == b.cycles
+        assert a.l1_misses == b.l1_misses
+
+
+class TestPlacementAndOccupancy:
+    def test_blocks_spread_across_sms(self):
+        # 2 blocks of 8 warps on a 2-SM machine: both SMs get work, and
+        # the span is far below serial execution of 16 warps on one SM.
+        config = GPUConfig(num_sms=2, warps_per_block=8)
+        kernel = _kernel(lambda w: _alu(100), n_warps=16)
+        stats = GPUSimulator(config).run(kernel)
+        assert stats.instructions == 1600
+        assert stats.cycles == pytest.approx(800, rel=0.05)
+
+    def test_max_warps_per_sm_respected(self):
+        # 16 warps, 1 SM, max 4 resident: still completes all work.
+        config = GPUConfig(num_sms=1, max_warps_per_sm=4,
+                           warps_per_block=16)
+        kernel = _kernel(lambda w: _alu(10), n_warps=16)
+        stats = GPUSimulator(config).run(kernel)
+        assert stats.instructions == 160
+
+    def test_replication_offsets_defeat_fake_sharing(self):
+        def per_warp(w):
+            accesses = [(0x1000_0000 + lane * 8, 8) for lane in range(32)]
+            return [WarpInstruction(0x400000, classes.LOAD, FULL,
+                                    space=SPACE_GLOBAL, accesses=accesses)]
+
+        kernel = _kernel(per_warp, n_warps=1)
+        stats = GPUSimulator(rtx3070()).run(kernel, replicate=4)
+        # Each replica's window misses independently in L2.
+        assert stats.l2_misses == 4 * 8
+
+
+class TestDramModel:
+    def test_bandwidth_shared_across_active_sms(self):
+        def per_warp(w):
+            out = []
+            for i in range(32):
+                accesses = [(0x1000_0000 + w * 0x100000 + i * 1024
+                             + lane * 256, 8) for lane in range(32)]
+                out.append(WarpInstruction(0x400000, classes.LOAD, FULL,
+                                           space=SPACE_GLOBAL,
+                                           accesses=accesses))
+            return out
+
+        config = GPUConfig(num_sms=4, warps_per_block=1,
+                           dram_bytes_per_cycle=8.0)
+        lone = GPUSimulator(config).run(_kernel(per_warp, n_warps=1))
+        many_config = GPUConfig(num_sms=4, warps_per_block=1,
+                                dram_bytes_per_cycle=8.0)
+        many = GPUSimulator(many_config).run(_kernel(per_warp, n_warps=4))
+        # 4 SMs streaming share the bandwidth: per-SM time grows.
+        assert many.cycles > lone.cycles
+
+    def test_dram_bytes_counted(self):
+        def per_warp(w):
+            accesses = [(0x2000_0000 + lane * 32, 8) for lane in range(32)]
+            return [WarpInstruction(0x400000, classes.LOAD, FULL,
+                                    space=SPACE_GLOBAL, accesses=accesses)]
+
+        stats = GPUSimulator(rtx3070()).run(_kernel(per_warp))
+        assert stats.dram_bytes == 32 * 32
+
+
+class TestLatencyClasses:
+    @pytest.mark.parametrize("op_class,heavier", [
+        (classes.INT_DIV, classes.INT_ALU),
+        (classes.SFU, classes.FP_ALU),
+    ])
+    def test_expensive_classes_cost_more(self, op_class, heavier):
+        def heavy(w):
+            return [WarpInstruction(0x400000, op_class, FULL)
+                    for _ in range(64)]
+
+        def light(w):
+            return [WarpInstruction(0x400000, heavier, FULL)
+                    for _ in range(64)]
+
+        config = GPUConfig(num_sms=1)
+        slow = GPUSimulator(config).run(_kernel(heavy))
+        fast = GPUSimulator(GPUConfig(num_sms=1)).run(_kernel(light))
+        assert slow.cycles > fast.cycles
+
+    def test_stats_seconds_uses_clock(self):
+        stats = GPUSimulator(GPUConfig(num_sms=1)).run(
+            _kernel(lambda w: _alu(100)))
+        assert stats.seconds(1.0) == pytest.approx(stats.cycles / 1e9)
+        assert stats.seconds(2.0) == pytest.approx(stats.cycles / 2e9)
+
+
+class TestCPUModelDetails:
+    def test_cache_hierarchy_affects_cycles(self):
+        program = build_loop_program()
+        traces, _m = run_traced(
+            program, [("worker", [64], None) for _ in range(4)], ["worker"]
+        )
+        fast = CPUConfig()
+        slow = CPUConfig()
+        slow.l1 = CacheConfig(64, 1, line_bytes=64, hit_latency=1)  # tiny L1
+        slow.dram_latency = 500
+        a = CPUSimulator(fast).run(traces, program)
+        b = CPUSimulator(slow).run(traces, program)
+        assert a.cycles <= b.cycles
+
+    def test_per_core_cycles_reported(self):
+        program = build_loop_program()
+        traces, _m = run_traced(
+            program, [("worker", [16], None) for _ in range(6)], ["worker"]
+        )
+        config = CPUConfig()
+        config.cores = 3
+        stats = CPUSimulator(config).run(traces, program)
+        assert len(stats.per_core_cycles) == 3
+        assert max(stats.per_core_cycles) == stats.cycles
+        assert all(c > 0 for c in stats.per_core_cycles)
+
+    def test_l1_hit_rate_reported(self):
+        program = build_loop_program()
+        traces, _m = run_traced(
+            program, [("worker", [32], None)], ["worker"]
+        )
+        stats = CPUSimulator().run(traces, program)
+        assert 0.0 <= stats.l1_hit_rate <= 1.0

@@ -1,0 +1,172 @@
+"""Tests for the ISA-level standard library (malloc, hash, memcpy)."""
+
+import pytest
+
+from repro.core import analyze_traces
+from repro.isa import Mem
+from repro.machine import Machine
+from repro.program import ProgramBuilder
+from repro.workloads.stdlib import N_ARENAS, Stdlib
+
+from util import run_traced
+
+
+def _lib_program(worker_body):
+    """Build a program with the stdlib installed plus a test worker."""
+    b = ProgramBuilder()
+    lib = Stdlib(b)
+    lib.install()
+    worker_body(b, lib)
+    program = b.build()
+    return b, lib, program
+
+
+class TestMalloc:
+    def _program(self):
+        def body(b, lib):
+            with b.function("worker", args=["size"]) as f:
+                p = f.reg()
+                f.call(p, "malloc", [f.a(0)])
+                f.ret(p)
+
+        return _lib_program(body)
+
+    def test_returns_disjoint_aligned_chunks(self):
+        _b, lib, program = self._program()
+        machine = Machine(program)
+        lib.init_memory(machine, machine.brk_addr)
+        for size in (8, 24, 1, 64):
+            machine.spawn("worker", [size])
+        machine.run()
+        ptrs = [t.retval for t in machine.threads]
+        assert len(set(ptrs)) == 4
+        for p in ptrs:
+            assert p % 8 == 0
+        # Chunks must not overlap: sorted pointers spaced >= rounded size.
+        ordered = sorted(zip(ptrs, (8, 24, 8, 64)))
+        for (p1, s1), (p2, _s2) in zip(ordered, ordered[1:]):
+            assert p2 >= p1 + s1
+
+    def test_global_lock_serializes_within_warp(self):
+        _b, lib, program = self._program()
+        traces, _machine = run_traced(
+            program, [("worker", [16], None) for _ in range(8)],
+            ["worker"],
+            setup=lambda m: lib.init_memory(m, m.brk_addr),
+        )
+        on = analyze_traces(traces, warp_size=8, emulate_locks=True)
+        off = analyze_traces(traces, warp_size=8, emulate_locks=False)
+        assert on.metrics.locks.contended_events >= 1
+        assert on.simt_efficiency < off.simt_efficiency
+
+    def test_brk_advances(self):
+        _b, lib, program = self._program()
+        machine = Machine(program)
+        lib.init_memory(machine, machine.brk_addr)
+        start_brk = machine.memory.load(lib.brk_ptr.value)
+        machine.spawn("worker", [100])
+        machine.run()
+        assert machine.memory.load(lib.brk_ptr.value) >= start_brk + 100
+
+
+class TestMallocFG:
+    def _program(self):
+        def body(b, lib):
+            with b.function("worker", args=["size", "arena"]) as f:
+                p = f.reg()
+                f.call(p, "malloc_fg", [f.a(0), f.a(1)])
+                f.ret(p)
+
+        return _lib_program(body)
+
+    def test_different_arenas_no_lock_events(self):
+        _b, lib, program = self._program()
+        traces, _machine = run_traced(
+            program, [("worker", [32, t], None) for t in range(8)],
+            ["worker"],
+            setup=lambda m: lib.init_memory(m, m.brk_addr),
+        )
+        report = analyze_traces(traces, warp_size=8, emulate_locks=True)
+        assert report.metrics.locks.lock_events == 0
+
+    def test_arena_wraps_modulo(self):
+        _b, lib, program = self._program()
+        machine = Machine(program)
+        lib.init_memory(machine, machine.brk_addr)
+        machine.spawn("worker", [8, 1])
+        machine.spawn("worker", [8, 1 + N_ARENAS])  # same arena
+        machine.run()
+        p1, p2 = (t.retval for t in machine.threads)
+        assert abs(p2 - p1) == 8  # bumped within one arena
+
+    def test_distinct_arenas_are_disjoint_regions(self):
+        _b, lib, program = self._program()
+        machine = Machine(program)
+        lib.init_memory(machine, machine.brk_addr)
+        machine.spawn("worker", [8, 0])
+        machine.spawn("worker", [8, 1])
+        machine.run()
+        p1, p2 = (t.retval for t in machine.threads)
+        assert abs(p2 - p1) >= 1 << 16
+
+
+class TestHash64:
+    def _program(self):
+        def body(b, lib):
+            with b.function("worker", args=["x"]) as f:
+                h = f.reg()
+                f.call(h, "hash64", [f.a(0)])
+                f.ret(h)
+
+        return _lib_program(body)
+
+    def test_deterministic(self):
+        _b, _lib, program = self._program()
+        results = []
+        for _ in range(2):
+            machine = Machine(program)
+            machine.spawn("worker", [0xDEADBEEF])
+            machine.run()
+            results.append(machine.threads[0].retval)
+        assert results[0] == results[1]
+
+    def test_outputs_64_bit(self):
+        _b, _lib, program = self._program()
+        machine = Machine(program)
+        for x in (0, 1, 2, 1 << 63):
+            machine.spawn("worker", [x])
+        machine.run()
+        for thread in machine.threads:
+            assert 0 <= thread.retval < (1 << 64)
+
+    def test_avalanche(self):
+        """Nearby inputs hash far apart (bit-mixing sanity)."""
+        _b, _lib, program = self._program()
+        machine = Machine(program)
+        for x in range(16):
+            machine.spawn("worker", [x])
+        machine.run()
+        hashes = [t.retval for t in machine.threads]
+        assert len(set(hashes)) == 16
+        assert len({h % 64 for h in hashes}) > 8  # spread across buckets
+
+
+class TestMemcpy:
+    def test_copies_exact_words(self):
+        def body(b, lib):
+            src = b.data("src", 8 * 16)
+            dst = b.data("dst", 8 * 16)
+            b._test_addrs = (src.value, dst.value)
+            with b.function("worker", args=["n"]) as f:
+                f.call(None, "memcpy_words",
+                       [dst.value, src.value, f.a(0)])
+                f.ret(0)
+
+        b, _lib, program = _lib_program(body)
+        src, dst = b._test_addrs
+        machine = Machine(program)
+        machine.memory.write_words(src, list(range(100, 116)))
+        machine.spawn("worker", [10])
+        machine.run()
+        assert machine.memory.read_words(dst, 10) == list(range(100, 110))
+        assert machine.memory.load(dst + 8 * 10) == 0  # not over-copied

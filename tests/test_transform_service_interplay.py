@@ -1,0 +1,50 @@
+"""Robustness: compiler transforms x services x lock emulation.
+
+The analyzer must stay conservation-exact when every feature interacts:
+O-level-transformed binaries of lock-using, malloc-using, I/O-performing
+microservices, replayed with intra-warp serialization on.
+"""
+
+import pytest
+
+from repro.core import analyze_traces
+from repro.optlevels import OPT_LEVELS, apply_opt_level
+from repro.workloads import get_workload, trace_instance
+
+N = 32
+
+
+@pytest.mark.parametrize("name", ["memcached", "dsb_post", "hdsearch_mid"])
+@pytest.mark.parametrize("level", OPT_LEVELS)
+def test_transformed_services_replay_exactly(name, level):
+    instance = get_workload(name).instantiate(N)
+    program = apply_opt_level(instance.program, level)
+    traces, _machine = trace_instance(instance, program=program)
+    report = analyze_traces(traces, warp_size=16, emulate_locks=True)
+    assert report.metrics.thread_instructions == traces.total_instructions
+    assert 0 < report.simt_efficiency <= 1.0
+
+
+@pytest.mark.parametrize("name", ["memcached", "hdsearch_mid"])
+def test_o0_inflates_instructions_but_not_results(name):
+    instance = get_workload(name).instantiate(N)
+    base_traces, base_machine = trace_instance(instance)
+    o0 = apply_opt_level(instance.program, "O0")
+    o0_traces, o0_machine = trace_instance(instance, program=o0)
+    assert o0_traces.total_instructions > base_traces.total_instructions
+    # Same externally visible behaviour: identical I/O reply streams.
+    base_out = [v for t in base_machine.threads for v in t.io_out]
+    o0_out = [v for t in o0_machine.threads for v in t.io_out]
+    assert base_out == o0_out
+
+
+@pytest.mark.parametrize("level", OPT_LEVELS)
+def test_fig7_story_survives_compilation_level(level):
+    """The getpoint bottleneck is visible at every optimization level."""
+    instance = get_workload("hdsearch_mid").instantiate(N)
+    program = apply_opt_level(instance.program, level)
+    traces, _machine = trace_instance(instance, program=program)
+    report = analyze_traces(traces, warp_size=16)
+    per_fn = {fr.name: fr for fr in report.per_function()}
+    assert per_fn["getpoint"].instruction_share > 0.3, level
+    assert per_fn["getpoint"].efficiency < 0.5, level

@@ -1,0 +1,59 @@
+"""Unit tests for warp-formation policies on synthetic trace sets."""
+
+import pytest
+
+from repro.core import POLICIES, form_warps
+from repro.core.warp import (
+    cpu_affine_batching,
+    linear_batching,
+    strided_batching,
+)
+from repro.tracer.events import TraceSet
+
+
+def _traces(n, cpu_of=lambda i: i % 4, root_of=lambda i: "w"):
+    traces = TraceSet("t")
+    for i in range(n):
+        trace = traces.new_thread(cpu_of(i), root_of(i))
+        trace.tokens = [("B", 0x400000, 1, ())]
+    return traces
+
+
+class TestPolicies:
+    def test_linear_keeps_index_order(self):
+        warps = linear_batching(list(_traces(10)), 4)
+        assert [t.index for t in warps[0]] == [0, 1, 2, 3]
+        assert [len(w) for w in warps] == [4, 4, 2]
+
+    def test_cpu_affine_groups_by_cpu(self):
+        warps = cpu_affine_batching(list(_traces(8)), 2)
+        for warp in warps:
+            assert len({t.cpu_tid for t in warp}) == 1
+
+    def test_strided_stripes_indices(self):
+        warps = strided_batching(list(_traces(8)), 4)
+        assert [t.index for t in warps[0]] == [0, 2, 4, 6]
+        assert [t.index for t in warps[1]] == [1, 3, 5, 7]
+
+    def test_every_policy_partitions(self):
+        for name in POLICIES:
+            traces = _traces(13)
+            warps = form_warps(traces, 4, name)
+            indices = sorted(t.index for w in warps for t in w)
+            assert indices == list(range(13)), name
+
+    def test_warp_size_one(self):
+        warps = form_warps(_traces(5), 1)
+        assert len(warps) == 5
+
+    def test_invalid_warp_size(self):
+        with pytest.raises(ValueError):
+            form_warps(_traces(4), 0)
+
+    def test_roots_partition_before_policy(self):
+        traces = _traces(8, root_of=lambda i: "a" if i < 3 else "b")
+        warps = form_warps(traces, 4, "linear")
+        sizes = sorted(len(w) for w in warps)
+        assert sizes == [3, 4, 4][:len(sizes)] or sizes == [1, 3, 4]
+        for warp in warps:
+            assert len({t.root for t in warp}) == 1

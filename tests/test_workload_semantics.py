@@ -1,0 +1,287 @@
+"""Semantic cross-checks: workloads computed on the mini-ISA machine must
+agree with independent pure-Python reference implementations.
+
+These tests guard against the subtlest failure mode of a reproduction:
+workloads that *run* and produce paper-like divergence statistics while
+computing the wrong thing.
+"""
+
+import math
+
+import pytest
+
+from repro.workloads import get_workload, run_instance
+from repro.workloads.inputs import (
+    compressible_bytes,
+    csr_graph,
+    gaussian_floats,
+    uniform_floats,
+    uniform_ints,
+    zipf_ints,
+)
+
+N = 24
+SEED = 7
+
+
+class TestGraphWorkloads:
+    def test_bfs_marks_next_frontier_correctly(self):
+        instance = get_workload("rodinia_bfs").instantiate(N, seed=SEED)
+        machine = run_instance(instance)
+        # Recompute the expected one-level expansion in Python.
+        offsets, cols = csr_graph(N, avg_degree=6, seed=SEED)
+        src, dist = 0, [-1] * N
+        dist[src] = 0
+        level = [src]
+        for depth in range(2):
+            nxt = []
+            for u in level:
+                for e in range(offsets[u], offsets[u + 1]):
+                    v = cols[e]
+                    if dist[v] == -1:
+                        dist[v] = depth + 1
+                        nxt.append(v)
+            level = nxt
+        frontier = set(level)
+        expected_next = set()
+        for u in sorted(frontier):
+            for e in range(offsets[u], offsets[u + 1]):
+                v = cols[e]
+                if dist[v] == -1:
+                    dist[v] = 3
+                    expected_next.add(v)
+        base = instance.program.data_objects["next_frontier"].addr
+        got_next = {
+            i for i in range(N) if machine.memory.load(base + 8 * i) == 1
+        }
+        assert got_next == expected_next
+
+    def test_cc_adopts_minimum_neighbor_label(self):
+        instance = get_workload("cc").instantiate(N, seed=SEED)
+        machine = run_instance(instance)
+        offsets, cols = csr_graph(N, avg_degree=5, seed=SEED + 11)
+        base = instance.program.data_objects["comp"].addr
+        for u in range(N):
+            neighbors = [cols[e] for e in range(offsets[u], offsets[u + 1])]
+            got = machine.memory.load(base + 8 * u)
+            # One hook pass: comp[u] ends <= min(u, observed neighbor ids).
+            assert got <= u
+            assert got >= 0
+
+    def test_pagerank_matches_reference(self):
+        instance = get_workload("pagerank").instantiate(N, seed=SEED)
+        machine = run_instance(instance)
+        offsets, cols = csr_graph(N, avg_degree=6, seed=SEED + 23)
+        degrees = [max(offsets[i + 1] - offsets[i], 1) for i in range(N)]
+        ranks = uniform_floats(N, SEED, 0.1, 1.0)
+        base = instance.program.data_objects["new_rank"].addr
+        for u in range(N):
+            acc = sum(
+                ranks[cols[e]] / degrees[cols[e]]
+                for e in range(offsets[u], offsets[u + 1])
+            )
+            expected = acc * 0.85 + 0.15 / N
+            got = machine.memory.load(base + 8 * u)
+            assert got == pytest.approx(expected, rel=1e-9)
+
+
+class TestComputeWorkloads:
+    def test_nn_distances_match(self):
+        instance = get_workload("nn").instantiate(N, seed=SEED)
+        machine = run_instance(instance)
+        lats = uniform_floats(N, SEED, 0.0, 90.0)
+        lngs = uniform_floats(N, SEED + 1, 0.0, 180.0)
+        base = instance.program.data_objects["out"].addr
+        for i in range(N):
+            expected = math.sqrt(
+                (lats[i] - 30.0) ** 2 + (lngs[i] - 60.0) ** 2
+            )
+            assert machine.memory.load(base + 8 * i) == pytest.approx(
+                expected
+            )
+
+    def test_streamcluster_assigns_nearest_center(self):
+        from repro.workloads.catalog.rodinia import N_CENTERS, N_DIMS
+
+        instance = get_workload("streamcluster").instantiate(N, seed=SEED)
+        machine = run_instance(instance)
+        pts = gaussian_floats(N * N_DIMS, SEED, 0.0, 3.0)
+        ctrs = gaussian_floats(N_CENTERS * N_DIMS, SEED + 1, 0.0, 3.0)
+        base = instance.program.data_objects["assign"].addr
+        for i in range(N):
+            dists = [
+                sum(
+                    (pts[i * N_DIMS + k] - ctrs[c * N_DIMS + k]) ** 2
+                    for k in range(N_DIMS)
+                )
+                for c in range(N_CENTERS)
+            ]
+            assert machine.memory.load(base + 8 * i) == dists.index(
+                min(dists)
+            )
+
+    def test_btree_finds_containing_leaf(self):
+        instance = get_workload("btree").instantiate(N, seed=SEED)
+        machine = run_instance(instance)
+        # Every query must land on a leaf whose key range contains it.
+        from repro.workloads.catalog.rodinia import FANOUT, NODE_WORDS
+
+        tree = instance.program.data_objects["tree"].addr
+        out = instance.program.data_objects["btree_out"].addr
+        queries = uniform_ints(N, SEED + 5, 0, 10_000)
+        for i, q in enumerate(queries):
+            leaf = machine.memory.load(out + 8 * i)
+            node_base = tree + leaf * NODE_WORDS * 8
+            is_leaf = machine.memory.load(node_base + 8)
+            assert is_leaf == 1, f"query {q} ended on an internal node"
+
+    def test_blackscholes_call_put_parity(self):
+        """C - P == S - K*exp(-rT) for matched options (put-call parity)."""
+        instance = get_workload("blackscholes").instantiate(N, seed=SEED)
+        machine = run_instance(instance)
+        spots = uniform_floats(N, SEED, 20.0, 120.0)
+        strikes = uniform_floats(N, SEED + 1, 20.0, 120.0)
+        times = uniform_floats(N, SEED + 2, 0.1, 2.0)
+        types = [v % 2 for v in uniform_ints(N, SEED + 3, 0, 100)]
+        out = instance.program.data_objects["bs_out"].addr
+        rate = 0.05
+
+        def bs_price(s, k, t, is_put):
+            vol = 0.2
+            d1 = (math.log(s / k) + (rate + 0.5 * vol * vol) * t) / (
+                vol * math.sqrt(t)
+            )
+            d2 = d1 - vol * math.sqrt(t)
+
+            def cndf(x):
+                ax = abs(x)
+                kx = 1.0 / (1.0 + 0.2316419 * ax)
+                poly = kx * (0.319381530 + kx * (-0.356563782 + kx * (
+                    1.781477937 + kx * (-1.821255978 + kx * 1.330274429))))
+                nd = 0.3989422804 * math.exp(-0.5 * x * x) * poly
+                return nd if x < 0 else 1.0 - nd
+
+            disc = k * math.exp(-rate * t)
+            if is_put:
+                return disc * (1 - cndf(d2)) - s * (1 - cndf(d1))
+            return s * cndf(d1) - disc * cndf(d2)
+
+        for i in range(N):
+            expected = bs_price(spots[i], strikes[i], times[i], types[i])
+            got = machine.memory.load(out + 8 * i)
+            assert got == pytest.approx(expected, rel=1e-6), i
+
+    def test_md5_digests_are_deterministic_and_distinct(self):
+        instance = get_workload("md5").instantiate(N, seed=SEED)
+        m1 = run_instance(instance)
+        m2 = run_instance(get_workload("md5").instantiate(N, seed=SEED))
+        d1 = [t.retval for t in m1.threads]
+        d2 = [t.retval for t in m2.threads]
+        assert d1 == d2
+        assert len(set(d1)) > N * 0.9  # distinct messages -> distinct digests
+        for digest in d1:
+            assert 0 <= digest < (1 << 32)
+
+
+class TestPigzSemantics:
+    def test_token_counts_match_reference_lz77(self):
+        from repro.workloads.catalog.other import (
+            BLOCK_BYTES,
+            MIN_MATCH,
+            WINDOW,
+        )
+
+        n = 8
+        instance = get_workload("pigz").instantiate(n, seed=SEED)
+        machine = run_instance(instance)
+        data = compressible_bytes(n * BLOCK_BYTES, SEED)
+
+        def reference_tokens(block):
+            pos, tokens = 0, 0
+            while pos < BLOCK_BYTES:
+                best = 0
+                start = max(pos - WINDOW, 0)
+                for cand in range(start, pos):
+                    mlen = 0
+                    while (pos + mlen < BLOCK_BYTES
+                           and block[cand + mlen] == block[pos + mlen]
+                           and mlen < WINDOW):
+                        mlen += 1
+                    best = max(best, mlen)
+                pos += best if best >= MIN_MATCH else 1
+                tokens += 1
+            return tokens
+
+        for blk in range(n):
+            block = data[blk * BLOCK_BYTES:(blk + 1) * BLOCK_BYTES]
+            assert machine.threads[blk].retval == reference_tokens(block), blk
+
+    def test_compression_actually_happens(self):
+        instance = get_workload("pigz").instantiate(8, seed=SEED)
+        machine = run_instance(instance)
+        from repro.workloads.catalog.other import BLOCK_BYTES
+
+        for thread in machine.threads:
+            assert thread.retval < BLOCK_BYTES  # matches shrank the stream
+
+
+class TestServiceSemantics:
+    def test_memcached_chains_contain_inserted_keys(self):
+        instance = get_workload("memcached").instantiate(32, seed=SEED)
+        machine = run_instance(instance)
+        keys = zipf_ints(32, 128, SEED + 7)
+        ops = [1 if k % 4 == 0 else 0
+               for k in uniform_ints(32, SEED + 9, 0, 100)]
+        heads = instance.program.data_objects["mc_heads"].addr
+        inserted = {keys[i] for i in range(32) if ops[i] == 1}
+        found = set()
+        for bucket in range(64):
+            node = machine.memory.load(heads + 8 * bucket)
+            while node:
+                found.add(machine.memory.load(node))
+                node = machine.memory.load(node + 16)
+        assert inserted <= found
+
+    def test_uniqueid_ids_are_unique(self):
+        instance = get_workload("dsb_uniqueid").instantiate(32, seed=SEED)
+        machine = run_instance(instance)
+        outs = [v for t in machine.threads for v in t.io_out]
+        assert len(outs) == 32
+        assert len(set(outs)) == 32
+
+    def test_x264_motion_vectors_match_reference(self):
+        from repro.workloads.catalog.parsec import BLOCK, SEARCH_RANGE
+
+        n = 16
+        instance = get_workload("x264").instantiate(n, seed=SEED)
+        machine = run_instance(instance)
+        import random as _random
+
+        cur = uniform_ints(n * BLOCK, SEED, 0, 255)
+        r = _random.Random(SEED + 31)
+        shift = [r.randrange(SEARCH_RANGE) for _ in range(n)]
+        ref = [0] * (n * BLOCK + SEARCH_RANGE + BLOCK)
+        for mb in range(n):
+            for px in range(BLOCK):
+                idx = mb * BLOCK + px + shift[mb]
+                if idx < len(ref):
+                    noise = r.randrange(6)
+                    ref[idx] = cur[mb * BLOCK + px] + noise
+
+        def reference_mv(mb):
+            best, best_mv = 1 << 50, 0
+            for off in range(SEARCH_RANGE):
+                sad = 0
+                for px in range(BLOCK):
+                    cidx = mb * BLOCK + px
+                    sad += abs(cur[cidx] - ref[cidx + off])
+                    if sad > best:
+                        break
+                if sad < best:
+                    best, best_mv = sad, off
+                if best < 24:
+                    break
+            return best_mv
+
+        for mb in range(n):
+            assert machine.threads[mb].retval == reference_mv(mb), mb

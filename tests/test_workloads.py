@@ -1,0 +1,156 @@
+"""Tests for the workload catalog: registry completeness, runnability,
+paper-shape properties of key workloads."""
+
+import pytest
+
+from repro.core import analyze_traces
+from repro.gpuref import LockstepGPU
+from repro.machine import SEG_HEAP
+from repro.workloads import (
+    all_workloads,
+    correlation_workloads,
+    get_workload,
+    run_instance,
+    trace_instance,
+)
+
+N = 16  # small thread count keeps the full-catalog tests fast
+
+
+@pytest.fixture(scope="module")
+def reports():
+    """Trace + analyze every workload once (shared across tests)."""
+    out = {}
+    for workload in all_workloads():
+        instance = workload.instantiate(n_threads=N)
+        traces, _machine = trace_instance(instance)
+        out[workload.name] = (
+            instance, traces, analyze_traces(traces, warp_size=N)
+        )
+    return out
+
+
+class TestRegistry:
+    def test_catalog_covers_table1(self):
+        names = {w.name for w in all_workloads()}
+        # 36 Table I workloads + the Fig. 7 fixed variant.
+        assert len(names) >= 36
+        for expected in ("rodinia_bfs", "nn", "streamcluster", "btree",
+                         "particlefilter", "pp_bfs", "cc", "pagerank",
+                         "nbody", "vectoradd", "uncoalesced", "memcached",
+                         "textsearch_mid", "textsearch_leaf",
+                         "hdsearch_mid", "hdsearch_leaf", "dsb_post",
+                         "dsb_text", "dsb_urlshort", "dsb_uniqueid",
+                         "dsb_usertag", "dsb_user", "blackscholes",
+                         "bodytrack", "facesim", "fluidanimate",
+                         "freqmine", "swaptions", "vips", "x264", "pigz",
+                         "rotate", "md5"):
+            assert expected in names, expected
+
+    def test_eleven_correlation_workloads(self):
+        assert len(correlation_workloads()) == 11
+
+    def test_paper_thread_counts_recorded(self):
+        for workload in all_workloads():
+            assert workload.paper_simt_threads >= 128
+
+    def test_get_workload_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_workload("not-a-workload")
+
+
+class TestEveryWorkloadRuns:
+    def test_all_traceable_and_analyzable(self, reports):
+        for name, (_instance, traces, report) in reports.items():
+            assert len(traces) >= N, name
+            assert traces.total_instructions > 0, name
+            assert 0 < report.simt_efficiency <= 1.0, name
+
+    def test_instruction_conservation_everywhere(self, reports):
+        for name, (_instance, traces, report) in reports.items():
+            assert (report.metrics.thread_instructions
+                    == traces.total_instructions), name
+
+    def test_determinism(self):
+        workload = get_workload("memcached")
+        a = trace_instance(workload.instantiate(N))[0]
+        b = trace_instance(workload.instantiate(N))[0]
+        assert a.total_instructions == b.total_instructions
+        assert [t.tokens for t in a] == [t.tokens for t in b]
+
+    def test_correlation_kernels_run_on_oracle(self):
+        for workload in correlation_workloads():
+            instance = workload.instantiate(N)
+            assert instance.gpu is not None, workload.name
+            gpu = LockstepGPU(instance.gpu.program, warp_size=N)
+            if instance.gpu.setup is not None:
+                instance.gpu.setup(gpu)
+            report = gpu.run_kernel(
+                instance.gpu.kernel, instance.gpu.args_per_thread
+            )
+            assert 0 < report.simt_efficiency <= 1.0, workload.name
+
+
+class TestPaperShapes:
+    """The qualitative claims of Fig. 1 / Sec. V must hold."""
+
+    def test_uniform_workloads_are_efficient(self, reports):
+        for name in ("nbody", "md5", "vectoradd", "nn", "swaptions",
+                     "vips", "facesim", "dsb_uniqueid"):
+            assert reports[name][2].simt_efficiency > 0.9, name
+
+    def test_pigz_is_divergent(self, reports):
+        assert reports["pigz"][2].simt_efficiency < 0.45
+
+    def test_hdsearch_mid_is_the_bottleneck_case(self, reports):
+        report = reports["hdsearch_mid"][2]
+        assert report.simt_efficiency < 0.3
+        per_fn = {fr.name: fr for fr in report.per_function()}
+        # getpoint dominates the instruction count and is divergent.
+        assert per_fn["getpoint"].instruction_share > 0.35
+        assert per_fn["getpoint"].efficiency < 0.35
+
+    def test_hdsearch_fix_recovers_efficiency(self, reports):
+        stock = reports["hdsearch_mid"][2].simt_efficiency
+        fixed = reports["hdsearch_mid_fixed"][2].simt_efficiency
+        assert fixed > 0.85
+        assert fixed > 4 * stock
+
+    def test_efficiency_declines_with_warp_width(self, reports):
+        """Fig. 1: every divergent workload degrades as warps widen."""
+        for name in ("pigz", "rodinia_bfs", "memcached", "dsb_text"):
+            _instance, traces, _r = reports[name]
+            effs = [
+                analyze_traces(traces, warp_size=w).simt_efficiency
+                for w in (4, 8, 16)
+            ]
+            assert effs[0] >= effs[1] >= effs[2], (name, effs)
+
+    def test_microservices_trace_around_ninety_percent(self, reports):
+        from repro.analysis import geomean
+
+        micro = [name for name, (inst, _t, _r) in reports.items()
+                 if inst.roots == ["handle"]]
+        fractions = [reports[m][1].traced_fraction() for m in micro]
+        assert 0.8 < geomean(fractions) < 0.99
+
+    def test_uncoalesced_has_more_transactions_than_vectoradd(self, reports):
+        coal = reports["vectoradd"][2]
+        uncoal = reports["uncoalesced"][2]
+        assert (uncoal.transactions_per_load_store(SEG_HEAP)
+                > 2 * coal.transactions_per_load_store(SEG_HEAP))
+
+    def test_memcached_counter_semantics(self):
+        instance = get_workload("memcached").instantiate(N)
+        machine = run_instance(instance)
+        # All SET requests inserted nodes: chains grew, machine finished.
+        assert all(t.state == "done" for t in machine.threads)
+
+    def test_lock_emulation_modest_for_fine_grained_services(self, reports):
+        for name in ("memcached", "dsb_urlshort"):
+            _instance, traces, _r = reports[name]
+            off = analyze_traces(traces, warp_size=16).simt_efficiency
+            on = analyze_traces(traces, warp_size=16,
+                                emulate_locks=True).simt_efficiency
+            assert on <= off + 1e-9
+            assert on > 0.5 * off, name  # "not substantial" (Fig. 9)
