@@ -17,8 +17,9 @@ import sys
 
 import pytest
 
-from repro.core import ThreadFuserAnalyzer, AnalyzerConfig
-from repro.workloads import all_workloads, get_workload, trace_instance
+from repro.core import AnalyzerConfig
+from repro.session import AnalysisSession
+from repro.workloads import all_workloads
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -37,26 +38,31 @@ def emit(name: str, text: str) -> None:
 
 
 class TraceCache:
-    """Session cache: workload name -> (instance, traces)."""
+    """Thin facade over a shared :class:`AnalysisSession`.
 
-    def __init__(self) -> None:
-        self._cache = {}
+    Stage outputs (traces, DCFG/IPDOM tables, reports) are memoized by
+    the session; set ``THREADFUSER_BENCH_CACHE_DIR`` to also persist
+    them across benchmark runs via the on-disk artifact store.
+    """
+
+    def __init__(self, session: AnalysisSession = None) -> None:
+        self.session = session or AnalysisSession(
+            cache_dir=os.environ.get("THREADFUSER_BENCH_CACHE_DIR"),
+            jobs=int(os.environ.get("THREADFUSER_BENCH_JOBS", "1")),
+        )
 
     def get(self, name: str, n_threads: int = BENCH_THREADS):
-        key = (name, n_threads)
-        if key not in self._cache:
-            instance = get_workload(name).instantiate(n_threads)
-            traces, _machine = trace_instance(instance)
-            self._cache[key] = (instance, traces)
-        return self._cache[key]
+        instance = self.session.build(name, n_threads)
+        traces = self.session.trace(name, n_threads=n_threads)
+        return instance, traces
 
     def report(self, name: str, warp_size: int,
                n_threads: int = BENCH_THREADS, emulate_locks: bool = False):
-        instance, traces = self.get(name, n_threads)
-        analyzer = ThreadFuserAnalyzer(
-            AnalyzerConfig(warp_size=warp_size, emulate_locks=emulate_locks)
+        return self.session.analyze(
+            name, n_threads=n_threads,
+            config=AnalyzerConfig(warp_size=warp_size,
+                                  emulate_locks=emulate_locks),
         )
-        return analyzer.analyze(traces)
 
 
 @pytest.fixture(scope="session")

@@ -10,10 +10,10 @@ removes apparent divergence from the CPU traces.
 from conftest import emit, run_once
 
 from repro.analysis import error_band_summary, mean_absolute_error, pearson
-from repro.core import analyze_traces
+from repro.core import AnalyzerConfig
 from repro.gpuref import LockstepGPU
-from repro.optlevels import OPT_LEVELS, apply_opt_level
-from repro.workloads import correlation_workloads, trace_instance
+from repro.optlevels import OPT_LEVELS
+from repro.workloads import correlation_workloads
 
 N_THREADS = 96
 WARP = 32
@@ -28,19 +28,21 @@ def _oracle_efficiency(instance):
     return report.simt_efficiency
 
 
-def test_fig5a_efficiency_correlation(benchmark):
+def test_fig5a_efficiency_correlation(benchmark, traces_cache):
+    session = traces_cache.session
+
     def experiment():
         measured = {}
         predicted = {lvl: {} for lvl in OPT_LEVELS}
         for workload in correlation_workloads():
-            instance = workload.instantiate(N_THREADS)
+            instance = session.build(workload.name, N_THREADS)
             measured[workload.name] = _oracle_efficiency(instance)
             for lvl in OPT_LEVELS:
-                program = apply_opt_level(instance.program, lvl)
-                traces, _m = trace_instance(instance, program=program)
-                predicted[lvl][workload.name] = analyze_traces(
-                    traces, warp_size=WARP
-                ).simt_efficiency
+                report = session.analyze(
+                    workload.name, n_threads=N_THREADS, opt_level=lvl,
+                    config=AnalyzerConfig(warp_size=WARP),
+                )
+                predicted[lvl][workload.name] = report.simt_efficiency
         return measured, predicted
 
     measured, predicted = run_once(benchmark, experiment)

@@ -12,11 +12,11 @@ import math
 from conftest import emit, run_once
 
 from repro.analysis import mean_absolute_error, pearson
-from repro.core import analyze_traces
+from repro.core import AnalyzerConfig
 from repro.gpuref import LockstepGPU
 from repro.machine import SEG_HEAP
-from repro.optlevels import OPT_LEVELS, apply_opt_level
-from repro.workloads import correlation_workloads, trace_instance
+from repro.optlevels import OPT_LEVELS
+from repro.workloads import correlation_workloads
 
 N_THREADS = 96
 WARP = 32
@@ -31,17 +31,20 @@ def _oracle_heap_txns(instance):
     return report.heap_transactions
 
 
-def test_fig5b_memory_correlation(benchmark):
+def test_fig5b_memory_correlation(benchmark, traces_cache):
+    session = traces_cache.session
+
     def experiment():
         measured = {}
         predicted = {lvl: {} for lvl in OPT_LEVELS}
         for workload in correlation_workloads():
-            instance = workload.instantiate(N_THREADS)
+            instance = session.build(workload.name, N_THREADS)
             measured[workload.name] = _oracle_heap_txns(instance)
             for lvl in OPT_LEVELS:
-                program = apply_opt_level(instance.program, lvl)
-                traces, _m = trace_instance(instance, program=program)
-                report = analyze_traces(traces, warp_size=WARP)
+                report = session.analyze(
+                    workload.name, n_threads=N_THREADS, opt_level=lvl,
+                    config=AnalyzerConfig(warp_size=WARP),
+                )
                 predicted[lvl][workload.name] = report.heap_transactions
         return measured, predicted
 

@@ -1,0 +1,60 @@
+"""Artifact-store effectiveness: cold vs warm AnalysisSession timing.
+
+A cold session pays for machine execution (tracing) plus replay; a warm
+session serves the finished report straight from the content-addressed
+store.  This benchmark records both, per workload, and asserts the warm
+path does zero machine execution.
+"""
+
+import shutil
+import tempfile
+import time
+
+from conftest import emit, run_once
+
+from repro.session import AnalysisSession
+
+WORKLOADS = ["vectoradd", "nn", "btree", "dsb_text", "memcached"]
+N_THREADS = 64
+WARP = 32
+
+
+def test_cold_vs_warm_session(benchmark):
+    cache_dir = tempfile.mkdtemp(prefix="tf-bench-cache-")
+
+    def experiment():
+        rows = {}
+        for name in WORKLOADS:
+            cold = AnalysisSession(cache_dir=cache_dir)
+            t0 = time.perf_counter()
+            cold.analyze(name, n_threads=N_THREADS)
+            cold_s = time.perf_counter() - t0
+            assert cold.executions == 1
+
+            warm = AnalysisSession(cache_dir=cache_dir)
+            t0 = time.perf_counter()
+            warm.analyze(name, n_threads=N_THREADS)
+            warm_s = time.perf_counter() - t0
+            assert warm.executions == 0, "warm run must not execute"
+            rows[name] = (cold_s, warm_s)
+        return rows
+
+    try:
+        rows = run_once(benchmark, experiment)
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    lines = [
+        f"AnalysisSession artifact cache, cold vs warm "
+        f"({N_THREADS} threads, warp {WARP})",
+        "{:<14} {:>10} {:>10} {:>9}".format(
+            "workload", "cold(s)", "warm(s)", "speedup"),
+    ]
+    for name, (cold_s, warm_s) in rows.items():
+        speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+        lines.append(f"{name:<14} {cold_s:>10.3f} {warm_s:>10.3f} "
+                     f"{speedup:>8.1f}x")
+        assert warm_s < cold_s
+    lines.append("warm sessions served every report from the store "
+                 "(0 machine executions)")
+    emit("session_cache_timing", "\n".join(lines))

@@ -15,44 +15,48 @@ Three studies on workloads from the catalog:
 Run:  python examples/architect_study.py
 """
 
-from repro.core import analyze_traces
+from repro.core import AnalyzerConfig
 from repro.cpusim import CPUSimulator, xeon_e5_2630
+from repro.session import AnalysisSession
 from repro.simulator import GPUSimulator, rtx3070, small_simt_cpu
 from repro.tracegen import generate_kernel_trace
-from repro.workloads import get_workload, trace_instance
 
 WORKLOADS = ["nbody", "memcached", "dsb_text", "pigz"]
 N_THREADS = 96
 
 
 def main() -> None:
-    traced = {}
-    for name in WORKLOADS:
-        instance = get_workload(name).instantiate(N_THREADS)
-        traced[name] = (instance, trace_instance(instance)[0])
+    # One session shares traces and DCFG/IPDOM tables across all three
+    # studies; jobs=2 generates the cold traces concurrently.
+    session = AnalysisSession(jobs=2)
+    traced = session.trace_many(WORKLOADS, n_threads=N_THREADS)
 
     print("Study 1: SIMT efficiency vs warp width")
     print(f"{'workload':<14} {'w=8':>8} {'w=16':>8} {'w=32':>8}")
-    for name, (_instance, traces) in traced.items():
-        effs = [analyze_traces(traces, warp_size=w).simt_efficiency
-                for w in (8, 16, 32)]
-        print(f"{name:<14} " + " ".join(f"{e:8.1%}" for e in effs))
+    for name in WORKLOADS:
+        sweep = session.sweep(name, (8, 16, 32), n_threads=N_THREADS)
+        print(f"{name:<14} " + " ".join(
+            f"{sweep[w].simt_efficiency:8.1%}" for w in (8, 16, 32)))
     print("-> narrower warps recover efficiency on divergent workloads;"
           " uniform ones are insensitive.\n")
 
     print("Study 2: intra-warp lock serialization (warp size 32)")
     print(f"{'workload':<14} {'no locks':>10} {'emulated':>10}")
-    for name, (_instance, traces) in traced.items():
-        off = analyze_traces(traces, warp_size=32).simt_efficiency
-        on = analyze_traces(traces, warp_size=32,
-                            emulate_locks=True).simt_efficiency
+    for name in WORKLOADS:
+        off = session.analyze(name, n_threads=N_THREADS).simt_efficiency
+        on = session.analyze(
+            name, n_threads=N_THREADS,
+            config=AnalyzerConfig(emulate_locks=True),
+        ).simt_efficiency
         print(f"{name:<14} {off:>10.1%} {on:>10.1%}")
     print("-> fine-grained locking keeps the fusion penalty small.\n")
 
     print("Study 3: RTX3070-class GPU vs a small CPU-like SIMT machine")
     cpu_model = CPUSimulator(xeon_e5_2630())
     print(f"{'workload':<14} {'GPU(32-wide)':>14} {'SIMT-CPU(8-wide)':>18}")
-    for name, (instance, traces) in traced.items():
+    for name in WORKLOADS:
+        instance = session.build(name, N_THREADS)
+        traces = traced[name]
         cpu_cycles = cpu_model.run(traces, instance.program).cycles
         cpu_seconds = cpu_cycles / (2.6e9)
         row = [name]

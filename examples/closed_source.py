@@ -18,14 +18,14 @@ import os
 import tempfile
 
 from repro.core import analyze_traces
+from repro.session import AnalysisSession
 from repro.tracer import load_traces, save_traces
-from repro.workloads import get_workload, trace_instance
 
 
 def vendor_side(path: str) -> None:
     """The party with the binary: run it traced, ship the trace file."""
-    instance = get_workload("dsb_usertag").instantiate(96)
-    traces, _machine = trace_instance(instance)
+    session = AnalysisSession()
+    traces = session.trace("dsb_usertag", n_threads=96)
     save_traces(traces, path)
     print(f"[vendor]  traced {len(traces)} requests "
           f"({traces.total_instructions} instructions) -> {path} "

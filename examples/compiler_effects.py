@@ -9,17 +9,18 @@ against direct lock-step execution of the CUDA twin on the GPU oracle.
 Run:  python examples/compiler_effects.py
 """
 
-from repro.core import analyze_traces
 from repro.gpuref import LockstepGPU
-from repro.optlevels import OPT_LEVELS, apply_opt_level
-from repro.workloads import get_workload, trace_instance
+from repro.optlevels import OPT_LEVELS
+from repro.session import AnalysisSession
 
 N_THREADS = 96
 
 
 def main() -> None:
-    workload = get_workload("vectoradd")
-    instance = workload.instantiate(N_THREADS)
+    # The session's transform stage recompiles the same workload at each
+    # level; traces and reports are cached per (workload, opt_level).
+    session = AnalysisSession()
+    instance = session.build("vectoradd", N_THREADS)
 
     gpu = LockstepGPU(instance.gpu.program, warp_size=32)
     instance.gpu.setup(gpu)
@@ -33,9 +34,10 @@ def main() -> None:
     print(f"{'oracle':<8} {'-':>9} {oracle.simt_efficiency:>9.1%} "
           f"{oracle.heap_transactions:>10} {oracle.stack_transactions:>11}")
     for level in OPT_LEVELS:
-        program = apply_opt_level(instance.program, level)
-        traces, _machine = trace_instance(instance, program=program)
-        report = analyze_traces(traces, warp_size=32)
+        traces = session.trace("vectoradd", n_threads=N_THREADS,
+                               opt_level=level)
+        report = session.analyze("vectoradd", n_threads=N_THREADS,
+                                 opt_level=level)
         print(f"{level:<8} {traces.total_instructions:>9} "
               f"{report.simt_efficiency:>9.1%} "
               f"{report.heap_transactions:>10} "

@@ -14,18 +14,20 @@ Replays the paper's HDSearch-Midtier case study end to end:
 Run:  python examples/port_advisor.py
 """
 
-from repro.core import analyze_traces
+from repro.session import AnalysisSession
 from repro.simulator import project_speedup
-from repro.workloads import get_workload, trace_instance
+from repro.workloads import get_workload
 
 N_REQUESTS = 96
+
+SESSION = AnalysisSession()
 
 
 def analyze(name: str):
     workload = get_workload(name)
-    instance = workload.instantiate(N_REQUESTS)
-    traces, _machine = trace_instance(instance)
-    report = analyze_traces(traces, warp_size=32)
+    instance = SESSION.build(name, N_REQUESTS)
+    traces = SESSION.trace(name, n_threads=N_REQUESTS)
+    report = SESSION.analyze(name, n_threads=N_REQUESTS)
     speedup = project_speedup(
         traces, instance.program,
         launch_threads=workload.paper_simt_threads,

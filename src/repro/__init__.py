@@ -14,20 +14,28 @@ Reproduction of Alawneh et al., MICRO 2024.  The public API spans:
   correlation studies;
 * :mod:`repro.optlevels` -- gcc-like O0-O3 IR transforms;
 * :mod:`repro.workloads` -- the paper's 36-workload catalog;
-* :mod:`repro.baselines` -- the XAPP-style ML baseline.
+* :mod:`repro.baselines` -- the XAPP-style ML baseline;
+* :mod:`repro.session` / :mod:`repro.artifacts` -- the staged
+  :class:`AnalysisSession` pipeline with its content-addressed artifact
+  cache and multiprocess warp replay.
 """
 
+from .artifacts import ArtifactStore, default_cache_dir
 from .core.analyzer import AnalyzerConfig, ThreadFuserAnalyzer, analyze_traces
 from .core.report import AnalysisReport
 from .pipeline import analyze_program, trace_program
+from .session import AnalysisSession
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AnalyzerConfig",
     "ThreadFuserAnalyzer",
     "analyze_traces",
     "AnalysisReport",
+    "AnalysisSession",
+    "ArtifactStore",
+    "default_cache_dir",
     "analyze_program",
     "trace_program",
     "__version__",

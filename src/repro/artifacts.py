@@ -1,0 +1,306 @@
+"""Content-addressed on-disk artifact store for analysis stages.
+
+The paper's own use cases (warp-size sweeps, O0-O3 correlation, lock
+ablations) re-analyze *identical traces* under different configs, so the
+expensive stage outputs -- serialized :class:`~repro.tracer.events.TraceSet`
+files, prepared DCFG/IPDOM tables, and :class:`~repro.core.report.
+AnalysisReport` objects -- are first-class, cached, reusable artifacts.
+
+Addressing is by *fingerprint*: a flat JSON-serializable dict of the
+fields that determine an artifact's content (workload name, thread count,
+input seed, optimization level, machine/tracer config, analyzer config for
+reports) plus the store schema version.  The fingerprint is canonicalized
+(sorted keys) and hashed; the hash is the artifact's address.  Bumping
+:data:`SCHEMA_VERSION` therefore invalidates every prior entry without
+touching the disk: old objects simply stop being addressable and can be
+garbage-collected with ``threadfuser cache clear``.
+
+On-disk layout::
+
+    <root>/store.json                      # {"schema": SCHEMA_VERSION}
+    <root>/objects/<kind>/<hh>/<hash>.<ext>        # payload
+    <root>/objects/<kind>/<hh>/<hash>.meta.json    # fingerprint + size
+
+where ``kind`` is one of ``traces`` (JSON-lines via :mod:`repro.tracer.io`),
+``dcfgs`` or ``report`` (pickle, fixed protocol so identical inputs yield
+byte-identical artifacts), and ``hh`` is the first two hash characters.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io as _stdio
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+from .tracer import io as trace_io
+from .tracer.events import TraceSet
+
+#: Bump to invalidate every previously stored artifact (schema change in
+#: any serialized stage output or in the tracer/analyzer semantics).
+SCHEMA_VERSION = 1
+
+#: Pickle protocol is pinned so equal objects serialize byte-identically
+#: across interpreter invocations.
+_PICKLE_PROTOCOL = 4
+
+KIND_TRACES = "traces"
+KIND_DCFGS = "dcfgs"
+KIND_REPORT = "report"
+KINDS = (KIND_TRACES, KIND_DCFGS, KIND_REPORT)
+
+_EXT = {KIND_TRACES: "jsonl", KIND_DCFGS: "pkl", KIND_REPORT: "pkl"}
+
+
+def default_cache_dir() -> str:
+    """The CLI's default store root (``$THREADFUSER_CACHE_DIR`` wins)."""
+    env = os.environ.get("THREADFUSER_CACHE_DIR")
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "threadfuser")
+
+
+def _canonical_pickle(obj: Any) -> bytes:
+    """Pickle ``obj`` so the bytes depend only on values, not sharing.
+
+    The standard pickler memoizes repeated objects, so two structurally
+    equal reports serialize differently depending on whether their
+    strings happen to be shared -- which they are after a serial replay
+    but not after results cross a worker-process boundary.  Fast mode
+    disables the memo; self-referential graphs cannot use it, so those
+    fall back to a plain dump.
+    """
+    buffer = _stdio.BytesIO()
+    pickler = pickle.Pickler(buffer, protocol=_PICKLE_PROTOCOL)
+    pickler.fast = True
+    try:
+        pickler.dump(obj)
+    except (ValueError, RecursionError):
+        return pickle.dumps(obj, protocol=_PICKLE_PROTOCOL)
+    return buffer.getvalue()
+
+
+def fingerprint_key(fields: Dict[str, Any]) -> str:
+    """Canonical content address for a fingerprint dict.
+
+    ``fields`` must be JSON-serializable; key order does not matter.
+    The store schema version is always folded in.
+    """
+    payload = dict(fields)
+    payload["schema"] = SCHEMA_VERSION
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/byte counters for one store handle (per process)."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return asdict(self)
+
+    def __str__(self) -> str:
+        return (f"hits={self.hits} misses={self.misses} puts={self.puts} "
+                f"read={self.bytes_read}B written={self.bytes_written}B")
+
+
+@dataclass
+class ArtifactEntry:
+    """One stored object, as reported by :meth:`ArtifactStore.entries`."""
+
+    kind: str
+    key: str
+    size: int
+    fingerprint: Dict[str, Any] = field(default_factory=dict)
+
+
+class ArtifactStore:
+    """Content-addressed store for trace/dcfg/report artifacts."""
+
+    def __init__(self, root: str) -> None:
+        self.root = os.path.abspath(os.path.expanduser(root))
+        self.stats = CacheStats()
+        os.makedirs(os.path.join(self.root, "objects"), exist_ok=True)
+        marker = os.path.join(self.root, "store.json")
+        if not os.path.exists(marker):
+            self._atomic_write(
+                marker,
+                json.dumps({"schema": SCHEMA_VERSION}).encode() + b"\n",
+            )
+
+    # -- paths -----------------------------------------------------------
+
+    def _paths(self, kind: str, key: str):
+        if kind not in KINDS:
+            raise ValueError(f"unknown artifact kind {kind!r}")
+        directory = os.path.join(self.root, "objects", kind, key[:2])
+        payload = os.path.join(directory, f"{key}.{_EXT[kind]}")
+        meta = os.path.join(directory, f"{key}.meta.json")
+        return directory, payload, meta
+
+    def payload_path(self, kind: str, fields: Dict[str, Any]) -> str:
+        """Where the payload for ``fields`` lives (whether or not present)."""
+        return self._paths(kind, fingerprint_key(fields))[1]
+
+    @staticmethod
+    def _atomic_write(path: str, data: bytes) -> None:
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as out:
+                out.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    # -- raw byte interface ----------------------------------------------
+
+    def has(self, kind: str, fields: Dict[str, Any]) -> bool:
+        return os.path.exists(self.payload_path(kind, fields))
+
+    def get_bytes(self, kind: str, fields: Dict[str, Any]) -> Optional[bytes]:
+        _, payload, _ = self._paths(kind, fingerprint_key(fields))
+        try:
+            with open(payload, "rb") as inp:
+                data = inp.read()
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        self.stats.bytes_read += len(data)
+        return data
+
+    def put_bytes(self, kind: str, fields: Dict[str, Any],
+                  data: bytes) -> str:
+        key = fingerprint_key(fields)
+        _, payload, meta = self._paths(kind, key)
+        self._atomic_write(payload, data)
+        meta_record = {
+            "kind": kind,
+            "key": key,
+            "size": len(data),
+            "schema": SCHEMA_VERSION,
+            "fingerprint": fields,
+        }
+        self._atomic_write(
+            meta, (json.dumps(meta_record, sort_keys=True) + "\n").encode()
+        )
+        self.stats.puts += 1
+        self.stats.bytes_written += len(data)
+        return payload
+
+    # -- typed helpers ---------------------------------------------------
+
+    def get_traces(self, fields: Dict[str, Any],
+                   program=None) -> Optional[TraceSet]:
+        data = self.get_bytes(KIND_TRACES, fields)
+        if data is None:
+            return None
+        return trace_io.load_traces(
+            _stdio.StringIO(data.decode("utf-8")), program=program
+        )
+
+    def put_traces(self, fields: Dict[str, Any], traces: TraceSet) -> str:
+        return self.put_bytes(
+            KIND_TRACES, fields, serialize_traces(traces)
+        )
+
+    def get_object(self, kind: str, fields: Dict[str, Any]) -> Optional[Any]:
+        data = self.get_bytes(kind, fields)
+        if data is None:
+            return None
+        return pickle.loads(data)
+
+    def put_object(self, kind: str, fields: Dict[str, Any],
+                   obj: Any) -> str:
+        return self.put_bytes(kind, fields, _canonical_pickle(obj))
+
+    # -- maintenance surface (threadfuser cache {info,ls,clear}) ---------
+
+    def entries(self) -> List[ArtifactEntry]:
+        found: List[ArtifactEntry] = []
+        objects = os.path.join(self.root, "objects")
+        for dirpath, _dirnames, filenames in os.walk(objects):
+            for name in sorted(filenames):
+                if not name.endswith(".meta.json"):
+                    continue
+                try:
+                    with open(os.path.join(dirpath, name)) as inp:
+                        record = json.load(inp)
+                except (OSError, ValueError):
+                    continue
+                found.append(ArtifactEntry(
+                    kind=record.get("kind", "?"),
+                    key=record.get("key", ""),
+                    size=record.get("size", 0),
+                    fingerprint=record.get("fingerprint", {}),
+                ))
+        found.sort(key=lambda e: (e.kind, e.key))
+        return found
+
+    def info(self) -> Dict[str, Any]:
+        entries = self.entries()
+        by_kind: Dict[str, Dict[str, int]] = {}
+        for entry in entries:
+            bucket = by_kind.setdefault(entry.kind, {"count": 0, "bytes": 0})
+            bucket["count"] += 1
+            bucket["bytes"] += entry.size
+        return {
+            "root": self.root,
+            "schema": SCHEMA_VERSION,
+            "entries": len(entries),
+            "bytes": sum(e.size for e in entries),
+            "by_kind": by_kind,
+        }
+
+    def clear(self, kind: Optional[str] = None) -> int:
+        """Remove stored artifacts; returns the number deleted."""
+        removed = 0
+        kinds: Iterable[str] = (kind,) if kind else KINDS
+        for one_kind in kinds:
+            top = os.path.join(self.root, "objects", one_kind)
+            for dirpath, _dirnames, filenames in os.walk(top):
+                for name in filenames:
+                    path = os.path.join(dirpath, name)
+                    if name.endswith(".meta.json"):
+                        removed += 1
+                    try:
+                        os.unlink(path)
+                    except OSError:
+                        pass
+        return removed
+
+
+def serialize_traces(traces: TraceSet) -> bytes:
+    """The exact bytes :meth:`ArtifactStore.put_traces` persists."""
+    buffer = _stdio.StringIO()
+    trace_io.save_traces(traces, buffer)
+    return buffer.getvalue().encode("utf-8")
+
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "KIND_TRACES",
+    "KIND_DCFGS",
+    "KIND_REPORT",
+    "KINDS",
+    "ArtifactEntry",
+    "ArtifactStore",
+    "CacheStats",
+    "default_cache_dir",
+    "fingerprint_key",
+    "serialize_traces",
+]

@@ -6,6 +6,14 @@ Subcommands mirror the paper's workflows::
     threadfuser analyze memcached            # efficiency + per-function
     threadfuser speedup nbody                # cycle-level projection
     threadfuser tracegen pigz -o pigz.trace  # simulator trace file
+    threadfuser cache info                   # artifact store maintenance
+
+Workload commands run through a cached :class:`~repro.session.
+AnalysisSession`: traces, DCFG/IPDOM tables, and reports are persisted in
+a content-addressed store (``--cache-dir``, default
+``$THREADFUSER_CACHE_DIR`` or ``~/.cache/threadfuser``), so repeating a
+command with the same parameters skips machine execution entirely.
+``--jobs N`` parallelizes warp replay; ``--no-cache`` opts out.
 """
 
 from __future__ import annotations
@@ -14,11 +22,13 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .core import analyze_traces
+from .artifacts import ArtifactStore, default_cache_dir
+from .core import AnalyzerConfig
+from .session import AnalysisSession
 from .simulator import project_speedup, rtx3070, small_simt_cpu
 from .tracegen import generate_kernel_trace, save_kernel_trace
 from .tracer import save_traces
-from .workloads import all_workloads, get_workload, trace_instance
+from .workloads import all_workloads, get_workload
 
 
 def _add_workload_options(parser: argparse.ArgumentParser) -> None:
@@ -27,6 +37,25 @@ def _add_workload_options(parser: argparse.ArgumentParser) -> None:
                         help="logical threads to trace (default 96)")
     parser.add_argument("--seed", type=int, default=7,
                         help="input-generation seed (default 7)")
+    _add_session_options(parser)
+
+
+def _add_session_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for warp replay (default 1)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="artifact cache directory (default: "
+                             "$THREADFUSER_CACHE_DIR or ~/.cache/threadfuser)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk artifact cache")
+
+
+def _session_from_args(args) -> AnalysisSession:
+    if getattr(args, "no_cache", False):
+        cache_dir = None
+    else:
+        cache_dir = args.cache_dir or default_cache_dir()
+    return AnalysisSession(cache_dir=cache_dir, jobs=args.jobs)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -48,6 +77,9 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="serialize same-lock critical sections")
     analyze.add_argument("--lock-reconvergence", default="unlock",
                          choices=["unlock", "exit"])
+    analyze.add_argument("--opt-level", default="O1",
+                         choices=["O0", "O1", "O2", "O3"],
+                         help="compile at this optimization level first")
     analyze.add_argument("--save-traces", metavar="FILE",
                          help="also write the trace file")
 
@@ -74,6 +106,8 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--warp-sizes", default="8,16,32",
                        help="comma-separated widths (default 8,16,32)")
     sweep.add_argument("--emulate-locks", action="store_true")
+    sweep.add_argument("--lock-reconvergence", default="unlock",
+                       choices=["unlock", "exit"])
 
     simulate = sub.add_parser(
         "simulate", help="run a saved warp-trace file on the simulator")
@@ -84,14 +118,22 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="launch the traced warps N times")
     simulate.add_argument("--scheduler", default=None,
                           choices=["gto", "lrr"])
+
+    cache = sub.add_parser("cache", help="artifact cache maintenance")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    info = cache_sub.add_parser("info",
+                                help="entry/byte totals per artifact kind")
+    ls = cache_sub.add_parser("ls", help="list stored artifacts")
+    clear = cache_sub.add_parser("clear", help="delete stored artifacts")
+    clear.add_argument("--kind", default=None,
+                       choices=["traces", "dcfgs", "report"],
+                       help="only delete this artifact kind")
+    for sub_parser in (info, ls, clear):
+        sub_parser.add_argument(
+            "--cache-dir", default=None,
+            help="artifact cache directory (default: "
+                 "$THREADFUSER_CACHE_DIR or ~/.cache/threadfuser)")
     return parser
-
-
-def _trace(args):
-    workload = get_workload(args.workload)
-    instance = workload.instantiate(args.threads, seed=args.seed)
-    traces, _machine = trace_instance(instance)
-    return workload, instance, traces
 
 
 def _cmd_list(_args) -> int:
@@ -103,17 +145,21 @@ def _cmd_list(_args) -> int:
 
 
 def _cmd_analyze(args) -> int:
-    _workload, _instance, traces = _trace(args)
-    report = analyze_traces(
-        traces,
+    session = _session_from_args(args)
+    instance = session.build(args.workload, args.threads, seed=args.seed)
+    config = AnalyzerConfig(
         warp_size=args.warp_size,
         batching=args.batching,
         emulate_locks=args.emulate_locks,
         lock_reconvergence=args.lock_reconvergence,
     )
+    report = session.analyze(
+        args.workload, n_threads=args.threads, seed=args.seed,
+        opt_level=args.opt_level, config=config,
+    )
     print(report.format_text())
     hotspots = report.divergence_hotspots(
-        top=5, program=_instance.program
+        top=5, program=session.transform(instance.program, args.opt_level)
     )
     if hotspots:
         print("  divergence hotspots (warp splits per branch):")
@@ -121,13 +167,22 @@ def _cmd_analyze(args) -> int:
             where = f"{function}:{label}" if label else f"{function}@{addr:#x}"
             print(f"    {where:<40} {count}")
     if args.save_traces:
+        traces = session.trace(
+            args.workload, n_threads=args.threads, seed=args.seed,
+            opt_level=args.opt_level,
+        )
         save_traces(traces, args.save_traces)
         print(f"\ntraces written to {args.save_traces}")
     return 0
 
 
 def _cmd_speedup(args) -> int:
-    workload, instance, traces = _trace(args)
+    session = _session_from_args(args)
+    workload = get_workload(args.workload)
+    instance = session.build(args.workload, args.threads, seed=args.seed)
+    traces = session.trace(
+        args.workload, n_threads=args.threads, seed=args.seed
+    )
     config = rtx3070() if args.gpu == "rtx3070" else small_simt_cpu()
     launch = args.launch_threads or workload.paper_simt_threads
     result = project_speedup(
@@ -148,7 +203,11 @@ def _cmd_speedup(args) -> int:
 
 
 def _cmd_tracegen(args) -> int:
-    _workload, instance, traces = _trace(args)
+    session = _session_from_args(args)
+    instance = session.build(args.workload, args.threads, seed=args.seed)
+    traces = session.trace(
+        args.workload, n_threads=args.threads, seed=args.seed
+    )
     kernel = generate_kernel_trace(traces, instance.program,
                                    warp_size=args.warp_size)
     save_kernel_trace(kernel, args.output)
@@ -158,12 +217,16 @@ def _cmd_tracegen(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
-    from .core import sweep_warp_sizes
-
-    _workload, _instance, traces = _trace(args)
+    session = _session_from_args(args)
     sizes = [int(x) for x in args.warp_sizes.split(",") if x]
-    reports = sweep_warp_sizes(traces, sizes,
-                               emulate_locks=args.emulate_locks)
+    config = AnalyzerConfig(
+        emulate_locks=args.emulate_locks,
+        lock_reconvergence=args.lock_reconvergence,
+    )
+    reports = session.sweep(
+        args.workload, sizes, n_threads=args.threads, seed=args.seed,
+        config=config,
+    )
     print(f"{'warp size':>10} {'SIMT eff':>10} {'issues':>10} "
           f"{'heap txn':>10}")
     for warp_size, report in reports.items():
@@ -195,6 +258,32 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _cmd_cache(args) -> int:
+    store = ArtifactStore(args.cache_dir or default_cache_dir())
+    if args.cache_command == "info":
+        info = store.info()
+        print(f"cache root:   {info['root']}")
+        print(f"schema:       v{info['schema']}")
+        print(f"entries:      {info['entries']}  ({info['bytes']} bytes)")
+        for kind, bucket in sorted(info["by_kind"].items()):
+            print(f"  {kind:<8} {bucket['count']:>6} entries "
+                  f"{bucket['bytes']:>12} bytes")
+    elif args.cache_command == "ls":
+        print(f"{'kind':<8} {'workload':<22} {'thr':>5} {'opt':>4} "
+              f"{'bytes':>10}  key")
+        for entry in store.entries():
+            fp = entry.fingerprint
+            print(f"{entry.kind:<8} {fp.get('workload', '?'):<22} "
+                  f"{fp.get('n_threads', '?'):>5} "
+                  f"{fp.get('opt_level', '?'):>4} "
+                  f"{entry.size:>10}  {entry.key[:12]}")
+    elif args.cache_command == "clear":
+        removed = store.clear(kind=args.kind)
+        what = args.kind or "all kinds"
+        print(f"removed {removed} artifacts ({what})")
+    return 0
+
+
 _COMMANDS = {
     "list": _cmd_list,
     "analyze": _cmd_analyze,
@@ -202,6 +291,7 @@ _COMMANDS = {
     "tracegen": _cmd_tracegen,
     "simulate": _cmd_simulate,
     "sweep": _cmd_sweep,
+    "cache": _cmd_cache,
 }
 
 

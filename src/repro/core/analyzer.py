@@ -3,17 +3,24 @@
 Wires the pipeline of paper Fig. 3b together: parse traces -> build
 per-function DCFGs -> IPDOM analysis -> warp formation -> lock-step SIMT
 stack replay -> reports.
+
+Warp replays are independent, so :meth:`ThreadFuserAnalyzer.analyze` can
+fan them out over worker processes (the ``jobs`` knob).  Per-warp metrics
+are always merged in warp-index order, so ``jobs=N`` is bit-identical to
+the serial ``jobs=1`` path.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import multiprocessing
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..tracer.events import TraceSet
 from .dcfg import DCFGSet, build_dcfgs
 from .ipdom import compute_all_ipdoms
-from .metrics import AggregateMetrics
+from .metrics import AggregateMetrics, WarpMetrics
 from .replay import WarpReplayer
 from .report import AnalysisReport
 from .warp import form_warps
@@ -34,6 +41,11 @@ class AnalyzerConfig:
         critical section, the paper's choice) or "exit" (the enclosing
         reconvergence point -- the conservative alternative the paper
         defers to future work).
+
+    The config carries only fields that determine the *result*; execution
+    knobs like ``jobs`` live on :class:`ThreadFuserAnalyzer` so a config's
+    :meth:`fingerprint` addresses cached reports independently of how the
+    replay was scheduled.
     """
 
     warp_size: int = 32
@@ -41,12 +53,24 @@ class AnalyzerConfig:
     emulate_locks: bool = False
     lock_reconvergence: str = "unlock"
 
+    def fingerprint(self) -> Dict[str, Any]:
+        """The artifact-store fingerprint fields of this config."""
+        return dataclasses.asdict(self)
+
 
 class ThreadFuserAnalyzer:
-    """Analyzes a :class:`TraceSet` into an :class:`AnalysisReport`."""
+    """Analyzes a :class:`TraceSet` into an :class:`AnalysisReport`.
 
-    def __init__(self, config: Optional[AnalyzerConfig] = None) -> None:
+    ``jobs`` > 1 replays warps on that many forked worker processes;
+    ``jobs=1`` keeps today's in-process serial loop.  On platforms
+    without the ``fork`` start method the analyzer silently falls back
+    to serial replay (the result is identical either way).
+    """
+
+    def __init__(self, config: Optional[AnalyzerConfig] = None,
+                 jobs: int = 1) -> None:
         self.config = config or AnalyzerConfig()
+        self.jobs = max(1, int(jobs))
 
     def prepare(self, traces: TraceSet) -> DCFGSet:
         """Build the DCFGs and IPDOM tables (reusable across warp sizes)."""
@@ -62,26 +86,28 @@ class ThreadFuserAnalyzer:
         ``visitor_factory``, when given, is called once per warp with the
         warp index and must return a replay visitor (or None); the trace
         generator uses this to emit simulator traces during replay.
+        Visitors accumulate state in-process, so their presence forces
+        the serial path regardless of ``jobs``.
         """
         cfg = self.config
         if dcfgs is None:
             dcfgs = self.prepare(traces)
         warps = form_warps(traces, cfg.warp_size, cfg.batching)
+        per_warp: Optional[List[Tuple[WarpMetrics, int]]] = None
+        if self.jobs > 1 and visitor_factory is None and len(warps) > 1:
+            per_warp = _replay_parallel(warps, dcfgs, cfg, self.jobs)
+        if per_warp is None:
+            per_warp = []
+            for warp_index, warp in enumerate(warps):
+                visitor = (
+                    visitor_factory(warp_index) if visitor_factory else None
+                )
+                per_warp.append(
+                    (_replay_warp(warp, dcfgs, cfg, visitor), len(warp))
+                )
         aggregate = AggregateMetrics(cfg.warp_size)
-        for warp_index, warp in enumerate(warps):
-            visitor = (
-                visitor_factory(warp_index) if visitor_factory else None
-            )
-            replayer = WarpReplayer(
-                warp,
-                dcfgs,
-                warp_size=cfg.warp_size,
-                emulate_locks=cfg.emulate_locks,
-                visitor=visitor,
-                lock_reconvergence=cfg.lock_reconvergence,
-            )
-            metrics = replayer.run()
-            aggregate.merge(metrics, n_threads=len(warp))
+        for metrics, n_threads in per_warp:
+            aggregate.merge(metrics, n_threads=n_threads)
         return AnalysisReport(
             workload=traces.workload,
             metrics=aggregate,
@@ -90,33 +116,99 @@ class ThreadFuserAnalyzer:
         )
 
 
+def _replay_warp(warp, dcfgs: DCFGSet, cfg: AnalyzerConfig,
+                 visitor=None) -> WarpMetrics:
+    replayer = WarpReplayer(
+        warp,
+        dcfgs,
+        warp_size=cfg.warp_size,
+        emulate_locks=cfg.emulate_locks,
+        visitor=visitor,
+        lock_reconvergence=cfg.lock_reconvergence,
+    )
+    return replayer.run()
+
+
+#: Shared state inherited by forked replay workers (set around the pool).
+_FORK_STATE: Optional[tuple] = None
+
+
+def _replay_shard(indices: List[int]) -> List[Tuple[int, WarpMetrics, int]]:
+    warps, dcfgs, cfg = _FORK_STATE
+    out = []
+    for index in indices:
+        warp = warps[index]
+        out.append((index, _replay_warp(warp, dcfgs, cfg), len(warp)))
+    return out
+
+
+def _replay_parallel(warps, dcfgs: DCFGSet, cfg: AnalyzerConfig,
+                     jobs: int) -> Optional[List[Tuple[WarpMetrics, int]]]:
+    """Replay ``warps`` on a fork pool; None means "fall back to serial".
+
+    Warps are striped across shards for load balance; results are
+    re-sorted by warp index before merging so aggregation order (and
+    therefore every dict insertion order in the report) matches the
+    serial path exactly.
+    """
+    global _FORK_STATE
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:
+        return None
+    jobs = min(jobs, len(warps))
+    shards = [list(range(j, len(warps), jobs)) for j in range(jobs)]
+    _FORK_STATE = (warps, dcfgs, cfg)
+    try:
+        with ctx.Pool(processes=jobs) as pool:
+            chunks = pool.map(_replay_shard, shards)
+    except OSError:
+        return None
+    finally:
+        _FORK_STATE = None
+    flat = sorted(
+        (item for chunk in chunks for item in chunk), key=lambda t: t[0]
+    )
+    return [(metrics, n_threads) for _index, metrics, n_threads in flat]
+
+
 def sweep_warp_sizes(traces: TraceSet, warp_sizes=(8, 16, 32),
                      batching: str = "linear",
-                     emulate_locks: bool = False):
+                     emulate_locks: bool = False,
+                     lock_reconvergence: str = "unlock",
+                     config: Optional[AnalyzerConfig] = None,
+                     jobs: int = 1):
     """SIMT efficiency across warp widths (the Fig. 1 sweep).
 
     Builds the DCFG/IPDOM tables once and replays per width; returns
-    ``{warp_size: AnalysisReport}``.
+    ``{warp_size: AnalysisReport}``.  A caller-supplied ``config`` is the
+    base for every width (only ``warp_size`` is overridden, via a fresh
+    copy per width -- the input config is never mutated); the individual
+    keyword knobs are honored otherwise.
     """
-    analyzer = ThreadFuserAnalyzer()
+    base = config or AnalyzerConfig(
+        batching=batching, emulate_locks=emulate_locks,
+        lock_reconvergence=lock_reconvergence,
+    )
+    analyzer = ThreadFuserAnalyzer(base, jobs=jobs)
     dcfgs = analyzer.prepare(traces)
     out = {}
     for warp_size in warp_sizes:
-        analyzer.config = AnalyzerConfig(
-            warp_size=warp_size, batching=batching,
-            emulate_locks=emulate_locks,
+        sized = dataclasses.replace(base, warp_size=warp_size)
+        out[warp_size] = ThreadFuserAnalyzer(sized, jobs=jobs).analyze(
+            traces, dcfgs=dcfgs
         )
-        out[warp_size] = analyzer.analyze(traces, dcfgs=dcfgs)
     return out
 
 
 def analyze_traces(traces: TraceSet, warp_size: int = 32,
                    batching: str = "linear",
                    emulate_locks: bool = False,
-                   lock_reconvergence: str = "unlock") -> AnalysisReport:
+                   lock_reconvergence: str = "unlock",
+                   jobs: int = 1) -> AnalysisReport:
     """One-call convenience wrapper around :class:`ThreadFuserAnalyzer`."""
     config = AnalyzerConfig(
         warp_size=warp_size, batching=batching, emulate_locks=emulate_locks,
         lock_reconvergence=lock_reconvergence,
     )
-    return ThreadFuserAnalyzer(config).analyze(traces)
+    return ThreadFuserAnalyzer(config, jobs=jobs).analyze(traces)

@@ -3,18 +3,24 @@
 This is the "zero effort" entry point the paper advertises to developers:
 hand over a program, how to launch its threads, and which worker functions
 to trace; get back the SIMT analysis.
+
+Both helpers are thin wrappers over :class:`repro.session.AnalysisSession`
+(the staged pipeline every entry point shares).  Raw programs carry host
+callables that cannot be fingerprinted, so these calls never touch the
+artifact store; pass your own ``session`` to share its in-process stage
+memos across calls.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Iterable, Optional, Sequence, Tuple
 
-from .core.analyzer import AnalyzerConfig, ThreadFuserAnalyzer
+from .core.analyzer import AnalyzerConfig
 from .core.report import AnalysisReport
 from .machine.machine import Machine
 from .program.ir import Program
+from .session import AnalysisSession
 from .tracer.events import TraceSet
-from .tracer.recorder import TraceRecorder
 
 #: A spawn request: (function_name, args, io_in or None).
 SpawnSpec = Tuple[str, Sequence, Optional[Sequence]]
@@ -26,6 +32,7 @@ def trace_program(program: Program,
                   setup: Optional[Callable[[Machine], None]] = None,
                   exclude: Iterable[str] = (),
                   workload: str = "",
+                  session: Optional[AnalysisSession] = None,
                   **machine_kwargs) -> TraceSet:
     """Run ``program`` under the tracer and return the collected traces.
 
@@ -43,16 +50,11 @@ def trace_program(program: Program,
     exclude:
         Function names whose dynamic extent is skip-counted, not traced.
     """
-    recorder = TraceRecorder(
-        roots=roots, exclude=exclude, workload=workload, program=program
+    session = session or AnalysisSession()
+    return session.trace_raw(
+        program, spawns, roots, setup=setup, exclude=exclude,
+        workload=workload, **machine_kwargs
     )
-    machine = Machine(program, hooks=recorder, **machine_kwargs)
-    if setup is not None:
-        setup(machine)
-    for function_name, args, io_in in spawns:
-        machine.spawn(function_name, args, io_in=io_in)
-    machine.run()
-    return recorder.traces
 
 
 def analyze_program(program: Program,
@@ -62,14 +64,27 @@ def analyze_program(program: Program,
                     warp_size: int = 32,
                     batching: str = "linear",
                     emulate_locks: bool = False,
+                    lock_reconvergence: str = "unlock",
+                    config: Optional[AnalyzerConfig] = None,
+                    jobs: int = 1,
                     workload: str = "",
+                    session: Optional[AnalysisSession] = None,
                     **machine_kwargs) -> AnalysisReport:
-    """Trace and analyze in one call."""
+    """Trace and analyze in one call.
+
+    A caller-supplied ``config`` wins over the individual analyzer
+    keywords; otherwise every knob (including ``lock_reconvergence``)
+    is passed through to the analyzer.
+    """
+    session = session or AnalysisSession(jobs=jobs)
     traces = trace_program(
         program, spawns, roots, setup=setup, workload=workload,
-        **machine_kwargs
+        session=session, **machine_kwargs
     )
-    config = AnalyzerConfig(
-        warp_size=warp_size, batching=batching, emulate_locks=emulate_locks
-    )
-    return ThreadFuserAnalyzer(config).analyze(traces)
+    if config is None:
+        config = AnalyzerConfig(
+            warp_size=warp_size, batching=batching,
+            emulate_locks=emulate_locks,
+            lock_reconvergence=lock_reconvergence,
+        )
+    return session.replay(traces, config=config)

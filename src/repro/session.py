@@ -1,0 +1,386 @@
+"""Staged analysis sessions: one shared path from workload to report.
+
+An :class:`AnalysisSession` decomposes the end-to-end flow into explicit,
+individually cacheable stages::
+
+    build -> transform(opt_level) -> trace -> prepare -> replay -> report
+
+* **build** instantiates a catalog workload (program + launch plan);
+* **transform** compiles it at a gcc-like optimization level (O0-O3);
+* **trace** runs the machine under the tracer (the only stage that
+  executes code -- skipped entirely on a cache hit);
+* **prepare** builds the DCFG/IPDOM tables (reusable across warp sizes);
+* **replay** runs the lock-step SIMT replay, optionally fanned out over
+  worker processes (the session's ``jobs`` knob);
+* **report** is the cached end product, addressed by the full fingerprint
+  (workload, thread count, seed, opt level, machine/tracer config,
+  analyzer config, schema version).
+
+Stage outputs are memoized in-process and, when the session has a cache
+directory, persisted through :class:`repro.artifacts.ArtifactStore` so
+sweeps and repeated CLI runs never re-execute identical work.  All entry
+points -- :mod:`repro.pipeline`, the CLI, the benchmark harness, the
+examples -- route through this class.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io as _stdio
+import multiprocessing
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .artifacts import (
+    KIND_DCFGS,
+    KIND_REPORT,
+    KIND_TRACES,
+    ArtifactStore,
+    CacheStats,
+    fingerprint_key,
+    serialize_traces,
+)
+from .core.analyzer import AnalyzerConfig, ThreadFuserAnalyzer
+from .core.dcfg import DCFGSet
+from .core.report import AnalysisReport
+from .optlevels import OPT_LEVELS, apply_opt_level
+from .program.ir import Program
+from .tracer import io as trace_io
+from .tracer.events import TraceSet
+from .workloads import runner
+from .workloads.base import WorkloadInstance, get_workload
+
+#: The builder's as-written shape; `transform` is the identity here.
+OPT_BASE = "O1"
+
+
+class AnalysisSession:
+    """A staged, cached pipeline over the workload catalog.
+
+    Parameters
+    ----------
+    cache_dir:
+        Root of the on-disk artifact store.  ``None`` disables disk
+        caching (stages are still memoized in-process).
+    jobs:
+        Worker processes for the parallel stages (warp replay and
+        concurrent trace generation).  ``jobs=1`` is bit-identical to
+        the serial pipeline.
+    store:
+        Pass an existing :class:`ArtifactStore` instead of ``cache_dir``.
+    """
+
+    def __init__(self, cache_dir: Optional[str] = None, jobs: int = 1,
+                 store: Optional[ArtifactStore] = None) -> None:
+        if store is None and cache_dir is not None:
+            store = ArtifactStore(cache_dir)
+        self.store = store
+        self.jobs = max(1, int(jobs))
+        #: Machine executions performed by this session (test surface:
+        #: a warm cache keeps this at zero).
+        self.executions = 0
+        self._instances: Dict[tuple, WorkloadInstance] = {}
+        self._programs: Dict[tuple, Program] = {}
+        self._traces: Dict[str, TraceSet] = {}
+        self._dcfgs: Dict[str, DCFGSet] = {}
+        self._reports: Dict[str, AnalysisReport] = {}
+
+    # -- cache surface ---------------------------------------------------
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss/bytes counters of the underlying store."""
+        return self.store.stats if self.store else CacheStats()
+
+    # -- stage: build ----------------------------------------------------
+
+    def build(self, workload: str, n_threads: Optional[int] = None,
+              seed: int = 7) -> WorkloadInstance:
+        """Instantiate a catalog workload (program + launch plan)."""
+        entry = get_workload(workload)
+        resolved = n_threads or entry.default_threads
+        key = (workload, resolved, seed)
+        instance = self._instances.get(key)
+        if instance is None:
+            instance = entry.instantiate(resolved, seed=seed)
+            self._instances[key] = instance
+        return instance
+
+    # -- stage: transform ------------------------------------------------
+
+    def transform(self, program: Program,
+                  opt_level: Optional[str]) -> Program:
+        """Compile ``program`` at ``opt_level`` (O1/None: as written)."""
+        if opt_level in (None, OPT_BASE):
+            return program
+        if opt_level not in OPT_LEVELS:
+            raise ValueError(f"unknown optimization level {opt_level!r}")
+        return apply_opt_level(program, opt_level)
+
+    def _program(self, workload: str, n_threads: Optional[int], seed: int,
+                 opt_level: Optional[str]) -> Program:
+        instance = self.build(workload, n_threads, seed)
+        if opt_level in (None, OPT_BASE):
+            return instance.program
+        resolved = n_threads or get_workload(workload).default_threads
+        key = (workload, resolved, seed, opt_level)
+        program = self._programs.get(key)
+        if program is None:
+            program = self.transform(instance.program, opt_level)
+            self._programs[key] = program
+        return program
+
+    # -- fingerprints ----------------------------------------------------
+
+    def trace_fields(self, workload: str, n_threads: Optional[int] = None,
+                     seed: int = 7, opt_level: str = OPT_BASE,
+                     machine_overrides: Optional[Dict] = None) -> Dict:
+        """The artifact fingerprint of one trace-stage output."""
+        instance = self.build(workload, n_threads, seed)
+        resolved = n_threads or get_workload(workload).default_threads
+        machine_kwargs = dict(instance.machine_kwargs)
+        machine_kwargs.update(machine_overrides or {})
+        return {
+            "kind": KIND_TRACES,
+            "trace_format": trace_io.FORMAT_VERSION,
+            "workload": workload,
+            "n_threads": resolved,
+            "seed": seed,
+            "opt_level": opt_level or OPT_BASE,
+            "machine": machine_kwargs,
+            "roots": list(instance.roots),
+            "exclude": list(instance.exclude),
+        }
+
+    # -- stage: trace ----------------------------------------------------
+
+    def trace(self, workload: str, n_threads: Optional[int] = None,
+              seed: int = 7, opt_level: str = OPT_BASE,
+              **machine_overrides) -> TraceSet:
+        """Collect (or load) the workload's logical-thread traces."""
+        fields = self.trace_fields(
+            workload, n_threads, seed, opt_level, machine_overrides
+        )
+        key = fingerprint_key(fields)
+        traces = self._traces.get(key)
+        if traces is not None:
+            return traces
+        program = self._program(workload, n_threads, seed, opt_level)
+        if self.store is not None:
+            traces = self.store.get_traces(fields, program=program)
+            if traces is not None:
+                self._traces[key] = traces
+                return traces
+        instance = self.build(workload, n_threads, seed)
+        machine_kwargs = dict(instance.machine_kwargs)
+        machine_kwargs.update(machine_overrides)
+        traces, _machine = runner.execute_traced(
+            program,
+            instance.spawns,
+            instance.roots,
+            setup=instance.setup,
+            exclude=instance.exclude,
+            workload=instance.name,
+            machine_kwargs=machine_kwargs,
+        )
+        self.executions += 1
+        if self.store is not None:
+            self.store.put_traces(fields, traces)
+        self._traces[key] = traces
+        return traces
+
+    def trace_raw(self, program: Program,
+                  spawns: Iterable[Tuple[str, Sequence, Optional[Sequence]]],
+                  roots: Iterable[str],
+                  setup=None, exclude: Iterable[str] = (),
+                  workload: str = "", **machine_kwargs) -> TraceSet:
+        """Trace an arbitrary (non-catalog) program.
+
+        Raw programs carry host callables that cannot be fingerprinted,
+        so this stage never touches the artifact store.
+        """
+        traces, _machine = runner.execute_traced(
+            program, spawns, roots, setup=setup, exclude=exclude,
+            workload=workload, machine_kwargs=dict(machine_kwargs),
+        )
+        self.executions += 1
+        return traces
+
+    def trace_many(self, workloads: Iterable[str],
+                   n_threads: Optional[int] = None, seed: int = 7,
+                   opt_level: str = OPT_BASE,
+                   jobs: Optional[int] = None) -> Dict[str, TraceSet]:
+        """Trace several workloads, generating cold traces concurrently.
+
+        Cache hits are served as usual; the remaining cold workloads run
+        on a fork pool (``jobs`` defaults to the session's knob).  The
+        result maps workload name to :class:`TraceSet`.
+        """
+        jobs = self.jobs if jobs is None else max(1, int(jobs))
+        names = list(workloads)
+        out: Dict[str, TraceSet] = {}
+        cold: List[str] = []
+        for name in names:
+            fields = self.trace_fields(name, n_threads, seed, opt_level)
+            key = fingerprint_key(fields)
+            if key in self._traces:
+                out[name] = self._traces[key]
+                continue
+            if self.store is not None and self.store.has(KIND_TRACES, fields):
+                out[name] = self.trace(
+                    name, n_threads=n_threads, seed=seed, opt_level=opt_level
+                )
+                continue
+            cold.append(name)
+        payloads: Dict[str, bytes] = {}
+        pool_jobs = min(jobs, len(cold))
+        if pool_jobs > 1:
+            specs = [(name, n_threads, seed, opt_level) for name in cold]
+            try:
+                ctx = multiprocessing.get_context("fork")
+                with ctx.Pool(processes=pool_jobs) as pool:
+                    for name, data in pool.map(_trace_worker, specs):
+                        payloads[name] = data
+            except (ValueError, OSError):
+                payloads.clear()
+        for name in cold:
+            data = payloads.get(name)
+            if data is None:
+                out[name] = self.trace(
+                    name, n_threads=n_threads, seed=seed, opt_level=opt_level
+                )
+                continue
+            fields = self.trace_fields(name, n_threads, seed, opt_level)
+            program = self._program(name, n_threads, seed, opt_level)
+            traces = trace_io.load_traces(
+                _stdio.StringIO(data.decode("utf-8")), program=program
+            )
+            self.executions += 1
+            if self.store is not None:
+                self.store.put_bytes(KIND_TRACES, fields, data)
+            self._traces[fingerprint_key(fields)] = traces
+            out[name] = traces
+        return out
+
+    # -- stage: prepare --------------------------------------------------
+
+    def prepare(self, traces: TraceSet,
+                fields: Optional[Dict] = None) -> DCFGSet:
+        """Build (or load) the DCFG/IPDOM tables for ``traces``.
+
+        ``fields`` is the trace-stage fingerprint (see
+        :meth:`trace_fields`); without it the tables are rebuilt
+        uncached.
+        """
+        if fields is None:
+            return ThreadFuserAnalyzer().prepare(traces)
+        dcfg_fields = dict(fields, kind=KIND_DCFGS)
+        key = fingerprint_key(dcfg_fields)
+        dcfgs = self._dcfgs.get(key)
+        if dcfgs is not None:
+            return dcfgs
+        if self.store is not None:
+            dcfgs = self.store.get_object(KIND_DCFGS, dcfg_fields)
+        if dcfgs is None:
+            dcfgs = ThreadFuserAnalyzer().prepare(traces)
+            if self.store is not None:
+                self.store.put_object(KIND_DCFGS, dcfg_fields, dcfgs)
+        self._dcfgs[key] = dcfgs
+        return dcfgs
+
+    # -- stage: replay ---------------------------------------------------
+
+    def replay(self, traces: TraceSet,
+               config: Optional[AnalyzerConfig] = None,
+               dcfgs: Optional[DCFGSet] = None,
+               visitor_factory=None,
+               jobs: Optional[int] = None) -> AnalysisReport:
+        """Lock-step SIMT replay of ``traces`` into a report."""
+        analyzer = ThreadFuserAnalyzer(
+            config, jobs=self.jobs if jobs is None else jobs
+        )
+        return analyzer.analyze(
+            traces, dcfgs=dcfgs, visitor_factory=visitor_factory
+        )
+
+    # -- stage: report (the full chain) ----------------------------------
+
+    def analyze(self, workload: str, n_threads: Optional[int] = None,
+                seed: int = 7, opt_level: str = OPT_BASE,
+                config: Optional[AnalyzerConfig] = None,
+                **machine_overrides) -> AnalysisReport:
+        """Full pipeline with end-to-end caching.
+
+        On a warm cache the stored report is returned directly -- no
+        machine execution, no trace loading, no replay.
+        """
+        config = config or AnalyzerConfig()
+        trace_fields = self.trace_fields(
+            workload, n_threads, seed, opt_level, machine_overrides
+        )
+        report_fields = dict(
+            trace_fields, kind=KIND_REPORT, analyzer=config.fingerprint()
+        )
+        key = fingerprint_key(report_fields)
+        report = self._reports.get(key)
+        if report is not None:
+            return report
+        if self.store is not None:
+            report = self.store.get_object(KIND_REPORT, report_fields)
+            if report is not None:
+                self._reports[key] = report
+                return report
+        traces = self.trace(
+            workload, n_threads=n_threads, seed=seed, opt_level=opt_level,
+            **machine_overrides
+        )
+        dcfgs = self.prepare(traces, fields=trace_fields)
+        report = self.replay(traces, config=config, dcfgs=dcfgs)
+        if self.store is not None:
+            self.store.put_object(KIND_REPORT, report_fields, report)
+        self._reports[key] = report
+        return report
+
+    def sweep(self, workload: str, warp_sizes=(8, 16, 32),
+              n_threads: Optional[int] = None, seed: int = 7,
+              opt_level: str = OPT_BASE,
+              config: Optional[AnalyzerConfig] = None,
+              **machine_overrides) -> Dict[int, AnalysisReport]:
+        """Per-width reports sharing one trace and one DCFG/IPDOM build."""
+        base = config or AnalyzerConfig()
+        out: Dict[int, AnalysisReport] = {}
+        for warp_size in warp_sizes:
+            sized = dataclasses.replace(base, warp_size=warp_size)
+            out[warp_size] = self.analyze(
+                workload, n_threads=n_threads, seed=seed,
+                opt_level=opt_level, config=sized, **machine_overrides
+            )
+        return out
+
+
+def _trace_worker(spec: tuple) -> Tuple[str, bytes]:
+    """Fork-pool worker: trace one workload, return serialized traces.
+
+    Results cross the process boundary in the trace-file wire format
+    (not pickles of live objects), so the bytes the parent stores are
+    identical to what a serial run would have written.
+    """
+    name, n_threads, seed, opt_level = spec
+    entry = get_workload(name)
+    instance = entry.instantiate(n_threads or entry.default_threads,
+                                 seed=seed)
+    program = instance.program
+    if opt_level not in (None, OPT_BASE):
+        program = apply_opt_level(program, opt_level)
+    traces, _machine = runner.execute_traced(
+        program,
+        instance.spawns,
+        instance.roots,
+        setup=instance.setup,
+        exclude=instance.exclude,
+        workload=instance.name,
+        machine_kwargs=dict(instance.machine_kwargs),
+    )
+    return name, serialize_traces(traces)
+
+
+__all__ = ["OPT_BASE", "AnalysisSession"]

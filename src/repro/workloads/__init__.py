@@ -16,7 +16,7 @@ from .base import (
     get_workload,
     register,
 )
-from .runner import run_instance, trace_instance
+from .runner import execute_traced, run_instance, trace_instance
 from .stdlib import Stdlib
 
 __all__ = [
@@ -34,6 +34,7 @@ __all__ = [
     "correlation_workloads",
     "get_workload",
     "register",
+    "execute_traced",
     "run_instance",
     "trace_instance",
     "Stdlib",

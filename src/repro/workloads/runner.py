@@ -1,14 +1,46 @@
-"""Running workload instances: tracing and plain execution helpers."""
+"""Running workload instances: tracing and plain execution helpers.
+
+:func:`execute_traced` is the single place the package wires a
+:class:`TraceRecorder` onto a :class:`Machine`; every entry point (the
+:class:`~repro.session.AnalysisSession` stages, ``repro.pipeline``, the
+CLI, the benchmarks) reaches machine execution through it.
+"""
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Callable, Dict, Iterable, Optional, Sequence, Tuple
 
 from ..machine.machine import Machine
 from ..program.ir import Program
 from ..tracer.events import TraceSet
 from ..tracer.recorder import TraceRecorder
 from .base import WorkloadInstance
+
+
+def execute_traced(program: Program,
+                   spawns: Iterable[Tuple[str, Sequence, Optional[Sequence]]],
+                   roots: Iterable[str],
+                   setup: Optional[Callable[[Machine], None]] = None,
+                   exclude: Iterable[str] = (),
+                   workload: str = "",
+                   machine_kwargs: Optional[Dict] = None
+                   ) -> Tuple[TraceSet, Machine]:
+    """Run ``program`` under the tracer; returns (traces, machine).
+
+    The one canonical TraceRecorder+Machine wiring.  ``spawns`` is the
+    CPU launch plan (one ``(function, args, io_in)`` entry per thread);
+    ``roots`` are the worker functions traced as logical SIMT threads.
+    """
+    recorder = TraceRecorder(
+        roots=roots, exclude=exclude, workload=workload, program=program
+    )
+    machine = Machine(program, hooks=recorder, **(machine_kwargs or {}))
+    if setup is not None:
+        setup(machine)
+    for name, args, io_in in spawns:
+        machine.spawn(name, args, io_in=io_in)
+    machine.run()
+    return recorder.traces, machine
 
 
 def trace_instance(instance: WorkloadInstance,
@@ -23,19 +55,15 @@ def trace_instance(instance: WorkloadInstance,
     """
     kwargs = dict(instance.machine_kwargs)
     kwargs.update(machine_overrides)
-    recorder = TraceRecorder(
-        roots=instance.roots,
+    return execute_traced(
+        program or instance.program,
+        instance.spawns,
+        instance.roots,
+        setup=instance.setup,
         exclude=instance.exclude,
         workload=instance.name,
-        program=program or instance.program,
+        machine_kwargs=kwargs,
     )
-    machine = Machine(program or instance.program, hooks=recorder, **kwargs)
-    if instance.setup is not None:
-        instance.setup(machine)
-    for name, args, io_in in instance.spawns:
-        machine.spawn(name, args, io_in=io_in)
-    machine.run()
-    return recorder.traces, machine
 
 
 def run_instance(instance: WorkloadInstance,

@@ -1,0 +1,147 @@
+"""Tests for the content-addressed artifact store."""
+
+import os
+
+import pytest
+
+from repro.artifacts import (
+    KIND_DCFGS,
+    KIND_REPORT,
+    KIND_TRACES,
+    ArtifactStore,
+    fingerprint_key,
+    serialize_traces,
+)
+from repro.workloads import get_workload, trace_instance
+
+FIELDS = {
+    "kind": KIND_TRACES,
+    "workload": "vectoradd",
+    "n_threads": 16,
+    "seed": 7,
+    "opt_level": "O1",
+    "machine": {},
+    "roots": ["worker"],
+    "exclude": [],
+}
+
+
+class TestFingerprintKey:
+    def test_key_is_stable_across_field_order(self):
+        shuffled = dict(reversed(list(FIELDS.items())))
+        assert fingerprint_key(FIELDS) == fingerprint_key(shuffled)
+
+    def test_key_changes_with_any_field(self):
+        base = fingerprint_key(FIELDS)
+        for field, bumped in [("n_threads", 17), ("seed", 8),
+                              ("opt_level", "O3"), ("workload", "nn"),
+                              ("machine", {"quantum": 16})]:
+            assert fingerprint_key(dict(FIELDS, **{field: bumped})) != base
+
+    def test_schema_version_is_folded_in(self, monkeypatch):
+        # A schema bump invalidates old entries purely through addressing.
+        import repro.artifacts as artifacts
+
+        base = fingerprint_key(FIELDS)
+        monkeypatch.setattr(artifacts, "SCHEMA_VERSION", 999)
+        assert fingerprint_key(FIELDS) != base
+
+
+class TestByteInterface:
+    def test_miss_then_put_then_hit(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "cache"))
+        assert store.get_bytes(KIND_REPORT, FIELDS) is None
+        assert store.stats.misses == 1
+
+        store.put_bytes(KIND_REPORT, FIELDS, b"payload")
+        assert store.stats.puts == 1
+        assert store.stats.bytes_written == len(b"payload")
+
+        assert store.get_bytes(KIND_REPORT, FIELDS) == b"payload"
+        assert store.stats.hits == 1
+        assert store.stats.bytes_read == len(b"payload")
+
+    def test_distinct_fields_do_not_collide(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        store.put_bytes(KIND_REPORT, FIELDS, b"a")
+        store.put_bytes(KIND_REPORT, dict(FIELDS, seed=8), b"b")
+        assert store.get_bytes(KIND_REPORT, FIELDS) == b"a"
+        assert store.get_bytes(KIND_REPORT, dict(FIELDS, seed=8)) == b"b"
+
+    def test_kinds_are_separate_namespaces(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        store.put_bytes(KIND_DCFGS, FIELDS, b"tables")
+        assert store.get_bytes(KIND_REPORT, FIELDS) is None
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        with pytest.raises(ValueError, match="kind"):
+            store.put_bytes("weird", FIELDS, b"x")
+
+
+class TestTypedHelpers:
+    def test_traces_round_trip_through_store(self, tmp_path):
+        instance = get_workload("vectoradd").instantiate(16)
+        traces, _machine = trace_instance(instance)
+        store = ArtifactStore(str(tmp_path))
+        store.put_traces(FIELDS, traces)
+        loaded = store.get_traces(FIELDS, program=instance.program)
+        assert loaded is not None
+        assert len(loaded) == len(traces)
+        assert serialize_traces(loaded) == serialize_traces(traces)
+        assert loaded.program is instance.program
+
+    def test_object_round_trip(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        payload = {"nested": [1, 2, {"x": (3, 4)}]}
+        store.put_object(KIND_DCFGS, FIELDS, payload)
+        assert store.get_object(KIND_DCFGS, FIELDS) == payload
+
+
+class TestMaintenanceSurface:
+    def _seeded(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        store.put_bytes(KIND_TRACES, FIELDS, b"t" * 10)
+        store.put_bytes(KIND_DCFGS, FIELDS, b"d" * 20)
+        store.put_bytes(KIND_REPORT, FIELDS, b"r" * 30)
+        store.put_bytes(KIND_REPORT, dict(FIELDS, seed=8), b"r" * 5)
+        return store
+
+    def test_entries_and_info(self, tmp_path):
+        store = self._seeded(tmp_path)
+        entries = store.entries()
+        assert len(entries) == 4
+        assert {e.kind for e in entries} == set(("traces", "dcfgs", "report"))
+        for entry in entries:
+            assert entry.fingerprint.get("workload") == "vectoradd"
+        info = store.info()
+        assert info["entries"] == 4
+        assert info["bytes"] == 10 + 20 + 30 + 5
+        assert info["by_kind"]["report"]["count"] == 2
+
+    def test_clear_one_kind(self, tmp_path):
+        store = self._seeded(tmp_path)
+        assert store.clear(kind=KIND_REPORT) == 2
+        assert store.get_bytes(KIND_REPORT, FIELDS) is None
+        assert store.get_bytes(KIND_TRACES, FIELDS) == b"t" * 10
+
+    def test_clear_everything(self, tmp_path):
+        store = self._seeded(tmp_path)
+        assert store.clear() == 4
+        assert store.entries() == []
+        assert store.info()["entries"] == 0
+
+    def test_store_survives_reopen(self, tmp_path):
+        self._seeded(tmp_path)
+        reopened = ArtifactStore(str(tmp_path))
+        assert reopened.get_bytes(KIND_TRACES, FIELDS) == b"t" * 10
+        assert len(reopened.entries()) == 4
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        store = self._seeded(tmp_path)
+        leftovers = [
+            name
+            for _dir, _subdirs, names in os.walk(store.root)
+            for name in names if name.endswith(".tmp")
+        ]
+        assert leftovers == []

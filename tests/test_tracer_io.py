@@ -1,0 +1,106 @@
+"""Round-trip tests for trace-file (de)serialization.
+
+The artifact store persists traces through :mod:`repro.tracer.io`, so the
+save/load round trip must preserve every analysis-relevant field: token
+streams, instruction counts, skip accounting, and (transitively) all
+replay metrics.
+"""
+
+import io
+
+import pytest
+
+from repro.artifacts import serialize_traces
+from repro.core import analyze_traces
+from repro.tracer import load_traces, save_traces
+from repro.workloads import get_workload, trace_instance
+
+WORKLOADS = ["vectoradd", "nn", "dsb_text", "btree", "memcached"]
+N_THREADS = 16
+
+
+def _trace(name):
+    instance = get_workload(name).instantiate(N_THREADS)
+    traces, _machine = trace_instance(instance)
+    return instance, traces
+
+
+def _round_trip(traces, program=None):
+    buffer = io.StringIO()
+    save_traces(traces, buffer)
+    buffer.seek(0)
+    return load_traces(buffer, program=program)
+
+
+class TestRoundTripStructure:
+    @pytest.mark.parametrize("name", WORKLOADS)
+    def test_preserves_threads_and_tokens(self, tmp_path, name):
+        instance, traces = _trace(name)
+        path = str(tmp_path / f"{name}.jsonl")
+        save_traces(traces, path)
+        loaded = load_traces(path, program=instance.program)
+
+        assert len(loaded) == len(traces)
+        assert loaded.workload == traces.workload
+        assert loaded.untraced_skipped == traces.untraced_skipped
+        for original, restored in zip(traces.threads, loaded.threads):
+            assert restored.index == original.index
+            assert restored.cpu_tid == original.cpu_tid
+            assert restored.root == original.root
+            assert restored.tokens == original.tokens
+            assert restored.skipped == original.skipped
+
+    @pytest.mark.parametrize("name", WORKLOADS)
+    def test_preserves_instruction_and_skip_accounting(self, name):
+        _instance, traces = _trace(name)
+        loaded = _round_trip(traces)
+        assert loaded.total_instructions == traces.total_instructions
+        assert loaded.total_skipped == traces.total_skipped
+        assert loaded.skipped_by_reason() == traces.skipped_by_reason()
+        assert loaded.traced_fraction() == traces.traced_fraction()
+
+
+class TestRoundTripReplayMetrics:
+    @pytest.mark.parametrize("name", WORKLOADS)
+    def test_replay_identical_before_and_after(self, name):
+        _instance, traces = _trace(name)
+        loaded = _round_trip(traces)
+        emulate_locks = name == "memcached"
+        before = analyze_traces(traces, warp_size=8,
+                                emulate_locks=emulate_locks)
+        after = analyze_traces(loaded, warp_size=8,
+                               emulate_locks=emulate_locks)
+
+        assert after.simt_efficiency == before.simt_efficiency
+        assert after.metrics.issues == before.metrics.issues
+        assert (after.metrics.thread_instructions
+                == before.metrics.thread_instructions)
+        assert after.heap_transactions == before.heap_transactions
+        assert after.stack_transactions == before.stack_transactions
+        assert (after.metrics.divergence_events
+                == before.metrics.divergence_events)
+        assert (after.metrics.locks.serialized_issues
+                == before.metrics.locks.serialized_issues)
+        assert (after.metrics.locks.contended_events
+                == before.metrics.locks.contended_events)
+
+
+class TestSerializationDeterminism:
+    def test_same_traces_serialize_byte_identically(self):
+        _instance, traces = _trace("dsb_text")
+        assert serialize_traces(traces) == serialize_traces(traces)
+
+    def test_fresh_runs_serialize_byte_identically(self):
+        # The artifact store's content addressing relies on the machine
+        # (and therefore the wire format) being fully deterministic.
+        _i1, first = _trace("btree")
+        _i2, second = _trace("btree")
+        assert serialize_traces(first) == serialize_traces(second)
+
+    def test_unknown_format_version_rejected(self):
+        _instance, traces = _trace("vectoradd")
+        buffer = io.StringIO()
+        save_traces(traces, buffer)
+        text = buffer.getvalue().replace('"version": 1', '"version": 999', 1)
+        with pytest.raises(ValueError, match="version"):
+            load_traces(io.StringIO(text))
