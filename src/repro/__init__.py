@@ -17,16 +17,19 @@ Reproduction of Alawneh et al., MICRO 2024.  The public API spans:
 * :mod:`repro.baselines` -- the XAPP-style ML baseline;
 * :mod:`repro.session` / :mod:`repro.artifacts` -- the staged
   :class:`AnalysisSession` pipeline with its content-addressed artifact
-  cache and multiprocess warp replay.
+  cache and multiprocess warp replay;
+* :mod:`repro.obs` -- the observability layer: stage spans, replay and
+  machine counters, ``telemetry.json`` export, ``--profile`` CLI surface.
 """
 
 from .artifacts import ArtifactStore, default_cache_dir
 from .core.analyzer import AnalyzerConfig, ThreadFuserAnalyzer, analyze_traces
 from .core.report import AnalysisReport
+from .obs import Recorder, Telemetry
 from .pipeline import analyze_program, trace_program
 from .session import AnalysisSession
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AnalyzerConfig",
@@ -35,6 +38,8 @@ __all__ = [
     "AnalysisReport",
     "AnalysisSession",
     "ArtifactStore",
+    "Recorder",
+    "Telemetry",
     "default_cache_dir",
     "analyze_program",
     "trace_program",

@@ -23,7 +23,13 @@ On-disk layout::
 
 where ``kind`` is one of ``traces`` (JSON-lines via :mod:`repro.tracer.io`),
 ``dcfgs`` or ``report`` (pickle, fixed protocol so identical inputs yield
-byte-identical artifacts), and ``hh`` is the first two hash characters.
+byte-identical artifacts), or ``telemetry`` (the ``telemetry.json``
+document of a profiled run, see :mod:`repro.obs`), and ``hh`` is the
+first two hash characters.
+
+Store handles of a *newer* schema open older cache directories without
+complaint: unknown kinds and unaddressable keys are simply reported
+as-is by the maintenance surface and removed by ``clear``.
 """
 
 from __future__ import annotations
@@ -42,7 +48,10 @@ from .tracer.events import TraceSet
 
 #: Bump to invalidate every previously stored artifact (schema change in
 #: any serialized stage output or in the tracer/analyzer semantics).
-SCHEMA_VERSION = 1
+#: v2: replay metrics grew observability fields (SIMT-stack depth
+#: high-water mark, reconvergence events, lock serialization entries),
+#: changing the pickled report/dcfg layout.
+SCHEMA_VERSION = 2
 
 #: Pickle protocol is pinned so equal objects serialize byte-identically
 #: across interpreter invocations.
@@ -51,9 +60,15 @@ _PICKLE_PROTOCOL = 4
 KIND_TRACES = "traces"
 KIND_DCFGS = "dcfgs"
 KIND_REPORT = "report"
-KINDS = (KIND_TRACES, KIND_DCFGS, KIND_REPORT)
+KIND_TELEMETRY = "telemetry"
+KINDS = (KIND_TRACES, KIND_DCFGS, KIND_REPORT, KIND_TELEMETRY)
 
-_EXT = {KIND_TRACES: "jsonl", KIND_DCFGS: "pkl", KIND_REPORT: "pkl"}
+_EXT = {
+    KIND_TRACES: "jsonl",
+    KIND_DCFGS: "pkl",
+    KIND_REPORT: "pkl",
+    KIND_TELEMETRY: "json",
+}
 
 
 def default_cache_dir() -> str:
@@ -251,9 +266,35 @@ class ArtifactStore:
         found.sort(key=lambda e: (e.kind, e.key))
         return found
 
+    def disk_schema(self) -> Optional[int]:
+        """The schema recorded in the directory's ``store.json``.
+
+        ``None`` when the marker is missing or unreadable.  May differ
+        from :data:`SCHEMA_VERSION` when the directory was written by an
+        older release; such entries are simply unaddressable (and show
+        up in :meth:`info` under whatever kinds they were stored as).
+        """
+        marker = os.path.join(self.root, "store.json")
+        try:
+            with open(marker) as inp:
+                record = json.load(inp)
+        except (OSError, ValueError):
+            return None
+        schema = record.get("schema")
+        return schema if isinstance(schema, int) else None
+
     def info(self) -> Dict[str, Any]:
+        """Store summary for ``threadfuser cache info``.
+
+        ``by_kind`` always lists every known kind (zero counts
+        included) and additionally any kind found on disk that this
+        release does not know -- entries written under another schema
+        are counted, never an error.
+        """
         entries = self.entries()
-        by_kind: Dict[str, Dict[str, int]] = {}
+        by_kind: Dict[str, Dict[str, int]] = {
+            kind: {"count": 0, "bytes": 0} for kind in KINDS
+        }
         for entry in entries:
             bucket = by_kind.setdefault(entry.kind, {"count": 0, "bytes": 0})
             bucket["count"] += 1
@@ -261,17 +302,25 @@ class ArtifactStore:
         return {
             "root": self.root,
             "schema": SCHEMA_VERSION,
+            "disk_schema": self.disk_schema(),
             "entries": len(entries),
             "bytes": sum(e.size for e in entries),
             "by_kind": by_kind,
         }
 
     def clear(self, kind: Optional[str] = None) -> int:
-        """Remove stored artifacts; returns the number deleted."""
+        """Remove stored artifacts; returns the number deleted.
+
+        Without ``kind`` the whole ``objects/`` tree is cleared --
+        including kinds this release does not know about, so stale
+        entries from older schemas are garbage-collected too.
+        """
         removed = 0
-        kinds: Iterable[str] = (kind,) if kind else KINDS
-        for one_kind in kinds:
-            top = os.path.join(self.root, "objects", one_kind)
+        if kind is None:
+            tops: Iterable[str] = (os.path.join(self.root, "objects"),)
+        else:
+            tops = (os.path.join(self.root, "objects", kind),)
+        for top in tops:
             for dirpath, _dirnames, filenames in os.walk(top):
                 for name in filenames:
                     path = os.path.join(dirpath, name)
@@ -296,6 +345,7 @@ __all__ = [
     "KIND_TRACES",
     "KIND_DCFGS",
     "KIND_REPORT",
+    "KIND_TELEMETRY",
     "KINDS",
     "ArtifactEntry",
     "ArtifactStore",

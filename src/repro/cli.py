@@ -14,6 +14,11 @@ a content-addressed store (``--cache-dir``, default
 ``$THREADFUSER_CACHE_DIR`` or ``~/.cache/threadfuser``), so repeating a
 command with the same parameters skips machine execution entirely.
 ``--jobs N`` parallelizes warp replay; ``--no-cache`` opts out.
+
+``--profile`` (or the dedicated ``threadfuser profile`` subcommand)
+turns on the :mod:`repro.obs` observability layer: the command prints a
+stage-time/counter table and writes a schema-versioned
+``telemetry.json`` (``--telemetry-out``); see ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ from typing import List, Optional
 
 from .artifacts import ArtifactStore, default_cache_dir
 from .core import AnalyzerConfig
+from .obs import Recorder
 from .session import AnalysisSession
 from .simulator import project_speedup, rtx3070, small_simt_cpu
 from .tracegen import generate_kernel_trace, save_kernel_trace
@@ -48,6 +54,12 @@ def _add_session_options(parser: argparse.ArgumentParser) -> None:
                              "$THREADFUSER_CACHE_DIR or ~/.cache/threadfuser)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the on-disk artifact cache")
+    parser.add_argument("--profile", action="store_true",
+                        help="print a stage-time/counter table and write "
+                             "telemetry.json (see docs/OBSERVABILITY.md)")
+    parser.add_argument("--telemetry-out", metavar="FILE", default=None,
+                        help="telemetry.json destination "
+                             "(default ./telemetry.json; with --profile)")
 
 
 def _session_from_args(args) -> AnalysisSession:
@@ -55,7 +67,36 @@ def _session_from_args(args) -> AnalysisSession:
         cache_dir = None
     else:
         cache_dir = args.cache_dir or default_cache_dir()
-    return AnalysisSession(cache_dir=cache_dir, jobs=args.jobs)
+    recorder = Recorder() if getattr(args, "profile", False) else None
+    return AnalysisSession(cache_dir=cache_dir, jobs=args.jobs,
+                           recorder=recorder)
+
+
+def _finish_profile(args, session: AnalysisSession,
+                    fields=None) -> None:
+    """The ``--profile`` epilogue of a workload command.
+
+    Prints the stage-time/counter table, writes ``telemetry.json``
+    (``--telemetry-out``, default ``./telemetry.json``) and, when
+    ``fields`` names the profiled run and the session has a store,
+    persists the document as a ``telemetry`` artifact too.
+    """
+    if not getattr(args, "profile", False):
+        return
+    telemetry = session.telemetry()
+    telemetry.meta["command"] = args.command
+    workload = getattr(args, "workload", None)
+    if workload:
+        telemetry.meta["workload"] = workload
+    print()
+    print(telemetry.format_table())
+    out = getattr(args, "telemetry_out", None) or "telemetry.json"
+    telemetry.save(out)
+    print(f"\ntelemetry written to {out}")
+    if fields is not None:
+        stored = session.store_telemetry(telemetry, fields)
+        if stored:
+            print(f"telemetry artifact stored at {stored}")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -82,6 +123,20 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="compile at this optimization level first")
     analyze.add_argument("--save-traces", metavar="FILE",
                          help="also write the trace file")
+
+    profile = sub.add_parser(
+        "profile",
+        help="profile the analysis pipeline on a workload "
+             "(analyze with --profile always on)")
+    _add_workload_options(profile)
+    profile.add_argument("--warp-size", type=int, default=32)
+    profile.add_argument("--batching", default="linear",
+                         choices=["linear", "cpu_affine", "strided"])
+    profile.add_argument("--emulate-locks", action="store_true")
+    profile.add_argument("--lock-reconvergence", default="unlock",
+                         choices=["unlock", "exit"])
+    profile.add_argument("--opt-level", default="O1",
+                         choices=["O0", "O1", "O2", "O3"])
 
     speedup = sub.add_parser("speedup",
                              help="project GPU speedup vs a 20-core CPU")
@@ -126,7 +181,7 @@ def _build_parser() -> argparse.ArgumentParser:
     ls = cache_sub.add_parser("ls", help="list stored artifacts")
     clear = cache_sub.add_parser("clear", help="delete stored artifacts")
     clear.add_argument("--kind", default=None,
-                       choices=["traces", "dcfgs", "report"],
+                       choices=["traces", "dcfgs", "report", "telemetry"],
                        help="only delete this artifact kind")
     for sub_parser in (info, ls, clear):
         sub_parser.add_argument(
@@ -166,14 +221,25 @@ def _cmd_analyze(args) -> int:
         for function, addr, count, label in hotspots:
             where = f"{function}:{label}" if label else f"{function}@{addr:#x}"
             print(f"    {where:<40} {count}")
-    if args.save_traces:
+    if getattr(args, "save_traces", None):
         traces = session.trace(
             args.workload, n_threads=args.threads, seed=args.seed,
             opt_level=args.opt_level,
         )
         save_traces(traces, args.save_traces)
         print(f"\ntraces written to {args.save_traces}")
+    _finish_profile(args, session, fields=dict(
+        session.trace_fields(args.workload, args.threads, args.seed,
+                             args.opt_level),
+        analyzer=config.fingerprint(),
+    ))
     return 0
+
+
+def _cmd_profile(args) -> int:
+    """``threadfuser profile``: analyze with ``--profile`` forced on."""
+    args.profile = True
+    return _cmd_analyze(args)
 
 
 def _cmd_speedup(args) -> int:
@@ -199,6 +265,7 @@ def _cmd_speedup(args) -> int:
     print(f"GPU time:          {result.gpu_seconds * 1e6:.1f} us "
           f"({result.gpu.cycles} cycles, IPC {result.gpu.ipc():.2f})")
     print(f"projected speedup: {result.speedup:.2f}x")
+    _finish_profile(args, session)
     return 0
 
 
@@ -213,6 +280,7 @@ def _cmd_tracegen(args) -> int:
     save_kernel_trace(kernel, args.output)
     print(f"{len(kernel.warps)} warps, {kernel.total_issues} warp "
           f"instructions -> {args.output}")
+    _finish_profile(args, session)
     return 0
 
 
@@ -232,6 +300,7 @@ def _cmd_sweep(args) -> int:
     for warp_size, report in reports.items():
         print(f"{warp_size:>10} {report.simt_efficiency:>10.1%} "
               f"{report.metrics.issues:>10} {report.heap_transactions:>10}")
+    _finish_profile(args, session)
     return 0
 
 
@@ -264,16 +333,20 @@ def _cmd_cache(args) -> int:
         info = store.info()
         print(f"cache root:   {info['root']}")
         print(f"schema:       v{info['schema']}")
+        disk_schema = info.get("disk_schema")
+        if disk_schema is not None and disk_schema != info["schema"]:
+            print(f"disk schema:  v{disk_schema} (older entries are "
+                  "unaddressable; 'cache clear' removes them)")
         print(f"entries:      {info['entries']}  ({info['bytes']} bytes)")
         for kind, bucket in sorted(info["by_kind"].items()):
-            print(f"  {kind:<8} {bucket['count']:>6} entries "
+            print(f"  {kind:<9} {bucket['count']:>6} entries "
                   f"{bucket['bytes']:>12} bytes")
     elif args.cache_command == "ls":
-        print(f"{'kind':<8} {'workload':<22} {'thr':>5} {'opt':>4} "
+        print(f"{'kind':<9} {'workload':<22} {'thr':>5} {'opt':>4} "
               f"{'bytes':>10}  key")
         for entry in store.entries():
             fp = entry.fingerprint
-            print(f"{entry.kind:<8} {fp.get('workload', '?'):<22} "
+            print(f"{entry.kind:<9} {fp.get('workload', '?'):<22} "
                   f"{fp.get('n_threads', '?'):>5} "
                   f"{fp.get('opt_level', '?'):>4} "
                   f"{entry.size:>10}  {entry.key[:12]}")
@@ -287,6 +360,7 @@ def _cmd_cache(args) -> int:
 _COMMANDS = {
     "list": _cmd_list,
     "analyze": _cmd_analyze,
+    "profile": _cmd_profile,
     "speedup": _cmd_speedup,
     "tracegen": _cmd_tracegen,
     "simulate": _cmd_simulate,

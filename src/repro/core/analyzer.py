@@ -8,6 +8,14 @@ Warp replays are independent, so :meth:`ThreadFuserAnalyzer.analyze` can
 fan them out over worker processes (the ``jobs`` knob).  Per-warp metrics
 are always merged in warp-index order, so ``jobs=N`` is bit-identical to
 the serial ``jobs=1`` path.
+
+The analyzer is also an instrumentation point of :mod:`repro.obs`: give
+it a :class:`~repro.obs.Recorder` and it times warp formation and replay
+as spans and exports the replay counters (warps, issues, divergence /
+reconvergence events, SIMT-stack depth high-water mark, lock
+serialization).  Every exported counter is read from the warp-order
+merged aggregate, never from the workers directly, so telemetry obeys
+the same ``jobs=N == jobs=1`` determinism as the report itself.
 """
 
 from __future__ import annotations
@@ -17,6 +25,7 @@ import multiprocessing
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..obs import NULL_RECORDER, Telemetry
 from ..tracer.events import TraceSet
 from .dcfg import DCFGSet, build_dcfgs
 from .ipdom import compute_all_ipdoms
@@ -65,17 +74,28 @@ class ThreadFuserAnalyzer:
     ``jobs=1`` keeps today's in-process serial loop.  On platforms
     without the ``fork`` start method the analyzer silently falls back
     to serial replay (the result is identical either way).
+
+    ``recorder`` is an optional :class:`repro.obs.Recorder`; by default
+    the shared no-op recorder is used and instrumentation costs nothing
+    beyond a no-op call per stage.
     """
 
     def __init__(self, config: Optional[AnalyzerConfig] = None,
-                 jobs: int = 1) -> None:
+                 jobs: int = 1, recorder=None) -> None:
         self.config = config or AnalyzerConfig()
         self.jobs = max(1, int(jobs))
+        self.obs = recorder if recorder is not None else NULL_RECORDER
+
+    def telemetry(self) -> Telemetry:
+        """Snapshot of this analyzer's recorder (empty when disabled)."""
+        return self.obs.telemetry()
 
     def prepare(self, traces: TraceSet) -> DCFGSet:
         """Build the DCFGs and IPDOM tables (reusable across warp sizes)."""
-        dcfgs = build_dcfgs(traces)
-        compute_all_ipdoms(dcfgs)
+        with self.obs.span("prepare"):
+            dcfgs = build_dcfgs(traces)
+            compute_all_ipdoms(dcfgs)
+            self.obs.count("prepare.functions", len(dcfgs.functions))
         return dcfgs
 
     def analyze(self, traces: TraceSet,
@@ -92,28 +112,61 @@ class ThreadFuserAnalyzer:
         cfg = self.config
         if dcfgs is None:
             dcfgs = self.prepare(traces)
-        warps = form_warps(traces, cfg.warp_size, cfg.batching)
-        per_warp: Optional[List[Tuple[WarpMetrics, int]]] = None
-        if self.jobs > 1 and visitor_factory is None and len(warps) > 1:
-            per_warp = _replay_parallel(warps, dcfgs, cfg, self.jobs)
-        if per_warp is None:
-            per_warp = []
-            for warp_index, warp in enumerate(warps):
-                visitor = (
-                    visitor_factory(warp_index) if visitor_factory else None
-                )
-                per_warp.append(
-                    (_replay_warp(warp, dcfgs, cfg, visitor), len(warp))
-                )
+        with self.obs.span("form_warps"):
+            warps = form_warps(traces, cfg.warp_size, cfg.batching)
+        with self.obs.span("replay_warps"):
+            per_warp: Optional[List[Tuple[WarpMetrics, int]]] = None
+            if self.jobs > 1 and visitor_factory is None and len(warps) > 1:
+                per_warp = _replay_parallel(warps, dcfgs, cfg, self.jobs)
+            if per_warp is None:
+                per_warp = []
+                for warp_index, warp in enumerate(warps):
+                    visitor = (
+                        visitor_factory(warp_index) if visitor_factory
+                        else None
+                    )
+                    per_warp.append(
+                        (_replay_warp(warp, dcfgs, cfg, visitor), len(warp))
+                    )
         aggregate = AggregateMetrics(cfg.warp_size)
         for metrics, n_threads in per_warp:
             aggregate.merge(metrics, n_threads=n_threads)
+        self._record_replay_counters(aggregate)
         return AnalysisReport(
             workload=traces.workload,
             metrics=aggregate,
             traced_fraction=traces.traced_fraction(),
             skipped_by_reason=traces.skipped_by_reason(),
         )
+
+    def _record_replay_counters(self, aggregate: AggregateMetrics) -> None:
+        """Export the warp-order merged aggregate into the recorder.
+
+        Reading from the aggregate (never the workers) keeps telemetry
+        counters bit-identical between ``jobs=1`` and ``jobs=N``.
+        """
+        obs = self.obs
+        if not obs.enabled:
+            return
+        obs.count("replay.warps", aggregate.n_warps)
+        obs.count("replay.threads", aggregate.n_threads)
+        obs.count("replay.issues", aggregate.issues)
+        obs.count("replay.thread_instructions",
+                  aggregate.thread_instructions)
+        obs.count("replay.divergence_events",
+                  sum(aggregate.divergence_events.values()))
+        obs.count("replay.reconvergence_events",
+                  aggregate.reconvergence_events)
+        obs.count("replay.memory_transactions",
+                  aggregate.total_transactions())
+        obs.count("replay.lock_events", aggregate.locks.lock_events)
+        obs.count("replay.lock_contended_events",
+                  aggregate.locks.contended_events)
+        obs.count("replay.lock_serialized_entries",
+                  aggregate.locks.serialized_entries)
+        obs.count("replay.lock_serialized_issues",
+                  aggregate.locks.serialized_issues)
+        obs.maximum("replay.stack_depth_hwm", aggregate.stack_depth_hwm)
 
 
 def _replay_warp(warp, dcfgs: DCFGSet, cfg: AnalyzerConfig,

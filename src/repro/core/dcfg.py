@@ -25,7 +25,11 @@ VEXIT = -1
 
 
 class FunctionDCFG:
-    """The merged dynamic CFG of one function (plus virtual exit)."""
+    """The merged dynamic CFG of one function (plus virtual exit).
+
+    Nodes are basic-block addresses (program addresses, plus the
+    :data:`VEXIT` sentinel); edges are observed dynamic transitions.
+    """
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -35,6 +39,7 @@ class FunctionDCFG:
         self.ipdom: Dict[int, int] = {}
 
     def add_edge(self, src: int, dst: int) -> None:
+        """Record one observed transition between block addresses."""
         self.succs.setdefault(src, set()).add(dst)
         self.succs.setdefault(dst, set())
         self.preds.setdefault(dst, set()).add(src)
@@ -42,6 +47,7 @@ class FunctionDCFG:
 
     @property
     def nodes(self) -> Iterable[int]:
+        """All block addresses of the graph (including :data:`VEXIT`)."""
         return self.succs.keys()
 
     def __len__(self) -> int:
@@ -58,6 +64,7 @@ class DCFGSet:
         self.functions: Dict[str, FunctionDCFG] = {}
 
     def get(self, name: str) -> FunctionDCFG:
+        """The DCFG of function ``name``, created empty on first use."""
         dcfg = self.functions.get(name)
         if dcfg is None:
             dcfg = FunctionDCFG(name)

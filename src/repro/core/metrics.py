@@ -2,7 +2,25 @@
 
 Collects, per warp and aggregated: SIMT (control) efficiency per Eq. 1 of
 the paper, per-function *exclusive* efficiency, coalesced 32-byte memory
-transactions split by heap/stack segment, and lock-serialization counters.
+transactions split by heap/stack segment, lock-serialization counters,
+and the replay-observability counters exported through :mod:`repro.obs`
+(SIMT-stack depth high-water mark, reconvergence events).
+
+Units, used consistently across every class here:
+
+* **issues** -- warp-level instruction issues: one issue is one
+  instruction executed once in lock-step by a warp, regardless of how
+  many lanes are active.  Not cycles; no timing model is implied.
+* **thread_instructions** -- per-lane dynamic instructions: each issue
+  contributes ``n_active_lanes`` thread instructions.  The ratio
+  ``thread_instructions / (issues * warp_size)`` is Eq. 1's efficiency.
+* **transactions** -- coalesced 32-byte memory transactions
+  (:data:`TRANSACTION_BYTES`), the unit of Fig. 10's divergence metric.
+* **accesses** -- individual per-lane load/store byte-range touches,
+  before coalescing.
+* **events** -- occurrence counts (divergence, reconvergence, lock
+  events); dimensionless.
+* **efficiency** -- a dimensionless fraction in ``[0, 1]``.
 """
 
 from __future__ import annotations
@@ -31,7 +49,13 @@ def transactions_for(addr_size_pairs: Iterable[Tuple[int, int]]) -> int:
 
 
 class FunctionStats:
-    """Exclusive (callee-free) lock-step statistics for one function."""
+    """Exclusive (callee-free) lock-step statistics for one function.
+
+    ``issues`` counts warp-level instruction issues attributed to this
+    function's own blocks (instructions, not cycles);
+    ``thread_instructions`` the per-lane dynamic instructions behind
+    them; ``calls`` the number of warp-level activations.
+    """
 
     __slots__ = ("name", "issues", "thread_instructions", "calls")
 
@@ -42,6 +66,7 @@ class FunctionStats:
         self.calls = 0
 
     def efficiency(self, warp_size: int) -> float:
+        """Exclusive SIMT efficiency (fraction in [0, 1]) per Eq. 1."""
         if self.issues == 0:
             return 1.0
         return self.thread_instructions / (self.issues * warp_size)
@@ -53,36 +78,59 @@ class SegmentStats:
     __slots__ = ("instructions", "accesses", "transactions")
 
     def __init__(self) -> None:
-        self.instructions = 0   # warp-level load/store issues
-        self.accesses = 0       # per-lane accesses
-        self.transactions = 0   # 32B transactions after coalescing
+        self.instructions = 0   # warp-level load/store issues (instructions)
+        self.accesses = 0       # per-lane accesses (touches, pre-coalescing)
+        self.transactions = 0   # 32-byte transactions after coalescing
 
     def transactions_per_instruction(self) -> float:
+        """32B transactions per warp-level memory instruction (Fig. 10)."""
         if self.instructions == 0:
             return 0.0
         return self.transactions / self.instructions
 
     def accesses_per_instruction(self) -> float:
+        """Per-lane accesses per warp-level memory instruction."""
         if self.instructions == 0:
             return 0.0
         return self.accesses / self.instructions
 
 
 class LockStats:
-    """Synchronization counters."""
+    """Synchronization counters (paper Fig. 9).
+
+    * ``lock_events`` -- warp-level lock acquisitions observed (one per
+      distinct lock address per lock-step LOCK, an event count);
+    * ``contended_events`` -- lock events where >= 2 lanes of the warp
+      contended for the same address;
+    * ``serialized_threads`` -- lanes that went through a contended
+      acquisition (threads, counted per event);
+    * ``serialized_issues`` -- warp-level instruction issues executed at
+      mask width 1 inside serialized critical sections (instructions);
+    * ``serialized_entries`` -- SIMT-stack entries pushed to serialize
+      contended lanes (entries; exported via :mod:`repro.obs`).
+    """
 
     __slots__ = ("lock_events", "contended_events", "serialized_threads",
-                 "serialized_issues")
+                 "serialized_issues", "serialized_entries")
 
     def __init__(self) -> None:
         self.lock_events = 0
         self.contended_events = 0
         self.serialized_threads = 0
         self.serialized_issues = 0
+        self.serialized_entries = 0
 
 
 class WarpMetrics:
-    """All counters for one warp's replay."""
+    """All counters for one warp's replay.
+
+    ``issues`` are warp-level instruction issues and
+    ``thread_instructions`` per-lane dynamic instructions (see the module
+    docstring for the unit glossary).  ``stack_depth_hwm`` is the
+    high-water mark of live SIMT-stack entries across all nested frames
+    (entries); ``reconvergence_events`` counts divergent stack entries
+    whose lanes reached their reconvergence point (events).
+    """
 
     def __init__(self, warp_size: int) -> None:
         self.warp_size = warp_size
@@ -96,6 +144,10 @@ class WarpMetrics:
         self.locks = LockStats()
         #: (function, branch block addr) -> times the warp split there.
         self.divergence_events: Dict[Tuple[str, int], int] = {}
+        #: Max live SIMT-stack entries at any point of the replay.
+        self.stack_depth_hwm = 0
+        #: Divergent entries that reached their reconvergence point.
+        self.reconvergence_events = 0
 
     # -- accounting hooks used by the replay engine --------------------------
 
@@ -108,6 +160,12 @@ class WarpMetrics:
 
     def account_block(self, function: str, n_instructions: int,
                       n_active: int, serialized: bool = False) -> None:
+        """One basic block issued in lock-step.
+
+        ``n_instructions`` is the block's instruction count (each becomes
+        one warp-level issue), ``n_active`` the active-lane count (each
+        issue contributes that many thread instructions).
+        """
         self.issues += n_instructions
         self.thread_instructions += n_instructions * n_active
         stats = self.function_stats(function)
@@ -117,9 +175,11 @@ class WarpMetrics:
             self.locks.serialized_issues += n_instructions
 
     def account_call(self, function: str) -> None:
+        """One warp-level activation of ``function`` (an event count)."""
         self.function_stats(function).calls += 1
 
     def account_divergence(self, function: str, block_addr: int) -> None:
+        """The warp split at ``block_addr`` (one divergence event)."""
         key = (function, block_addr)
         self.divergence_events[key] = self.divergence_events.get(key, 0) + 1
 
@@ -146,7 +206,14 @@ class WarpMetrics:
 
 
 class AggregateMetrics:
-    """Merged metrics over all warps of a workload."""
+    """Merged metrics over all warps of a workload.
+
+    Produced by merging :class:`WarpMetrics` **in warp-index order** --
+    the invariant that makes parallel replay bit-identical to serial
+    (see :mod:`repro.core.analyzer`).  Counter units match
+    :class:`WarpMetrics`; ``stack_depth_hwm`` is the maximum over warps,
+    everything else sums.
+    """
 
     def __init__(self, warp_size: int) -> None:
         self.warp_size = warp_size
@@ -162,8 +229,11 @@ class AggregateMetrics:
         self.locks = LockStats()
         self.divergence_events: Dict[Tuple[str, int], int] = {}
         self.warp_efficiencies: List[float] = []
+        self.stack_depth_hwm = 0
+        self.reconvergence_events = 0
 
     def merge(self, warp: WarpMetrics, n_threads: int) -> None:
+        """Fold one warp's counters in (call in warp-index order)."""
         self.n_warps += 1
         self.n_threads += n_threads
         self.issues += warp.issues
@@ -190,6 +260,10 @@ class AggregateMetrics:
         self.locks.contended_events += warp.locks.contended_events
         self.locks.serialized_threads += warp.locks.serialized_threads
         self.locks.serialized_issues += warp.locks.serialized_issues
+        self.locks.serialized_entries += warp.locks.serialized_entries
+        if warp.stack_depth_hwm > self.stack_depth_hwm:
+            self.stack_depth_hwm = warp.stack_depth_hwm
+        self.reconvergence_events += warp.reconvergence_events
 
     def efficiency(self) -> float:
         """Workload SIMT efficiency (instruction-weighted over warps)."""
@@ -204,12 +278,14 @@ class AggregateMetrics:
         return sum(self.warp_efficiencies) / len(self.warp_efficiencies)
 
     def total_transactions(self, segment: Optional[str] = None) -> int:
+        """Coalesced 32-byte transactions, optionally for one segment."""
         if segment is not None:
             return self.memory[segment].transactions
         return sum(seg.transactions for seg in self.memory.values())
 
     def transactions_per_memory_instruction(
             self, segment: Optional[str] = None) -> float:
+        """32B transactions per warp-level load/store issue (Fig. 10)."""
         if segment is not None:
             return self.memory[segment].transactions_per_instruction()
         instructions = sum(s.instructions for s in self.memory.values())

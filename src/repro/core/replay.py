@@ -15,6 +15,15 @@ them --
   (paper Sec. III, "Synchronization handling");
 * every lock-step memory instruction is coalesced into 32-byte
   transactions across the active lanes.
+
+Besides the Eq. 1 counters, the replay records its own observable
+behavior into :class:`~repro.core.metrics.WarpMetrics` -- the SIMT-stack
+depth high-water mark (live entries across all nested frames), the
+number of reconvergence events (divergent entries whose lanes reached
+their reconvergence PC), and the stack entries pushed for lock
+serialization.  These ride in the per-warp metrics, so they cross the
+worker-process boundary of parallel replay and merge deterministically
+in warp order like every other counter (exported via :mod:`repro.obs`).
 """
 
 from __future__ import annotations
@@ -116,6 +125,9 @@ class WarpReplayer:
         self.visitor = visitor
         self.metrics = WarpMetrics(warp_size)
         self.cursors: Dict[int, _Cursor] = {}
+        #: Live SIMT-stack entries summed over all nested frames; its
+        #: maximum is the warp's ``stack_depth_hwm`` metric.
+        self._depth = 0
 
     # ------------------------------------------------------------------
 
@@ -143,6 +155,27 @@ class WarpReplayer:
                     "unconsumed tokens after replay"
                 )
         return self.metrics
+
+    # ------------------------------------------------------------------
+    # SIMT-stack bookkeeping: every push/pop funnels through these two
+    # helpers so the depth high-water mark and reconvergence counts stay
+    # consistent no matter which rule manipulated the stack.
+
+    def _push(self, stack: List[_Entry], entry: _Entry) -> None:
+        stack.append(entry)
+        self._depth += 1
+        if self._depth > self.metrics.stack_depth_hwm:
+            self.metrics.stack_depth_hwm = self._depth
+
+    def _pop(self, stack: List[_Entry]) -> _Entry:
+        entry = stack.pop()
+        self._depth -= 1
+        # A pushed (divergent or serialized) entry popping with live
+        # lanes means those lanes arrived at their reconvergence PC; the
+        # frame's base entry popping is just the activation ending.
+        if entry.mask and stack:
+            self.metrics.reconvergence_events += 1
+        return entry
 
     # ------------------------------------------------------------------
 
@@ -179,15 +212,16 @@ class WarpReplayer:
         if entry == VEXIT:
             # Degenerate: thread ended immediately; drain RET tokens below.
             pass
-        stack = [_Entry(entry, VEXIT, list(lanes))]
+        stack: List[_Entry] = []
+        self._push(stack, _Entry(entry, VEXIT, list(lanes)))
         while stack:
             e = stack[-1]
             if not e.mask or e.pc == e.rpc:
-                stack.pop()
+                self._pop(stack)
                 continue
             if e.pc == VEXIT:
                 # Lanes drained to the virtual exit inside a pushed entry.
-                stack.pop()
+                self._pop(stack)
                 continue
             self._step_entry(function, e, stack)
         # Consume the RET tokens that delimit this activation.
@@ -269,7 +303,7 @@ class WarpReplayer:
         # point simply wait in this entry.
         for target, lanes in nexts.items():
             if target != rpc:
-                stack.append(_Entry(target, rpc, lanes))
+                self._push(stack, _Entry(target, rpc, lanes))
 
     # ------------------------------------------------------------------
     # Memory coalescing.
@@ -370,11 +404,12 @@ class WarpReplayer:
                 group = [l for l in singles
                          if self._next_block_of(l) == target]
                 if target != rpc:
-                    stack.append(_Entry(target, rpc, group))
+                    self._push(stack, _Entry(target, rpc, group))
         for lane in serialized:
             target = self._next_block_of(lane)
             if target != rpc:
-                stack.append(_Entry(target, rpc, [lane]))
+                self._push(stack, _Entry(target, rpc, [lane]))
+                self.metrics.locks.serialized_entries += 1
         return True
 
     def _solo_until_unlock(self, function: str, lane: int,

@@ -4,6 +4,11 @@ Mirrors the reports the paper describes: whole-program SIMT efficiency,
 a per-function breakdown excluding nested calls (used to pinpoint
 bottleneck functions, Fig. 7), memory divergence split by heap/stack
 segment (Fig. 10), tracing coverage (Fig. 8) and lock statistics (Fig. 9).
+
+Units follow the glossary in :mod:`repro.core.metrics`: ``issues`` are
+warp-level instruction issues (not cycles), ``thread_instructions`` are
+per-lane dynamic instructions, ``transactions`` are coalesced 32-byte
+memory transactions, efficiencies and shares are fractions in [0, 1].
 """
 
 from __future__ import annotations
@@ -15,7 +20,14 @@ from .metrics import AggregateMetrics
 
 
 class FunctionReport:
-    """Per-function exclusive statistics."""
+    """Per-function exclusive statistics.
+
+    ``calls`` counts warp-level activations (events); ``issues``
+    warp-level instruction issues; ``thread_instructions`` per-lane
+    dynamic instructions; ``instruction_share`` this function's
+    fraction of all thread instructions; ``efficiency`` the exclusive
+    SIMT efficiency (both fractions in [0, 1]).
+    """
 
     __slots__ = ("name", "calls", "issues", "thread_instructions",
                  "instruction_share", "efficiency")
@@ -38,7 +50,12 @@ class FunctionReport:
 
 
 class AnalysisReport:
-    """The full ThreadFuser analyzer report for one workload run."""
+    """The full ThreadFuser analyzer report for one workload run.
+
+    ``traced_fraction`` is the fraction of dynamic instructions that
+    were traced (Fig. 8, in [0, 1]); ``skipped_by_reason`` maps skip
+    reason to untraced dynamic instruction counts.
+    """
 
     def __init__(self, workload: str, metrics: AggregateMetrics,
                  traced_fraction: float,
@@ -52,27 +69,32 @@ class AnalysisReport:
 
     @property
     def warp_size(self) -> int:
+        """SIMT width (lanes per warp) the replay emulated."""
         return self.metrics.warp_size
 
     @property
     def simt_efficiency(self) -> float:
-        """Whole-program SIMT efficiency (paper Eq. 1)."""
+        """Whole-program SIMT efficiency (paper Eq. 1, in [0, 1])."""
         return self.metrics.efficiency()
 
     @property
     def n_threads(self) -> int:
+        """Logical threads analyzed (lanes across all warps)."""
         return self.metrics.n_threads
 
     @property
     def n_warps(self) -> int:
+        """Warps the threads were fused into."""
         return self.metrics.n_warps
 
     @property
     def heap_transactions(self) -> int:
+        """Coalesced 32-byte transactions against heap addresses."""
         return self.metrics.memory[SEG_HEAP].transactions
 
     @property
     def stack_transactions(self) -> int:
+        """Coalesced 32-byte transactions against stack addresses."""
         return self.metrics.memory[SEG_STACK].transactions
 
     def transactions_per_load_store(self, segment: Optional[str] = None) -> float:
@@ -103,6 +125,7 @@ class AnalysisReport:
         return reports
 
     def function_efficiency(self, name: str) -> float:
+        """Exclusive SIMT efficiency of one function (in [0, 1])."""
         return self.metrics.per_function[name].efficiency(self.warp_size)
 
     def divergence_hotspots(self, top: int = 10,
@@ -128,6 +151,7 @@ class AnalysisReport:
     # -- formatting ------------------------------------------------------
 
     def format_text(self, top: int = 10) -> str:
+        """Human-readable report (the CLI's ``analyze`` output)."""
         lines = [
             f"ThreadFuser report: {self.workload}",
             f"  threads={self.n_threads}  warps={self.n_warps}  "

@@ -130,7 +130,14 @@ class Machine:
         self.max_instructions = max_instructions
         self.memory = Memory()
         self.threads: List[ThreadContext] = []
+        #: Dynamic instructions executed across all threads (instruction
+        #: count, not cycles -- the machine has no timing model).
         self.total_instructions = 0
+        #: Memory events: one per load/store touch an instruction makes
+        #: (an ``XCHG``/``AADD`` counts two -- its read and its write),
+        #: matching the ``on_mem`` hook cadence.  Exported by the
+        #: observability layer as ``machine.mem_events``.
+        self.mem_events = 0
         self._barrier_waiting: Dict[int, List[ThreadContext]] = {}
         self._lock_holder: Dict[int, int] = {}
         self._dispatch = self._build_dispatch()
@@ -222,6 +229,7 @@ class Machine:
         if isinstance(operand, Imm):
             return operand.value
         addr = self._ea(thread, operand)
+        self.mem_events += 1
         self.hooks.on_mem(thread.tid, slot, False, addr, operand.size)
         return self.memory.load(addr, operand.size)
 
@@ -232,6 +240,7 @@ class Machine:
         if isinstance(operand, Imm):
             raise MachineError("cannot write to an immediate")
         addr = self._ea(thread, operand)
+        self.mem_events += 1
         self.hooks.on_mem(thread.tid, slot, True, addr, operand.size)
         self.memory.store(addr, value, operand.size)
 
@@ -429,6 +438,7 @@ class Machine:
         slot = thread.idx
         addr = self._ea(thread, mem)
         old = self.memory.load(addr, mem.size)
+        self.mem_events += 2
         self.hooks.on_mem(thread.tid, slot, False, addr, mem.size)
         self.hooks.on_mem(thread.tid, slot, True, addr, mem.size)
         self.memory.store(addr, thread.regs[dst.index], mem.size)
@@ -440,6 +450,7 @@ class Machine:
         slot = thread.idx
         addr = self._ea(thread, mem)
         old = self.memory.load(addr, mem.size)
+        self.mem_events += 2
         self.hooks.on_mem(thread.tid, slot, False, addr, mem.size)
         self.hooks.on_mem(thread.tid, slot, True, addr, mem.size)
         self.memory.store(addr, old + self._read(thread, src, slot), mem.size)

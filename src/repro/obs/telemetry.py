@@ -1,0 +1,265 @@
+"""Telemetry containers and the ``telemetry.json`` wire format.
+
+A :class:`Telemetry` object is the *collected* observability state of one
+pipeline run: a tree of hierarchical stage spans (wall-clock seconds per
+stage), flat monotonic counters (dimensionless event/instruction counts),
+and flat gauges (point-in-time values such as cache hit totals or the
+SIMT-stack high-water mark).
+
+The JSON export is schema-versioned independently of the artifact store:
+:data:`TELEMETRY_SCHEMA_VERSION` is embedded in every exported document
+and checked on load, so a consumer never silently misreads counters whose
+meaning changed between releases.
+
+Determinism contract
+--------------------
+Counters and gauges are derived exclusively from deterministic sources
+(replay metrics merged in warp-index order, trace-set totals, artifact
+store statistics), so a ``jobs=N`` run exports counters *identical* to a
+``jobs=1`` run.  Span durations are wall-clock measurements and naturally
+vary; tooling that diffs telemetry documents should compare ``counters``
+and ``gauges``, and treat ``spans`` as profile data.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional
+
+#: Bump whenever the meaning or layout of exported telemetry changes.
+#: Loaders refuse documents written under a different version.
+TELEMETRY_SCHEMA_VERSION = 1
+
+
+class TelemetryError(Exception):
+    """A telemetry document could not be parsed or has the wrong schema."""
+
+
+class SpanNode:
+    """One node of the hierarchical stage-timer tree.
+
+    Attributes
+    ----------
+    name:
+        Stage name (``"report"``, ``"trace"``, ``"replay"``, ...).
+    seconds:
+        Total wall-clock seconds spent inside this span, summed over
+        all entries (includes child-span time).
+    count:
+        Number of times the span was entered.
+    children:
+        Nested spans, keyed by name, in first-entered order.
+    """
+
+    __slots__ = ("name", "seconds", "count", "children")
+
+    def __init__(self, name: str, seconds: float = 0.0,
+                 count: int = 0) -> None:
+        self.name = name
+        self.seconds = seconds
+        self.count = count
+        self.children: Dict[str, "SpanNode"] = {}
+
+    def child(self, name: str) -> "SpanNode":
+        """The child span called ``name``, created on first use."""
+        node = self.children.get(name)
+        if node is None:
+            node = SpanNode(name)
+            self.children[name] = node
+        return node
+
+    def copy(self) -> "SpanNode":
+        """Deep copy (snapshots detach from the live recorder tree)."""
+        dup = SpanNode(self.name, self.seconds, self.count)
+        for name, node in self.children.items():
+            dup.children[name] = node.copy()
+        return dup
+
+    def self_seconds(self) -> float:
+        """Seconds not attributed to any child span."""
+        return self.seconds - sum(c.seconds for c in self.children.values())
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "seconds": self.seconds,
+            "count": self.count,
+            "children": [c.to_dict() for c in self.children.values()],
+        }
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, Any]) -> "SpanNode":
+        try:
+            node = cls(record["name"], float(record["seconds"]),
+                       int(record["count"]))
+            kids = record.get("children", [])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TelemetryError(f"malformed span record: {exc}") from None
+        for kid in kids:
+            child = cls.from_dict(kid)
+            node.children[child.name] = child
+        return node
+
+    def merge(self, other: "SpanNode") -> None:
+        """Accumulate ``other`` into this node (recursive sum)."""
+        self.seconds += other.seconds
+        self.count += other.count
+        for name, node in other.children.items():
+            self.child(name).merge(node)
+
+    def __repr__(self) -> str:
+        return (f"<SpanNode {self.name} {self.seconds:.4f}s "
+                f"x{self.count} children={len(self.children)}>")
+
+
+class Telemetry:
+    """Collected spans, counters and gauges for one pipeline run.
+
+    ``counters`` are monotonic sums (events, instructions, transactions);
+    ``gauges`` are point-in-time or maximum values (cache statistics,
+    SIMT-stack high-water marks); ``meta`` carries free-form run context
+    (workload name, ``jobs``, schema versions) excluded from determinism
+    comparisons.
+    """
+
+    def __init__(self, spans: Optional[Iterable[SpanNode]] = None,
+                 counters: Optional[Dict[str, int]] = None,
+                 gauges: Optional[Dict[str, float]] = None,
+                 meta: Optional[Dict[str, Any]] = None) -> None:
+        self.spans: Dict[str, SpanNode] = {}
+        for span in spans or ():
+            self.spans[span.name] = span
+        self.counters: Dict[str, int] = dict(counters or {})
+        self.gauges: Dict[str, float] = dict(gauges or {})
+        self.meta: Dict[str, Any] = dict(meta or {})
+
+    def is_empty(self) -> bool:
+        return not (self.spans or self.counters or self.gauges)
+
+    # -- merging ---------------------------------------------------------
+
+    def merge(self, other: "Telemetry") -> "Telemetry":
+        """Fold ``other`` into this document.
+
+        Spans and counters accumulate; gauges take the maximum (every
+        shipped gauge is a high-water mark or a monotone total, so the
+        maximum is the correct cross-worker combination); ``meta`` keys
+        from ``other`` win.  Returns ``self`` for chaining.
+        """
+        for name, span in other.spans.items():
+            mine = self.spans.get(name)
+            if mine is None:
+                self.spans[name] = span.copy()
+            else:
+                mine.merge(span)
+        for name, value in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + value
+        for name, value in other.gauges.items():
+            current = self.gauges.get(name)
+            self.gauges[name] = value if current is None \
+                else max(current, value)
+        self.meta.update(other.meta)
+        return self
+
+    # -- JSON wire format ------------------------------------------------
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """The ``telemetry.json`` document (plain JSON types only)."""
+        return {
+            "telemetry_schema": TELEMETRY_SCHEMA_VERSION,
+            "meta": dict(self.meta),
+            "spans": [s.to_dict() for s in self.spans.values()],
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_json_dict(), indent=2, sort_keys=False)
+
+    @classmethod
+    def from_json_dict(cls, record: Dict[str, Any]) -> "Telemetry":
+        """Parse an exported document; rejects other schema versions."""
+        if not isinstance(record, dict):
+            raise TelemetryError("telemetry document must be a JSON object")
+        found = record.get("telemetry_schema")
+        if found != TELEMETRY_SCHEMA_VERSION:
+            raise TelemetryError(
+                f"telemetry schema mismatch: document v{found!r}, "
+                f"reader v{TELEMETRY_SCHEMA_VERSION}"
+            )
+        spans = [SpanNode.from_dict(s) for s in record.get("spans", [])]
+        return cls(
+            spans=spans,
+            counters=record.get("counters", {}),
+            gauges=record.get("gauges", {}),
+            meta=record.get("meta", {}),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Telemetry":
+        try:
+            record = json.loads(text)
+        except ValueError as exc:
+            raise TelemetryError(f"invalid telemetry JSON: {exc}") from None
+        return cls.from_json_dict(record)
+
+    def save(self, path: str) -> None:
+        """Write the document to ``path`` (conventionally telemetry.json)."""
+        with open(path, "w", encoding="utf-8") as out:
+            out.write(self.to_json())
+            out.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "Telemetry":
+        with open(path, "r", encoding="utf-8") as inp:
+            return cls.from_json(inp.read())
+
+    # -- human-readable profile table ------------------------------------
+
+    def format_table(self) -> str:
+        """The ``--profile`` stage-time/counter table."""
+        lines: List[str] = []
+        if self.spans:
+            lines.append(f"{'stage':<36} {'calls':>7} {'time':>12} "
+                         f"{'self':>12}")
+            for span in self.spans.values():
+                self._format_span(span, 0, lines)
+        if self.counters:
+            if lines:
+                lines.append("")
+            lines.append(f"{'counter':<44} {'value':>16}")
+            for name in sorted(self.counters):
+                lines.append(f"{name:<44} {self.counters[name]:>16}")
+        if self.gauges:
+            if lines:
+                lines.append("")
+            lines.append(f"{'gauge':<44} {'value':>16}")
+            for name in sorted(self.gauges):
+                value = self.gauges[name]
+                shown = f"{value:g}"
+                lines.append(f"{name:<44} {shown:>16}")
+        if not lines:
+            lines.append("(no telemetry recorded)")
+        return "\n".join(lines)
+
+    def _format_span(self, span: SpanNode, depth: int,
+                     lines: List[str]) -> None:
+        label = "  " * depth + span.name
+        lines.append(
+            f"{label:<36} {span.count:>7} {span.seconds:>11.4f}s "
+            f"{span.self_seconds():>11.4f}s"
+        )
+        for child in span.children.values():
+            self._format_span(child, depth + 1, lines)
+
+    def __repr__(self) -> str:
+        return (f"<Telemetry spans={len(self.spans)} "
+                f"counters={len(self.counters)} gauges={len(self.gauges)}>")
+
+
+__all__ = [
+    "TELEMETRY_SCHEMA_VERSION",
+    "SpanNode",
+    "Telemetry",
+    "TelemetryError",
+]

@@ -21,6 +21,15 @@ directory, persisted through :class:`repro.artifacts.ArtifactStore` so
 sweeps and repeated CLI runs never re-execute identical work.  All entry
 points -- :mod:`repro.pipeline`, the CLI, the benchmark harness, the
 examples -- route through this class.
+
+The session is the top-level instrumentation point of :mod:`repro.obs`:
+give it a :class:`~repro.obs.Recorder` and every stage is timed as a
+hierarchical span (``report > trace > build`` ...), cache and memo hits
+are counted per stage, and :meth:`AnalysisSession.telemetry` snapshots
+the whole run -- including artifact-store gauges -- as a
+:class:`~repro.obs.Telemetry` document exportable as ``telemetry.json``.
+By default the shared no-op recorder is used and every probe costs one
+attribute load plus a no-op call.
 """
 
 from __future__ import annotations
@@ -33,6 +42,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from .artifacts import (
     KIND_DCFGS,
     KIND_REPORT,
+    KIND_TELEMETRY,
     KIND_TRACES,
     ArtifactStore,
     CacheStats,
@@ -42,6 +52,7 @@ from .artifacts import (
 from .core.analyzer import AnalyzerConfig, ThreadFuserAnalyzer
 from .core.dcfg import DCFGSet
 from .core.report import AnalysisReport
+from .obs import NULL_RECORDER, Telemetry
 from .optlevels import OPT_LEVELS, apply_opt_level
 from .program.ir import Program
 from .tracer import io as trace_io
@@ -67,14 +78,19 @@ class AnalysisSession:
         the serial pipeline.
     store:
         Pass an existing :class:`ArtifactStore` instead of ``cache_dir``.
+    recorder:
+        An optional :class:`repro.obs.Recorder`.  Defaults to the shared
+        no-op recorder, which keeps instrumentation overhead negligible.
     """
 
     def __init__(self, cache_dir: Optional[str] = None, jobs: int = 1,
-                 store: Optional[ArtifactStore] = None) -> None:
+                 store: Optional[ArtifactStore] = None,
+                 recorder=None) -> None:
         if store is None and cache_dir is not None:
             store = ArtifactStore(cache_dir)
         self.store = store
         self.jobs = max(1, int(jobs))
+        self.obs = recorder if recorder is not None else NULL_RECORDER
         #: Machine executions performed by this session (test surface:
         #: a warm cache keeps this at zero).
         self.executions = 0
@@ -91,6 +107,54 @@ class AnalysisSession:
         """Hit/miss/bytes counters of the underlying store."""
         return self.store.stats if self.store else CacheStats()
 
+    # -- observability surface -------------------------------------------
+
+    def telemetry(self) -> Telemetry:
+        """Snapshot this session's recorder as a :class:`Telemetry`.
+
+        Beyond the recorder's own spans and counters, the snapshot
+        carries the session-level counter ``session.executions``
+        (machine runs this session performed) and the artifact-store
+        gauges ``cache.hits`` / ``cache.misses`` / ``cache.puts`` /
+        ``cache.bytes_read`` / ``cache.bytes_written``.  Cache activity
+        lives in *gauges* because it depends on what was already on
+        disk; the ``counters`` section stays bit-identical between
+        ``jobs=1`` and ``jobs=N`` runs over the same inputs.
+
+        With the default no-op recorder this returns an empty document.
+        """
+        snapshot = self.obs.telemetry()
+        if not self.obs.enabled:
+            return snapshot
+        snapshot.counters["session.executions"] = self.executions
+        stats = self.cache_stats
+        snapshot.gauges["cache.hits"] = stats.hits
+        snapshot.gauges["cache.misses"] = stats.misses
+        snapshot.gauges["cache.puts"] = stats.puts
+        snapshot.gauges["cache.bytes_read"] = stats.bytes_read
+        snapshot.gauges["cache.bytes_written"] = stats.bytes_written
+        snapshot.meta.setdefault("jobs", self.jobs)
+        return snapshot
+
+    def store_telemetry(self, telemetry: Telemetry,
+                        fields: Dict) -> Optional[str]:
+        """Persist ``telemetry`` as a JSON artifact in the store.
+
+        ``fields`` is the fingerprint of the run the document describes
+        (conventionally the report-stage fingerprint); the artifact is
+        stored under the ``telemetry`` kind next to the report it
+        profiles.  Returns the payload path, or ``None`` without a
+        store.
+        """
+        if self.store is None:
+            return None
+        tele_fields = dict(fields, kind=KIND_TELEMETRY)
+        self.store.put_bytes(
+            KIND_TELEMETRY, tele_fields,
+            telemetry.to_json().encode("utf-8") + b"\n",
+        )
+        return self.store.payload_path(KIND_TELEMETRY, tele_fields)
+
     # -- stage: build ----------------------------------------------------
 
     def build(self, workload: str, n_threads: Optional[int] = None,
@@ -101,7 +165,8 @@ class AnalysisSession:
         key = (workload, resolved, seed)
         instance = self._instances.get(key)
         if instance is None:
-            instance = entry.instantiate(resolved, seed=seed)
+            with self.obs.span("build"):
+                instance = entry.instantiate(resolved, seed=seed)
             self._instances[key] = instance
         return instance
 
@@ -114,7 +179,8 @@ class AnalysisSession:
             return program
         if opt_level not in OPT_LEVELS:
             raise ValueError(f"unknown optimization level {opt_level!r}")
-        return apply_opt_level(program, opt_level)
+        with self.obs.span("transform"):
+            return apply_opt_level(program, opt_level)
 
     def _program(self, workload: str, n_threads: Optional[int], seed: int,
                  opt_level: Optional[str]) -> Program:
@@ -163,30 +229,62 @@ class AnalysisSession:
         key = fingerprint_key(fields)
         traces = self._traces.get(key)
         if traces is not None:
+            self.obs.count("trace.memo_hits")
             return traces
-        program = self._program(workload, n_threads, seed, opt_level)
-        if self.store is not None:
-            traces = self.store.get_traces(fields, program=program)
-            if traces is not None:
-                self._traces[key] = traces
-                return traces
-        instance = self.build(workload, n_threads, seed)
-        machine_kwargs = dict(instance.machine_kwargs)
-        machine_kwargs.update(machine_overrides)
-        traces, _machine = runner.execute_traced(
-            program,
-            instance.spawns,
-            instance.roots,
-            setup=instance.setup,
-            exclude=instance.exclude,
-            workload=instance.name,
-            machine_kwargs=machine_kwargs,
-        )
-        self.executions += 1
-        if self.store is not None:
-            self.store.put_traces(fields, traces)
-        self._traces[key] = traces
+        with self.obs.span("trace"):
+            program = self._program(workload, n_threads, seed, opt_level)
+            if self.store is not None:
+                traces = self.store.get_traces(fields, program=program)
+                if traces is not None:
+                    self.obs.count("trace.cache_hits")
+                    self._traces[key] = traces
+                    return traces
+            instance = self.build(workload, n_threads, seed)
+            machine_kwargs = dict(instance.machine_kwargs)
+            machine_kwargs.update(machine_overrides)
+            traces, machine = runner.execute_traced(
+                program,
+                instance.spawns,
+                instance.roots,
+                setup=instance.setup,
+                exclude=instance.exclude,
+                workload=instance.name,
+                machine_kwargs=machine_kwargs,
+            )
+            self.executions += 1
+            self._record_trace_counters(traces, machine)
+            if self.store is not None:
+                self.store.put_traces(fields, traces)
+            self._traces[key] = traces
         return traces
+
+    def _record_trace_counters(self, traces: TraceSet, machine=None,
+                               machine_counts: Optional[Dict] = None
+                               ) -> None:
+        """Export one machine execution's totals into the recorder.
+
+        ``trace.instructions`` counts the traced dynamic instructions
+        (per-thread, from the trace set); ``machine.instructions`` the
+        machine's full dynamic instruction count including untraced
+        code; ``machine.mem_events`` the per-touch load/store events
+        (see :class:`repro.machine.machine.Machine`).  When the
+        execution ran in a fork-pool worker the live machine never
+        crosses back, so the worker ships its counts as the plain dict
+        ``machine_counts`` instead (see :func:`_machine_counts`) --
+        the exported counters are identical either way.
+        """
+        obs = self.obs
+        if not obs.enabled:
+            return
+        obs.count("trace.executions")
+        obs.count("trace.instructions", traces.total_instructions)
+        obs.count("trace.skipped_instructions", traces.total_skipped)
+        if machine is not None:
+            machine_counts = _machine_counts(machine)
+        if machine_counts:
+            obs.count("machine.instructions", machine_counts["instructions"])
+            obs.count("machine.mem_events", machine_counts["mem_events"])
+            obs.count("machine.threads", machine_counts["threads"])
 
     def trace_raw(self, program: Program,
                   spawns: Iterable[Tuple[str, Sequence, Optional[Sequence]]],
@@ -198,11 +296,13 @@ class AnalysisSession:
         Raw programs carry host callables that cannot be fingerprinted,
         so this stage never touches the artifact store.
         """
-        traces, _machine = runner.execute_traced(
-            program, spawns, roots, setup=setup, exclude=exclude,
-            workload=workload, machine_kwargs=dict(machine_kwargs),
-        )
-        self.executions += 1
+        with self.obs.span("trace"):
+            traces, machine = runner.execute_traced(
+                program, spawns, roots, setup=setup, exclude=exclude,
+                workload=workload, machine_kwargs=dict(machine_kwargs),
+            )
+            self.executions += 1
+            self._record_trace_counters(traces, machine)
         return traces
 
     def trace_many(self, workloads: Iterable[str],
@@ -223,6 +323,7 @@ class AnalysisSession:
             fields = self.trace_fields(name, n_threads, seed, opt_level)
             key = fingerprint_key(fields)
             if key in self._traces:
+                self.obs.count("trace.memo_hits")
                 out[name] = self._traces[key]
                 continue
             if self.store is not None and self.store.has(KIND_TRACES, fields):
@@ -231,30 +332,32 @@ class AnalysisSession:
                 )
                 continue
             cold.append(name)
-        payloads: Dict[str, bytes] = {}
+        payloads: Dict[str, Tuple[bytes, Dict]] = {}
         pool_jobs = min(jobs, len(cold))
         if pool_jobs > 1:
             specs = [(name, n_threads, seed, opt_level) for name in cold]
             try:
                 ctx = multiprocessing.get_context("fork")
                 with ctx.Pool(processes=pool_jobs) as pool:
-                    for name, data in pool.map(_trace_worker, specs):
-                        payloads[name] = data
+                    for name, data, counts in pool.map(_trace_worker, specs):
+                        payloads[name] = (data, counts)
             except (ValueError, OSError):
                 payloads.clear()
         for name in cold:
-            data = payloads.get(name)
-            if data is None:
+            payload = payloads.get(name)
+            if payload is None:
                 out[name] = self.trace(
                     name, n_threads=n_threads, seed=seed, opt_level=opt_level
                 )
                 continue
+            data, counts = payload
             fields = self.trace_fields(name, n_threads, seed, opt_level)
             program = self._program(name, n_threads, seed, opt_level)
             traces = trace_io.load_traces(
                 _stdio.StringIO(data.decode("utf-8")), program=program
             )
             self.executions += 1
+            self._record_trace_counters(traces, machine_counts=counts)
             if self.store is not None:
                 self.store.put_bytes(KIND_TRACES, fields, data)
             self._traces[fingerprint_key(fields)] = traces
@@ -272,19 +375,24 @@ class AnalysisSession:
         uncached.
         """
         if fields is None:
-            return ThreadFuserAnalyzer().prepare(traces)
+            with self.obs.span("prepare"):
+                return ThreadFuserAnalyzer().prepare(traces)
         dcfg_fields = dict(fields, kind=KIND_DCFGS)
         key = fingerprint_key(dcfg_fields)
         dcfgs = self._dcfgs.get(key)
         if dcfgs is not None:
+            self.obs.count("prepare.memo_hits")
             return dcfgs
-        if self.store is not None:
-            dcfgs = self.store.get_object(KIND_DCFGS, dcfg_fields)
-        if dcfgs is None:
-            dcfgs = ThreadFuserAnalyzer().prepare(traces)
+        with self.obs.span("prepare"):
             if self.store is not None:
-                self.store.put_object(KIND_DCFGS, dcfg_fields, dcfgs)
-        self._dcfgs[key] = dcfgs
+                dcfgs = self.store.get_object(KIND_DCFGS, dcfg_fields)
+                if dcfgs is not None:
+                    self.obs.count("prepare.cache_hits")
+            if dcfgs is None:
+                dcfgs = ThreadFuserAnalyzer().prepare(traces)
+                if self.store is not None:
+                    self.store.put_object(KIND_DCFGS, dcfg_fields, dcfgs)
+            self._dcfgs[key] = dcfgs
         return dcfgs
 
     # -- stage: replay ---------------------------------------------------
@@ -294,13 +402,20 @@ class AnalysisSession:
                dcfgs: Optional[DCFGSet] = None,
                visitor_factory=None,
                jobs: Optional[int] = None) -> AnalysisReport:
-        """Lock-step SIMT replay of ``traces`` into a report."""
+        """Lock-step SIMT replay of ``traces`` into a report.
+
+        The session's recorder is handed to the analyzer, so the
+        analyzer's warp-formation/replay spans and replay counters nest
+        under this stage's ``replay`` span.
+        """
         analyzer = ThreadFuserAnalyzer(
-            config, jobs=self.jobs if jobs is None else jobs
+            config, jobs=self.jobs if jobs is None else jobs,
+            recorder=self.obs,
         )
-        return analyzer.analyze(
-            traces, dcfgs=dcfgs, visitor_factory=visitor_factory
-        )
+        with self.obs.span("replay"):
+            return analyzer.analyze(
+                traces, dcfgs=dcfgs, visitor_factory=visitor_factory
+            )
 
     # -- stage: report (the full chain) ----------------------------------
 
@@ -314,30 +429,33 @@ class AnalysisSession:
         machine execution, no trace loading, no replay.
         """
         config = config or AnalyzerConfig()
-        trace_fields = self.trace_fields(
-            workload, n_threads, seed, opt_level, machine_overrides
-        )
-        report_fields = dict(
-            trace_fields, kind=KIND_REPORT, analyzer=config.fingerprint()
-        )
-        key = fingerprint_key(report_fields)
-        report = self._reports.get(key)
-        if report is not None:
-            return report
-        if self.store is not None:
-            report = self.store.get_object(KIND_REPORT, report_fields)
+        with self.obs.span("report"):
+            trace_fields = self.trace_fields(
+                workload, n_threads, seed, opt_level, machine_overrides
+            )
+            report_fields = dict(
+                trace_fields, kind=KIND_REPORT, analyzer=config.fingerprint()
+            )
+            key = fingerprint_key(report_fields)
+            report = self._reports.get(key)
             if report is not None:
-                self._reports[key] = report
+                self.obs.count("report.memo_hits")
                 return report
-        traces = self.trace(
-            workload, n_threads=n_threads, seed=seed, opt_level=opt_level,
-            **machine_overrides
-        )
-        dcfgs = self.prepare(traces, fields=trace_fields)
-        report = self.replay(traces, config=config, dcfgs=dcfgs)
-        if self.store is not None:
-            self.store.put_object(KIND_REPORT, report_fields, report)
-        self._reports[key] = report
+            if self.store is not None:
+                report = self.store.get_object(KIND_REPORT, report_fields)
+                if report is not None:
+                    self.obs.count("report.cache_hits")
+                    self._reports[key] = report
+                    return report
+            traces = self.trace(
+                workload, n_threads=n_threads, seed=seed,
+                opt_level=opt_level, **machine_overrides
+            )
+            dcfgs = self.prepare(traces, fields=trace_fields)
+            report = self.replay(traces, config=config, dcfgs=dcfgs)
+            if self.store is not None:
+                self.store.put_object(KIND_REPORT, report_fields, report)
+            self._reports[key] = report
         return report
 
     def sweep(self, workload: str, warp_sizes=(8, 16, 32),
@@ -357,12 +475,29 @@ class AnalysisSession:
         return out
 
 
-def _trace_worker(spec: tuple) -> Tuple[str, bytes]:
+def _machine_counts(machine) -> Dict[str, int]:
+    """The machine-level telemetry counts of one finished execution.
+
+    A plain dict so fork-pool workers can ship the counts back without
+    pickling the machine itself; the parent records them through
+    :meth:`AnalysisSession._record_trace_counters` exactly as if the
+    execution had run in-process.
+    """
+    return {
+        "instructions": machine.total_instructions,
+        "mem_events": machine.mem_events,
+        "threads": len(machine.threads),
+    }
+
+
+def _trace_worker(spec: tuple) -> Tuple[str, bytes, Dict[str, int]]:
     """Fork-pool worker: trace one workload, return serialized traces.
 
     Results cross the process boundary in the trace-file wire format
     (not pickles of live objects), so the bytes the parent stores are
-    identical to what a serial run would have written.
+    identical to what a serial run would have written.  The machine's
+    telemetry counts ride along so parallel trace generation exports
+    the same counters as a serial run.
     """
     name, n_threads, seed, opt_level = spec
     entry = get_workload(name)
@@ -371,7 +506,7 @@ def _trace_worker(spec: tuple) -> Tuple[str, bytes]:
     program = instance.program
     if opt_level not in (None, OPT_BASE):
         program = apply_opt_level(program, opt_level)
-    traces, _machine = runner.execute_traced(
+    traces, machine = runner.execute_traced(
         program,
         instance.spawns,
         instance.roots,
@@ -380,7 +515,7 @@ def _trace_worker(spec: tuple) -> Tuple[str, bytes]:
         workload=instance.name,
         machine_kwargs=dict(instance.machine_kwargs),
     )
-    return name, serialize_traces(traces)
+    return name, serialize_traces(traces), _machine_counts(machine)
 
 
 __all__ = ["OPT_BASE", "AnalysisSession"]

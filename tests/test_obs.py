@@ -1,0 +1,350 @@
+"""Tests for the repro.obs observability layer.
+
+Covers the no-op recorder path, span nesting, counter determinism
+across forked replay workers, the telemetry.json wire format (round
+trip + schema-version rejection), the replay/machine instrumentation
+points, the telemetry artifact kind, and the CLI profiling surface.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.artifacts import (
+    KIND_TELEMETRY,
+    KINDS,
+    SCHEMA_VERSION,
+    ArtifactStore,
+)
+from repro.cli import main
+from repro.core import AnalyzerConfig, ThreadFuserAnalyzer
+from repro.obs import (
+    NULL_RECORDER,
+    NullRecorder,
+    Recorder,
+    Telemetry,
+    TelemetryError,
+)
+from repro.obs import telemetry as telemetry_mod
+from repro.session import AnalysisSession
+
+from util import build_diamond_program, build_lock_program, run_traced
+
+N_THREADS = 16
+
+
+class TestNullRecorder:
+    def test_is_disabled_and_stateless(self):
+        null = NullRecorder()
+        assert null.enabled is False
+        with null.span("anything"):
+            null.count("x", 5)
+            null.gauge("y", 1.0)
+            null.maximum("z", 2.0)
+        assert null.telemetry().is_empty()
+
+    def test_span_is_one_shared_object(self):
+        # The disabled path allocates nothing per probe.
+        assert NULL_RECORDER.span("a") is NULL_RECORDER.span("b")
+
+    def test_session_defaults_to_null_recorder(self):
+        session = AnalysisSession()
+        assert session.obs is NULL_RECORDER
+        session.analyze("vectoradd", n_threads=N_THREADS)
+        assert session.telemetry().is_empty()
+
+    def test_analyzer_defaults_to_null_recorder(self):
+        analyzer = ThreadFuserAnalyzer()
+        assert analyzer.obs is NULL_RECORDER
+        assert analyzer.telemetry().is_empty()
+
+
+class TestRecorderSpans:
+    def test_spans_nest_by_dynamic_scope(self):
+        rec = Recorder()
+        with rec.span("outer"):
+            with rec.span("inner"):
+                pass
+            with rec.span("inner"):
+                pass
+        with rec.span("other"):
+            pass
+        t = rec.telemetry()
+        assert set(t.spans) == {"outer", "other"}
+        outer = t.spans["outer"]
+        assert outer.count == 1
+        assert set(outer.children) == {"inner"}
+        assert outer.children["inner"].count == 2
+        assert outer.seconds >= outer.children["inner"].seconds
+        assert outer.self_seconds() >= 0.0
+
+    def test_counters_and_gauges(self):
+        rec = Recorder()
+        rec.count("c")
+        rec.count("c", 4)
+        rec.gauge("g", 2.0)
+        rec.gauge("g", 1.0)
+        rec.maximum("m", 3.0)
+        rec.maximum("m", 2.0)
+        t = rec.telemetry()
+        assert t.counters["c"] == 5
+        assert t.gauges["g"] == 1.0  # gauge: last write wins
+        assert t.gauges["m"] == 3.0  # maximum: high-water mark
+
+    def test_telemetry_snapshot_is_detached(self):
+        rec = Recorder()
+        with rec.span("stage"):
+            rec.count("n", 1)
+        snap = rec.telemetry()
+        with rec.span("stage"):
+            rec.count("n", 1)
+        assert snap.counters["n"] == 1
+        assert snap.spans["stage"].count == 1
+
+
+class TestJobsDeterminism:
+    def test_counters_identical_jobs1_vs_jobs4(self):
+        # 64 threads at warp size 8 -> 8 warps, so jobs=4 really forks.
+        config = AnalyzerConfig(warp_size=8)
+        t1 = self._run(jobs=1, config=config)
+        t4 = self._run(jobs=4, config=config)
+        assert t1.counters == t4.counters
+        assert t1.counters["replay.warps"] == 8
+        # The deterministic gauge (stack depth hwm) must match too.
+        assert (t1.gauges["replay.stack_depth_hwm"]
+                == t4.gauges["replay.stack_depth_hwm"])
+
+    @staticmethod
+    def _run(jobs, config):
+        session = AnalysisSession(jobs=jobs, recorder=Recorder())
+        session.analyze("dsb_text", n_threads=64, config=config)
+        return session.telemetry()
+
+    def test_trace_many_pool_matches_serial(self):
+        names = ["vectoradd", "nn"]
+        serial = AnalysisSession(jobs=1, recorder=Recorder())
+        serial.trace_many(names, n_threads=N_THREADS)
+        pooled = AnalysisSession(jobs=2, recorder=Recorder())
+        pooled.trace_many(names, n_threads=N_THREADS)
+        a = serial.telemetry().counters
+        b = pooled.telemetry().counters
+        assert a == b
+        assert a["machine.instructions"] > 0
+        assert a["machine.threads"] == 2 * N_THREADS
+
+
+class TestTelemetryDocument:
+    def test_json_round_trip(self, tmp_path):
+        session = AnalysisSession(recorder=Recorder())
+        session.analyze("vectoradd", n_threads=N_THREADS)
+        doc = session.telemetry()
+        path = str(tmp_path / "telemetry.json")
+        doc.save(path)
+        loaded = Telemetry.load(path)
+        assert loaded.counters == doc.counters
+        assert loaded.gauges == doc.gauges
+        assert set(loaded.spans) == set(doc.spans)
+        assert loaded.spans["report"].count == doc.spans["report"].count
+
+    def test_schema_version_is_embedded(self, tmp_path):
+        path = str(tmp_path / "telemetry.json")
+        Telemetry().save(path)
+        with open(path) as inp:
+            record = json.load(inp)
+        assert record["telemetry_schema"] \
+            == telemetry_mod.TELEMETRY_SCHEMA_VERSION
+
+    def test_schema_bump_invalidates(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "telemetry.json")
+        Telemetry(counters={"n": 1}).save(path)
+        monkeypatch.setattr(
+            telemetry_mod, "TELEMETRY_SCHEMA_VERSION",
+            telemetry_mod.TELEMETRY_SCHEMA_VERSION + 1,
+        )
+        with pytest.raises(TelemetryError):
+            Telemetry.load(path)
+
+    def test_malformed_document_rejected(self):
+        with pytest.raises(TelemetryError):
+            Telemetry.from_json("not json at all {")
+        with pytest.raises(TelemetryError):
+            Telemetry.from_json_dict(["not", "a", "dict"])
+
+    def test_merge_semantics(self):
+        a = Telemetry(counters={"c": 1}, gauges={"g": 3.0},
+                      meta={"who": "a"})
+        b = Telemetry(counters={"c": 2, "d": 5}, gauges={"g": 2.0},
+                      meta={"who": "b"})
+        a.merge(b)
+        assert a.counters == {"c": 3, "d": 5}
+        assert a.gauges == {"g": 3.0}
+        assert a.meta["who"] == "b"
+
+
+class TestReplayInstrumentation:
+    def test_divergence_records_stack_depth_and_reconvergence(self):
+        program = build_diamond_program()
+        spawns = [("worker", [tid], None) for tid in range(8)]
+        traces, _ = run_traced(program, spawns, roots=["worker"])
+        rec = Recorder()
+        analyzer = ThreadFuserAnalyzer(AnalyzerConfig(warp_size=8),
+                                       recorder=rec)
+        report = analyzer.analyze(traces)
+        t = rec.telemetry()
+        # The frame entry plus the divergent if/else entry are live at
+        # once, and the divergent entry reconverges at the join.
+        assert t.gauges["replay.stack_depth_hwm"] >= 2
+        assert t.counters["replay.reconvergence_events"] > 0
+        assert t.counters["replay.divergence_events"] > 0
+        assert t.counters["replay.issues"] == report.metrics.issues
+
+    def test_lock_serialization_records_entries(self):
+        program, _lock_addr, _counter = build_lock_program(shared_lock=True)
+        spawns = [("worker", [tid], None) for tid in range(8)]
+        traces, _ = run_traced(program, spawns, roots=["worker"])
+
+        def run(lock_reconvergence):
+            rec = Recorder()
+            ThreadFuserAnalyzer(
+                AnalyzerConfig(warp_size=8, emulate_locks=True,
+                               lock_reconvergence=lock_reconvergence),
+                recorder=rec,
+            ).analyze(traces)
+            return rec.telemetry().counters
+
+        # "unlock" reconverges right after the common unlock block, so
+        # the serialized lanes need no extra stack entries; "exit"
+        # defers reconvergence to the frame exit, pushing one entry per
+        # serialized lane with a post-critical-section tail.
+        unlock = run("unlock")
+        assert unlock["replay.lock_contended_events"] > 0
+        assert unlock["replay.lock_serialized_issues"] > 0
+        assert unlock["replay.lock_serialized_entries"] == 0
+        exit_ = run("exit")
+        assert exit_["replay.lock_serialized_entries"] > 0
+
+    def test_machine_counters_reach_session_telemetry(self):
+        session = AnalysisSession(recorder=Recorder())
+        session.trace("vectoradd", n_threads=N_THREADS)
+        t = session.telemetry()
+        assert t.counters["machine.instructions"] > 0
+        assert t.counters["machine.mem_events"] > 0
+        assert t.counters["machine.threads"] == N_THREADS
+        assert t.counters["trace.executions"] == 1
+
+
+class TestCacheCounters:
+    def test_hits_are_counted_per_stage(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        warm = AnalysisSession(cache_dir=cache)
+        warm.analyze("vectoradd", n_threads=N_THREADS)
+
+        session = AnalysisSession(cache_dir=cache, recorder=Recorder())
+        session.analyze("vectoradd", n_threads=N_THREADS)
+        t = session.telemetry()
+        assert t.counters["report.cache_hits"] == 1
+        assert "trace.executions" not in t.counters
+        assert t.counters["session.executions"] == 0
+        assert t.gauges["cache.hits"] == 1
+
+        session.analyze("vectoradd", n_threads=N_THREADS)
+        assert session.telemetry().counters["report.memo_hits"] == 1
+
+
+class TestTelemetryArtifacts:
+    def test_store_telemetry_round_trips(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        session = AnalysisSession(cache_dir=cache, recorder=Recorder())
+        session.analyze("vectoradd", n_threads=N_THREADS)
+        fields = session.trace_fields("vectoradd", N_THREADS)
+        path = session.store_telemetry(session.telemetry(), fields)
+        assert path is not None and os.path.exists(path)
+        assert path.endswith(".json")
+        loaded = Telemetry.from_json(open(path).read())
+        assert loaded.counters["replay.warps"] == 1
+
+    def test_kind_is_known_to_info_even_when_empty(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "cache"))
+        info = store.info()
+        assert KIND_TELEMETRY in KINDS
+        assert info["by_kind"][KIND_TELEMETRY] == {"count": 0, "bytes": 0}
+        assert info["disk_schema"] == SCHEMA_VERSION
+
+    def test_old_schema_cache_dir_is_handled_gracefully(self, tmp_path,
+                                                        capsys):
+        # Fabricate a PR 1-era cache: schema marker v1 plus an entry of
+        # a kind this release does not know about.
+        root = tmp_path / "cache"
+        legacy = root / "objects" / "legacykind" / "ab"
+        legacy.mkdir(parents=True)
+        (root / "store.json").write_text('{"schema": 1}\n')
+        (legacy / "abcd.meta.json").write_text(json.dumps({
+            "kind": "legacykind", "key": "abcd", "size": 3,
+            "schema": 1, "fingerprint": {"workload": "old"},
+        }))
+        (legacy / "abcd.bin").write_text("xyz")
+
+        store = ArtifactStore(str(root))
+        info = store.info()
+        assert info["disk_schema"] == 1
+        assert info["by_kind"]["legacykind"]["count"] == 1
+
+        rc = main(["cache", "info", "--cache-dir", str(root)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "legacykind" in out
+        assert "disk schema:  v1" in out
+
+        # clear() without a kind sweeps unknown kinds too.
+        assert store.clear() == 1
+        assert store.entries() == []
+
+
+class TestCLIProfile:
+    def test_analyze_profile_prints_table_and_writes_json(
+            self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        rc = main(["analyze", "vectoradd", "--threads", str(N_THREADS),
+                   "--no-cache", "--profile", "--jobs", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "SIMT efficiency" in out      # the report still prints
+        assert "stage" in out and "replay.warps" in out
+        doc = Telemetry.load(str(tmp_path / "telemetry.json"))
+        assert doc.counters["replay.warps"] >= 1
+        assert doc.meta["workload"] == "vectoradd"
+
+    def test_profile_subcommand(self, tmp_path, capsys):
+        out_path = str(tmp_path / "t.json")
+        rc = main(["profile", "vectoradd", "--threads", str(N_THREADS),
+                   "--no-cache", "--telemetry-out", out_path])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "replay.issues" in out
+        doc = Telemetry.load(out_path)
+        assert doc.meta["command"] == "profile"
+        assert doc.counters["trace.executions"] == 1
+
+    def test_profile_stores_telemetry_artifact(self, tmp_path, capsys,
+                                               monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        cache = str(tmp_path / "cache")
+        rc = main(["profile", "vectoradd", "--threads", str(N_THREADS),
+                   "--cache-dir", cache])
+        assert rc == 0
+        store = ArtifactStore(cache)
+        kinds = {entry.kind for entry in store.entries()}
+        assert KIND_TELEMETRY in kinds
+        capsys.readouterr()
+        rc = main(["cache", "info", "--cache-dir", cache])
+        assert rc == 0
+        assert "telemetry" in capsys.readouterr().out
+
+    def test_profile_off_writes_nothing(self, tmp_path, capsys,
+                                        monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        rc = main(["analyze", "vectoradd", "--threads", str(N_THREADS),
+                   "--no-cache"])
+        assert rc == 0
+        assert not (tmp_path / "telemetry.json").exists()

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Execute the code fences of the repo's documentation.
+
+Extracts every ```python and ```bash fence from the checked documents
+and runs it, so examples can never drift from the shipped package:
+
+* ``python`` fences run via :func:`exec`, each in a fresh namespace,
+  with the CWD set to a scratch directory.
+* ``bash`` fences run line by line; every line must start with
+  ``threadfuser``, which is rewritten to ``<this interpreter> -m
+  repro`` so the check does not depend on the console script being on
+  PATH.
+
+Other fence languages (``text``, ``json``, ...) are ignored.
+
+Usage: python tools/check_docs.py [doc.md ...]
+Defaults to docs/OBSERVABILITY.md and the README's profiling example.
+"""
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_DOCS = [os.path.join(REPO, "docs", "OBSERVABILITY.md")]
+
+FENCE_RE = re.compile(
+    r"^```(\w+)[^\n]*\n(.*?)^```\s*$", re.MULTILINE | re.DOTALL
+)
+
+
+def extract_fences(path):
+    """Yield ``(language, code, line_number)`` for each fence in a file."""
+    with open(path, "r", encoding="utf-8") as inp:
+        text = inp.read()
+    for match in FENCE_RE.finditer(text):
+        line = text.count("\n", 0, match.start()) + 1
+        yield match.group(1), match.group(2), line
+
+
+def run_python(code, label):
+    namespace = {"__name__": "__main__", "__doc_fence__": label}
+    exec(compile(code, label, "exec"), namespace)
+
+
+def run_bash(code, label):
+    for raw in code.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if not line.startswith("threadfuser"):
+            raise SystemExit(
+                f"{label}: only 'threadfuser ...' lines are runnable in "
+                f"bash fences, got: {line!r}"
+            )
+        argv = [sys.executable, "-m", "repro"] + line.split()[1:]
+        subprocess.run(argv, check=True, stdout=subprocess.DEVNULL)
+
+
+def check_document(path):
+    failures = 0
+    n_run = 0
+    for language, code, line in extract_fences(path):
+        if language not in ("python", "bash"):
+            continue
+        label = f"{os.path.relpath(path, REPO)}:{line}"
+        n_run += 1
+        try:
+            if language == "python":
+                run_python(code, label)
+            else:
+                run_bash(code, label)
+        except Exception as exc:  # noqa: BLE001 - report and keep going
+            failures += 1
+            print(f"FAIL {label} ({language}): {exc}")
+        else:
+            print(f"ok   {label} ({language})")
+    return n_run, failures
+
+
+def main(argv):
+    docs = argv or DEFAULT_DOCS
+    sys.path.insert(0, os.path.join(REPO, "src"))
+    total = failed = 0
+    # Run inside a scratch CWD so examples that write telemetry.json or
+    # create cache dirs never dirty the working tree.
+    with tempfile.TemporaryDirectory() as scratch:
+        os.chdir(scratch)
+        env_src = os.path.join(REPO, "src")
+        existing = os.environ.get("PYTHONPATH")
+        os.environ["PYTHONPATH"] = (
+            env_src + os.pathsep + existing if existing else env_src
+        )
+        for doc in docs:
+            n_run, failures = check_document(os.path.abspath(
+                doc if os.path.isabs(doc) else os.path.join(REPO, doc)))
+            total += n_run
+            failed += failures
+        os.chdir(REPO)
+    print(f"{total - failed}/{total} fences passed")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
