@@ -60,6 +60,11 @@ def _add_session_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--telemetry-out", metavar="FILE", default=None,
                         help="telemetry.json destination "
                              "(default ./telemetry.json; with --profile)")
+    parser.add_argument("--engine", default=None,
+                        choices=("compiled", "interp"),
+                        help="execution engine for the trace stage "
+                             "(default: compiled; bit-identical engines, "
+                             "see docs/PERFORMANCE.md)")
 
 
 def _session_from_args(args) -> AnalysisSession:
@@ -69,7 +74,8 @@ def _session_from_args(args) -> AnalysisSession:
         cache_dir = args.cache_dir or default_cache_dir()
     recorder = Recorder() if getattr(args, "profile", False) else None
     return AnalysisSession(cache_dir=cache_dir, jobs=args.jobs,
-                           recorder=recorder)
+                           recorder=recorder,
+                           engine=getattr(args, "engine", None))
 
 
 def _finish_profile(args, session: AnalysisSession,

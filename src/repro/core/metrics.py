@@ -39,13 +39,25 @@ def transactions_for(addr_size_pairs: Iterable[Tuple[int, int]]) -> int:
     This is the coalescing rule from the paper's Fig. 4: the lanes' byte
     ranges are merged and counted in unique 32-byte segments.
     """
-    segments = set()
+    # Fully-coalesced accesses (every lane in one segment run) dominate
+    # real traces, so track the first run and only materialize the
+    # segment set once a second distinct run appears.
+    lo = hi = None
+    segments = None
     for addr, size in addr_size_pairs:
         first = addr // TRANSACTION_BYTES
         last = (addr + size - 1) // TRANSACTION_BYTES
-        for seg in range(first, last + 1):
-            segments.add(seg)
-    return len(segments)
+        if segments is None:
+            if lo is None:
+                lo, hi = first, last
+                continue
+            if first == lo and last == hi:
+                continue
+            segments = set(range(lo, hi + 1))
+        segments.update(range(first, last + 1))
+    if segments is not None:
+        return len(segments)
+    return 0 if lo is None else hi - lo + 1
 
 
 class FunctionStats:
@@ -193,10 +205,20 @@ class WarpMetrics:
         """
         if not accesses:
             return
-        seg = self.memory[segment_of(accesses[0][0])]
+        addr = accesses[0][0]
+        seg = self.memory[segment_of(addr)]
         seg.instructions += 1
-        seg.accesses += len(accesses)
-        seg.transactions += transactions_for(accesses)
+        n = len(accesses)
+        seg.accesses += n
+        if n == 1:
+            # Solo lane: the transaction count is the access's own span.
+            size = accesses[0][1]
+            seg.transactions += (
+                (addr + size - 1) // TRANSACTION_BYTES
+                - addr // TRANSACTION_BYTES + 1
+            )
+        else:
+            seg.transactions += transactions_for(accesses)
 
     def efficiency(self) -> float:
         """Warp SIMT efficiency per the paper's Eq. 1."""

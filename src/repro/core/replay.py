@@ -124,7 +124,8 @@ class WarpReplayer:
         self.lock_reconvergence = lock_reconvergence
         self.visitor = visitor
         self.metrics = WarpMetrics(warp_size)
-        self.cursors: Dict[int, _Cursor] = {}
+        #: One cursor per lane, indexed by lane number (lanes are dense).
+        self.cursors: List[_Cursor] = []
         #: Live SIMT-stack entries summed over all nested frames; its
         #: maximum is the warp's ``stack_depth_hwm`` metric.
         self._depth = 0
@@ -140,10 +141,8 @@ class WarpReplayer:
             raise ReplayError(
                 f"warp fuses threads with different roots: {sorted(roots)}"
             )
-        lanes = []
-        for lane, trace in enumerate(self.warp):
-            self.cursors[lane] = _Cursor(trace)
-            lanes.append(lane)
+        self.cursors = [_Cursor(trace) for trace in self.warp]
+        lanes = list(range(len(self.warp)))
         root = next(iter(roots))
         live = [lane for lane in lanes if not self.cursors[lane].at_end()]
         if live:
@@ -181,13 +180,17 @@ class WarpReplayer:
 
     def _next_block_of(self, lane: int) -> int:
         """The next block this lane will execute in the current frame."""
-        token = self.cursors[lane].peek()
-        if token is None or token[0] == TOK_RET:
+        cursor = self.cursors[lane]
+        if cursor.pos >= len(cursor.tokens):
             return VEXIT
-        if token[0] == TOK_BLOCK:
+        token = cursor.tokens[cursor.pos]
+        kind = token[0]
+        if kind == TOK_BLOCK:
             return token[1]
+        if kind == TOK_RET:
+            return VEXIT
         raise ReplayError(
-            f"lane {lane} has unexpected token {token[0]!r} at a block "
+            f"lane {lane} has unexpected token {kind!r} at a block "
             "boundary"
         )
 
@@ -226,11 +229,13 @@ class WarpReplayer:
             self._step_entry(function, e, stack)
         # Consume the RET tokens that delimit this activation.
         for lane in lanes:
-            token = self.cursors[lane].peek()
-            if token is not None and token[0] == TOK_RET:
-                self.cursors[lane].next()
-            elif token is None:
+            cursor = self.cursors[lane]
+            pos = cursor.pos
+            if pos >= len(cursor.tokens):
                 continue  # thread terminated inside this function
+            token = cursor.tokens[pos]
+            if token[0] == TOK_RET:
+                cursor.pos = pos + 1
             else:
                 raise ReplayError(
                     f"lane {lane} expected RET leaving {function}, "
@@ -241,11 +246,17 @@ class WarpReplayer:
                     stack: List[_Entry]) -> None:
         block_addr = e.pc
         mask = e.mask
+        cursors = self.cursors
 
-        # 1. Consume the block token on every active lane.
+        # 1. Consume the block token on every active lane, collecting each
+        #    lane's memory records as we go (one pass; the coalescer below
+        #    reuses these views instead of re-deriving them from cursors).
         rep_token = None
+        lane_mems: List[tuple] = []
         for lane in mask:
-            token = self.cursors[lane].next()
+            cursor = cursors[lane]
+            token = cursor.tokens[cursor.pos]
+            cursor.pos += 1
             if token[0] != TOK_BLOCK or token[1] != block_addr:
                 raise ReplayError(
                     f"lane {lane} diverged from lock-step in {function}: "
@@ -253,20 +264,27 @@ class WarpReplayer:
                 )
             if rep_token is None:
                 rep_token = token
+            lane_mems.append(token[3])
         n_instructions = rep_token[2]
         self.metrics.account_block(function, n_instructions, len(mask))
         if self.visitor is not None:
             self.visitor.on_issue(function, block_addr, n_instructions,
                                   list(mask))
-        self._coalesce_block(function, block_addr, mask)
+        if rep_token[3]:
+            self._coalesce_block(function, block_addr, mask, lane_mems,
+                                 rep_token[3])
 
         # 2. Handle post-block events (call / lock / unlock), which the
         #    tracer emits between the terminating block and its successor.
-        follow = self.cursors[mask[0]].peek()
+        cursor = cursors[mask[0]]
+        follow = (cursor.tokens[cursor.pos]
+                  if cursor.pos < len(cursor.tokens) else None)
         if follow is not None and follow[0] == TOK_CALL:
             callee = follow[1]
             for lane in mask:
-                token = self.cursors[lane].next()
+                cursor = cursors[lane]
+                token = cursor.tokens[cursor.pos]
+                cursor.pos += 1
                 if token[0] != TOK_CALL or token[1] != callee:
                     raise ReplayError(
                         f"lane {lane} expected call to {callee}, "
@@ -278,7 +296,9 @@ class WarpReplayer:
                 return  # lock handler already regrouped the entry
         elif follow is not None and follow[0] == TOK_UNLOCK:
             for lane in mask:
-                token = self.cursors[lane].next()
+                cursor = cursors[lane]
+                token = cursor.tokens[cursor.pos]
+                cursor.pos += 1
                 if token[0] != TOK_UNLOCK:
                     raise ReplayError(
                         f"lane {lane} expected unlock, got {token!r}"
@@ -309,30 +329,40 @@ class WarpReplayer:
     # Memory coalescing.
 
     def _coalesce_block(self, function: str, block_addr: int,
-                        mask: List[int]) -> None:
-        """Coalesce the block's memory records across active lanes."""
-        rep = self.cursors[mask[0]].tokens[self.cursors[mask[0]].pos - 1]
-        rep_mems = rep[3]
-        if not rep_mems:
+                        mask: List[int], lane_mems: List[tuple],
+                        rep_mems: tuple) -> None:
+        """Coalesce the block's memory records across active lanes.
+
+        ``lane_mems`` holds each active lane's memory-record tuple for the
+        block just consumed (parallel to ``mask``); ``rep_mems`` is the
+        representative lane's records.  Both were extracted while the
+        block tokens were consumed, so no cursor access happens here.
+        """
+        account_memory = self.metrics.account_memory
+        visitor = self.visitor
+        if len(mask) == 1:
+            # Solo lane: its records are the representative records and
+            # cannot misalign with themselves.
+            for slot, is_store, addr, size in rep_mems:
+                accesses = [(addr, size)]
+                account_memory(accesses)
+                if visitor is not None:
+                    visitor.on_mem_issue(function, block_addr, slot,
+                                         is_store, accesses)
             return
-        lane_mems = {
-            lane: self.cursors[lane].tokens[self.cursors[lane].pos - 1][3]
-            for lane in mask
-        }
         for i, (slot, is_store, _addr, _size) in enumerate(rep_mems):
             accesses: List[Tuple[int, int]] = []
-            for lane in mask:
-                mems = lane_mems[lane]
+            for lane, mems in zip(mask, lane_mems):
                 if i >= len(mems) or mems[i][0] != slot or mems[i][1] != is_store:
                     raise ReplayError(
                         f"memory records misaligned across lanes at block "
                         f"{block_addr:#x} slot {slot}"
                     )
                 accesses.append((mems[i][2], mems[i][3]))
-            self.metrics.account_memory(accesses)
-            if self.visitor is not None:
-                self.visitor.on_mem_issue(function, block_addr, slot,
-                                          is_store, accesses)
+            account_memory(accesses)
+            if visitor is not None:
+                visitor.on_mem_issue(function, block_addr, slot,
+                                     is_store, accesses)
 
     # ------------------------------------------------------------------
     # Lock serialization.
@@ -346,7 +376,9 @@ class WarpReplayer:
         """
         lock_of: Dict[int, int] = {}
         for lane in e.mask:
-            token = self.cursors[lane].next()
+            cursor = self.cursors[lane]
+            token = cursor.tokens[cursor.pos]
+            cursor.pos += 1
             if token[0] != TOK_LOCK:
                 raise ReplayError(
                     f"lane {lane} expected lock token, got {token!r}"
@@ -421,55 +453,63 @@ class WarpReplayer:
         calls and nested *different* locks are replayed inline.
         """
         cursor = self.cursors[lane]
+        tokens = cursor.tokens
+        n_tokens = len(tokens)
+        pos = cursor.pos
         func_stack = [function]
         last_block = None
-        while True:
-            token = cursor.peek()
-            if token is None:
-                raise ReplayError(
-                    f"lane {lane} ended while holding lock {lock_addr:#x}"
-                )
-            cursor.next()
-            kind = token[0]
-            if kind == TOK_BLOCK:
-                last_block = token[1]
-                self.metrics.account_block(
-                    func_stack[-1], token[2], 1, serialized=True
-                )
-                if self.visitor is not None:
-                    self.visitor.on_issue(func_stack[-1], token[1],
-                                          token[2], [lane])
-                for slot, is_store, addr, size in token[3]:
-                    self.metrics.account_memory([(addr, size)])
+        try:
+            while True:
+                if pos >= n_tokens:
+                    raise ReplayError(
+                        f"lane {lane} ended while holding lock {lock_addr:#x}"
+                    )
+                token = tokens[pos]
+                pos += 1
+                kind = token[0]
+                if kind == TOK_BLOCK:
+                    last_block = token[1]
+                    self.metrics.account_block(
+                        func_stack[-1], token[2], 1, serialized=True
+                    )
                     if self.visitor is not None:
-                        self.visitor.on_mem_issue(
-                            func_stack[-1], token[1], slot, is_store,
-                            [(addr, size)]
-                        )
-            elif kind == TOK_CALL:
-                self.metrics.account_call(token[1])
-                func_stack.append(token[1])
-            elif kind == TOK_RET:
-                if len(func_stack) == 1:
-                    raise ReplayError(
-                        f"lane {lane} returned from {function} while "
-                        f"holding lock {lock_addr:#x}"
-                    )
-                func_stack.pop()
-            elif kind == TOK_UNLOCK:
-                if token[1] == lock_addr:
-                    if len(func_stack) != 1:
+                        self.visitor.on_issue(func_stack[-1], token[1],
+                                              token[2], [lane])
+                    for slot, is_store, addr, size in token[3]:
+                        self.metrics.account_memory([(addr, size)])
+                        if self.visitor is not None:
+                            self.visitor.on_mem_issue(
+                                func_stack[-1], token[1], slot, is_store,
+                                [(addr, size)]
+                            )
+                elif kind == TOK_CALL:
+                    self.metrics.account_call(token[1])
+                    func_stack.append(token[1])
+                elif kind == TOK_RET:
+                    if len(func_stack) == 1:
                         raise ReplayError(
-                            f"lane {lane} unlocked {lock_addr:#x} in a "
-                            "nested call; unsupported locking structure"
+                            f"lane {lane} returned from {function} while "
+                            f"holding lock {lock_addr:#x}"
                         )
-                    return last_block
-            elif kind == TOK_LOCK:
-                if token[1] == lock_addr:
-                    raise ReplayError(
-                        f"lane {lane} re-acquired held lock {lock_addr:#x}"
-                    )
-                # A nested different lock inside a serialized CS cannot
-                # contend within the warp (the lane runs alone here).
-            else:
-                raise ReplayError(f"unknown token {token!r}")
+                    func_stack.pop()
+                elif kind == TOK_UNLOCK:
+                    if token[1] == lock_addr:
+                        if len(func_stack) != 1:
+                            raise ReplayError(
+                                f"lane {lane} unlocked {lock_addr:#x} in a "
+                                "nested call; unsupported locking structure"
+                            )
+                        return last_block
+                elif kind == TOK_LOCK:
+                    if token[1] == lock_addr:
+                        raise ReplayError(
+                            f"lane {lane} re-acquired held lock {lock_addr:#x}"
+                        )
+                    # A nested different lock inside a serialized CS cannot
+                    # contend within the warp (the lane runs alone here).
+                else:
+                    raise ReplayError(f"unknown token {token!r}")
+        finally:
+            # The loop advances a local position for speed; publish it on
+            # every exit path (return and raise alike).
+            cursor.pos = pos

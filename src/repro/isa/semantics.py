@@ -63,6 +63,26 @@ UNARY: Dict[Op, Callable] = {
     Op.CVTFI: int,
 }
 
+#: Binary ops whose scalar function can raise :class:`ZeroDivisionError`
+#: (every interpreter must translate it into its own machine fault; the
+#: compiled engine only pays the try/except on these).
+RAISES_ZERO_DIVIDE = frozenset({Op.IDIV, Op.IMOD})
+
+
+def scalar_fn(op: Op) -> Callable:
+    """The pure scalar function of a computational opcode.
+
+    One lookup shared by the interpreters and the link-time compiler so
+    a semantics change can never desynchronize the engines.
+    """
+    fn = BINARY.get(op)
+    if fn is None:
+        fn = UNARY.get(op)
+    if fn is None:
+        raise KeyError(f"{op!r} has no scalar semantics")
+    return fn
+
+
 #: Conditional-jump predicates over the 3-way compare flag (-1/0/+1).
 JCC_TEST: Dict[Op, Callable[[int], bool]] = {
     Op.JE: lambda f: f == 0,

@@ -12,8 +12,10 @@ from .memory import (
     stack_top,
 )
 from .machine import Machine, NullHooks, ThreadContext
+from .compiled import block_handlers
 
 __all__ = [
+    "block_handlers",
     "DeadlockError",
     "InstructionLimitError",
     "MachineError",

@@ -1,0 +1,659 @@
+"""Link-time instruction specialization: the compiled execution engine.
+
+The seed interpreter decodes every dynamic instruction from scratch --
+an ``Op`` -> method dict lookup, ``isinstance``-driven operand decoding
+in ``_read``/``_write``, and an effective-address walk over the ``Mem``
+attributes.  This module performs that decoding once, at link time: each
+:class:`~repro.program.ir.Instruction` is lowered to a specialized
+closure with register indices, immediate values and effective-address
+recipes pre-bound, and each :class:`~repro.program.ir.BasicBlock`
+becomes a flat handler list the machine executes as a tight loop (see
+``Machine._run_quantum_compiled``).
+
+Two variants exist per program:
+
+* **traced** -- handlers drive the instrumentation hooks exactly like
+  the seed interpreter (same call order, same arguments);
+* **native** -- the no-op-hook fast path used when the machine's hooks
+  are exactly :class:`~repro.machine.machine.NullHooks`: hook calls are
+  omitted entirely (they are no-ops by definition), while every
+  architectural effect and counter (``mem_events``, instruction counts)
+  is preserved.
+
+Both variants are **bit-identical** to the seed interpreter in every
+observable: traces, metrics, machine counters, error behavior
+(``tests/test_engine_parity.py`` proves this across the workload
+catalog).  Handler lists are cached on the program (invalidated by
+:meth:`~repro.program.ir.Program.link`), so many machines -- e.g. the
+native and traced runs of the tracer-overhead benchmark -- share one
+compilation.
+
+The ``slot`` every memory hook reports is the instruction's index inside
+its block; at execution time ``thread.idx`` always equals that index, so
+it is baked in as a constant instead of being re-read per access.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..isa import Imm, Mem, Op, Reg
+from ..isa import semantics
+from ..program.ir import Instruction, Program
+from .errors import MachineError
+
+#: Handler signature: ``handler(machine, thread) -> None``.
+Handler = Callable
+
+
+def block_handlers(program: Program, traced: bool) -> Dict[int, tuple]:
+    """The compiled handler tables of ``program``, keyed by block address.
+
+    Each value is ``(handlers, n)``: the block's handler list and its
+    instruction count.  Terminators can only sit at a block's end (the
+    builder and every optimizer pass preserve this), so the whole list
+    can run as one uninterrupted loop when the scheduling budget covers
+    it.  Compiled once per (program, variant) and cached on the
+    program; :meth:`Program.link` invalidates the cache because
+    handlers bind resolved addresses and block objects.
+    """
+    key = "traced" if traced else "native"
+    handlers = program.compiled_cache.get(key)
+    if handlers is None:
+        handlers = _compile_program(program, traced)
+        program.compiled_cache[key] = handlers
+    return handlers
+
+
+def _compile_program(program: Program, traced: bool) -> Dict[int, tuple]:
+    table: Dict[int, tuple] = {}
+    for function in program.functions.values():
+        for block in function.blocks:
+            handlers = [
+                _compile_instruction(program, block, instr, slot, traced)
+                for slot, instr in enumerate(block.instructions)
+            ]
+            table[block.addr] = (handlers, len(handlers))
+    return table
+
+
+# ----------------------------------------------------------------------
+# Operand specialization.
+
+def _ea_fn(mem: Mem):
+    """A closure computing ``mem``'s effective address from a thread."""
+    disp = mem.disp
+    base = mem.base.index if mem.base is not None else None
+    index = mem.index.index if mem.index is not None else None
+    scale = mem.scale
+    if base is None and index is None:
+        return lambda t: disp
+    if index is None:
+        return lambda t: t.regs[base] + disp
+    if base is None:
+        return lambda t: t.regs[index] * scale + disp
+    return lambda t: t.regs[base] + t.regs[index] * scale + disp
+
+
+def _reader(operand, slot: int, traced: bool):
+    """A closure mirroring ``Machine._read`` for one pre-decoded operand."""
+    if isinstance(operand, Reg):
+        i = operand.index
+
+        def read(m, t):
+            return t.regs[i]
+        return read
+    if isinstance(operand, Imm):
+        v = operand.value
+
+        def read(m, t):
+            return v
+        return read
+    ea = _ea_fn(operand)
+    size = operand.size
+    if traced:
+        def read(m, t):
+            addr = ea(t)
+            m.mem_events += 1
+            m.hooks.on_mem(t.tid, slot, False, addr, size)
+            return m.memory.load(addr, size)
+    else:
+        def read(m, t):
+            m.mem_events += 1
+            return m.memory.load(ea(t), size)
+    return read
+
+
+def _writer(operand, slot: int, traced: bool):
+    """A closure mirroring ``Machine._write`` for one pre-decoded operand."""
+    if isinstance(operand, Reg):
+        i = operand.index
+
+        def write(m, t, value):
+            t.regs[i] = value
+        return write
+    if isinstance(operand, Imm):
+        def write(m, t, value):
+            raise MachineError("cannot write to an immediate")
+        return write
+    ea = _ea_fn(operand)
+    size = operand.size
+    if traced:
+        def write(m, t, value):
+            addr = ea(t)
+            m.mem_events += 1
+            m.hooks.on_mem(t.tid, slot, True, addr, size)
+            m.memory.store(addr, value, size)
+    else:
+        def write(m, t, value):
+            m.mem_events += 1
+            m.memory.store(ea(t), value, size)
+    return write
+
+
+# ----------------------------------------------------------------------
+# Per-opcode lowering.  Every handler replicates its seed counterpart's
+# effects in the seed's exact order (hooks, counters, state updates).
+
+def _c_mov(instr, slot, traced):
+    dst, src = instr.operands
+    if isinstance(dst, Reg):
+        di = dst.index
+        if isinstance(src, Reg):
+            si = src.index
+
+            def h(m, t):
+                t.regs[di] = t.regs[si]
+                t.idx += 1
+                t.instructions_executed += 1
+            return h
+        if isinstance(src, Imm):
+            v = src.value
+
+            def h(m, t):
+                t.regs[di] = v
+                t.idx += 1
+                t.instructions_executed += 1
+            return h
+        # Load: Mem -> Reg.
+        ea = _ea_fn(src)
+        size = src.size
+        if traced:
+            def h(m, t):
+                addr = ea(t)
+                m.mem_events += 1
+                m.hooks.on_mem(t.tid, slot, False, addr, size)
+                t.regs[di] = m.memory.load(addr, size)
+                t.idx += 1
+                t.instructions_executed += 1
+        else:
+            def h(m, t):
+                m.mem_events += 1
+                t.regs[di] = m.memory.load(ea(t), size)
+                t.idx += 1
+                t.instructions_executed += 1
+        return h
+    if isinstance(dst, Mem) and not isinstance(src, Mem):
+        # Store: Reg/Imm -> Mem.
+        read = _reader(src, slot, traced)
+        ea = _ea_fn(dst)
+        size = dst.size
+        if traced:
+            def h(m, t):
+                value = read(m, t)
+                addr = ea(t)
+                m.mem_events += 1
+                m.hooks.on_mem(t.tid, slot, True, addr, size)
+                m.memory.store(addr, value, size)
+                t.idx += 1
+                t.instructions_executed += 1
+        else:
+            def h(m, t):
+                value = read(m, t)
+                m.mem_events += 1
+                m.memory.store(ea(t), value, size)
+                t.idx += 1
+                t.instructions_executed += 1
+        return h
+    read = _reader(src, slot, traced)
+    write = _writer(dst, slot, traced)
+
+    def h(m, t):
+        write(m, t, read(m, t))
+        t.idx += 1
+        t.instructions_executed += 1
+    return h
+
+
+def _c_lea(instr, slot, traced):
+    dst, src = instr.operands
+    di = dst.index
+    ea = _ea_fn(src)
+
+    def h(m, t):
+        t.regs[di] = ea(t)
+        t.idx += 1
+        t.instructions_executed += 1
+    return h
+
+
+def _c_binary(instr, slot, traced):
+    dst, a, b = instr.operands
+    fn = semantics.BINARY[instr.op]
+    safe = instr.op not in semantics.RAISES_ZERO_DIVIDE
+    if safe and isinstance(dst, Reg) and isinstance(a, Reg):
+        di, ai = dst.index, a.index
+        if isinstance(b, Reg):
+            bi = b.index
+
+            def h(m, t):
+                r = t.regs
+                r[di] = fn(r[ai], r[bi])
+                t.idx += 1
+                t.instructions_executed += 1
+            return h
+        if isinstance(b, Imm):
+            bv = b.value
+
+            def h(m, t):
+                r = t.regs
+                r[di] = fn(r[ai], bv)
+                t.idx += 1
+                t.instructions_executed += 1
+            return h
+    ra = _reader(a, slot, traced)
+    rb = _reader(b, slot, traced)
+    write = _writer(dst, slot, traced)
+
+    def h(m, t):
+        try:
+            result = fn(ra(m, t), rb(m, t))
+        except ZeroDivisionError as exc:
+            raise MachineError(str(exc)) from None
+        write(m, t, result)
+        t.idx += 1
+        t.instructions_executed += 1
+    return h
+
+
+def _c_unary(instr, slot, traced):
+    dst, a = instr.operands
+    fn = semantics.UNARY[instr.op]
+    if isinstance(dst, Reg) and isinstance(a, Reg):
+        di, ai = dst.index, a.index
+
+        def h(m, t):
+            r = t.regs
+            r[di] = fn(r[ai])
+            t.idx += 1
+            t.instructions_executed += 1
+        return h
+    ra = _reader(a, slot, traced)
+    write = _writer(dst, slot, traced)
+
+    def h(m, t):
+        write(m, t, fn(ra(m, t)))
+        t.idx += 1
+        t.instructions_executed += 1
+    return h
+
+
+def _c_cmov(instr, slot, traced):
+    dst, src = instr.operands
+    test = semantics.CMOV_TEST[instr.op]
+    di = dst.index
+    if isinstance(src, Reg):
+        si = src.index
+
+        def h(m, t):
+            if test(t.flags):
+                t.regs[di] = t.regs[si]
+            t.idx += 1
+            t.instructions_executed += 1
+        return h
+    read = _reader(src, slot, traced)
+
+    def h(m, t):
+        if test(t.flags):
+            t.regs[di] = read(m, t)
+        t.idx += 1
+        t.instructions_executed += 1
+    return h
+
+
+def _c_cmp(instr, slot, traced):
+    a, b = instr.operands
+    if isinstance(a, Reg) and isinstance(b, Reg):
+        ai, bi = a.index, b.index
+
+        def h(m, t):
+            r = t.regs
+            av = r[ai]
+            bv = r[bi]
+            t.flags = (av > bv) - (av < bv)
+            t.idx += 1
+            t.instructions_executed += 1
+        return h
+    if isinstance(a, Reg) and isinstance(b, Imm):
+        ai, bv = a.index, b.value
+
+        def h(m, t):
+            av = t.regs[ai]
+            t.flags = (av > bv) - (av < bv)
+            t.idx += 1
+            t.instructions_executed += 1
+        return h
+    ra = _reader(a, slot, traced)
+    rb = _reader(b, slot, traced)
+
+    def h(m, t):
+        av = ra(m, t)
+        bv = rb(m, t)
+        t.flags = (av > bv) - (av < bv)
+        t.idx += 1
+        t.instructions_executed += 1
+    return h
+
+
+def _c_jmp(program, instr, traced):
+    target = program.block_by_addr[instr.target]
+    if traced:
+        def h(m, t):
+            t.instructions_executed += 1
+            t.block = target
+            t.idx = 0
+            m.hooks.on_block(t.tid, target)
+    else:
+        def h(m, t):
+            t.instructions_executed += 1
+            t.block = target
+            t.idx = 0
+    return h
+
+
+def _c_jcc(program, block, instr, traced):
+    test = semantics.JCC_TEST[instr.op]
+    target = program.block_by_addr[instr.target]
+    fallthrough = program.next_block(block)
+    if traced:
+        def h(m, t):
+            t.instructions_executed += 1
+            if test(t.flags):
+                t.block = target
+                t.idx = 0
+                m.hooks.on_block(t.tid, target)
+            else:
+                if fallthrough is None:
+                    raise MachineError(
+                        "conditional branch falls off function end"
+                    )
+                t.block = fallthrough
+                t.idx = 0
+                m.hooks.on_block(t.tid, fallthrough)
+    else:
+        def h(m, t):
+            t.instructions_executed += 1
+            if test(t.flags):
+                t.block = target
+                t.idx = 0
+            else:
+                if fallthrough is None:
+                    raise MachineError(
+                        "conditional branch falls off function end"
+                    )
+                t.block = fallthrough
+                t.idx = 0
+    return h
+
+
+def _c_call(program, block, instr, slot, traced):
+    from .machine import _Frame
+
+    dst = instr.operands[0]
+    dst_index = dst.index if dst is not None else None
+    arg_readers = [_reader(a, slot, traced) for a in instr.operands[1:]]
+    callee_block = program.block_by_addr[instr.target]
+    callee = callee_block.function
+    caller_name = block.function.name
+    ret_block = program.next_block(block)
+    frame_size = callee.frame_size
+    num_regs = callee.num_regs
+    callee_name = callee.name
+    if len(arg_readers) != callee.num_args:
+        message = (
+            f"call to {callee.name} with {len(arg_readers)} args, "
+            f"expects {callee.num_args}"
+        )
+
+        def h(m, t):
+            raise MachineError(message)
+        return h
+
+    def h(m, t):
+        args = [read(m, t) for read in arg_readers]
+        t.instructions_executed += 1
+        t.frames.append(
+            _Frame(ret_block, 0, t.regs, t.sp, dst_index, caller_name)
+        )
+        sp = t.sp - frame_size
+        t.sp = sp
+        regs = [0] * num_regs
+        regs[0] = sp
+        i = 1
+        for value in args:
+            regs[i] = value
+            i += 1
+        t.regs = regs
+        if traced:
+            m.hooks.on_call(t.tid, callee_name)
+        t.block = callee_block
+        t.idx = 0
+        if traced:
+            m.hooks.on_block(t.tid, callee_block)
+    return h
+
+
+def _c_ret(instr, slot, traced):
+    from .machine import ThreadContext
+
+    done = ThreadContext.DONE
+    read = (
+        _reader(instr.operands[0], slot, traced) if instr.operands else None
+    )
+
+    def h(m, t):
+        value = read(m, t) if read is not None else 0
+        t.instructions_executed += 1
+        if traced:
+            m.hooks.on_ret(t.tid)
+        frames = t.frames
+        if not frames:
+            t.retval = value
+            t.state = done
+            m._n_done += 1
+            if traced:
+                m.hooks.on_thread_end(t.tid)
+            return
+        frame = frames.pop()
+        t.regs = frame.regs
+        t.sp = frame.sp
+        if frame.dst is not None:
+            t.regs[frame.dst] = value
+        if frame.block is None:
+            raise MachineError(
+                "call site at end of function has no return point"
+            )
+        t.block = frame.block
+        t.idx = 0
+        if traced:
+            m.hooks.on_block(t.tid, frame.block)
+    return h
+
+
+def _c_halt(instr, traced):
+    from .machine import ThreadContext
+
+    done = ThreadContext.DONE
+
+    def h(m, t):
+        t.instructions_executed += 1
+        t.state = done
+        m._n_done += 1
+        if traced:
+            m.hooks.on_thread_end(t.tid)
+    return h
+
+
+def _c_xchg(instr, slot, traced):
+    dst, mem = instr.operands
+    di = dst.index
+    ea = _ea_fn(mem)
+    size = mem.size
+
+    def h(m, t):
+        addr = ea(t)
+        memory = m.memory
+        old = memory.load(addr, size)
+        m.mem_events += 2
+        if traced:
+            m.hooks.on_mem(t.tid, slot, False, addr, size)
+            m.hooks.on_mem(t.tid, slot, True, addr, size)
+        memory.store(addr, t.regs[di], size)
+        t.regs[di] = old
+        t.idx += 1
+        t.instructions_executed += 1
+    return h
+
+
+def _c_aadd(instr, slot, traced):
+    dst, mem, src = instr.operands
+    di = dst.index if dst is not None else None
+    ea = _ea_fn(mem)
+    size = mem.size
+    read = _reader(src, slot, traced)
+
+    def h(m, t):
+        addr = ea(t)
+        memory = m.memory
+        old = memory.load(addr, size)
+        m.mem_events += 2
+        if traced:
+            m.hooks.on_mem(t.tid, slot, False, addr, size)
+            m.hooks.on_mem(t.tid, slot, True, addr, size)
+        memory.store(addr, old + read(m, t), size)
+        if di is not None:
+            t.regs[di] = old
+        t.idx += 1
+        t.instructions_executed += 1
+    return h
+
+
+def _c_ioread(instr, traced):
+    di = instr.operands[0].index
+
+    def h(m, t):
+        pos = t.io_pos
+        io = t.io_in
+        if pos < len(io):
+            t.regs[di] = io[pos]
+            t.io_pos = pos + 1
+        else:
+            t.regs[di] = 0
+        if traced:
+            m.hooks.on_skip(t.tid, m.io_cost, "io")
+        t.idx += 1
+        t.instructions_executed += 1
+    return h
+
+
+def _c_iowrite(instr, slot, traced):
+    read = _reader(instr.operands[0], slot, traced)
+
+    def h(m, t):
+        t.io_out.append(read(m, t))
+        if traced:
+            m.hooks.on_skip(t.tid, m.io_cost, "io")
+        t.idx += 1
+        t.instructions_executed += 1
+    return h
+
+
+def _c_nop(instr):
+    def h(m, t):
+        t.idx += 1
+        t.instructions_executed += 1
+    return h
+
+
+def _c_delegate(instr: Instruction, method):
+    """Fall back to the seed interpreter's method for rare opcodes.
+
+    Used for the blocking synchronization terminators (LOCK / UNLOCK /
+    BARRIER), whose scheduler interplay lives in the machine itself.
+    """
+    def h(m, t):
+        method(m, t, instr)
+    return h
+
+
+_SEED_DISPATCH = None
+
+
+def _seed_dispatch():
+    """The seed interpreter's Op -> method table (coverage fallback)."""
+    global _SEED_DISPATCH
+    if _SEED_DISPATCH is None:
+        from .machine import Machine
+        _SEED_DISPATCH = Machine._build_dispatch(Machine)
+    return _SEED_DISPATCH
+
+
+def _compile_instruction(program: Program, block, instr: Instruction,
+                         slot: int, traced: bool) -> Handler:
+    from .machine import Machine
+
+    op = instr.op
+    if op == Op.MOV:
+        return _c_mov(instr, slot, traced)
+    if op == Op.LEA:
+        return _c_lea(instr, slot, traced)
+    if op in semantics.BINARY:
+        return _c_binary(instr, slot, traced)
+    if op in semantics.UNARY:
+        return _c_unary(instr, slot, traced)
+    if op in semantics.CMOV_TEST:
+        return _c_cmov(instr, slot, traced)
+    if op in (Op.CMP, Op.FCMP):
+        return _c_cmp(instr, slot, traced)
+    if op == Op.JMP:
+        return _c_jmp(program, instr, traced)
+    if op in semantics.JCC_TEST:
+        return _c_jcc(program, block, instr, traced)
+    if op == Op.CALL:
+        return _c_call(program, block, instr, slot, traced)
+    if op == Op.RET:
+        return _c_ret(instr, slot, traced)
+    if op == Op.HALT:
+        return _c_halt(instr, traced)
+    if op == Op.XCHG:
+        return _c_xchg(instr, slot, traced)
+    if op == Op.AADD:
+        return _c_aadd(instr, slot, traced)
+    if op == Op.IOREAD:
+        return _c_ioread(instr, traced)
+    if op == Op.IOWRITE:
+        return _c_iowrite(instr, slot, traced)
+    if op == Op.NOP:
+        return _c_nop(instr)
+    if op == Op.LOCK:
+        return _c_delegate(instr, Machine._op_lock)
+    if op == Op.UNLOCK:
+        return _c_delegate(instr, Machine._op_unlock)
+    if op == Op.BARRIER:
+        return _c_delegate(instr, Machine._op_barrier)
+    # Any future opcode executes through the seed dispatch table, so the
+    # compiled engine can never silently diverge in coverage.
+    return _c_delegate(instr, _seed_dispatch()[op])
+
+
+__all__ = ["block_handlers"]

@@ -9,6 +9,21 @@ counts.
 
 Scheduling is deterministic round-robin with a configurable quantum, so
 every experiment is reproducible bit-for-bit.
+
+Two execution engines share this scheduler (the ``engine`` knob):
+
+* ``"compiled"`` (default) -- basic blocks run as flat lists of
+  pre-specialized closures produced by the link-time compilation pass in
+  :mod:`repro.machine.compiled`; operands are pre-decoded, so the hot
+  loop performs no dict dispatch and no ``isinstance`` checks, and a
+  no-op-hook fast path skips instrumentation calls entirely under
+  :class:`NullHooks`.
+* ``"interp"`` -- the seed interpreter: per-instruction dict dispatch
+  with operand decoding in ``_read``/``_write``.
+
+Both engines are bit-identical in every observable -- traces, metrics,
+counters, error behavior (see ``tests/test_engine_parity.py``) -- so the
+choice is purely a throughput knob (``docs/PERFORMANCE.md``).
 """
 
 from __future__ import annotations
@@ -91,6 +106,9 @@ class ThreadContext:
         self.state = ThreadContext.RUNNABLE
         self.wait_addr: Optional[int] = None
         self.io_in: List = list(io_in or [])
+        #: Read cursor into ``io_in`` (IOREAD consumes by index instead
+        #: of popping the list head, which is O(n) per read).
+        self.io_pos = 0
         self.io_out: List = []
         self.retval = None
         self.instructions_executed = 0
@@ -115,19 +133,27 @@ class Machine:
         Untraced instructions charged per failed lock attempt / I-O
         operation -- these feed the paper's skipped-instruction accounting
         (Fig. 8).
+    engine:
+        ``"compiled"`` (default) runs blocks as pre-specialized handler
+        lists (see :mod:`repro.machine.compiled`); ``"interp"`` is the
+        seed dict-dispatch interpreter.  Bit-identical results either way.
     """
 
     def __init__(self, program: Program, hooks=None, quantum: int = 64,
                  spin_cost: int = 25, io_cost: int = 60,
-                 max_instructions: int = 200_000_000) -> None:
+                 max_instructions: int = 200_000_000,
+                 engine: str = "compiled") -> None:
         if not program.instr_by_addr:
             raise MachineError("program must be linked before execution")
+        if engine not in ("compiled", "interp"):
+            raise MachineError(f"unknown execution engine {engine!r}")
         self.program = program
         self.hooks = hooks if hooks is not None else NullHooks()
         self.quantum = quantum
         self.spin_cost = spin_cost
         self.io_cost = io_cost
         self.max_instructions = max_instructions
+        self.engine = engine
         self.memory = Memory()
         self.threads: List[ThreadContext] = []
         #: Dynamic instructions executed across all threads (instruction
@@ -138,12 +164,36 @@ class Machine:
         #: matching the ``on_mem`` hook cadence.  Exported by the
         #: observability layer as ``machine.mem_events``.
         self.mem_events = 0
+        #: Threads that reached DONE (incremental liveness bookkeeping:
+        #: the scheduler only rebuilds its live list when this moves).
+        self._n_done = 0
         self._barrier_waiting: Dict[int, List[ThreadContext]] = {}
         self._lock_holder: Dict[int, int] = {}
         self._dispatch = self._build_dispatch()
+        if engine == "compiled":
+            from .compiled import block_handlers
+            # The no-op-hook fast path compiles hook calls out entirely;
+            # it applies only to NullHooks itself -- a subclass may
+            # override hooks, so it gets the traced variant.
+            traced = type(self.hooks) is not NullHooks
+            self._handlers = block_handlers(program, traced)
+            self._step_quantum = self._run_quantum_compiled
+        else:
+            self._handlers = None
+            self._step_quantum = self._run_quantum
         # Initial program break for the ISA-level allocator: one word past
         # all global data (stdlib malloc reads/updates it under its lock).
         self.brk_addr = program.data_end
+
+    def engine_stats(self) -> Dict[str, int]:
+        """Compiled-engine gauges exported as telemetry (``engine.*``)."""
+        if self._handlers is None:
+            return {"compiled": 0, "blocks": 0, "handlers": 0}
+        return {
+            "compiled": 1,
+            "blocks": len(self._handlers),
+            "handlers": sum(n for _, n in self._handlers.values()),
+        }
 
     # ------------------------------------------------------------------
     # Thread management.
@@ -162,22 +212,36 @@ class Machine:
         return thread
 
     def run(self) -> None:
-        """Run all threads to completion (deterministic round-robin)."""
+        """Run all threads to completion (deterministic round-robin).
+
+        The live list is maintained incrementally: completed threads are
+        filtered out only on passes where some thread actually finished
+        (tracked by ``_n_done``), so a scheduler pass costs O(live)
+        rather than O(total threads) -- large launches no longer pay
+        quadratic scheduling overhead as threads drain.
+        """
         for thread in self.threads:
             if thread.state == ThreadContext.RUNNABLE:
                 self.hooks.on_thread_start(thread.tid, thread.function.name)
                 self.hooks.on_block(thread.tid, thread.block)
-        live = [t for t in self.threads if t.state != ThreadContext.DONE]
+        done = ThreadContext.DONE
+        runnable = ThreadContext.RUNNABLE
+        blocked_lock = ThreadContext.BLOCKED_LOCK
+        step_quantum = self._step_quantum
+        live = [t for t in self.threads if t.state != done]
+        n_done = self._n_done
         while live:
             progressed = False
             for thread in live:
-                if thread.state == ThreadContext.BLOCKED_LOCK:
+                if thread.state == blocked_lock:
                     self._retry_lock(thread)
-                if thread.state != ThreadContext.RUNNABLE:
+                if thread.state != runnable:
                     continue
                 progressed = True
-                self._run_quantum(thread)
-            live = [t for t in self.threads if t.state != ThreadContext.DONE]
+                step_quantum(thread)
+            if self._n_done != n_done:
+                live = [t for t in live if t.state != done]
+                n_done = self._n_done
             if live and not progressed:
                 blocked = [t.tid for t in live]
                 raise DeadlockError(
@@ -206,6 +270,75 @@ class Machine:
                 raise InstructionLimitError(
                     f"exceeded {self.max_instructions} instructions"
                 )
+
+    def _run_quantum_compiled(self, thread: ThreadContext) -> None:
+        """One scheduling turn on the compiled engine.
+
+        Executes the thread's current block as a tight loop over its
+        pre-specialized handler list -- the handler list is fetched once
+        per block, and the loop exits only on budget exhaustion, a block
+        change (branch/call/ret), or a state change (blocking/finish).
+        Instruction accounting is identical to :meth:`_run_quantum`.
+        """
+        budget = self.quantum
+        handlers_by_addr = self._handlers
+        runnable = ThreadContext.RUNNABLE
+        total = self.total_instructions
+        limit = self.max_instructions
+        try:
+            while budget > 0 and thread.state == runnable:
+                block = thread.block
+                idx = thread.idx
+                handlers, n = handlers_by_addr[block.addr]
+                if idx >= n:
+                    # Fall through to the next block in layout order.
+                    nxt = self.program.next_block(block)
+                    if nxt is None:
+                        raise MachineError(
+                            f"thread {thread.tid} ran off function "
+                            f"{block.function.name}"
+                        )
+                    self._enter_block(thread, nxt)
+                    continue
+                avail = n - idx
+                if budget >= avail and avail <= limit - total:
+                    # Whole-block fast path: terminators only sit at a
+                    # block's end, so the remaining handlers run as one
+                    # uninterrupted loop with block-level accounting.
+                    # On an exception the executed count is recovered
+                    # from ``thread.idx`` (every handler advances it
+                    # only on success).
+                    run = handlers if idx == 0 else handlers[idx:]
+                    try:
+                        for handler in run:
+                            handler(self, thread)
+                    except BaseException:
+                        executed = thread.idx - idx
+                        total += executed
+                        budget -= executed
+                        raise
+                    total += avail
+                    budget -= avail
+                else:
+                    # Clipped path: the scheduling budget or the
+                    # instruction limit intervenes mid-block, so run
+                    # instruction-at-a-time with full checks.
+                    while True:
+                        handlers[idx](self, thread)
+                        budget -= 1
+                        total += 1
+                        if total > limit:
+                            raise InstructionLimitError(
+                                f"exceeded {limit} instructions"
+                            )
+                        if (budget == 0 or thread.block is not block
+                                or thread.state != runnable):
+                            break
+                        idx = thread.idx
+                        if idx >= n:
+                            break
+        finally:
+            self.total_instructions = total
 
     def _enter_block(self, thread: ThreadContext, block: BasicBlock) -> None:
         thread.block = block
@@ -346,6 +479,7 @@ class Machine:
         if not thread.frames:
             thread.retval = value
             thread.state = ThreadContext.DONE
+            self._n_done += 1
             self.hooks.on_thread_end(thread.tid)
             return
         frame = thread.frames.pop()
@@ -360,6 +494,7 @@ class Machine:
     def _op_halt(self, thread, instr) -> None:
         thread.instructions_executed += 1
         thread.state = ThreadContext.DONE
+        self._n_done += 1
         self.hooks.on_thread_end(thread.tid)
 
     # -- synchronization ------------------------------------------------
@@ -462,7 +597,14 @@ class Machine:
 
     def _op_ioread(self, thread, instr) -> None:
         dst = instr.operands[0]
-        value = thread.io_in.pop(0) if thread.io_in else 0
+        # Consume by cursor, not list.pop(0): popping the head is O(n)
+        # per read, which I/O-heavy workloads pay quadratically.
+        pos = thread.io_pos
+        if pos < len(thread.io_in):
+            value = thread.io_in[pos]
+            thread.io_pos = pos + 1
+        else:
+            value = 0
         thread.regs[dst.index] = value
         self.hooks.on_skip(thread.tid, self.io_cost, "io")
         self._advance(thread)

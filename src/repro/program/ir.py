@@ -186,6 +186,11 @@ class Program:
         self.instr_by_addr: Dict[int, Instruction] = {}
         self.block_by_addr: Dict[int, BasicBlock] = {}
         self.function_by_addr: Dict[int, Function] = {}
+        #: Link-time compiled handler lists, one entry per engine variant
+        #: (populated lazily by :mod:`repro.machine.compiled`).  Handlers
+        #: bind resolved addresses and block objects, so :meth:`link`
+        #: invalidates this cache.
+        self.compiled_cache: Dict[str, Dict[int, list]] = {}
 
     def add_function(self, function: Function) -> Function:
         if function.name in self.functions:
@@ -230,6 +235,7 @@ class Program:
         self.instr_by_addr.clear()
         self.block_by_addr.clear()
         self.function_by_addr.clear()
+        self.compiled_cache.clear()
         for function in self.functions.values():
             function.addr = addr
             self.function_by_addr[addr] = function

@@ -81,15 +81,23 @@ class AnalysisSession:
     recorder:
         An optional :class:`repro.obs.Recorder`.  Defaults to the shared
         no-op recorder, which keeps instrumentation overhead negligible.
+    engine:
+        Execution engine for the trace stage: ``"compiled"`` (link-time
+        specialized handlers, the default) or ``"interp"`` (the seed
+        instruction-at-a-time interpreter).  The engines are
+        bit-identical, so the choice is *excluded* from artifact
+        fingerprints -- traces cached under one engine are valid under
+        the other.  ``None`` uses the machine's default.
     """
 
     def __init__(self, cache_dir: Optional[str] = None, jobs: int = 1,
                  store: Optional[ArtifactStore] = None,
-                 recorder=None) -> None:
+                 recorder=None, engine: Optional[str] = None) -> None:
         if store is None and cache_dir is not None:
             store = ArtifactStore(cache_dir)
         self.store = store
         self.jobs = max(1, int(jobs))
+        self.engine = engine
         self.obs = recorder if recorder is not None else NULL_RECORDER
         #: Machine executions performed by this session (test surface:
         #: a warm cache keeps this at zero).
@@ -200,11 +208,17 @@ class AnalysisSession:
     def trace_fields(self, workload: str, n_threads: Optional[int] = None,
                      seed: int = 7, opt_level: str = OPT_BASE,
                      machine_overrides: Optional[Dict] = None) -> Dict:
-        """The artifact fingerprint of one trace-stage output."""
+        """The artifact fingerprint of one trace-stage output.
+
+        The execution engine never enters the fingerprint: the compiled
+        and interpreted engines are bit-identical (enforced by the
+        engine-parity tests), so their traces share one cache entry.
+        """
         instance = self.build(workload, n_threads, seed)
         resolved = n_threads or get_workload(workload).default_threads
         machine_kwargs = dict(instance.machine_kwargs)
         machine_kwargs.update(machine_overrides or {})
+        machine_kwargs.pop("engine", None)
         return {
             "kind": KIND_TRACES,
             "trace_format": trace_io.FORMAT_VERSION,
@@ -242,6 +256,8 @@ class AnalysisSession:
             instance = self.build(workload, n_threads, seed)
             machine_kwargs = dict(instance.machine_kwargs)
             machine_kwargs.update(machine_overrides)
+            if self.engine is not None:
+                machine_kwargs.setdefault("engine", self.engine)
             traces, machine = runner.execute_traced(
                 program,
                 instance.spawns,
@@ -285,6 +301,14 @@ class AnalysisSession:
             obs.count("machine.instructions", machine_counts["instructions"])
             obs.count("machine.mem_events", machine_counts["mem_events"])
             obs.count("machine.threads", machine_counts["threads"])
+            engine = machine_counts.get("engine")
+            if engine:
+                # Engine shape rides in gauges: the counters section must
+                # stay identical across engines (they are bit-identical),
+                # while the gauges describe *how* this run executed.
+                obs.gauge("engine.compiled", engine["compiled"])
+                obs.gauge("engine.compiled_blocks", engine["blocks"])
+                obs.gauge("engine.compiled_handlers", engine["handlers"])
 
     def trace_raw(self, program: Program,
                   spawns: Iterable[Tuple[str, Sequence, Optional[Sequence]]],
@@ -297,9 +321,12 @@ class AnalysisSession:
         so this stage never touches the artifact store.
         """
         with self.obs.span("trace"):
+            kwargs = dict(machine_kwargs)
+            if self.engine is not None:
+                kwargs.setdefault("engine", self.engine)
             traces, machine = runner.execute_traced(
                 program, spawns, roots, setup=setup, exclude=exclude,
-                workload=workload, machine_kwargs=dict(machine_kwargs),
+                workload=workload, machine_kwargs=kwargs,
             )
             self.executions += 1
             self._record_trace_counters(traces, machine)
@@ -335,7 +362,8 @@ class AnalysisSession:
         payloads: Dict[str, Tuple[bytes, Dict]] = {}
         pool_jobs = min(jobs, len(cold))
         if pool_jobs > 1:
-            specs = [(name, n_threads, seed, opt_level) for name in cold]
+            specs = [(name, n_threads, seed, opt_level, self.engine)
+                     for name in cold]
             try:
                 ctx = multiprocessing.get_context("fork")
                 with ctx.Pool(processes=pool_jobs) as pool:
@@ -487,6 +515,7 @@ def _machine_counts(machine) -> Dict[str, int]:
         "instructions": machine.total_instructions,
         "mem_events": machine.mem_events,
         "threads": len(machine.threads),
+        "engine": machine.engine_stats(),
     }
 
 
@@ -499,13 +528,16 @@ def _trace_worker(spec: tuple) -> Tuple[str, bytes, Dict[str, int]]:
     telemetry counts ride along so parallel trace generation exports
     the same counters as a serial run.
     """
-    name, n_threads, seed, opt_level = spec
+    name, n_threads, seed, opt_level, engine = spec
     entry = get_workload(name)
     instance = entry.instantiate(n_threads or entry.default_threads,
                                  seed=seed)
     program = instance.program
     if opt_level not in (None, OPT_BASE):
         program = apply_opt_level(program, opt_level)
+    machine_kwargs = dict(instance.machine_kwargs)
+    if engine is not None:
+        machine_kwargs.setdefault("engine", engine)
     traces, machine = runner.execute_traced(
         program,
         instance.spawns,
@@ -513,7 +545,7 @@ def _trace_worker(spec: tuple) -> Tuple[str, bytes, Dict[str, int]]:
         setup=instance.setup,
         exclude=instance.exclude,
         workload=instance.name,
-        machine_kwargs=dict(instance.machine_kwargs),
+        machine_kwargs=machine_kwargs,
     )
     return name, serialize_traces(traces), _machine_counts(machine)
 

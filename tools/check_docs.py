@@ -14,7 +14,7 @@ and runs it, so examples can never drift from the shipped package:
 Other fence languages (``text``, ``json``, ...) are ignored.
 
 Usage: python tools/check_docs.py [doc.md ...]
-Defaults to docs/OBSERVABILITY.md and the README's profiling example.
+Defaults to docs/OBSERVABILITY.md and docs/PERFORMANCE.md.
 """
 
 import os
@@ -24,7 +24,10 @@ import sys
 import tempfile
 
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-DEFAULT_DOCS = [os.path.join(REPO, "docs", "OBSERVABILITY.md")]
+DEFAULT_DOCS = [
+    os.path.join(REPO, "docs", "OBSERVABILITY.md"),
+    os.path.join(REPO, "docs", "PERFORMANCE.md"),
+]
 
 FENCE_RE = re.compile(
     r"^```(\w+)[^\n]*\n(.*?)^```\s*$", re.MULTILINE | re.DOTALL
