@@ -19,17 +19,29 @@ Reproduction of Alawneh et al., MICRO 2024.  The public API spans:
   :class:`AnalysisSession` pipeline with its content-addressed artifact
   cache and multiprocess warp replay;
 * :mod:`repro.obs` -- the observability layer: stage spans, replay and
-  machine counters, ``telemetry.json`` export, ``--profile`` CLI surface.
+  machine counters, ``telemetry.json`` export, ``--profile`` CLI surface;
+* :mod:`repro.faults` / :mod:`repro.errors` -- deterministic fault
+  injection for robustness testing and the typed :class:`ReproError`
+  failure taxonomy (see ``docs/ROBUSTNESS.md``).
 """
 
 from .artifacts import ArtifactStore, default_cache_dir
 from .core.analyzer import AnalyzerConfig, ThreadFuserAnalyzer, analyze_traces
 from .core.report import AnalysisReport
+from .errors import (
+    ArtifactCorruptError,
+    ReproError,
+    RetryExhaustedError,
+    StageTimeoutError,
+    TraceCorruptError,
+    WorkerCrashError,
+)
+from .faults import FaultPlan, FaultSpec, RetryPolicy
 from .obs import Recorder, Telemetry
 from .pipeline import analyze_program, trace_program
 from .session import AnalysisSession
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AnalyzerConfig",
@@ -38,8 +50,17 @@ __all__ = [
     "AnalysisReport",
     "AnalysisSession",
     "ArtifactStore",
+    "ArtifactCorruptError",
+    "FaultPlan",
+    "FaultSpec",
     "Recorder",
+    "ReproError",
+    "RetryExhaustedError",
+    "RetryPolicy",
+    "StageTimeoutError",
     "Telemetry",
+    "TraceCorruptError",
+    "WorkerCrashError",
     "default_cache_dir",
     "analyze_program",
     "trace_program",

@@ -30,6 +30,18 @@ first two hash characters.
 Store handles of a *newer* schema open older cache directories without
 complaint: unknown kinds and unaddressable keys are simply reported
 as-is by the maintenance surface and removed by ``clear``.
+
+Integrity: every ``put`` records the payload's sha256 in the meta
+record, and every ``get`` verifies it before returning bytes (metas
+written by older releases, without a checksum, fall back to a size
+check -- schema-tolerant recovery).  A payload that fails verification,
+or a payload/meta pair that is inconsistent (one present without the
+other, meta truncated mid-write), is *quarantined*: both files move to
+``<root>/quarantine/<kind>/`` and the read reports a miss, so callers
+transparently recompute instead of consuming garbage.  ``threadfuser
+cache info`` reports quarantined objects; ``cache clear --quarantined``
+purges them.  Transient ``OSError`` on the raw file operations is
+retried with exponential backoff (see :mod:`repro.faults`).
 """
 
 from __future__ import annotations
@@ -43,6 +55,8 @@ import tempfile
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, Iterable, List, Optional
 
+from . import faults
+from .errors import ArtifactCorruptError, TraceCorruptError
 from .tracer import io as trace_io
 from .tracer.events import TraceSet
 
@@ -69,6 +83,13 @@ _EXT = {
     KIND_REPORT: "pkl",
     KIND_TELEMETRY: "json",
 }
+
+#: Backoff schedule for transient ``OSError`` on raw file operations.
+_IO_RETRY = faults.RetryPolicy(attempts=3, base_delay=0.01, max_delay=0.5)
+
+_QUARANTINE_HINT = ("inspect with 'threadfuser cache info', purge with "
+                    "'threadfuser cache clear --quarantined'; the entry "
+                    "is recomputed on the next run")
 
 
 def default_cache_dir() -> str:
@@ -113,19 +134,26 @@ def fingerprint_key(fields: Dict[str, Any]) -> str:
 
 @dataclass
 class CacheStats:
-    """Hit/miss/byte counters for one store handle (per process)."""
+    """Hit/miss/byte counters for one store handle (per process).
+
+    ``corrupt`` counts objects that failed verification on read and
+    were quarantined (each such read also counts as a miss, because the
+    caller recomputes).
+    """
 
     hits: int = 0
     misses: int = 0
     puts: int = 0
     bytes_read: int = 0
     bytes_written: int = 0
+    corrupt: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return asdict(self)
 
     def __str__(self) -> str:
         return (f"hits={self.hits} misses={self.misses} puts={self.puts} "
+                f"corrupt={self.corrupt} "
                 f"read={self.bytes_read}B written={self.bytes_written}B")
 
 
@@ -181,19 +209,125 @@ class ArtifactStore:
                 os.unlink(tmp)
             raise
 
+    # -- integrity helpers -----------------------------------------------
+
+    def _read_meta(self, path: str) -> Optional[Dict[str, Any]]:
+        """The parsed meta record, or ``None`` when absent/unreadable.
+
+        A truncated or garbled ``.meta.json`` (crash mid-write, disk
+        rot) parses to ``None`` -- the caller treats the whole entry as
+        inconsistent rather than trusting an unverifiable payload.
+        """
+        try:
+            with open(path, "rb") as inp:
+                raw = inp.read()
+        except OSError:
+            return None
+        raw = faults.mangle("artifact.meta", raw)
+        try:
+            record = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            return None
+        return record if isinstance(record, dict) else None
+
+    def quarantine(self, kind: str, key: str) -> int:
+        """Move the payload/meta pair of ``key`` out of ``objects/``.
+
+        Quarantined files keep their names under
+        ``<root>/quarantine/<kind>/`` so they can be inspected (or
+        salvaged) by hand; returns how many files were moved.
+        """
+        _, payload, meta = self._paths(kind, key)
+        target_dir = os.path.join(self.root, "quarantine", kind)
+        moved = 0
+        for path in (payload, meta):
+            if not os.path.exists(path):
+                continue
+            os.makedirs(target_dir, exist_ok=True)
+            try:
+                os.replace(path, os.path.join(target_dir,
+                                              os.path.basename(path)))
+                moved += 1
+            except OSError:
+                pass
+        return moved
+
+    def _corrupt(self, kind: str, key: str, reason: str,
+                 on_corrupt: str) -> Optional[bytes]:
+        """Record and quarantine one corrupt entry; miss or raise."""
+        self.stats.corrupt += 1
+        self.stats.misses += 1
+        moved = self.quarantine(kind, key)
+        if on_corrupt == "raise":
+            raise ArtifactCorruptError(
+                f"{kind} artifact {key[:12]}.. is corrupt: {reason} "
+                f"({moved} file(s) quarantined)",
+                site="artifact.read", hint=_QUARANTINE_HINT,
+            )
+        return None
+
     # -- raw byte interface ----------------------------------------------
 
     def has(self, kind: str, fields: Dict[str, Any]) -> bool:
-        return os.path.exists(self.payload_path(kind, fields))
+        """Whether a *consistent* entry exists (payload and meta)."""
+        _, payload, meta = self._paths(kind, fingerprint_key(fields))
+        return os.path.exists(payload) and os.path.exists(meta)
 
-    def get_bytes(self, kind: str, fields: Dict[str, Any]) -> Optional[bytes]:
-        _, payload, _ = self._paths(kind, fingerprint_key(fields))
-        try:
+    def get_bytes(self, kind: str, fields: Dict[str, Any],
+                  on_corrupt: str = "miss") -> Optional[bytes]:
+        """Verified payload bytes, or ``None`` on a miss.
+
+        Every read is checked against the meta record's sha256 (size
+        for pre-checksum metas).  A failed check, or a payload/meta
+        pair with one side missing or unreadable, quarantines the entry
+        and -- with the default ``on_corrupt="miss"`` -- reports a
+        miss so the caller recomputes.  ``on_corrupt="raise"`` raises
+        :class:`~repro.errors.ArtifactCorruptError` instead (strict
+        consumers, fuzz harnesses).
+        """
+        key = fingerprint_key(fields)
+        _, payload, meta = self._paths(kind, key)
+        meta_record = self._read_meta(meta)
+        if meta_record is None:
+            if not os.path.exists(payload) and not os.path.exists(meta):
+                self.stats.misses += 1
+                return None
+            return self._corrupt(
+                kind, key, "meta record missing or unreadable", on_corrupt
+            )
+
+        def read() -> bytes:
+            faults.check("io.transient", "get")
             with open(payload, "rb") as inp:
-                data = inp.read()
+                return inp.read()
+
+        try:
+            data = faults.call_with_retry(
+                read, policy=_IO_RETRY, label=f"read {kind} {key[:12]}"
+            )
         except FileNotFoundError:
-            self.stats.misses += 1
-            return None
+            return self._corrupt(
+                kind, key, "payload missing (meta present)", on_corrupt
+            )
+        data = faults.mangle("artifact.read", data)
+        expected = meta_record.get("sha256")
+        if isinstance(expected, str):
+            actual = hashlib.sha256(data).hexdigest()
+            if actual != expected:
+                return self._corrupt(
+                    kind, key,
+                    f"payload failed checksum (expected {expected[:12]}.., "
+                    f"got {actual[:12]}..)",
+                    on_corrupt,
+                )
+        elif isinstance(meta_record.get("size"), int) \
+                and meta_record["size"] != len(data):
+            return self._corrupt(
+                kind, key,
+                f"payload size {len(data)} != recorded "
+                f"{meta_record['size']} (pre-checksum meta)",
+                on_corrupt,
+            )
         self.stats.hits += 1
         self.stats.bytes_read += len(data)
         return data
@@ -202,16 +336,26 @@ class ArtifactStore:
                   data: bytes) -> str:
         key = fingerprint_key(fields)
         _, payload, meta = self._paths(kind, key)
-        self._atomic_write(payload, data)
         meta_record = {
             "kind": kind,
             "key": key,
             "size": len(data),
+            "sha256": hashlib.sha256(data).hexdigest(),
             "schema": SCHEMA_VERSION,
             "fingerprint": fields,
         }
-        self._atomic_write(
-            meta, (json.dumps(meta_record, sort_keys=True) + "\n").encode()
+        meta_bytes = (json.dumps(meta_record, sort_keys=True) + "\n").encode()
+
+        def write() -> None:
+            faults.check("io.transient", "put")
+            # Payload first: a crash in between leaves payload-without-
+            # meta, which reads as an inconsistent entry (a miss), never
+            # as a trusted object.
+            self._atomic_write(payload, data)
+            self._atomic_write(meta, meta_bytes)
+
+        faults.call_with_retry(
+            write, policy=_IO_RETRY, label=f"write {kind} {key[:12]}"
         )
         self.stats.puts += 1
         self.stats.bytes_written += len(data)
@@ -221,12 +365,26 @@ class ArtifactStore:
 
     def get_traces(self, fields: Dict[str, Any],
                    program=None) -> Optional[TraceSet]:
+        """A verified, decoded :class:`TraceSet`, or ``None`` on a miss.
+
+        A payload that passes the byte checksum but still fails trace
+        decoding (format drift inside one schema version, injected
+        stream corruption) is quarantined and reported as a miss --
+        the caller re-traces instead of analyzing garbage.
+        """
         data = self.get_bytes(KIND_TRACES, fields)
         if data is None:
             return None
-        return trace_io.load_traces(
-            _stdio.StringIO(data.decode("utf-8")), program=program
-        )
+        try:
+            return trace_io.load_traces(
+                _stdio.StringIO(data.decode("utf-8")), program=program
+            )
+        except (TraceCorruptError, UnicodeDecodeError):
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            self.stats.hits -= 1
+            self.quarantine(KIND_TRACES, fingerprint_key(fields))
+            return None
 
     def put_traces(self, fields: Dict[str, Any], traces: TraceSet) -> str:
         return self.put_bytes(
@@ -237,7 +395,16 @@ class ArtifactStore:
         data = self.get_bytes(kind, fields)
         if data is None:
             return None
-        return pickle.loads(data)
+        try:
+            return pickle.loads(data)
+        except Exception:
+            # Checksum-valid but unpicklable: layout drift within one
+            # schema version.  Quarantine and recompute.
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            self.stats.hits -= 1
+            self.quarantine(kind, fingerprint_key(fields))
+            return None
 
     def put_object(self, kind: str, fields: Dict[str, Any],
                    obj: Any) -> str:
@@ -283,13 +450,48 @@ class ArtifactStore:
         schema = record.get("schema")
         return schema if isinstance(schema, int) else None
 
+    def quarantined(self) -> Dict[str, int]:
+        """Count/byte totals of the quarantine tree.
+
+        ``count`` is the number of distinct quarantined objects (a
+        payload and its meta count once); ``bytes`` sums every file.
+        """
+        top = os.path.join(self.root, "quarantine")
+        stems = set()
+        total = 0
+        for dirpath, _dirnames, filenames in os.walk(top):
+            for name in filenames:
+                stems.add(name.split(".", 1)[0])
+                try:
+                    total += os.path.getsize(os.path.join(dirpath, name))
+                except OSError:
+                    pass
+        return {"count": len(stems), "bytes": total}
+
+    def clear_quarantined(self) -> int:
+        """Delete the quarantine tree; returns objects removed."""
+        top = os.path.join(self.root, "quarantine")
+        removed = self.quarantined()["count"]
+        for dirpath, _dirnames, filenames in os.walk(top, topdown=False):
+            for name in filenames:
+                try:
+                    os.unlink(os.path.join(dirpath, name))
+                except OSError:
+                    pass
+            try:
+                os.rmdir(dirpath)
+            except OSError:
+                pass
+        return removed
+
     def info(self) -> Dict[str, Any]:
         """Store summary for ``threadfuser cache info``.
 
         ``by_kind`` always lists every known kind (zero counts
         included) and additionally any kind found on disk that this
         release does not know -- entries written under another schema
-        are counted, never an error.
+        are counted, never an error.  ``quarantined`` reports objects
+        that failed verification and were moved aside.
         """
         entries = self.entries()
         by_kind: Dict[str, Dict[str, int]] = {
@@ -306,6 +508,7 @@ class ArtifactStore:
             "entries": len(entries),
             "bytes": sum(e.size for e in entries),
             "by_kind": by_kind,
+            "quarantined": self.quarantined(),
         }
 
     def clear(self, kind: Optional[str] = None) -> int:

@@ -29,6 +29,7 @@ from typing import List, Optional
 
 from .artifacts import ArtifactStore, default_cache_dir
 from .core import AnalyzerConfig
+from .errors import ReproError
 from .obs import Recorder
 from .session import AnalysisSession
 from .simulator import project_speedup, rtx3070, small_simt_cpu
@@ -189,6 +190,8 @@ def _build_parser() -> argparse.ArgumentParser:
     clear.add_argument("--kind", default=None,
                        choices=["traces", "dcfgs", "report", "telemetry"],
                        help="only delete this artifact kind")
+    clear.add_argument("--quarantined", action="store_true",
+                       help="only delete quarantined (corrupt) entries")
     for sub_parser in (info, ls, clear):
         sub_parser.add_argument(
             "--cache-dir", default=None,
@@ -344,6 +347,11 @@ def _cmd_cache(args) -> int:
             print(f"disk schema:  v{disk_schema} (older entries are "
                   "unaddressable; 'cache clear' removes them)")
         print(f"entries:      {info['entries']}  ({info['bytes']} bytes)")
+        quarantined = info["quarantined"]
+        if quarantined["count"]:
+            print(f"quarantined:  {quarantined['count']} corrupt entries "
+                  f"({quarantined['bytes']} bytes; "
+                  "'cache clear --quarantined' removes them)")
         for kind, bucket in sorted(info["by_kind"].items()):
             print(f"  {kind:<9} {bucket['count']:>6} entries "
                   f"{bucket['bytes']:>12} bytes")
@@ -357,9 +365,13 @@ def _cmd_cache(args) -> int:
                   f"{fp.get('opt_level', '?'):>4} "
                   f"{entry.size:>10}  {entry.key[:12]}")
     elif args.cache_command == "clear":
-        removed = store.clear(kind=args.kind)
-        what = args.kind or "all kinds"
-        print(f"removed {removed} artifacts ({what})")
+        if args.quarantined:
+            removed = store.clear_quarantined()
+            print(f"removed {removed} quarantined entries")
+        else:
+            removed = store.clear(kind=args.kind)
+            what = args.kind or "all kinds"
+            print(f"removed {removed} artifacts ({what})")
     return 0
 
 
@@ -393,6 +405,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         except Exception:
             pass
         return 0
+    except ReproError as exc:
+        # Typed pipeline failure (corrupt artifact, exhausted retries,
+        # ...): report the site and the recovery hint instead of a
+        # traceback, with a distinct exit code for scripting.
+        site = f" [{exc.site}]" if exc.site else ""
+        print(f"error{site}: {exc}", file=sys.stderr)
+        if exc.hint:
+            print(f"hint: {exc.hint}", file=sys.stderr)
+        return 3
 
 
 if __name__ == "__main__":

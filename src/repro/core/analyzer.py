@@ -22,9 +22,11 @@ from __future__ import annotations
 
 import dataclasses
 import multiprocessing
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
+from .. import faults
 from ..obs import NULL_RECORDER, Telemetry
 from ..tracer.events import TraceSet
 from .dcfg import DCFGSet, build_dcfgs
@@ -116,8 +118,14 @@ class ThreadFuserAnalyzer:
             warps = form_warps(traces, cfg.warp_size, cfg.batching)
         with self.obs.span("replay_warps"):
             per_warp: Optional[List[Tuple[WarpMetrics, int]]] = None
-            if self.jobs > 1 and visitor_factory is None and len(warps) > 1:
+            wanted_parallel = (self.jobs > 1 and visitor_factory is None
+                               and len(warps) > 1)
+            if wanted_parallel:
                 per_warp = _replay_parallel(warps, dcfgs, cfg, self.jobs)
+                if per_warp is None:
+                    # Pool unavailable or its workers failed retryably;
+                    # the serial path below is bit-identical to jobs=1.
+                    self.obs.gauge("faults.replay_fallbacks", 1)
             if per_warp is None:
                 per_warp = []
                 for warp_index, warp in enumerate(warps):
@@ -187,6 +195,7 @@ _FORK_STATE: Optional[tuple] = None
 
 
 def _replay_shard(indices: List[int]) -> List[Tuple[int, WarpMetrics, int]]:
+    faults.check("pool.worker", f"replay:{indices[0] if indices else '-'}")
     warps, dcfgs, cfg = _FORK_STATE
     out = []
     for index in indices:
@@ -203,20 +212,33 @@ def _replay_parallel(warps, dcfgs: DCFGSet, cfg: AnalyzerConfig,
     re-sorted by warp index before merging so aggregation order (and
     therefore every dict insertion order in the report) matches the
     serial path exactly.
+
+    Crash safety: a worker that dies (killed, OOM) breaks the executor,
+    which surfaces as :class:`BrokenExecutor` here -- classified as
+    retryable and answered with the serial fallback (``None``).  A
+    worker exception that is a *bug* in replay code propagates with its
+    original traceback; the fallback must never mask defects.
     """
     global _FORK_STATE
     try:
+        faults.check("pool.spawn")
         ctx = multiprocessing.get_context("fork")
-    except ValueError:
+    except (ValueError, OSError):
         return None
     jobs = min(jobs, len(warps))
     shards = [list(range(j, len(warps), jobs)) for j in range(jobs)]
     _FORK_STATE = (warps, dcfgs, cfg)
+    chunks: List[List[Tuple[int, WarpMetrics, int]]] = []
     try:
-        with ctx.Pool(processes=jobs) as pool:
-            chunks = pool.map(_replay_shard, shards)
-    except OSError:
-        return None
+        with ProcessPoolExecutor(max_workers=jobs, mp_context=ctx) as pool:
+            futures = [pool.submit(_replay_shard, shard) for shard in shards]
+            for future in futures:
+                chunks.append(future.result())
+    except Exception as exc:
+        if isinstance(exc, (BrokenExecutor, OSError)) \
+                or faults.is_retryable(exc):
+            return None
+        raise
     finally:
         _FORK_STATE = None
     flat = sorted(

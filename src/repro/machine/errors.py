@@ -1,7 +1,13 @@
-"""Machine exception types."""
+"""Machine exception types.
+
+Part of the :class:`~repro.errors.ReproError` taxonomy so batch
+tooling can catch one base class for every typed pipeline failure.
+"""
+
+from ..errors import ReproError
 
 
-class MachineError(Exception):
+class MachineError(ReproError):
     """Base class for execution errors in the MIMD machine."""
 
 

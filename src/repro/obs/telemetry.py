@@ -26,12 +26,14 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, Iterable, List, Optional
 
+from ..errors import ReproError
+
 #: Bump whenever the meaning or layout of exported telemetry changes.
 #: Loaders refuse documents written under a different version.
 TELEMETRY_SCHEMA_VERSION = 1
 
 
-class TelemetryError(Exception):
+class TelemetryError(ReproError):
     """A telemetry document could not be parsed or has the wrong schema."""
 
 

@@ -37,8 +37,12 @@ from __future__ import annotations
 import dataclasses
 import io as _stdio
 import multiprocessing
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from . import faults
+from .errors import RetryExhaustedError
 from .artifacts import (
     KIND_DCFGS,
     KIND_REPORT,
@@ -88,20 +92,41 @@ class AnalysisSession:
         bit-identical, so the choice is *excluded* from artifact
         fingerprints -- traces cached under one engine are valid under
         the other.  ``None`` uses the machine's default.
+    retry:
+        A :class:`repro.faults.RetryPolicy` governing how transient
+        failures (dead pool workers, injected/real ``OSError``,
+        timeouts) are retried before a typed
+        :class:`~repro.errors.RetryExhaustedError` is raised.  Bugs --
+        non-retryable exceptions -- always propagate immediately with
+        their original traceback.
+    stage_timeout:
+        Optional per-item deadline (seconds) for fork-pool results;
+        a worker that exceeds it is treated as a retryable failure and
+        its item falls back to the bit-identical serial path.
     """
 
     def __init__(self, cache_dir: Optional[str] = None, jobs: int = 1,
                  store: Optional[ArtifactStore] = None,
-                 recorder=None, engine: Optional[str] = None) -> None:
+                 recorder=None, engine: Optional[str] = None,
+                 retry: Optional[faults.RetryPolicy] = None,
+                 stage_timeout: Optional[float] = None) -> None:
         if store is None and cache_dir is not None:
             store = ArtifactStore(cache_dir)
         self.store = store
         self.jobs = max(1, int(jobs))
         self.engine = engine
         self.obs = recorder if recorder is not None else NULL_RECORDER
+        self.retry = retry or faults.RetryPolicy()
+        self.stage_timeout = stage_timeout
         #: Machine executions performed by this session (test surface:
         #: a warm cache keeps this at zero).
         self.executions = 0
+        #: Recovery bookkeeping: serial retries taken, whole-pool
+        #: fallbacks, and workers lost to crashes/timeouts.  Exported
+        #: as ``faults.*`` gauges by :meth:`telemetry`.
+        self.fault_stats: Dict[str, int] = {
+            "retries": 0, "pool_fallbacks": 0, "worker_failures": 0,
+        }
         self._instances: Dict[tuple, WorkloadInstance] = {}
         self._programs: Dict[tuple, Program] = {}
         self._traces: Dict[str, TraceSet] = {}
@@ -141,6 +166,17 @@ class AnalysisSession:
         snapshot.gauges["cache.puts"] = stats.puts
         snapshot.gauges["cache.bytes_read"] = stats.bytes_read
         snapshot.gauges["cache.bytes_written"] = stats.bytes_written
+        snapshot.gauges["cache.corrupt"] = stats.corrupt
+        # Recovery activity lives in *gauges* for the same reason the
+        # cache stats do: it depends on the environment (what crashed,
+        # what rotted on disk), while the counters section must stay
+        # bit-identical across jobs=1 and jobs=N runs.
+        for name, value in self.fault_stats.items():
+            snapshot.gauges[f"faults.{name}"] = value
+        plan = faults.active()
+        if plan is not None:
+            for site, fired in sorted(plan.injected.items()):
+                snapshot.gauges[f"faults.injected.{site}"] = fired
         snapshot.meta.setdefault("jobs", self.jobs)
         return snapshot
 
@@ -341,6 +377,15 @@ class AnalysisSession:
         Cache hits are served as usual; the remaining cold workloads run
         on a fork pool (``jobs`` defaults to the session's knob).  The
         result maps workload name to :class:`TraceSet`.
+
+        Failure handling: pool failures are *classified* (see
+        :func:`repro.faults.is_retryable`).  A dead or timed-out worker,
+        a broken pool, or a corrupted result stream sends the affected
+        items to the serial path -- bit-identical to ``jobs=1`` -- with
+        per-item retry and exponential backoff (the session's ``retry``
+        policy).  A worker exception that is a *bug* (a ``ValueError``
+        from workload code, say) is never silently retried: it re-raises
+        immediately with the worker's original traceback chained in.
         """
         jobs = self.jobs if jobs is None else max(1, int(jobs))
         names = list(workloads)
@@ -354,7 +399,7 @@ class AnalysisSession:
                 out[name] = self._traces[key]
                 continue
             if self.store is not None and self.store.has(KIND_TRACES, fields):
-                out[name] = self.trace(
+                out[name] = self._trace_with_retry(
                     name, n_threads=n_threads, seed=seed, opt_level=opt_level
                 )
                 continue
@@ -362,28 +407,30 @@ class AnalysisSession:
         payloads: Dict[str, Tuple[bytes, Dict]] = {}
         pool_jobs = min(jobs, len(cold))
         if pool_jobs > 1:
-            specs = [(name, n_threads, seed, opt_level, self.engine)
-                     for name in cold]
-            try:
-                ctx = multiprocessing.get_context("fork")
-                with ctx.Pool(processes=pool_jobs) as pool:
-                    for name, data, counts in pool.map(_trace_worker, specs):
-                        payloads[name] = (data, counts)
-            except (ValueError, OSError):
-                payloads.clear()
+            payloads = self._pool_trace(cold, n_threads, seed, opt_level,
+                                        pool_jobs)
         for name in cold:
             payload = payloads.get(name)
             if payload is None:
-                out[name] = self.trace(
+                out[name] = self._trace_with_retry(
                     name, n_threads=n_threads, seed=seed, opt_level=opt_level
                 )
                 continue
             data, counts = payload
             fields = self.trace_fields(name, n_threads, seed, opt_level)
             program = self._program(name, n_threads, seed, opt_level)
-            traces = trace_io.load_traces(
-                _stdio.StringIO(data.decode("utf-8")), program=program
-            )
+            try:
+                traces = trace_io.load_traces(
+                    _stdio.StringIO(data.decode("utf-8")), program=program
+                )
+            except trace_io.TraceCorruptError:
+                # The worker's result stream was corrupted in transit;
+                # regenerate serially (bit-identical by construction).
+                self.fault_stats["worker_failures"] += 1
+                out[name] = self._trace_with_retry(
+                    name, n_threads=n_threads, seed=seed, opt_level=opt_level
+                )
+                continue
             self.executions += 1
             self._record_trace_counters(traces, machine_counts=counts)
             if self.store is not None:
@@ -391,6 +438,72 @@ class AnalysisSession:
             self._traces[fingerprint_key(fields)] = traces
             out[name] = traces
         return out
+
+    def _pool_trace(self, cold: List[str], n_threads: Optional[int],
+                    seed: int, opt_level: str,
+                    pool_jobs: int) -> Dict[str, Tuple[bytes, Dict]]:
+        """Run the cold workloads on a crash-safe fork pool.
+
+        Returns serialized results for the items whose workers
+        succeeded.  Items whose workers failed *retryably* (killed,
+        broken pool, timeout, transient ``OSError``) are simply absent
+        -- the caller regenerates them serially.  A non-retryable
+        worker exception re-raises with its remote traceback attached
+        (``concurrent.futures`` chains it as the ``__cause__``).
+        """
+        results: Dict[str, Tuple[bytes, Dict]] = {}
+        try:
+            faults.check("pool.spawn")
+            ctx = multiprocessing.get_context("fork")
+        except (ValueError, OSError):
+            self.fault_stats["pool_fallbacks"] += 1
+            return results
+        specs = [(name, n_threads, seed, opt_level, self.engine)
+                 for name in cold]
+        try:
+            with ProcessPoolExecutor(max_workers=pool_jobs,
+                                     mp_context=ctx) as pool:
+                futures = [(name, pool.submit(_trace_worker, spec))
+                           for name, spec in zip(cold, specs)]
+                for name, future in futures:
+                    try:
+                        faults.check("pool.result", name)
+                        rname, data, counts = future.result(
+                            timeout=self.stage_timeout
+                        )
+                        results[rname] = (data, counts)
+                    except Exception as exc:
+                        if not faults.is_retryable(exc):
+                            raise
+                        self.fault_stats["worker_failures"] += 1
+        except BrokenExecutor:
+            # The pool itself died (e.g. while shutting down); whatever
+            # completed is kept, the rest falls back to serial.
+            self.fault_stats["pool_fallbacks"] += 1
+        except OSError:
+            self.fault_stats["pool_fallbacks"] += 1
+        return results
+
+    def _trace_with_retry(self, name: str, n_threads: Optional[int],
+                          seed: int, opt_level: str) -> TraceSet:
+        """Serial :meth:`trace` under the session's retry policy.
+
+        This is the guaranteed fallback of every parallel path: the
+        serial pipeline *is* the ``jobs=1`` pipeline, so a recovered
+        run is bit-identical to a fault-free one.  Only retryable
+        failures are retried; bugs propagate on the first attempt.
+        """
+
+        def on_retry(_attempt: int, _exc) -> None:
+            self.fault_stats["retries"] += 1
+
+        return faults.call_with_retry(
+            lambda: self.trace(name, n_threads=n_threads, seed=seed,
+                               opt_level=opt_level),
+            policy=self.retry,
+            label=f"trace {name!r}",
+            on_retry=on_retry,
+        )
 
     # -- stage: prepare --------------------------------------------------
 
@@ -529,6 +642,7 @@ def _trace_worker(spec: tuple) -> Tuple[str, bytes, Dict[str, int]]:
     the same counters as a serial run.
     """
     name, n_threads, seed, opt_level, engine = spec
+    faults.check("pool.worker", name)
     entry = get_workload(name)
     instance = entry.instantiate(n_threads or entry.default_threads,
                                  seed=seed)

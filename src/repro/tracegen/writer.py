@@ -10,7 +10,13 @@ from __future__ import annotations
 
 from typing import IO, Union
 
+from ..errors import TraceCorruptError
 from .warptrace import KernelTrace, WarpInstruction
+
+_CORRUPT_HINT = (
+    "the kernel trace file is truncated or garbled; regenerate it with "
+    "'threadfuser tracegen'"
+)
 
 
 def save_kernel_trace(kernel: KernelTrace, fp: Union[str, IO]) -> None:
@@ -45,34 +51,51 @@ def load_kernel_trace(fp: Union[str, IO]) -> KernelTrace:
     own = isinstance(fp, str)
     inp = open(fp) if own else fp
     try:
-        name = inp.readline().split("=", 1)[1].strip()
-        warp_size = int(inp.readline().split("=", 1)[1])
-        int(inp.readline().split("=", 1)[1])  # num warps (informational)
+        try:
+            name = inp.readline().split("=", 1)[1].strip()
+            warp_size = int(inp.readline().split("=", 1)[1])
+            int(inp.readline().split("=", 1)[1])  # num warps (informational)
+        except (IndexError, ValueError) as exc:
+            raise TraceCorruptError(
+                "kernel trace header is malformed",
+                site="trace.load", hint=_CORRUPT_HINT,
+            ) from exc
         kernel = KernelTrace(name, warp_size)
         stream = None
-        for line in inp:
+        for lineno, line in enumerate(inp, 4):
             line = line.strip()
             if not line:
                 continue
-            if line.startswith("#warp"):
-                _tag, _wid, _kw, n_threads = line.split()
-                stream = kernel.new_warp(int(n_threads))
-                continue
-            parts = line.split()
-            pc = int(parts[0], 16)
-            op_class = parts[1]
-            mask = int(parts[2], 16)
-            if len(parts) > 3:
-                space = parts[3]
-                accesses = []
-                if parts[4] != "-":
-                    for chunk in parts[4].split(","):
-                        addr, size = chunk.split(":")
-                        accesses.append((int(addr, 16), int(size)))
-                stream.append(WarpInstruction(pc, op_class, mask,
-                                              space=space, accesses=accesses))
-            else:
-                stream.append(WarpInstruction(pc, op_class, mask))
+            try:
+                if line.startswith("#warp"):
+                    _tag, _wid, _kw, n_threads = line.split()
+                    stream = kernel.new_warp(int(n_threads))
+                    continue
+                if stream is None:
+                    raise ValueError("instruction before any #warp header")
+                parts = line.split()
+                pc = int(parts[0], 16)
+                op_class = parts[1]
+                mask = int(parts[2], 16)
+                if len(parts) > 3:
+                    space = parts[3]
+                    accesses = []
+                    if parts[4] != "-":
+                        for chunk in parts[4].split(","):
+                            addr, size = chunk.split(":")
+                            accesses.append((int(addr, 16), int(size)))
+                    stream.append(WarpInstruction(pc, op_class, mask,
+                                                  space=space,
+                                                  accesses=accesses))
+                else:
+                    stream.append(WarpInstruction(pc, op_class, mask))
+            except TraceCorruptError:
+                raise
+            except (IndexError, ValueError) as exc:
+                raise TraceCorruptError(
+                    f"kernel trace line {lineno} is malformed: {line!r}",
+                    site="trace.load", hint=_CORRUPT_HINT,
+                ) from exc
         return kernel
     finally:
         if own:

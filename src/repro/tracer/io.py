@@ -3,16 +3,36 @@
 The paper's tracer writes trace files consumed later by the analyzer; we
 mirror that with a compact JSON-lines format: one header line, then one
 line per logical thread.  Memory records are flattened to keep files small.
+
+Format v2 hardens the stream against silent corruption: the header
+carries a sha256 checksum over the header-sans-checksum plus the body,
+and :func:`load_traces` verifies it (and the thread count) before any
+record reaches the analyzer.  A truncated, bit-flipped, or otherwise
+garbled file raises a precise :class:`~repro.errors.TraceCorruptError`
+instead of decoding garbage.  v1 files (no checksum) still load, with
+the structural checks only -- schema-tolerant recovery for caches
+written by older releases.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import IO, Union
 
+from .. import faults
+from ..errors import TraceCorruptError
 from .events import TraceSet
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Versions :func:`load_traces` accepts; pre-checksum v1 files load with
+#: structural validation only.
+SUPPORTED_VERSIONS = (1, 2)
+
+_CORRUPT_HINT = ("the trace file is truncated or corrupted; delete it "
+                 "and re-trace (cached traces are regenerated "
+                 "automatically)")
 
 
 def _encode_token(token: tuple) -> list:
@@ -37,49 +57,149 @@ def _decode_token(raw: list) -> tuple:
 
 def save_traces(traces: TraceSet, fp: Union[str, IO]) -> None:
     """Write ``traces`` to a path or file object as JSON lines."""
+    body_parts = []
+    for trace in traces.threads:
+        record = {
+            "index": trace.index,
+            "cpu_tid": trace.cpu_tid,
+            "root": trace.root,
+            "skipped": trace.skipped,
+            "tokens": [_encode_token(t) for t in trace.tokens],
+        }
+        body_parts.append(json.dumps(record) + "\n")
+    body = "".join(body_parts)
+    header = {
+        "version": FORMAT_VERSION,
+        "workload": traces.workload,
+        "untraced_skipped": traces.untraced_skipped,
+        "n_threads": len(traces.threads),
+    }
+    # The checksum covers the header (sans the checksum itself) plus the
+    # body, so a flipped byte anywhere -- including in the header fields
+    # -- fails verification.  It must stay the *last* key written.
+    digest = hashlib.sha256(
+        (json.dumps(header) + "\n" + body).encode("utf-8")
+    ).hexdigest()
+    header["sha256"] = digest
     own = isinstance(fp, str)
     out = open(fp, "w") if own else fp
     try:
-        header = {
-            "version": FORMAT_VERSION,
-            "workload": traces.workload,
-            "untraced_skipped": traces.untraced_skipped,
-            "n_threads": len(traces.threads),
-        }
         out.write(json.dumps(header) + "\n")
-        for trace in traces.threads:
-            record = {
-                "index": trace.index,
-                "cpu_tid": trace.cpu_tid,
-                "root": trace.root,
-                "skipped": trace.skipped,
-                "tokens": [_encode_token(t) for t in trace.tokens],
-            }
-            out.write(json.dumps(record) + "\n")
+        out.write(body)
     finally:
         if own:
             out.close()
 
 
+def _verify_checksum(header: dict, body: str) -> None:
+    expected = header.get("sha256")
+    if not isinstance(expected, str):
+        raise TraceCorruptError(
+            "trace header is missing its sha256 checksum",
+            site="trace.load", hint=_CORRUPT_HINT,
+        )
+    stripped = {k: v for k, v in header.items() if k != "sha256"}
+    actual = hashlib.sha256(
+        (json.dumps(stripped) + "\n" + body).encode("utf-8")
+    ).hexdigest()
+    if actual != expected:
+        raise TraceCorruptError(
+            f"trace stream failed its checksum (expected {expected[:12]}.., "
+            f"got {actual[:12]}..)",
+            site="trace.load", hint=_CORRUPT_HINT,
+        )
+
+
 def load_traces(fp: Union[str, IO], program=None) -> TraceSet:
-    """Read a :class:`TraceSet` written by :func:`save_traces`."""
+    """Read a :class:`TraceSet` written by :func:`save_traces`.
+
+    Raises :class:`~repro.errors.TraceCorruptError` (a ``ValueError``
+    subclass) when the stream is empty, truncated, bit-flipped, fails
+    its checksum, or was written under an unsupported format version.
+    """
     own = isinstance(fp, str)
     inp = open(fp) if own else fp
     try:
-        header = json.loads(inp.readline())
-        if header.get("version") != FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported trace format version {header.get('version')}"
-            )
-        traces = TraceSet(workload=header.get("workload", ""), program=program)
-        traces.untraced_skipped = dict(header.get("untraced_skipped", {}))
-        for line in inp:
-            record = json.loads(line)
-            trace = traces.new_thread(record["cpu_tid"], record["root"])
-            trace.skipped = dict(record["skipped"])
-            trace.tokens = [_decode_token(t) for t in record["tokens"]]
-            trace.closed = True
-        return traces
+        text = inp.read()
     finally:
         if own:
             inp.close()
+    plan = faults.active()
+    if plan is not None:
+        encoded = text.encode("utf-8")
+        raw = plan.mangle("trace.load", encoded)
+        if raw is not encoded:
+            try:
+                text = raw.decode("utf-8")
+            except UnicodeDecodeError as exc:
+                raise TraceCorruptError(
+                    f"trace stream is not valid UTF-8: {exc}",
+                    site="trace.load", hint=_CORRUPT_HINT,
+                ) from None
+    if not text.strip():
+        raise TraceCorruptError(
+            "trace stream is empty (truncated before the header?)",
+            site="trace.load", hint=_CORRUPT_HINT,
+        )
+    header_line, _newline, body = text.partition("\n")
+    try:
+        header = json.loads(header_line)
+    except ValueError as exc:
+        raise TraceCorruptError(
+            f"trace header is not valid JSON: {exc}",
+            site="trace.load", hint=_CORRUPT_HINT,
+        ) from None
+    if not isinstance(header, dict) or "version" not in header:
+        raise TraceCorruptError(
+            "trace header is not an object with a 'version' field",
+            site="trace.load", hint=_CORRUPT_HINT,
+        )
+    version = header.get("version")
+    if version not in SUPPORTED_VERSIONS:
+        raise TraceCorruptError(
+            f"unsupported trace format version {version!r} "
+            f"(this release reads {SUPPORTED_VERSIONS})",
+            site="trace.load",
+            hint="the file was written by an incompatible release; "
+                 "re-trace the workload",
+        )
+    if version >= 2:
+        _verify_checksum(header, body)
+    traces = TraceSet(workload=header.get("workload", ""), program=program)
+    skipped = header.get("untraced_skipped", {})
+    if not isinstance(skipped, dict):
+        raise TraceCorruptError(
+            "trace header field 'untraced_skipped' is not an object",
+            site="trace.load", hint=_CORRUPT_HINT,
+        )
+    traces.untraced_skipped = dict(skipped)
+    for lineno, line in enumerate(body.splitlines(), start=2):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            raise TraceCorruptError(
+                f"trace record at line {lineno} is truncated or garbled",
+                site="trace.load", hint=_CORRUPT_HINT,
+            ) from None
+        try:
+            trace = traces.new_thread(record["cpu_tid"], record["root"])
+            trace.skipped = dict(record["skipped"])
+            trace.tokens = [_decode_token(t) for t in record["tokens"]]
+        except (KeyError, TypeError, IndexError, ValueError) as exc:
+            raise TraceCorruptError(
+                f"trace record at line {lineno} is malformed: "
+                f"{type(exc).__name__}: {exc}",
+                site="trace.load", hint=_CORRUPT_HINT,
+            ) from None
+        trace.closed = True
+    expected_threads = header.get("n_threads")
+    if isinstance(expected_threads, int) \
+            and len(traces.threads) != expected_threads:
+        raise TraceCorruptError(
+            f"trace stream truncated: header promises {expected_threads} "
+            f"threads, found {len(traces.threads)}",
+            site="trace.load", hint=_CORRUPT_HINT,
+        )
+    return traces

@@ -12,6 +12,7 @@ from repro.artifacts import (
     fingerprint_key,
     serialize_traces,
 )
+from repro.errors import ArtifactCorruptError
 from repro.workloads import get_workload, trace_instance
 
 FIELDS = {
@@ -96,6 +97,110 @@ class TestTypedHelpers:
         payload = {"nested": [1, 2, {"x": (3, 4)}]}
         store.put_object(KIND_DCFGS, FIELDS, payload)
         assert store.get_object(KIND_DCFGS, FIELDS) == payload
+
+
+class TestIntegrity:
+    """Verify-on-read: corrupt entries quarantine and read as misses."""
+
+    def _put(self, tmp_path, data=b"payload"):
+        store = ArtifactStore(str(tmp_path / "cache"))
+        store.put_bytes(KIND_REPORT, FIELDS, data)
+        key = fingerprint_key(FIELDS)
+        _dir, payload, meta = store._paths(KIND_REPORT, key)
+        return store, payload, meta
+
+    def test_flipped_payload_byte_is_a_miss_and_quarantined(self, tmp_path):
+        store, payload, _meta = self._put(tmp_path)
+        with open(payload, "r+b") as out:
+            out.write(b"X")
+        assert store.get_bytes(KIND_REPORT, FIELDS) is None
+        assert store.stats.corrupt == 1
+        assert store.stats.misses == 1
+        assert store.quarantined()["count"] == 1
+        # The broken entry moved aside, so re-put and read back work.
+        store.put_bytes(KIND_REPORT, FIELDS, b"payload")
+        assert store.get_bytes(KIND_REPORT, FIELDS) == b"payload"
+
+    def test_truncated_meta_is_a_miss_not_a_crash(self, tmp_path):
+        store, _payload, meta = self._put(tmp_path)
+        with open(meta, "r+b") as out:
+            out.truncate(10)
+        assert store.get_bytes(KIND_REPORT, FIELDS) is None
+        assert store.stats.corrupt == 1
+        assert store.quarantined()["count"] == 1
+
+    def test_unreadable_meta_is_a_miss(self, tmp_path):
+        store, _payload, meta = self._put(tmp_path)
+        with open(meta, "wb") as out:
+            out.write(b"\xff\xfe not json")
+        assert store.get_bytes(KIND_REPORT, FIELDS) is None
+        assert store.stats.corrupt == 1
+
+    def test_payload_missing_with_meta_present_is_a_miss(self, tmp_path):
+        store, payload, _meta = self._put(tmp_path)
+        os.unlink(payload)
+        assert store.get_bytes(KIND_REPORT, FIELDS) is None
+        assert store.stats.corrupt == 1
+
+    def test_meta_missing_with_payload_present_is_a_miss(self, tmp_path):
+        store, _payload, meta = self._put(tmp_path)
+        os.unlink(meta)
+        assert not store.has(KIND_REPORT, FIELDS)
+        assert store.get_bytes(KIND_REPORT, FIELDS) is None
+        assert store.stats.corrupt == 1
+
+    def test_on_corrupt_raise_is_typed(self, tmp_path):
+        store, payload, _meta = self._put(tmp_path)
+        with open(payload, "ab") as out:
+            out.write(b"tail")
+        with pytest.raises(ArtifactCorruptError) as excinfo:
+            store.get_bytes(KIND_REPORT, FIELDS, on_corrupt="raise")
+        assert "quarantined" in str(excinfo.value)
+        assert excinfo.value.hint
+
+    def test_pre_checksum_meta_falls_back_to_size_check(self, tmp_path):
+        import json
+
+        store, _payload, meta = self._put(tmp_path)
+        with open(meta) as inp:
+            record = json.load(inp)
+        del record["sha256"]
+        with open(meta, "w") as out:
+            json.dump(record, out)
+        # Size matches: the entry still reads (schema tolerance).
+        assert store.get_bytes(KIND_REPORT, FIELDS) == b"payload"
+        record["size"] = 3
+        with open(meta, "w") as out:
+            json.dump(record, out)
+        assert store.get_bytes(KIND_REPORT, FIELDS) is None
+        assert store.stats.corrupt == 1
+
+    def test_corrupt_traces_payload_reads_as_miss(self, tmp_path):
+        instance = get_workload("vectoradd").instantiate(16)
+        traces, _machine = trace_instance(instance)
+        store = ArtifactStore(str(tmp_path / "cache"))
+        store.put_traces(FIELDS, traces)
+        key = fingerprint_key(FIELDS)
+        _dir, payload, meta = store._paths(KIND_TRACES, key)
+        # Regenerate the meta so the checksum matches the corrupted
+        # bytes: decoding (not the byte checksum) must catch this one.
+        with open(payload, "r+") as out:
+            out.write("X")
+        with open(payload, "rb") as inp:
+            data = inp.read()
+        store.put_bytes(KIND_TRACES, FIELDS, data)
+        assert store.get_traces(FIELDS, program=instance.program) is None
+        assert store.stats.corrupt == 1
+        assert store.quarantined()["count"] == 1
+
+    def test_clear_quarantined(self, tmp_path):
+        store, payload, _meta = self._put(tmp_path)
+        with open(payload, "r+b") as out:
+            out.write(b"X")
+        store.get_bytes(KIND_REPORT, FIELDS)
+        assert store.info()["quarantined"]["count"] == 1
+        assert store.clear_quarantined() == 1
+        assert store.quarantined() == {"count": 0, "bytes": 0}
 
 
 class TestMaintenanceSurface:

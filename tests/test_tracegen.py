@@ -196,3 +196,57 @@ class TestWriterEdgeCases:
         kernel = KernelTrace("empty", 32)
         assert kernel.simt_efficiency() == 1.0
         assert kernel.total_issues == 0
+
+
+class TestCorruptKernelTraces:
+    """Truncated/garbled kernel trace files fail typed, never with a
+    raw IndexError/ValueError traceback."""
+
+    def _text(self):
+        from repro.tracegen import (
+            KernelTrace,
+            WarpInstruction,
+            save_kernel_trace,
+        )
+
+        kernel = KernelTrace("k", 4)
+        stream = kernel.new_warp(4)
+        stream.append(WarpInstruction(0x400000, classes.LOAD, 0b1111,
+                                      space=SPACE_GLOBAL, accesses=[(64, 8)]))
+        buf = io.StringIO()
+        save_kernel_trace(kernel, buf)
+        return buf.getvalue()
+
+    def test_truncated_header_raises_typed_error(self):
+        from repro.errors import TraceCorruptError
+        from repro.tracegen import load_kernel_trace
+
+        text = self._text()
+        with pytest.raises(TraceCorruptError) as excinfo:
+            load_kernel_trace(io.StringIO(text[:10]))
+        assert excinfo.value.site == "trace.load"
+        assert excinfo.value.hint
+
+    def test_garbled_instruction_line_raises_typed_error(self):
+        from repro.errors import TraceCorruptError
+        from repro.tracegen import load_kernel_trace
+
+        text = self._text().replace("0x00400000", "not-a-pc")
+        with pytest.raises(TraceCorruptError, match="malformed"):
+            load_kernel_trace(io.StringIO(text))
+
+    def test_instruction_before_warp_header_raises(self):
+        from repro.errors import TraceCorruptError
+        from repro.tracegen import load_kernel_trace
+
+        lines = self._text().splitlines()
+        del lines[3]  # drop the '#warp ...' line
+        with pytest.raises(TraceCorruptError):
+            load_kernel_trace(io.StringIO("\n".join(lines) + "\n"))
+
+    def test_empty_file_raises_typed_error(self):
+        from repro.errors import TraceCorruptError
+        from repro.tracegen import load_kernel_trace
+
+        with pytest.raises(TraceCorruptError):
+            load_kernel_trace(io.StringIO(""))

@@ -7,11 +7,13 @@ replay metrics.
 """
 
 import io
+import json
 
 import pytest
 
 from repro.artifacts import serialize_traces
 from repro.core import analyze_traces
+from repro.errors import TraceCorruptError
 from repro.tracer import load_traces, save_traces
 from repro.workloads import get_workload, trace_instance
 
@@ -99,8 +101,68 @@ class TestSerializationDeterminism:
 
     def test_unknown_format_version_rejected(self):
         _instance, traces = _trace("vectoradd")
-        buffer = io.StringIO()
-        save_traces(traces, buffer)
-        text = buffer.getvalue().replace('"version": 1', '"version": 999', 1)
+        text = serialize_traces(traces).decode("utf-8")
+        header, _newline, body = text.partition("\n")
+        record = json.loads(header)
+        record["version"] = 999
+        text = json.dumps(record) + "\n" + body
         with pytest.raises(ValueError, match="version"):
             load_traces(io.StringIO(text))
+
+
+class TestCorruptionDetection:
+    """Format v2: the checksummed stream refuses truncated/garbled input."""
+
+    def _text(self, name="vectoradd"):
+        _instance, traces = _trace(name)
+        return serialize_traces(traces).decode("utf-8"), traces
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(TraceCorruptError, match="empty"):
+            load_traces(io.StringIO(""))
+
+    def test_truncated_mid_body_rejected(self):
+        text, _traces = self._text()
+        with pytest.raises(TraceCorruptError):
+            load_traces(io.StringIO(text[: len(text) // 2]))
+
+    def test_missing_last_record_rejected(self):
+        # Whole-line truncation keeps every remaining line well-formed;
+        # only the checksum (and the n_threads count) can catch it.
+        text, _traces = self._text()
+        lines = text.splitlines(True)
+        with pytest.raises(TraceCorruptError):
+            load_traces(io.StringIO("".join(lines[:-1])))
+
+    def test_garbled_header_rejected(self):
+        text, _traces = self._text()
+        with pytest.raises(TraceCorruptError, match="JSON"):
+            load_traces(io.StringIO("{" + text))
+
+    def test_flipped_body_character_rejected(self):
+        text, _traces = self._text()
+        pos = text.index("\n") + 20
+        flipped = text[:pos] + ("0" if text[pos] != "0" else "1") \
+            + text[pos + 1:]
+        with pytest.raises(TraceCorruptError, match="checksum"):
+            load_traces(io.StringIO(flipped))
+
+    def test_error_carries_site_and_hint(self):
+        text, _traces = self._text()
+        with pytest.raises(TraceCorruptError) as excinfo:
+            load_traces(io.StringIO(text[:-30]))
+        assert excinfo.value.site == "trace.load"
+        assert "re-trace" in excinfo.value.hint \
+            or "regenerated" in excinfo.value.hint
+
+    def test_v1_stream_without_checksum_still_loads(self):
+        # Schema tolerance: caches written before the checksum existed.
+        text, traces = self._text()
+        header_line, _newline, body = text.partition("\n")
+        record = json.loads(header_line)
+        record["version"] = 1
+        del record["sha256"]
+        v1_text = json.dumps(record) + "\n" + body
+        loaded = load_traces(io.StringIO(v1_text))
+        assert len(loaded) == len(traces)
+        assert loaded.total_instructions == traces.total_instructions

@@ -14,7 +14,8 @@ and runs it, so examples can never drift from the shipped package:
 Other fence languages (``text``, ``json``, ...) are ignored.
 
 Usage: python tools/check_docs.py [doc.md ...]
-Defaults to docs/OBSERVABILITY.md and docs/PERFORMANCE.md.
+Defaults to docs/OBSERVABILITY.md, docs/PERFORMANCE.md, and
+docs/ROBUSTNESS.md.
 """
 
 import os
@@ -27,6 +28,7 @@ REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DEFAULT_DOCS = [
     os.path.join(REPO, "docs", "OBSERVABILITY.md"),
     os.path.join(REPO, "docs", "PERFORMANCE.md"),
+    os.path.join(REPO, "docs", "ROBUSTNESS.md"),
 ]
 
 FENCE_RE = re.compile(
