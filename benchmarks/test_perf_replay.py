@@ -1,0 +1,210 @@
+"""Analyzer replay throughput: packed columnar replay vs seed replay.
+
+Measures analyze-side wall clock for both replay engines -- the seed
+tuple replayer (``packed=False, memo=False``) against the full packed
+pipeline (columnar cursors, batched converged runs, DCFG scan dedup,
+signature-keyed warp memoization) -- over the five core workloads, plus
+a synthetic replicated-lane workload that exercises the warp-memo fast
+path directly.  Results go to ``benchmarks/results/perf_replay.txt``
+and the machine-readable ``BENCH_replay.json`` at the repo root.
+
+One-time trace *packing* is timed separately (``pack_s``): it is paid
+once per trace set and shared by every subsequent analysis, so folding
+it into per-analysis replay time would misstate both.
+
+Two modes:
+
+* full (default): five workloads at 64 threads, best-of-3; asserts the
+  acceptance target -- packed replay >= 1.5x geomean over seed replay
+  -- and bit-identical reports between the two engines and between
+  memo on/off.
+* smoke (``THREADFUSER_PERF_SMOKE=1``): one small workload, best-of-2,
+  with deliberately generous floors -- a CI canary against massive
+  regressions, not a precision measurement.
+"""
+
+import json
+import os
+import pickle
+import time
+
+from conftest import emit, run_once
+
+from repro.core.analyzer import AnalyzerConfig, ThreadFuserAnalyzer
+from repro.obs import Recorder
+from repro.tracer.events import TraceSet
+from repro.workloads import get_workload, trace_instance
+
+SMOKE = os.environ.get("THREADFUSER_PERF_SMOKE") == "1"
+
+WORKLOADS = ["nbody"] if SMOKE else [
+    "nbody", "pigz", "memcached", "streamcluster", "md5",
+]
+N_THREADS = 32 if SMOKE else 64
+WARP_SIZE = 32
+ROUNDS = 2 if SMOKE else 3
+
+#: Full-mode acceptance: the packed replay pipeline's reason to exist.
+FULL_MIN_GEOMEAN_SPEEDUP = 1.5
+
+#: Smoke floor: packed replay must not be drastically slower than seed
+#: replay.  Measured speedups are ~2x; only a broken fast path trips it.
+SMOKE_MIN_SPEEDUP = 0.6
+
+
+def _canonical(report):
+    """One comparable value covering every report observable.
+
+    Pickling is deterministic here (dict insertion orders are part of
+    the replay contract), so equal bytes mean bit-identical reports.
+    """
+    return pickle.dumps(report)
+
+
+def _best(analyzer, traces):
+    best = float("inf")
+    report = None
+    for _ in range(ROUNDS):
+        t0 = time.perf_counter()
+        report = analyzer.analyze(traces)
+        best = min(best, time.perf_counter() - t0)
+    return best, report
+
+
+def _replicated_traces(n_threads):
+    """A trace set whose threads all share one token stream.
+
+    Real workloads give every thread private stack/heap addresses, so
+    their warp-memo hit rate is legitimately ~0; this synthetic SPMD
+    workload is the memo fast path's showcase: every warp after the
+    first replays for free.
+    """
+    source, _ = trace_instance(get_workload("vectoradd").instantiate(1))
+    tokens = list(source.threads[0].tokens)
+    root = source.threads[0].root
+    replicated = TraceSet(workload="replicated")
+    for tid in range(n_threads):
+        thread = replicated.new_thread(tid, root)
+        thread.tokens = list(tokens)
+    return replicated
+
+
+def _measure(name, traces):
+    cfg = AnalyzerConfig(warp_size=WARP_SIZE)
+    seed_s, seed_report = _best(
+        ThreadFuserAnalyzer(cfg, memo=False, packed=False), traces)
+
+    t0 = time.perf_counter()
+    for thread in traces:
+        thread.packed()
+    pack_s = time.perf_counter() - t0
+
+    recorder = Recorder()
+    fast = ThreadFuserAnalyzer(cfg, recorder=recorder)
+    fast_s, fast_report = _best(fast, traces)
+    nomemo_report = ThreadFuserAnalyzer(cfg, memo=False).analyze(traces)
+
+    # Bit-identical acceptance: packed+memo replay is an invisible
+    # optimization, with or without memoization.
+    assert _canonical(fast_report) == _canonical(seed_report), name
+    assert _canonical(nomemo_report) == _canonical(seed_report), name
+
+    gauges = recorder.telemetry().gauges
+    lookups = gauges.get("memo.warp_lookups", 0)
+    hits = gauges.get("memo.warp_hits", 0)
+    instructions = fast_report.metrics.thread_instructions
+    return {
+        "thread_instructions": instructions,
+        "seed_replay_s": seed_s,
+        "packed_replay_s": fast_s,
+        "pack_s": pack_s,
+        "seed_ips": instructions / seed_s,
+        "packed_ips": instructions / fast_s,
+        "speedup": seed_s / fast_s,
+        "memo_lookups": lookups,
+        "memo_hits": hits,
+        "memo_hit_rate": hits / lookups if lookups else 0.0,
+    }
+
+
+def _geomean(values):
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def test_replay_throughput(benchmark):
+    def experiment():
+        rows = {}
+        for name in WORKLOADS:
+            traces, _ = trace_instance(
+                get_workload(name).instantiate(N_THREADS))
+            rows[name] = _measure(name, traces)
+        # At least two full warps, so the memo path has a hit to show
+        # even when smoke mode shrinks N_THREADS to one warp.
+        rows["replicated"] = _measure(
+            "replicated", _replicated_traces(max(N_THREADS, 2 * WARP_SIZE)))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+
+    lines = [
+        "Analyzer replay throughput (packed+memo vs seed tuple replay; "
+        f"{'smoke' if SMOKE else 'full'} mode, {N_THREADS} threads, "
+        f"warp {WARP_SIZE}, best of {ROUNDS})",
+        "{:<14} {:>11} {:>9} {:>9} {:>8} {:>8} {:>9}".format(
+            "workload", "thread-ins", "seed", "packed", "pack",
+            "spdup", "memo-hit"),
+        "{:<14} {:>11} {:>9} {:>9} {:>8} {:>8} {:>9}".format(
+            "", "", "ms", "ms", "ms", "", "rate"),
+    ]
+    for name, r in rows.items():
+        lines.append(
+            f"{name:<14} {r['thread_instructions']:>11} "
+            f"{r['seed_replay_s'] * 1e3:>9.1f} "
+            f"{r['packed_replay_s'] * 1e3:>9.1f} "
+            f"{r['pack_s'] * 1e3:>8.1f} "
+            f"{r['speedup']:>7.2f}x "
+            f"{r['memo_hit_rate']:>9.2f}"
+        )
+    core = [rows[name]["speedup"] for name in WORKLOADS]
+    geomean = _geomean(core)
+    lines.append(f"geomean speedup (core workloads): {geomean:.2f}x")
+    emit("perf_replay_smoke" if SMOKE else "perf_replay",
+         "\n".join(lines))
+
+    payload = {
+        "mode": "smoke" if SMOKE else "full",
+        "n_threads": N_THREADS,
+        "warp_size": WARP_SIZE,
+        "rounds": ROUNDS,
+        "unit": "thread-instructions/second of analyze(), single process",
+        "baseline": "seed replay (ThreadFuserAnalyzer(memo=False, "
+                    "packed=False))",
+        "workloads": rows,
+        "geomean_speedup": geomean,
+    }
+    if not SMOKE:
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        with open(os.path.join(root, "BENCH_replay.json"), "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    # The replicated workload must demonstrate the memo fast path:
+    # every warp after the first is a hit.
+    replicated = rows["replicated"]
+    assert replicated["memo_lookups"] >= 2
+    assert replicated["memo_hits"] == replicated["memo_lookups"] - 1
+
+    if SMOKE:
+        for name in WORKLOADS:
+            assert rows[name]["speedup"] >= SMOKE_MIN_SPEEDUP, (
+                f"{name}: packed replay far below seed replay "
+                f"({rows[name]['speedup']:.2f}x)"
+            )
+    else:
+        assert geomean >= FULL_MIN_GEOMEAN_SPEEDUP, (
+            f"packed replay geomean speedup {geomean:.2f}x is below the "
+            f"{FULL_MIN_GEOMEAN_SPEEDUP}x acceptance target"
+        )

@@ -66,6 +66,10 @@ def _add_session_options(parser: argparse.ArgumentParser) -> None:
                         help="execution engine for the trace stage "
                              "(default: compiled; bit-identical engines, "
                              "see docs/PERFORMANCE.md)")
+    parser.add_argument("--no-memo", action="store_true",
+                        help="disable warp-replay memoization (results are "
+                             "bit-identical either way, see "
+                             "docs/PERFORMANCE.md)")
 
 
 def _session_from_args(args) -> AnalysisSession:
@@ -76,7 +80,8 @@ def _session_from_args(args) -> AnalysisSession:
     recorder = Recorder() if getattr(args, "profile", False) else None
     return AnalysisSession(cache_dir=cache_dir, jobs=args.jobs,
                            recorder=recorder,
-                           engine=getattr(args, "engine", None))
+                           engine=getattr(args, "engine", None),
+                           memo=not getattr(args, "no_memo", False))
 
 
 def _finish_profile(args, session: AnalysisSession,

@@ -17,7 +17,7 @@ from .metrics import (
     WarpMetrics,
     transactions_for,
 )
-from .replay import ReplayError, WarpReplayer
+from .replay import PackedWarpReplayer, ReplayError, WarpReplayer
 from .report import AnalysisReport, FunctionReport
 from .warp import POLICIES, form_warps
 
@@ -41,6 +41,7 @@ __all__ = [
     "SegmentStats",
     "WarpMetrics",
     "transactions_for",
+    "PackedWarpReplayer",
     "ReplayError",
     "WarpReplayer",
     "AnalysisReport",

@@ -32,7 +32,7 @@ from ..tracer.events import TraceSet
 from .dcfg import DCFGSet, build_dcfgs
 from .ipdom import compute_all_ipdoms
 from .metrics import AggregateMetrics, WarpMetrics
-from .replay import WarpReplayer
+from .replay import PackedWarpReplayer, WarpReplayer
 from .report import AnalysisReport
 from .warp import form_warps
 
@@ -80,13 +80,29 @@ class ThreadFuserAnalyzer:
     ``recorder`` is an optional :class:`repro.obs.Recorder`; by default
     the shared no-op recorder is used and instrumentation costs nothing
     beyond a no-op call per stage.
+
+    ``memo`` and ``packed`` are execution knobs like ``jobs`` (they never
+    change the result, so they stay out of :class:`AnalyzerConfig` and
+    its fingerprint): ``packed`` replays over the columnar
+    :class:`~repro.tracer.packed.PackedTrace` form with batched
+    converged-run accounting, ``memo`` reuses the metrics of an
+    already-replayed warp when a later warp's ordered lane-signature
+    tuple matches (a content-addressed cache over
+    :attr:`ThreadTrace.signature`).  Both default on; ``--no-memo``
+    surfaces them on the CLI.  Memo hit counts are exported as
+    ``memo.*`` telemetry *gauges*, never counters -- hits legitimately
+    differ between ``jobs=1`` and ``jobs=N`` (each shard memoizes
+    locally) while counters must stay bit-identical.
     """
 
     def __init__(self, config: Optional[AnalyzerConfig] = None,
-                 jobs: int = 1, recorder=None) -> None:
+                 jobs: int = 1, recorder=None, memo: bool = True,
+                 packed: bool = True) -> None:
         self.config = config or AnalyzerConfig()
         self.jobs = max(1, int(jobs))
         self.obs = recorder if recorder is not None else NULL_RECORDER
+        self.memo = bool(memo)
+        self.packed = bool(packed)
 
     def telemetry(self) -> Telemetry:
         """Snapshot of this analyzer's recorder (empty when disabled)."""
@@ -95,7 +111,7 @@ class ThreadFuserAnalyzer:
     def prepare(self, traces: TraceSet) -> DCFGSet:
         """Build the DCFGs and IPDOM tables (reusable across warp sizes)."""
         with self.obs.span("prepare"):
-            dcfgs = build_dcfgs(traces)
+            dcfgs = build_dcfgs(traces, dedupe=self.packed)
             compute_all_ipdoms(dcfgs)
             self.obs.count("prepare.functions", len(dcfgs.functions))
         return dcfgs
@@ -118,24 +134,51 @@ class ThreadFuserAnalyzer:
             warps = form_warps(traces, cfg.warp_size, cfg.batching)
         with self.obs.span("replay_warps"):
             per_warp: Optional[List[Tuple[WarpMetrics, int]]] = None
+            memo_lookups = memo_hits = 0
+            # Visitors need their per-block callbacks, so their presence
+            # forces fresh serial replays (no memo reuse) -- the generated
+            # warp traces stay identical with memoization on or off.
+            use_memo = self.memo and visitor_factory is None
             wanted_parallel = (self.jobs > 1 and visitor_factory is None
                                and len(warps) > 1)
             if wanted_parallel:
-                per_warp = _replay_parallel(warps, dcfgs, cfg, self.jobs)
-                if per_warp is None:
+                outcome = _replay_parallel(warps, dcfgs, cfg, self.jobs,
+                                           memo=use_memo,
+                                           packed=self.packed)
+                if outcome is None:
                     # Pool unavailable or its workers failed retryably;
                     # the serial path below is bit-identical to jobs=1.
                     self.obs.gauge("faults.replay_fallbacks", 1)
+                else:
+                    per_warp, memo_lookups, memo_hits = outcome
             if per_warp is None:
                 per_warp = []
+                memo_table: Dict[tuple, WarpMetrics] = {}
                 for warp_index, warp in enumerate(warps):
                     visitor = (
                         visitor_factory(warp_index) if visitor_factory
                         else None
                     )
-                    per_warp.append(
-                        (_replay_warp(warp, dcfgs, cfg, visitor), len(warp))
-                    )
+                    if use_memo:
+                        key = _memo_key(warp)
+                        memo_lookups += 1
+                        cached = memo_table.get(key)
+                        if cached is not None:
+                            memo_hits += 1
+                            per_warp.append((cached.clone(), len(warp)))
+                            continue
+                        metrics = _replay_warp(warp, dcfgs, cfg, None,
+                                               packed=self.packed)
+                        memo_table[key] = metrics
+                        per_warp.append((metrics, len(warp)))
+                    else:
+                        per_warp.append(
+                            (_replay_warp(warp, dcfgs, cfg, visitor,
+                                          packed=self.packed), len(warp))
+                        )
+            if use_memo:
+                self.obs.gauge("memo.warp_lookups", memo_lookups)
+                self.obs.gauge("memo.warp_hits", memo_hits)
         aggregate = AggregateMetrics(cfg.warp_size)
         for metrics, n_threads in per_warp:
             aggregate.merge(metrics, n_threads=n_threads)
@@ -178,8 +221,9 @@ class ThreadFuserAnalyzer:
 
 
 def _replay_warp(warp, dcfgs: DCFGSet, cfg: AnalyzerConfig,
-                 visitor=None) -> WarpMetrics:
-    replayer = WarpReplayer(
+                 visitor=None, packed: bool = True) -> WarpMetrics:
+    replayer_cls = PackedWarpReplayer if packed else WarpReplayer
+    replayer = replayer_cls(
         warp,
         dcfgs,
         warp_size=cfg.warp_size,
@@ -190,28 +234,61 @@ def _replay_warp(warp, dcfgs: DCFGSet, cfg: AnalyzerConfig,
     return replayer.run()
 
 
+def _memo_key(warp) -> tuple:
+    """Content key of a warp: root plus the ordered lane signatures.
+
+    Signatures are sha256 over each lane's packed columns, so two warps
+    share a key exactly when their lanes' token streams are identical,
+    lane for lane -- replaying either one produces the same
+    :class:`WarpMetrics` (the replay is a pure function of the streams,
+    the DCFGs, and the config, and the latter two are fixed per call).
+    """
+    return (warp[0].root, tuple(trace.signature for trace in warp))
+
+
 #: Shared state inherited by forked replay workers (set around the pool).
 _FORK_STATE: Optional[tuple] = None
 
 
-def _replay_shard(indices: List[int]) -> List[Tuple[int, WarpMetrics, int]]:
+def _replay_shard(
+        indices: List[int]
+) -> Tuple[List[Tuple[int, WarpMetrics, int]], int, int]:
     faults.check("pool.worker", f"replay:{indices[0] if indices else '-'}")
-    warps, dcfgs, cfg = _FORK_STATE
+    warps, dcfgs, cfg, memo, packed = _FORK_STATE
     out = []
+    memo_table: Dict[tuple, WarpMetrics] = {}
+    lookups = hits = 0
     for index in indices:
         warp = warps[index]
-        out.append((index, _replay_warp(warp, dcfgs, cfg), len(warp)))
-    return out
+        if memo:
+            key = _memo_key(warp)
+            lookups += 1
+            cached = memo_table.get(key)
+            if cached is not None:
+                hits += 1
+                out.append((index, cached.clone(), len(warp)))
+                continue
+            metrics = _replay_warp(warp, dcfgs, cfg, packed=packed)
+            memo_table[key] = metrics
+            out.append((index, metrics, len(warp)))
+        else:
+            out.append((index, _replay_warp(warp, dcfgs, cfg, packed=packed),
+                        len(warp)))
+    return out, lookups, hits
 
 
-def _replay_parallel(warps, dcfgs: DCFGSet, cfg: AnalyzerConfig,
-                     jobs: int) -> Optional[List[Tuple[WarpMetrics, int]]]:
+def _replay_parallel(
+        warps, dcfgs: DCFGSet, cfg: AnalyzerConfig, jobs: int,
+        memo: bool = True, packed: bool = True,
+) -> Optional[Tuple[List[Tuple[WarpMetrics, int]], int, int]]:
     """Replay ``warps`` on a fork pool; None means "fall back to serial".
 
-    Warps are striped across shards for load balance; results are
-    re-sorted by warp index before merging so aggregation order (and
-    therefore every dict insertion order in the report) matches the
-    serial path exactly.
+    Returns ``(per_warp, memo_lookups, memo_hits)`` on success.  Warps
+    are striped across shards for load balance; results are re-sorted by
+    warp index before merging so aggregation order (and therefore every
+    dict insertion order in the report) matches the serial path exactly.
+    Each shard keeps its own memo table (forked workers share no state),
+    so hit counts vary with ``jobs`` even though the metrics do not.
 
     Crash safety: a worker that dies (killed, OOM) breaks the executor,
     which surfaces as :class:`BrokenExecutor` here -- classified as
@@ -225,15 +302,26 @@ def _replay_parallel(warps, dcfgs: DCFGSet, cfg: AnalyzerConfig,
         ctx = multiprocessing.get_context("fork")
     except (ValueError, OSError):
         return None
+    if packed:
+        # Pack (and verify) in the parent so the forked workers inherit
+        # the columnar buffers copy-on-write instead of re-packing the
+        # same streams once per shard.
+        for warp in warps:
+            for trace in warp:
+                trace.packed().ensure_verified()
     jobs = min(jobs, len(warps))
     shards = [list(range(j, len(warps), jobs)) for j in range(jobs)]
-    _FORK_STATE = (warps, dcfgs, cfg)
+    _FORK_STATE = (warps, dcfgs, cfg, memo, packed)
     chunks: List[List[Tuple[int, WarpMetrics, int]]] = []
+    lookups = hits = 0
     try:
         with ProcessPoolExecutor(max_workers=jobs, mp_context=ctx) as pool:
             futures = [pool.submit(_replay_shard, shard) for shard in shards]
             for future in futures:
-                chunks.append(future.result())
+                chunk, shard_lookups, shard_hits = future.result()
+                chunks.append(chunk)
+                lookups += shard_lookups
+                hits += shard_hits
     except Exception as exc:
         if isinstance(exc, (BrokenExecutor, OSError)) \
                 or faults.is_retryable(exc):
@@ -244,7 +332,8 @@ def _replay_parallel(warps, dcfgs: DCFGSet, cfg: AnalyzerConfig,
     flat = sorted(
         (item for chunk in chunks for item in chunk), key=lambda t: t[0]
     )
-    return [(metrics, n_threads) for _index, metrics, n_threads in flat]
+    per_warp = [(metrics, n_threads) for _index, metrics, n_threads in flat]
+    return per_warp, lookups, hits
 
 
 def sweep_warp_sizes(traces: TraceSet, warp_sizes=(8, 16, 32),
@@ -252,7 +341,8 @@ def sweep_warp_sizes(traces: TraceSet, warp_sizes=(8, 16, 32),
                      emulate_locks: bool = False,
                      lock_reconvergence: str = "unlock",
                      config: Optional[AnalyzerConfig] = None,
-                     jobs: int = 1):
+                     jobs: int = 1, memo: bool = True,
+                     packed: bool = True):
     """SIMT efficiency across warp widths (the Fig. 1 sweep).
 
     Builds the DCFG/IPDOM tables once and replays per width; returns
@@ -265,14 +355,14 @@ def sweep_warp_sizes(traces: TraceSet, warp_sizes=(8, 16, 32),
         batching=batching, emulate_locks=emulate_locks,
         lock_reconvergence=lock_reconvergence,
     )
-    analyzer = ThreadFuserAnalyzer(base, jobs=jobs)
+    analyzer = ThreadFuserAnalyzer(base, jobs=jobs, memo=memo, packed=packed)
     dcfgs = analyzer.prepare(traces)
     out = {}
     for warp_size in warp_sizes:
         sized = dataclasses.replace(base, warp_size=warp_size)
-        out[warp_size] = ThreadFuserAnalyzer(sized, jobs=jobs).analyze(
-            traces, dcfgs=dcfgs
-        )
+        out[warp_size] = ThreadFuserAnalyzer(
+            sized, jobs=jobs, memo=memo, packed=packed
+        ).analyze(traces, dcfgs=dcfgs)
     return out
 
 
@@ -280,10 +370,13 @@ def analyze_traces(traces: TraceSet, warp_size: int = 32,
                    batching: str = "linear",
                    emulate_locks: bool = False,
                    lock_reconvergence: str = "unlock",
-                   jobs: int = 1) -> AnalysisReport:
+                   jobs: int = 1, memo: bool = True,
+                   packed: bool = True) -> AnalysisReport:
     """One-call convenience wrapper around :class:`ThreadFuserAnalyzer`."""
     config = AnalyzerConfig(
         warp_size=warp_size, batching=batching, emulate_locks=emulate_locks,
         lock_reconvergence=lock_reconvergence,
     )
-    return ThreadFuserAnalyzer(config, jobs=jobs).analyze(traces)
+    return ThreadFuserAnalyzer(
+        config, jobs=jobs, memo=memo, packed=packed
+    ).analyze(traces)

@@ -83,6 +83,13 @@ class FunctionStats:
             return 1.0
         return self.thread_instructions / (self.issues * warp_size)
 
+    def clone(self) -> "FunctionStats":
+        other = FunctionStats(self.name)
+        other.issues = self.issues
+        other.thread_instructions = self.thread_instructions
+        other.calls = self.calls
+        return other
+
 
 class SegmentStats:
     """Memory-divergence counters for one address segment (heap/stack)."""
@@ -105,6 +112,13 @@ class SegmentStats:
         if self.instructions == 0:
             return 0.0
         return self.accesses / self.instructions
+
+    def clone(self) -> "SegmentStats":
+        other = SegmentStats()
+        other.instructions = self.instructions
+        other.accesses = self.accesses
+        other.transactions = self.transactions
+        return other
 
 
 class LockStats:
@@ -131,6 +145,15 @@ class LockStats:
         self.serialized_threads = 0
         self.serialized_issues = 0
         self.serialized_entries = 0
+
+    def clone(self) -> "LockStats":
+        other = LockStats()
+        other.lock_events = self.lock_events
+        other.contended_events = self.contended_events
+        other.serialized_threads = self.serialized_threads
+        other.serialized_issues = self.serialized_issues
+        other.serialized_entries = self.serialized_entries
+        return other
 
 
 class WarpMetrics:
@@ -160,6 +183,30 @@ class WarpMetrics:
         self.stack_depth_hwm = 0
         #: Divergent entries that reached their reconvergence point.
         self.reconvergence_events = 0
+
+    def clone(self) -> "WarpMetrics":
+        """A deep copy preserving every dict's insertion order.
+
+        Warp-replay memoization hands out clones of an already-replayed
+        warp's metrics; because insertion orders are preserved, merging a
+        clone is bit-identical to merging a fresh replay (the aggregate's
+        dict orders drive report and telemetry serialization).
+        """
+        other = WarpMetrics.__new__(WarpMetrics)
+        other.warp_size = self.warp_size
+        other.issues = self.issues
+        other.thread_instructions = self.thread_instructions
+        other.per_function = {
+            name: stats.clone() for name, stats in self.per_function.items()
+        }
+        other.memory = {
+            segment: stats.clone() for segment, stats in self.memory.items()
+        }
+        other.locks = self.locks.clone()
+        other.divergence_events = dict(self.divergence_events)
+        other.stack_depth_hwm = self.stack_depth_hwm
+        other.reconvergence_events = self.reconvergence_events
+        return other
 
     # -- accounting hooks used by the replay engine --------------------------
 

@@ -38,8 +38,23 @@ from ..tracer.events import (
     TOK_UNLOCK,
     ThreadTrace,
 )
+from ..machine.memory import SEG_HEAP, SEG_STACK, STACK_BASE
+from ..tracer.packed import (
+    CODE_KINDS,
+    KIND_B,
+    KIND_CALL,
+    KIND_LOCK,
+    KIND_RET,
+    KIND_UNLOCK,
+    TRANSACTION_SHIFT,
+)
 from .dcfg import DCFGSet, VEXIT
-from .metrics import WarpMetrics
+from .metrics import TRANSACTION_BYTES, WarpMetrics
+
+# The packed columns carry precomputed per-record 32-byte segment bounds;
+# they are only valid if the pack-time shift matches the metrics
+# granularity.
+assert TRANSACTION_BYTES == 1 << TRANSACTION_SHIFT
 
 
 class ReplayError(Exception):
@@ -374,16 +389,7 @@ class WarpReplayer:
         Returns True when the handler performed its own regrouping (the
         caller must not run the standard one).
         """
-        lock_of: Dict[int, int] = {}
-        for lane in e.mask:
-            cursor = self.cursors[lane]
-            token = cursor.tokens[cursor.pos]
-            cursor.pos += 1
-            if token[0] != TOK_LOCK:
-                raise ReplayError(
-                    f"lane {lane} expected lock token, got {token!r}"
-                )
-            lock_of[lane] = token[1]
+        lock_of = self._consume_lock_tokens(e.mask)
 
         groups: Dict[int, List[int]] = {}
         for lane, addr in lock_of.items():
@@ -443,6 +449,20 @@ class WarpReplayer:
                 self._push(stack, _Entry(target, rpc, [lane]))
                 self.metrics.locks.serialized_entries += 1
         return True
+
+    def _consume_lock_tokens(self, mask: List[int]) -> Dict[int, int]:
+        """Consume one LOCK token per active lane; lane -> lock address."""
+        lock_of: Dict[int, int] = {}
+        for lane in mask:
+            cursor = self.cursors[lane]
+            token = cursor.tokens[cursor.pos]
+            cursor.pos += 1
+            if token[0] != TOK_LOCK:
+                raise ReplayError(
+                    f"lane {lane} expected lock token, got {token!r}"
+                )
+            lock_of[lane] = token[1]
+        return lock_of
 
     def _solo_until_unlock(self, function: str, lane: int,
                            lock_addr: int) -> int:
@@ -512,4 +532,688 @@ class WarpReplayer:
         finally:
             # The loop advances a local position for speed; publish it on
             # every exit path (return and raise alike).
+            cursor.pos = pos
+
+
+# ----------------------------------------------------------------------
+# Packed-column replay.
+
+
+class _PCursor:
+    """A consuming reader over one lane's packed columns.
+
+    Flattens the :class:`~repro.tracer.packed.PackedTrace` columns into
+    slots so the replay loops do pure index arithmetic -- no tuple
+    unpacking, no attribute chains through the packed object.
+    """
+
+    __slots__ = ("packed", "pos", "n", "kinds", "arg", "nins", "cumn",
+                 "moff", "mslot", "mstore", "maddr", "msize", "names",
+                 "runs", "msegf", "msegl")
+
+    def __init__(self, packed) -> None:
+        packed.ensure_verified()
+        self.packed = packed
+        self.pos = 0
+        self.n = packed.n_tokens
+        self.kinds = packed.kinds
+        self.arg = packed.arg
+        self.nins = packed.nins
+        self.cumn = packed.cumn
+        self.moff = packed.moff
+        self.mslot = packed.mslot
+        self.mstore = packed.mstore
+        self.maddr = packed.maddr
+        self.msize = packed.msize
+        self.names = packed.names
+        self.runs = packed.runs
+        self.msegf = packed.msegf
+        self.msegl = packed.msegl
+
+
+class PackedWarpReplayer(WarpReplayer):
+    """Lock-step replay over packed columnar traces.
+
+    Behaviorally identical to :class:`WarpReplayer` -- same metrics, same
+    visitor callbacks, same error conditions -- but its cursors walk the
+    :class:`~repro.tracer.packed.PackedTrace` int64 columns directly, and
+    fully-converged runs of memory-less block tokens are consumed with a
+    single batched :meth:`~repro.core.metrics.WarpMetrics.account_block`
+    call (sound because block accounting is linear in the instruction
+    count and every skipped intermediate regroup is provably convergent:
+    the lanes' packed ``arg`` slices for the run compare equal at C
+    speed).  The batched path is disabled when a visitor is attached,
+    which needs its per-block ``on_issue`` callbacks.
+    """
+
+    def run(self) -> WarpMetrics:
+        """Replay the whole warp; returns its metrics."""
+        roots = {t.root for t in self.warp}
+        if len(roots) != 1:
+            raise ReplayError(
+                f"warp fuses threads with different roots: {sorted(roots)}"
+            )
+        self.cursors = [_PCursor(trace.packed()) for trace in self.warp]
+        lanes = list(range(len(self.warp)))
+        root = next(iter(roots))
+        live = [lane for lane in lanes if self.cursors[lane].n > 0]
+        if live:
+            self._replay_frame(root, live)
+        for lane in lanes:
+            cursor = self.cursors[lane]
+            if cursor.pos < cursor.n:
+                raise ReplayError(
+                    f"lane {lane} has {cursor.n - cursor.pos} "
+                    "unconsumed tokens after replay"
+                )
+        return self.metrics
+
+    # ------------------------------------------------------------------
+
+    def _next_block_of(self, lane: int) -> int:
+        cursor = self.cursors[lane]
+        pos = cursor.pos
+        if pos >= cursor.n:
+            return VEXIT
+        kind = cursor.kinds[pos]
+        if kind == KIND_B:
+            return cursor.arg[pos]
+        if kind == KIND_RET:
+            return VEXIT
+        raise ReplayError(
+            f"lane {lane} has unexpected token {CODE_KINDS[kind]!r} at a "
+            "block boundary"
+        )
+
+    def _replay_frame(self, function: str, lanes: List[int]) -> None:
+        self.metrics.account_call(function)
+        entry = self._next_block_of(lanes[0])
+        if entry != VEXIT:
+            # Verify lock-step once per frame: every lane must open on the
+            # same entry block.  From here on each entry mask is formed
+            # from verified next-token scans (regroup, batch slice
+            # compares, lock targets), so the stepper consumes blocks
+            # unconditionally.
+            cursors = self.cursors
+            for lane in lanes:
+                cursor = cursors[lane]
+                pos = cursor.pos
+                if cursor.kinds[pos] != KIND_B or cursor.arg[pos] != entry:
+                    raise ReplayError(
+                        f"lane {lane} diverged from lock-step in "
+                        f"{function}: expected block {entry:#x}, "
+                        f"got {cursor.packed.token(pos)!r}"
+                    )
+        stack: List[_Entry] = []
+        self._push(stack, _Entry(entry, VEXIT, list(lanes)))
+        while stack:
+            e = stack[-1]
+            if not e.mask or e.pc == e.rpc:
+                self._pop(stack)
+                continue
+            if e.pc == VEXIT:
+                self._pop(stack)
+                continue
+            self._step_entry(function, e, stack)
+        for lane in lanes:
+            cursor = self.cursors[lane]
+            pos = cursor.pos
+            if pos >= cursor.n:
+                continue  # thread terminated inside this function
+            if cursor.kinds[pos] == KIND_RET:
+                cursor.pos = pos + 1
+            else:
+                raise ReplayError(
+                    f"lane {lane} expected RET leaving {function}, "
+                    f"found {CODE_KINDS[cursor.kinds[pos]]!r}"
+                )
+
+    def _step_entry(self, function: str, e: _Entry,
+                    stack: List[_Entry]) -> None:
+        block_addr = e.pc
+        mask = e.mask
+        cursors = self.cursors
+
+        if self.visitor is None:
+            # A single-lane entry cannot diverge: sweep its whole leg in
+            # one pass instead of stepping block by block.
+            if len(mask) == 1:
+                self._solo_leg(function, e)
+                return
+
+            # Batched fast path: when the representative lane sits on a
+            # run of memory-less block tokens starting at this block,
+            # find the longest prefix every lane shares (same addresses,
+            # all memory-less) and consume it with one accounting call.
+            rep = cursors[mask[0]]
+            rep_pos = rep.pos
+            if (rep_pos < rep.n and rep.runs[rep_pos]
+                    and rep.arg[rep_pos] == block_addr):
+                run = rep.runs[rep_pos]
+                # The entry must stop at its reconvergence PC so the
+                # outer entry replays that block at its wider mask:
+                # truncate the batch before the first rpc occurrence.
+                # Base entries (rpc=VEXIT, where the long runs live) skip
+                # the scan -- VEXIT is never a block address.
+                rpc = e.rpc
+                if rpc != VEXIT:
+                    arg = rep.arg
+                    for i in range(1, run):
+                        if arg[rep_pos + i] == rpc:
+                            run = i
+                            break
+                # Optimistic single pass: converged lanes share the whole
+                # run, so each lane costs one runs[] read and one slice
+                # compare at C speed.
+                ref = rep.arg[rep_pos:rep_pos + run]
+                converged = True
+                for i in range(1, len(mask)):
+                    cursor = cursors[mask[i]]
+                    pos = cursor.pos
+                    if (cursor.runs[pos] < run
+                            or cursor.arg[pos:pos + run] != ref):
+                        converged = False
+                        break
+                if not converged:
+                    # Clamp to the shortest lane run and retry once: lanes
+                    # that share a shorter memory-less prefix still batch.
+                    for i in range(1, len(mask)):
+                        cursor = cursors[mask[i]]
+                        other = cursor.runs[cursor.pos]
+                        if other < run:
+                            run = other
+                            if not run:
+                                break
+                    if run:
+                        ref = ref[:run]
+                        converged = True
+                        for i in range(1, len(mask)):
+                            cursor = cursors[mask[i]]
+                            if cursor.arg[cursor.pos:
+                                          cursor.pos + run] != ref:
+                                converged = False
+                                break
+                if run and converged:
+                    self.metrics.account_block(
+                        function,
+                        rep.cumn[rep_pos + run] - rep.cumn[rep_pos],
+                        len(mask))
+                    for lane in mask:
+                        cursors[lane].pos += run
+                    self._post_block(function, e, stack, ref[-1])
+                    return
+
+        # Generic single-block path (divergence-adjacent and memory
+        # blocks).  Lane/stream agreement was verified when this mask was
+        # formed (frame-entry precheck, regroup scan, batch slice
+        # compare), so consumption is unconditional.
+        for lane in mask:
+            cursors[lane].pos += 1
+        rep = cursors[mask[0]]
+        rep_pos = rep.pos - 1
+        n_instructions = rep.nins[rep_pos]
+        self.metrics.account_block(function, n_instructions, len(mask))
+        if self.visitor is not None:
+            self.visitor.on_issue(function, block_addr, n_instructions,
+                                  list(mask))
+        if rep.moff[rep_pos + 1] != rep.moff[rep_pos]:
+            self._coalesce_lanes(function, block_addr, mask)
+        self._post_block(function, e, stack, block_addr)
+
+    def _solo_leg(self, function: str, e: _Entry) -> None:
+        """Consume a single-lane entry's whole leg in one column sweep.
+
+        A solo mask cannot diverge, so the per-block regroup degenerates
+        to "pc := next block"; this loop runs the entire leg -- nested
+        call frames included -- against the packed columns directly,
+        stopping exactly where the generic stepper would: at the entry's
+        reconvergence PC, at the enclosing frame's RET, or at stream
+        end.  Metric parity with per-block stepping is exact: block
+        accounting is linear, so per-function issue sums flush on frame
+        transitions; nested frames mirror
+        :meth:`WarpReplayer._replay_frame`'s stack-depth bookkeeping
+        (their base entries pop without reconvergence events); and a
+        solo lock acquisition is one uncontended lock event regardless
+        of the emulation policy.
+        """
+        lane = e.mask[0]
+        cursor = self.cursors[lane]
+        kinds = cursor.kinds
+        arg = cursor.arg
+        nins = cursor.nins
+        cumn = cursor.cumn
+        runs = cursor.runs
+        moff = cursor.moff
+        maddr = cursor.maddr
+        msegf = cursor.msegf
+        msegl = cursor.msegl
+        names = cursor.names
+        n = cursor.n
+        pos = cursor.pos
+        rpc = e.rpc
+        metrics = self.metrics
+        heap = metrics.memory[SEG_HEAP]
+        stack_seg = metrics.memory[SEG_STACK]
+        depth = 0            # nested activations entered inside the leg
+        fstack = [function]  # enclosing function names, innermost last
+        pend = 0             # accumulated issues for fstack[-1]
+
+        def flush(amount: int, fname: str) -> None:
+            # Solo lanes add ``amount`` issues and ``amount * 1`` thread
+            # instructions; summing per function segment is exact.
+            if amount:
+                metrics.issues += amount
+                metrics.thread_instructions += amount
+                stats = metrics.function_stats(fname)
+                stats.issues += amount
+                stats.thread_instructions += amount
+
+        while True:
+            if pos >= n:
+                # Thread terminated inside the leg: nested frames unwind
+                # (no reconvergence events, matching _replay_frame) and
+                # the entry drains at the virtual exit.
+                self._depth -= depth
+                flush(pend, fstack[-1])
+                cursor.pos = pos
+                e.pc = VEXIT
+                return
+            kind = kinds[pos]
+            if kind == KIND_B:
+                if depth == 0 and arg[pos] == rpc:
+                    flush(pend, fstack[-1])
+                    cursor.pos = pos
+                    e.pc = rpc
+                    return
+                run = runs[pos]
+                if run:
+                    # Memory-less run: consume it whole.  Only the
+                    # enclosing frame can hit the reconvergence PC;
+                    # nested frames replay to their own virtual exit.
+                    if depth == 0 and rpc != VEXIT:
+                        for i in range(1, run):
+                            if arg[pos + i] == rpc:
+                                run = i
+                                break
+                    pend += cumn[pos + run] - cumn[pos]
+                    pos += run
+                else:
+                    pend += nins[pos]
+                    hi = moff[pos + 1]
+                    for j in range(moff[pos], hi):
+                        seg = (stack_seg if maddr[j] >= STACK_BASE
+                               else heap)
+                        seg.instructions += 1
+                        seg.accesses += 1
+                        seg.transactions += msegl[j] - msegf[j] + 1
+                    pos += 1
+                if pos >= n:
+                    continue  # termination handled at the loop top
+                # At most one post-block event token follows a block.
+                follow = kinds[pos]
+                if follow == KIND_CALL:
+                    flush(pend, fstack[-1])
+                    pend = 0
+                    callee = names[arg[pos]]
+                    pos += 1
+                    metrics.account_call(callee)
+                    fstack.append(callee)
+                    depth += 1
+                    self._depth += 1
+                    if self._depth > metrics.stack_depth_hwm:
+                        metrics.stack_depth_hwm = self._depth
+                elif follow == KIND_LOCK:
+                    # One lane, one lock address: an uncontended warp
+                    # lock event under either emulation policy.
+                    metrics.locks.lock_events += 1
+                    pos += 1
+                elif follow == KIND_UNLOCK:
+                    pos += 1
+            elif kind == KIND_RET:
+                if depth == 0:
+                    # The enclosing frame's RET: leave it for the
+                    # _replay_frame drain loop.
+                    flush(pend, fstack[-1])
+                    cursor.pos = pos
+                    e.pc = VEXIT
+                    return
+                flush(pend, fstack[-1])
+                pend = 0
+                fstack.pop()
+                depth -= 1
+                self._depth -= 1
+                pos += 1
+            else:
+                raise ReplayError(
+                    f"lane {lane} has unexpected token "
+                    f"{CODE_KINDS[kind]!r} at a block boundary"
+                )
+
+    def _regroup(self, function: str, e: _Entry, stack: List[_Entry],
+                 branch_block: int) -> None:
+        """IPDOM regroup over packed columns.
+
+        The convergent case (every lane's next block identical) resolves
+        in one inline scan; on the first mismatch the scan turns into the
+        standard partition, continuing from where it stopped so lanes
+        are grouped in the same first-seen order as the tuple replayer.
+        Malformed streams raise in the same lane order either way.
+        """
+        cursors = self.cursors
+        mask = e.mask
+        cursor = cursors[mask[0]]
+        pos = cursor.pos
+        if pos >= cursor.n:
+            first = VEXIT
+        else:
+            kind = cursor.kinds[pos]
+            if kind == KIND_B:
+                first = cursor.arg[pos]
+            elif kind == KIND_RET:
+                first = VEXIT
+            else:
+                raise ReplayError(
+                    f"lane {mask[0]} has unexpected token "
+                    f"{CODE_KINDS[kind]!r} at a block boundary"
+                )
+        n_mask = len(mask)
+        i = 1
+        nxt = first
+        while i < n_mask:
+            cursor = cursors[mask[i]]
+            pos = cursor.pos
+            if pos >= cursor.n:
+                nxt = VEXIT
+            else:
+                kind = cursor.kinds[pos]
+                if kind == KIND_B:
+                    nxt = cursor.arg[pos]
+                elif kind == KIND_RET:
+                    nxt = VEXIT
+                else:
+                    raise ReplayError(
+                        f"lane {mask[i]} has unexpected token "
+                        f"{CODE_KINDS[kind]!r} at a block boundary"
+                    )
+            if nxt != first:
+                break
+            i += 1
+        if i == n_mask:
+            e.pc = first
+            return
+        # Divergence: finish the partition (lanes 0..i-1 all shared
+        # ``first``; the remaining lanes group by their next block in
+        # first-seen order, exactly like the base partition).
+        nexts: Dict[int, List[int]] = {first: mask[:i]}
+        nexts.setdefault(nxt, []).append(mask[i])
+        for j in range(i + 1, n_mask):
+            lane = mask[j]
+            nexts.setdefault(self._next_block_of(lane), []).append(lane)
+        self.metrics.account_divergence(function, branch_block)
+        rpc = self._ipdom(function, branch_block)
+        e.pc = rpc
+        for target, lanes in nexts.items():
+            if target != rpc:
+                self._push(stack, _Entry(target, rpc, lanes))
+
+    def _post_block(self, function: str, e: _Entry, stack: List[_Entry],
+                    branch_block: int) -> None:
+        """Post-block events (call/lock/unlock) and the SIMT regroup."""
+        cursors = self.cursors
+        cursor = cursors[e.mask[0]]
+        pos = cursor.pos
+        follow = cursor.kinds[pos] if pos < cursor.n else -1
+        if follow == KIND_CALL:
+            callee = cursor.names[cursor.arg[pos]]
+            for lane in e.mask:
+                cursor = cursors[lane]
+                pos = cursor.pos
+                if (cursor.kinds[pos] != KIND_CALL
+                        or cursor.names[cursor.arg[pos]] != callee):
+                    raise ReplayError(
+                        f"lane {lane} expected call to {callee}, "
+                        f"got {cursor.packed.token(pos)!r}"
+                    )
+                cursor.pos = pos + 1
+            self._replay_frame(callee, list(e.mask))
+        elif follow == KIND_LOCK:
+            if self._handle_locks(function, e, stack):
+                return  # lock handler already regrouped the entry
+        elif follow == KIND_UNLOCK:
+            for lane in e.mask:
+                cursor = cursors[lane]
+                pos = cursor.pos
+                if cursor.kinds[pos] != KIND_UNLOCK:
+                    raise ReplayError(
+                        f"lane {lane} expected unlock, "
+                        f"got {cursor.packed.token(pos)!r}"
+                    )
+                cursor.pos = pos + 1
+        self._regroup(function, e, stack, branch_block)
+
+    def _coalesce_lanes(self, function: str, block_addr: int,
+                        mask: List[int]) -> None:
+        """Coalesce the consumed block's memory records across lanes.
+
+        Every cursor in ``mask`` sits one position past the block token
+        it just consumed, so each lane's records are the
+        ``moff[pos]:moff[pos + 1]`` column span of its previous
+        position -- no access tuples are materialized on the aligned
+        paths.
+        """
+        cursors = self.cursors
+        visitor = self.visitor
+        rep = cursors[mask[0]]
+        rep_pos = rep.pos - 1
+        rep_lo = rep.moff[rep_pos]
+        rep_hi = rep.moff[rep_pos + 1]
+        if len(mask) == 1:
+            # Single-lane entries normally run through _solo_leg; this
+            # path hosts solo blocks stepped with a visitor attached.
+            maddr, msize = rep.maddr, rep.msize
+            if visitor is None:
+                heap = self.metrics.memory[SEG_HEAP]
+                stack_seg = self.metrics.memory[SEG_STACK]
+                msegf, msegl = rep.msegf, rep.msegl
+                for i in range(rep_lo, rep_hi):
+                    seg = (stack_seg if maddr[i] >= STACK_BASE
+                           else heap)
+                    seg.instructions += 1
+                    seg.accesses += 1
+                    seg.transactions += msegl[i] - msegf[i] + 1
+            else:
+                account_memory = self.metrics.account_memory
+                mslot, mstore = rep.mslot, rep.mstore
+                for i in range(rep_lo, rep_hi):
+                    accesses = [(maddr[i], msize[i])]
+                    account_memory(accesses)
+                    visitor.on_mem_issue(function, block_addr, mslot[i],
+                                         bool(mstore[i]), accesses)
+            return
+        nrec = rep_hi - rep_lo
+        nlanes = len(mask)
+        if visitor is None:
+            # Alignment precheck at C speed: every lane's slot/store
+            # column prefix for this block must equal the
+            # representative's (lanes may carry extra trailing records,
+            # which per-record coalescing never reads).  The same sweep
+            # collects each lane's first/last-segment slices.
+            ref_slot = rep.mslot[rep_lo:rep_hi]
+            ref_store = rep.mstore[rep_lo:rep_hi]
+            fslices = [rep.msegf[rep_lo:rep_hi]]
+            lslices = [rep.msegl[rep_lo:rep_hi]]
+            aligned = True
+            for k in range(1, nlanes):
+                cursor = cursors[mask[k]]
+                pos = cursor.pos - 1
+                lo = cursor.moff[pos]
+                if (cursor.moff[pos + 1] - lo < nrec
+                        or cursor.mslot[lo:lo + nrec] != ref_slot
+                        or cursor.mstore[lo:lo + nrec] != ref_store):
+                    aligned = False
+                    break
+                fslices.append(cursor.msegf[lo:lo + nrec])
+                lslices.append(cursor.msegl[lo:lo + nrec])
+            if aligned:
+                heap = self.metrics.memory[SEG_HEAP]
+                stack_seg = self.metrics.memory[SEG_STACK]
+                if fslices == lslices:
+                    # Every access in every lane touches exactly one
+                    # 32-byte segment, so a record's transaction count
+                    # is the number of distinct lane segments -- one
+                    # set() per record, iterated at C speed.
+                    threshold = STACK_BASE >> TRANSACTION_SHIFT
+                    for segs in zip(*fslices):
+                        seg = (stack_seg if segs[0] >= threshold
+                               else heap)
+                        seg.instructions += 1
+                        seg.accesses += nlanes
+                        seg.transactions += len(set(segs))
+                    return
+                # transactions_for() over precomputed segment bounds:
+                # track the representative's run and materialize the
+                # segment set only when a lane leaves it.
+                maddr = rep.maddr
+                rep_f = fslices[0]
+                rep_l = lslices[0]
+                for i in range(nrec):
+                    addr = maddr[rep_lo + i]
+                    seg = stack_seg if addr >= STACK_BASE else heap
+                    seg.instructions += 1
+                    seg.accesses += nlanes
+                    lo0 = rep_f[i]
+                    hi0 = rep_l[i]
+                    segments = None
+                    for k in range(1, nlanes):
+                        f = fslices[k][i]
+                        last = lslices[k][i]
+                        if segments is None:
+                            if f == lo0 and last == hi0:
+                                continue
+                            segments = set(range(lo0, hi0 + 1))
+                        segments.update(range(f, last + 1))
+                    if segments is None:
+                        seg.transactions += hi0 - lo0 + 1
+                    else:
+                        seg.transactions += len(segments)
+                return
+            # Misaligned: fall through to the per-record loop, which
+            # accounts the aligned prefix and raises the precise error.
+        account_memory = self.metrics.account_memory
+        lane_spans = []
+        for lane in mask:
+            cursor = cursors[lane]
+            pos = cursor.pos - 1
+            lo = cursor.moff[pos]
+            lane_spans.append((cursor, lo, cursor.moff[pos + 1] - lo))
+        for i in range(nrec):
+            slot = rep.mslot[rep_lo + i]
+            is_store = rep.mstore[rep_lo + i]
+            accesses: List[Tuple[int, int]] = []
+            for cursor, lo, count in lane_spans:
+                if (i >= count or cursor.mslot[lo + i] != slot
+                        or cursor.mstore[lo + i] != is_store):
+                    raise ReplayError(
+                        f"memory records misaligned across lanes at block "
+                        f"{block_addr:#x} slot {slot}"
+                    )
+                accesses.append((cursor.maddr[lo + i], cursor.msize[lo + i]))
+            account_memory(accesses)
+            if visitor is not None:
+                visitor.on_mem_issue(function, block_addr, slot,
+                                     bool(is_store), accesses)
+
+    # ------------------------------------------------------------------
+    # Lock serialization over packed columns.
+
+    def _consume_lock_tokens(self, mask: List[int]) -> Dict[int, int]:
+        lock_of: Dict[int, int] = {}
+        for lane in mask:
+            cursor = self.cursors[lane]
+            pos = cursor.pos
+            if cursor.kinds[pos] != KIND_LOCK:
+                raise ReplayError(
+                    f"lane {lane} expected lock token, "
+                    f"got {cursor.packed.token(pos)!r}"
+                )
+            lock_of[lane] = cursor.arg[pos]
+            cursor.pos = pos + 1
+        return lock_of
+
+    def _solo_until_unlock(self, function: str, lane: int,
+                           lock_addr: int) -> int:
+        cursor = self.cursors[lane]
+        kinds, arg, nins = cursor.kinds, cursor.arg, cursor.nins
+        moff, mslot, mstore = cursor.moff, cursor.mslot, cursor.mstore
+        maddr, msize, names = cursor.maddr, cursor.msize, cursor.names
+        msegf, msegl = cursor.msegf, cursor.msegl
+        n_tokens = cursor.n
+        pos = cursor.pos
+        func_stack = [function]
+        last_block = None
+        account_block = self.metrics.account_block
+        account_memory = self.metrics.account_memory
+        heap = self.metrics.memory[SEG_HEAP]
+        stack_seg = self.metrics.memory[SEG_STACK]
+        visitor = self.visitor
+        try:
+            while True:
+                if pos >= n_tokens:
+                    raise ReplayError(
+                        f"lane {lane} ended while holding lock {lock_addr:#x}"
+                    )
+                here = pos
+                pos += 1
+                kind = kinds[here]
+                if kind == KIND_B:
+                    addr = arg[here]
+                    last_block = addr
+                    account_block(func_stack[-1], nins[here], 1,
+                                  serialized=True)
+                    if visitor is None:
+                        for i in range(moff[here], moff[here + 1]):
+                            seg = (stack_seg if maddr[i] >= STACK_BASE
+                                   else heap)
+                            seg.instructions += 1
+                            seg.accesses += 1
+                            seg.transactions += msegl[i] - msegf[i] + 1
+                    else:
+                        visitor.on_issue(func_stack[-1], addr, nins[here],
+                                         [lane])
+                        for i in range(moff[here], moff[here + 1]):
+                            accesses = [(maddr[i], msize[i])]
+                            account_memory(accesses)
+                            visitor.on_mem_issue(
+                                func_stack[-1], addr, mslot[i],
+                                bool(mstore[i]), accesses
+                            )
+                elif kind == KIND_CALL:
+                    callee = names[arg[here]]
+                    self.metrics.account_call(callee)
+                    func_stack.append(callee)
+                elif kind == KIND_RET:
+                    if len(func_stack) == 1:
+                        raise ReplayError(
+                            f"lane {lane} returned from {function} while "
+                            f"holding lock {lock_addr:#x}"
+                        )
+                    func_stack.pop()
+                elif kind == KIND_UNLOCK:
+                    if arg[here] == lock_addr:
+                        if len(func_stack) != 1:
+                            raise ReplayError(
+                                f"lane {lane} unlocked {lock_addr:#x} in a "
+                                "nested call; unsupported locking structure"
+                            )
+                        return last_block
+                else:  # KIND_LOCK
+                    if arg[here] == lock_addr:
+                        raise ReplayError(
+                            f"lane {lane} re-acquired held lock "
+                            f"{lock_addr:#x}"
+                        )
+                    # A nested different lock inside a serialized CS cannot
+                    # contend within the warp (the lane runs alone here).
+        finally:
+            # Publish the local position on every exit path.
             cursor.pos = pos

@@ -23,6 +23,11 @@ site                where it fires
 ``artifact.meta``   ``.meta.json`` bytes as read back from the store
 ``trace.load``      the raw trace stream inside
                     :func:`repro.tracer.io.load_traces`
+``trace.pack``      the columnar buffers of a freshly built
+                    :class:`~repro.tracer.packed.PackedTrace` (bit-flip
+                    / truncation -- caught by the packed content
+                    signature before replay or memoization can consume
+                    the buffers)
 ==================  ====================================================
 
 Faults are either *scheduled* (``at``/``count``: fire on the Nth hit of
@@ -76,6 +81,7 @@ FAULT_SITES = (
     "artifact.read",
     "artifact.meta",
     "trace.load",
+    "trace.pack",
 )
 
 #: Fault kinds and what they do when they fire.

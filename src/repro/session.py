@@ -109,12 +109,17 @@ class AnalysisSession:
                  store: Optional[ArtifactStore] = None,
                  recorder=None, engine: Optional[str] = None,
                  retry: Optional[faults.RetryPolicy] = None,
-                 stage_timeout: Optional[float] = None) -> None:
+                 stage_timeout: Optional[float] = None,
+                 memo: bool = True) -> None:
         if store is None and cache_dir is not None:
             store = ArtifactStore(cache_dir)
         self.store = store
         self.jobs = max(1, int(jobs))
         self.engine = engine
+        #: Warp-replay memoization (``--no-memo`` on the CLI).  An
+        #: execution knob like ``jobs``: results are bit-identical either
+        #: way, so it never enters artifact fingerprints.
+        self.memo = bool(memo)
         self.obs = recorder if recorder is not None else NULL_RECORDER
         self.retry = retry or faults.RetryPolicy()
         self.stage_timeout = stage_timeout
@@ -551,7 +556,7 @@ class AnalysisSession:
         """
         analyzer = ThreadFuserAnalyzer(
             config, jobs=self.jobs if jobs is None else jobs,
-            recorder=self.obs,
+            recorder=self.obs, memo=self.memo,
         )
         with self.obs.span("replay"):
             return analyzer.analyze(

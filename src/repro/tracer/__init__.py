@@ -9,10 +9,12 @@ from .events import (
     ThreadTrace,
     TraceSet,
 )
+from .packed import PackedTrace
 from .recorder import TraceRecorder
 from .io import load_traces, save_traces
 
 __all__ = [
+    "PackedTrace",
     "TOK_BLOCK",
     "TOK_CALL",
     "TOK_LOCK",

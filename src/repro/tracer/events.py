@@ -31,22 +31,111 @@ TOK_UNLOCK = "U"
 
 
 class ThreadTrace:
-    """The dynamic trace of one logical (SIMT) thread."""
+    """The dynamic trace of one logical (SIMT) thread.
 
-    __slots__ = ("index", "cpu_tid", "root", "tokens", "skipped", "closed")
+    The token stream has two interchangeable representations: the tuple
+    list (:attr:`tokens`, what the recorder appends to) and the columnar
+    :class:`~repro.tracer.packed.PackedTrace` (:meth:`packed`, what the
+    replayer iterates).  Either side is produced lazily from the other --
+    traces loaded from disk start packed and only materialize tuples if a
+    consumer asks for them.  Both the packed form and the
+    :attr:`n_instructions` total are cached keyed on the token-list
+    length, so recorder appends (the only in-tree mutation) invalidate
+    them automatically; ``trace.tokens = [...]`` assignment resets every
+    cache.
+    """
+
+    __slots__ = ("index", "cpu_tid", "root", "skipped", "closed",
+                 "_tokens", "_packed", "_ncache")
 
     def __init__(self, index: int, cpu_tid: int, root: str) -> None:
         self.index = index
         self.cpu_tid = cpu_tid
         self.root = root
-        self.tokens: List[tuple] = []
+        self._tokens: List[tuple] = []
+        self._packed = None
+        self._ncache = None
         self.skipped: Dict[str, int] = {}
         self.closed = False
 
     @property
+    def tokens(self) -> List[tuple]:
+        """Token tuple stream (materialized from packed form on demand)."""
+        toks = self._tokens
+        if toks is None:
+            toks = self._packed.to_tokens()
+            self._tokens = toks
+        return toks
+
+    @tokens.setter
+    def tokens(self, value: List[tuple]) -> None:
+        self._tokens = value
+        self._packed = None
+        self._ncache = None
+
+    @property
+    def n_tokens(self) -> int:
+        """Token count without materializing tuples."""
+        toks = self._tokens
+        if toks is None:
+            return self._packed.n_tokens
+        return len(toks)
+
+    def packed(self):
+        """The columnar form of this trace (packed once, then cached).
+
+        The cache is keyed on the token-list length: appending tokens
+        (what the recorder does) produces a fresh pack on next use.
+        """
+        packed = self._packed
+        toks = self._tokens
+        if packed is not None and (toks is None
+                                   or packed.n_tokens == len(toks)):
+            return packed
+        from .packed import PackedTrace
+
+        packed = PackedTrace.from_tokens(toks)
+        self._packed = packed
+        return packed
+
+    def attach_packed(self, packed) -> None:
+        """Adopt ``packed`` as the trace content (tuples become lazy)."""
+        self._packed = packed
+        self._tokens = None
+        self._ncache = None
+
+    def packed_only(self):
+        """The packed form if tuples were never materialized, else None.
+
+        Lets columnar-native consumers (io save, DCFG scan) skip tuple
+        round-trips for traces that came off disk already packed.
+        """
+        return self._packed if self._tokens is None else None
+
+    @property
+    def signature(self) -> str:
+        """sha256 content signature of the packed token columns."""
+        packed = self.packed()
+        packed.ensure_verified()
+        return packed.signature
+
+    @property
     def n_instructions(self) -> int:
-        """Traced dynamic instruction count."""
-        return sum(t[2] for t in self.tokens if t[0] == TOK_BLOCK)
+        """Traced dynamic instruction count (cached; O(1) when packed)."""
+        toks = self._tokens
+        if toks is None:
+            return self._packed.total_instructions
+        cache = self._ncache
+        n = len(toks)
+        if cache is not None and cache[0] == n:
+            return cache[1]
+        packed = self._packed
+        if packed is not None and packed.n_tokens == n:
+            total = packed.total_instructions
+        else:
+            total = sum(t[2] for t in toks if t[0] == TOK_BLOCK)
+        self._ncache = (n, total)
+        return total
 
     @property
     def n_skipped(self) -> int:
@@ -58,7 +147,7 @@ class ThreadTrace:
     def __repr__(self) -> str:
         return (
             f"<ThreadTrace #{self.index} root={self.root} "
-            f"tokens={len(self.tokens)} instrs={self.n_instructions}>"
+            f"tokens={self.n_tokens} instrs={self.n_instructions}>"
         )
 
 

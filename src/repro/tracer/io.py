@@ -23,6 +23,7 @@ from typing import IO, Union
 from .. import faults
 from ..errors import TraceCorruptError
 from .events import TraceSet
+from .packed import PackedTrace
 
 FORMAT_VERSION = 2
 
@@ -59,12 +60,22 @@ def save_traces(traces: TraceSet, fp: Union[str, IO]) -> None:
     """Write ``traces`` to a path or file object as JSON lines."""
     body_parts = []
     for trace in traces.threads:
+        # Traces that are still in columnar form (loaded from disk, or
+        # already packed for replay) are encoded straight from their
+        # buffers -- the wire records are identical either way, so the
+        # output bytes (and therefore artifact checksums) never depend
+        # on which representation the trace happens to be in.
+        packed = trace.packed_only()
+        if packed is not None:
+            tokens = packed.to_records()
+        else:
+            tokens = [_encode_token(t) for t in trace.tokens]
         record = {
             "index": trace.index,
             "cpu_tid": trace.cpu_tid,
             "root": trace.root,
             "skipped": trace.skipped,
-            "tokens": [_encode_token(t) for t in trace.tokens],
+            "tokens": tokens,
         }
         body_parts.append(json.dumps(record) + "\n")
     body = "".join(body_parts)
@@ -186,8 +197,12 @@ def load_traces(fp: Union[str, IO], program=None) -> TraceSet:
         try:
             trace = traces.new_thread(record["cpu_tid"], record["root"])
             trace.skipped = dict(record["skipped"])
-            trace.tokens = [_decode_token(t) for t in record["tokens"]]
-        except (KeyError, TypeError, IndexError, ValueError) as exc:
+            # Decode straight into the columnar form; token tuples stay
+            # lazy (materialized only if a consumer reads .tokens), so
+            # the whole load -> replay path runs on compact buffers.
+            trace.attach_packed(PackedTrace.from_records(record["tokens"]))
+        except (KeyError, TypeError, IndexError, ValueError,
+                OverflowError) as exc:
             raise TraceCorruptError(
                 f"trace record at line {lineno} is malformed: "
                 f"{type(exc).__name__}: {exc}",

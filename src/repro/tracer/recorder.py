@@ -28,11 +28,17 @@ class _CpuThreadState:
     """Per CPU-thread tracing state."""
 
     __slots__ = (
-        "trace", "depth", "excluded_depth", "open_block", "open_mems",
+        "trace", "tokens", "depth", "excluded_depth", "open_block",
+        "open_mems",
     )
 
     def __init__(self) -> None:
         self.trace: Optional[ThreadTrace] = None
+        #: The live trace's token list, bound once per logical thread so
+        #: the per-token hot path skips the ``ThreadTrace.tokens``
+        #: property (appends still invalidate the trace's packed/count
+        #: caches, which key on the list length).
+        self.tokens: Optional[List[tuple]] = None
         self.depth = 0
         self.excluded_depth = 0
         self.open_block: Optional[BasicBlock] = None
@@ -81,13 +87,14 @@ class TraceRecorder:
         if state.excluded_depth > 0:
             state.trace.add_skip(len(block.instructions), "filtered")
         else:
-            state.trace.tokens.append(
+            state.tokens.append(
                 (TOK_BLOCK, block.addr, len(block.instructions), mems)
             )
 
     def _begin(self, tid: int, root: str) -> None:
         state = self._state(tid)
         state.trace = self.traces.new_thread(tid, root)
+        state.tokens = state.trace.tokens
         state.depth = 1
         state.excluded_depth = 0
         state.open_block = None
@@ -98,6 +105,7 @@ class TraceRecorder:
         if state.trace is not None:
             state.trace.closed = True
         state.trace = None
+        state.tokens = None
         state.depth = 0
         state.excluded_depth = 0
 
@@ -146,7 +154,7 @@ class TraceRecorder:
         if state.excluded_depth > 0 or function_name in self.exclude:
             state.excluded_depth += 1
         else:
-            state.trace.tokens.append((TOK_CALL, function_name))
+            state.tokens.append((TOK_CALL, function_name))
 
     def on_ret(self, tid: int) -> None:
         state = self._state(tid)
@@ -162,7 +170,7 @@ class TraceRecorder:
         if state.depth == 0:
             self._close(state)
         else:
-            state.trace.tokens.append((TOK_RET,))
+            state.tokens.append((TOK_RET,))
 
     def on_lock(self, tid: int, lock_addr: int) -> None:
         state = self._state(tid)
@@ -170,7 +178,7 @@ class TraceRecorder:
             return
         self._flush_block(state)
         if state.excluded_depth == 0:
-            state.trace.tokens.append((TOK_LOCK, lock_addr))
+            state.tokens.append((TOK_LOCK, lock_addr))
 
     def on_unlock(self, tid: int, lock_addr: int) -> None:
         state = self._state(tid)
@@ -178,7 +186,7 @@ class TraceRecorder:
             return
         self._flush_block(state)
         if state.excluded_depth == 0:
-            state.trace.tokens.append((TOK_UNLOCK, lock_addr))
+            state.tokens.append((TOK_UNLOCK, lock_addr))
 
     def on_skip(self, tid: int, count: int, reason: str) -> None:
         state = self._state(tid)

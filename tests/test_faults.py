@@ -287,6 +287,61 @@ class TestTelemetrySurface:
         assert telemetry.gauges["faults.injected.artifact.read"] == 1
 
 
+class TestPackedTraceFaults:
+    """``trace.pack``: corrupted packed buffers surface as typed errors.
+
+    The packed columns are the replayer's and the memo table's ground
+    truth, so a flipped bit in them must never replay (or memoize) as a
+    plausible-but-wrong stream: the content signature catches it at
+    first use.
+    """
+
+    def _tokens(self):
+        with faults.injected(None):
+            session = AnalysisSession()
+            traces = session.trace("vectoradd", n_threads=N_THREADS)
+        return list(traces.threads[0].tokens)
+
+    def test_bitflip_caught_at_first_verification(self):
+        from repro.tracer.packed import PackedTrace
+
+        tokens = self._tokens()
+        plan = FaultPlan([FaultSpec(site="trace.pack", kind="bitflip")])
+        with faults.injected(plan):
+            packed = PackedTrace.from_tokens(tokens)
+            assert plan.injected == {"trace.pack": 1}
+            with pytest.raises(TraceCorruptError) as excinfo:
+                packed.ensure_verified()
+        assert excinfo.value.site == "trace.pack"
+        assert excinfo.value.hint
+        # The pristine stream still packs and verifies cleanly.
+        with faults.injected(None):
+            PackedTrace.from_tokens(tokens).ensure_verified()
+
+    def test_truncation_raises_at_pack_time(self):
+        from repro.tracer.packed import PackedTrace
+
+        plan = FaultPlan([FaultSpec(site="trace.pack", kind="truncate")])
+        with faults.injected(plan):
+            with pytest.raises(TraceCorruptError) as excinfo:
+                PackedTrace.from_tokens(self._tokens())
+        assert excinfo.value.site == "trace.pack"
+
+    def test_corrupt_pack_never_reaches_replay_metrics(self):
+        # End to end: a fault armed while the analyzer packs the traces
+        # must abort the analysis as a typed error, not skew counters.
+        from repro.core import analyze_traces
+
+        with faults.injected(None):
+            session = AnalysisSession()
+            traces = session.trace("vectoradd", n_threads=N_THREADS)
+        plan = FaultPlan([FaultSpec(site="trace.pack", kind="bitflip")])
+        with faults.injected(plan):
+            with pytest.raises(TraceCorruptError) as excinfo:
+                analyze_traces(traces, warp_size=8)
+        assert excinfo.value.site == "trace.pack"
+
+
 class TestEnvironmentPlans:
     def test_smoke_plan_arms_only_recovery_transparent_sites(self):
         plan = faults.smoke_plan(seed=1)

@@ -1,0 +1,182 @@
+"""Memoized warp replay is observationally invisible.
+
+The two replay execution knobs -- ``packed`` (columnar replay) and
+``memo`` (signature-keyed warp-metrics reuse) -- must never change a
+single observable: for one workload per catalog family, every
+(packed, memo, jobs) combination has to produce a byte-identical
+pickled report and identical telemetry *counters* (gauges are excluded
+by design: ``memo.*`` hit rates legitimately differ between serial and
+sharded replay, which is exactly why they are gauges).
+
+The synthetic replicated-lane tests then pin down the memo mechanics
+themselves: identical warps actually hit, hits clone rather than
+alias, and the warp-trace generator's output is byte-identical with
+memoization force-disabled.
+"""
+
+import functools
+import io
+import pickle
+
+import pytest
+
+from repro.core.analyzer import AnalyzerConfig, ThreadFuserAnalyzer
+from repro.obs import Recorder
+from repro.tracegen import generate_kernel_trace, save_kernel_trace
+from repro.tracer.events import TraceSet
+from repro.workloads import get_workload, trace_instance
+
+#: One representative workload per catalog family (Table 1 suites).
+FAMILY_WORKLOADS = [
+    "vectoradd",       # Micro Benchmark
+    "streamcluster",   # Rodinia 3.1
+    "blackscholes",    # ParSec 3.0
+    "dsb_uniqueid",    # DeathStarBench
+    "memcached",       # uSuite (emulate_locks coverage)
+    "nbody",           # Paropoly
+    "md5",             # Others
+]
+
+N_THREADS = 48
+WARP_SIZE = 16
+
+COMBOS = [
+    (packed, memo, jobs)
+    for packed in (True, False)
+    for memo in (True, False)
+    for jobs in (1, 2)
+]
+
+
+@functools.lru_cache(maxsize=None)
+def _traces(name):
+    traces, _ = trace_instance(get_workload(name).instantiate(N_THREADS))
+    return traces
+
+
+def _config(name):
+    return AnalyzerConfig(warp_size=WARP_SIZE,
+                          emulate_locks=(name == "memcached"))
+
+
+def _run(name, packed, memo, jobs):
+    recorder = Recorder()
+    analyzer = ThreadFuserAnalyzer(_config(name), jobs=jobs,
+                                   recorder=recorder, memo=memo,
+                                   packed=packed)
+    report = analyzer.analyze(_traces(name))
+    telemetry = recorder.telemetry()
+    return pickle.dumps(report), dict(telemetry.counters), telemetry.gauges
+
+
+class TestMemoParityMatrix:
+    @pytest.mark.parametrize("packed,memo,jobs", COMBOS,
+                             ids=[f"{'packed' if p else 'tuple'}-"
+                                  f"{'memo' if m else 'nomemo'}-jobs{j}"
+                                  for p, m, j in COMBOS])
+    @pytest.mark.parametrize("name", FAMILY_WORKLOADS)
+    def test_reports_and_counters_identical(self, name, packed, memo,
+                                            jobs):
+        reference, ref_counters, _ = _run(name, packed=False, memo=False,
+                                          jobs=1)
+        report, counters, gauges = _run(name, packed, memo, jobs)
+        assert report == reference
+        assert counters == ref_counters
+        if memo and jobs == 1:
+            # Memoization accounts its activity as gauges, never
+            # counters; lookups equal the number of replayed warps.
+            assert gauges["memo.warp_lookups"] == pickle.loads(
+                report).metrics.n_warps
+            assert "memo.warp_hits" in gauges
+        if not memo:
+            assert "memo.warp_lookups" not in gauges
+
+
+def _replicated_traces(n_threads, workload="memo_synth"):
+    """Threads all sharing one token stream: every warp is memo-equal."""
+    source, _ = trace_instance(get_workload("vectoradd").instantiate(1))
+    tokens = list(source.threads[0].tokens)
+    root = source.threads[0].root
+    traces = TraceSet(workload=workload)
+    for tid in range(n_threads):
+        traces.new_thread(tid, root).tokens = list(tokens)
+    return traces
+
+
+class TestMemoMechanics:
+    def test_identical_warps_hit_the_memo(self):
+        traces = _replicated_traces(4 * WARP_SIZE)
+        recorder = Recorder()
+        analyzer = ThreadFuserAnalyzer(AnalyzerConfig(warp_size=WARP_SIZE),
+                                       recorder=recorder)
+        memo_report = analyzer.analyze(traces)
+        gauges = recorder.telemetry().gauges
+        assert gauges["memo.warp_lookups"] == 4
+        assert gauges["memo.warp_hits"] == 3
+        plain = ThreadFuserAnalyzer(AnalyzerConfig(warp_size=WARP_SIZE),
+                                    memo=False).analyze(traces)
+        assert pickle.dumps(memo_report) == pickle.dumps(plain)
+
+    def test_distinct_streams_do_not_collide(self):
+        # Same root, same length, different block addresses: the
+        # signature tuple must keep the warps apart.
+        traces = _replicated_traces(2 * WARP_SIZE)
+        second_warp = traces.threads[WARP_SIZE:]
+        for thread in second_warp:
+            tokens = list(thread.tokens)
+            for i, token in enumerate(tokens):
+                if token[0] == "B":
+                    tokens[i] = (token[0], token[1] + 0x8, *token[2:])
+            thread.tokens = tokens
+        recorder = Recorder()
+        ThreadFuserAnalyzer(AnalyzerConfig(warp_size=WARP_SIZE),
+                            recorder=recorder).analyze(traces)
+        gauges = recorder.telemetry().gauges
+        assert gauges["memo.warp_lookups"] == 2
+        assert gauges["memo.warp_hits"] == 0
+
+    def test_hits_clone_metrics_not_alias(self):
+        traces = _replicated_traces(2 * WARP_SIZE)
+        analyzer = ThreadFuserAnalyzer(AnalyzerConfig(warp_size=WARP_SIZE))
+        dcfgs = analyzer.prepare(traces)
+        from repro.core.analyzer import _memo_key, _replay_warp
+        from repro.core.warp import form_warps
+
+        warps = form_warps(traces, WARP_SIZE, "linear")
+        assert _memo_key(warps[0]) == _memo_key(warps[1])
+        first = _replay_warp(warps[0], dcfgs, analyzer.config)
+        clone = first.clone()
+        assert clone is not first
+        assert pickle.dumps(clone) == pickle.dumps(first)
+        # Mutating the clone (what aggregation-time merging may do)
+        # must not leak back into the cached entry.
+        clone.issues += 1
+        assert clone.issues == first.issues + 1
+
+
+class TestGeneratorParity:
+    def test_kernel_traces_identical_with_memo_disabled(self, monkeypatch):
+        """The warp-trace generator's output never depends on ``memo``.
+
+        Visitors force fresh replays internally, so the generated
+        streams must be byte-identical even when the analyzer class is
+        pinned to ``memo=False`` outright.
+        """
+        traces = _traces("vectoradd")
+        program = get_workload("vectoradd").instantiate(N_THREADS).program
+
+        def _serialize(kernel):
+            out = io.StringIO()
+            save_kernel_trace(kernel, out)
+            return out.getvalue()
+
+        default = _serialize(
+            generate_kernel_trace(traces, program, warp_size=WARP_SIZE))
+
+        from repro.tracegen import generator as generator_module
+
+        pinned = functools.partial(ThreadFuserAnalyzer, memo=False)
+        monkeypatch.setattr(generator_module, "ThreadFuserAnalyzer", pinned)
+        no_memo = _serialize(
+            generate_kernel_trace(traces, program, warp_size=WARP_SIZE))
+        assert default == no_memo

@@ -87,6 +87,45 @@ class TestRoundTripReplayMetrics:
                 == before.metrics.locks.contended_events)
 
 
+class TestPackedNativeLoading:
+    """Loaded traces stay columnar end to end.
+
+    :func:`load_traces` attaches a :class:`PackedTrace` per thread
+    without materializing token tuples; the whole analysis pipeline
+    (DCFG scan, warp formation, packed replay, memo signatures) must
+    run without ever flipping a thread out of packed-only mode.
+    """
+
+    def test_loaded_traces_are_packed_only(self):
+        _instance, traces = _trace("vectoradd")
+        loaded = _round_trip(traces)
+        for thread in loaded.threads:
+            assert thread.packed_only() is not None
+            assert thread.n_tokens == len(thread.tokens)
+
+    def test_analysis_never_materializes_tuples(self):
+        _instance, traces = _trace("btree")
+        loaded = _round_trip(traces)
+        analyze_traces(loaded, warp_size=8)
+        for thread in loaded.threads:
+            assert thread.packed_only() is not None, thread.index
+
+    def test_signatures_survive_the_round_trip(self):
+        _instance, traces = _trace("memcached")
+        loaded = _round_trip(traces)
+        for original, restored in zip(traces.threads, loaded.threads):
+            assert restored.signature == original.signature
+
+    def test_packed_native_save_is_byte_identical(self):
+        # to_records() feeds the same wire encoder as the tuple stream,
+        # so artifact checksums do not depend on the representation.
+        _instance, traces = _trace("vectoradd")
+        loaded = _round_trip(traces)
+        assert serialize_traces(loaded) == serialize_traces(traces)
+        for thread in loaded.threads:
+            assert thread.packed_only() is not None
+
+
 class TestSerializationDeterminism:
     def test_same_traces_serialize_byte_identically(self):
         _instance, traces = _trace("dsb_text")

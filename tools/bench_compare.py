@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Compare two BENCH_*.json files and fail on regressions.
+
+Flattens both files into dotted numeric keys (``workloads.nbody.speedup``)
+and compares every metric present in both.  Direction is inferred from
+the key name:
+
+* lower-is-better: keys ending in ``_s`` (wall-clock seconds);
+* higher-is-better: keys ending in ``_ips``, ``speedup``, or
+  ``hit_rate``;
+* everything else (counts, configuration echoes) is reported when it
+  changes but never fails the run.
+
+Usage::
+
+    python tools/bench_compare.py BASELINE.json CURRENT.json \
+        [--max-regression PCT] [--quiet]
+
+Exit status 1 when any directional metric regresses by more than
+``--max-regression`` percent (default 10), else 0.  Keys present in only
+one file are reported but never fatal, so workloads can be added or
+retired without breaking the comparison.
+"""
+
+import argparse
+import json
+import sys
+
+#: Key suffixes with a known good direction.
+LOWER_IS_BETTER = ("_s",)
+HIGHER_IS_BETTER = ("_ips", "speedup", "hit_rate")
+
+
+def flatten(node, prefix=""):
+    """``{"a": {"b": 1.5}} -> {"a.b": 1.5}``; non-numeric leaves dropped."""
+    flat = {}
+    if isinstance(node, dict):
+        for key, value in node.items():
+            flat.update(flatten(value, f"{prefix}{key}."))
+    elif isinstance(node, bool):
+        pass
+    elif isinstance(node, (int, float)):
+        flat[prefix[:-1]] = float(node)
+    return flat
+
+
+def direction(key):
+    """``-1`` lower-is-better, ``+1`` higher-is-better, ``0`` neutral."""
+    if key.endswith(LOWER_IS_BETTER):
+        return -1
+    if key.endswith(HIGHER_IS_BETTER):
+        return 1
+    return 0
+
+
+def compare(baseline, current, max_regression):
+    """Return (report lines, regression lines) for two flat dicts."""
+    lines = []
+    regressions = []
+    for key in sorted(set(baseline) | set(current)):
+        if key not in baseline:
+            lines.append(f"  new      {key} = {current[key]:g}")
+            continue
+        if key not in current:
+            lines.append(f"  removed  {key} (was {baseline[key]:g})")
+            continue
+        before, after = baseline[key], current[key]
+        if before == after:
+            continue
+        sign = direction(key)
+        if sign == 0:
+            lines.append(f"  changed  {key}: {before:g} -> {after:g}")
+            continue
+        if before == 0:
+            lines.append(f"  changed  {key}: {before:g} -> {after:g} "
+                         "(zero baseline, not scored)")
+            continue
+        # Positive delta_pct always means "got worse".
+        delta_pct = (before - after) / before * 100.0 * sign
+        verdict = "worse" if delta_pct > 0 else "better"
+        line = (f"  {verdict:<8} {key}: {before:g} -> {after:g} "
+                f"({abs(delta_pct):.1f}% {verdict})")
+        lines.append(line)
+        if delta_pct > max_regression:
+            regressions.append(line.strip())
+    return lines, regressions
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Diff two BENCH_*.json files; fail on regressions.")
+    parser.add_argument("baseline", help="baseline BENCH_*.json")
+    parser.add_argument("current", help="current BENCH_*.json")
+    parser.add_argument("--max-regression", type=float, default=10.0,
+                        metavar="PCT",
+                        help="tolerated per-metric regression in percent "
+                             "(default: %(default)s)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="print only regressions")
+    args = parser.parse_args(argv)
+
+    with open(args.baseline) as fh:
+        baseline = flatten(json.load(fh))
+    with open(args.current) as fh:
+        current = flatten(json.load(fh))
+
+    lines, regressions = compare(baseline, current, args.max_regression)
+    if not args.quiet:
+        print(f"comparing {args.current} against {args.baseline} "
+              f"(threshold {args.max_regression:g}%)")
+        for line in lines:
+            print(line)
+        if not lines:
+            print("  no differences")
+    if regressions:
+        print(f"{len(regressions)} metric(s) regressed beyond "
+              f"{args.max_regression:g}%:")
+        for line in regressions:
+            print(f"  {line}")
+        return 1
+    if args.quiet:
+        print("no regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
