@@ -7,6 +7,7 @@ Subcommands mirror the paper's workflows::
     threadfuser speedup nbody                # cycle-level projection
     threadfuser tracegen pigz -o pigz.trace  # simulator trace file
     threadfuser cache info                   # artifact store maintenance
+    threadfuser pool info                    # worker-pool diagnostics
 
 Workload commands run through a cached :class:`~repro.session.
 AnalysisSession`: traces, DCFG/IPDOM tables, and reports are persisted in
@@ -70,6 +71,13 @@ def _add_session_options(parser: argparse.ArgumentParser) -> None:
                         help="disable warp-replay memoization (results are "
                              "bit-identical either way, see "
                              "docs/PERFORMANCE.md)")
+    parser.add_argument("--pool", default="shared",
+                        choices=("shared", "fork"),
+                        help="parallel substrate for --jobs: 'shared' "
+                             "(persistent workers + shared-memory arenas, "
+                             "the default) or 'fork' (per-call fork pool; "
+                             "bit-identical results, see "
+                             "docs/PERFORMANCE.md)")
 
 
 def _session_from_args(args) -> AnalysisSession:
@@ -81,7 +89,8 @@ def _session_from_args(args) -> AnalysisSession:
     return AnalysisSession(cache_dir=cache_dir, jobs=args.jobs,
                            recorder=recorder,
                            engine=getattr(args, "engine", None),
-                           memo=not getattr(args, "no_memo", False))
+                           memo=not getattr(args, "no_memo", False),
+                           pool=getattr(args, "pool", "shared"))
 
 
 def _finish_profile(args, session: AnalysisSession,
@@ -202,6 +211,16 @@ def _build_parser() -> argparse.ArgumentParser:
             "--cache-dir", default=None,
             help="artifact cache directory (default: "
                  "$THREADFUSER_CACHE_DIR or ~/.cache/threadfuser)")
+
+    pool = sub.add_parser("pool", help="persistent worker-pool diagnostics")
+    pool_sub = pool.add_subparsers(dest="pool_command", required=True)
+    pool_info = pool_sub.add_parser(
+        "info", help="worker, reuse, and arena statistics")
+    pool_info.add_argument("--jobs", type=int, default=2,
+                           help="workers to probe with (default 2)")
+    pool_info.add_argument("--no-probe", action="store_true",
+                           help="only report capabilities; do not spin up "
+                                "workers or attach a probe arena")
     return parser
 
 
@@ -380,6 +399,36 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_pool(args) -> int:
+    from . import pool as pool_mod
+
+    info = pool_mod.probe_info(jobs=args.jobs,
+                               probe=not args.no_probe)
+    print(f"start method:   {info['start_method']}")
+    print(f"shared memory:  "
+          f"{'available' if info['shm_supported'] else 'unavailable'}")
+    if "ping_pids" in info:
+        pids = ", ".join(str(pid) for pid in info["ping_pids"])
+        print(f"workers:        {info.get('workers', 0)} alive "
+              f"(pids {pids})")
+    print(f"spawned:        {info.get('spawned', 0)} total, "
+          f"{info.get('respawns', 0)} respawns")
+    print(f"batches:        {info.get('batches', 0)} total, "
+          f"{info.get('reused_batches', 0)} on reused workers")
+    print(f"tasks:          {info.get('tasks', 0)} completed, "
+          f"{info.get('task_failures', 0)} failed, "
+          f"{info.get('worker_failures', 0)} workers lost")
+    attaches = info.get("attaches", 0)
+    attach_s = info.get("attach_s", 0.0)
+    mean_ms = attach_s / attaches * 1e3 if attaches else 0.0
+    print(f"arena attaches: {attaches}  "
+          f"(mean {mean_ms:.2f} ms)")
+    print(f"arenas:         {info.get('arenas', 0)} open "
+          f"({info.get('arena_bytes', 0)} bytes), "
+          f"{info.get('leaked_segments', 0)} leak-deferred")
+    return 0
+
+
 _COMMANDS = {
     "list": _cmd_list,
     "analyze": _cmd_analyze,
@@ -389,6 +438,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "sweep": _cmd_sweep,
     "cache": _cmd_cache,
+    "pool": _cmd_pool,
 }
 
 

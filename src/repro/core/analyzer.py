@@ -21,12 +21,11 @@ the same ``jobs=N == jobs=1`` determinism as the report itself.
 from __future__ import annotations
 
 import dataclasses
-import multiprocessing
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from .. import faults
+from .. import pool as pool_mod
 from ..obs import NULL_RECORDER, Telemetry
 from ..tracer.events import TraceSet
 from .dcfg import DCFGSet, build_dcfgs
@@ -72,10 +71,16 @@ class AnalyzerConfig:
 class ThreadFuserAnalyzer:
     """Analyzes a :class:`TraceSet` into an :class:`AnalysisReport`.
 
-    ``jobs`` > 1 replays warps on that many forked worker processes;
-    ``jobs=1`` keeps today's in-process serial loop.  On platforms
-    without the ``fork`` start method the analyzer silently falls back
-    to serial replay (the result is identical either way).
+    ``jobs`` > 1 replays warps on that many worker processes;
+    ``jobs=1`` keeps today's in-process serial loop.  ``pool`` picks
+    the parallel substrate: ``"shared"`` (the default) replays on the
+    persistent :mod:`repro.pool` workers over a shared-memory column
+    arena -- zero pool spawns and zero trace pickling on warm calls --
+    while ``"fork"`` keeps the per-call fork pool for platforms
+    without usable shared memory.  The cascade is shared -> fork ->
+    serial; every step is bit-identical, and a run that ends serial
+    despite ``jobs>1`` reports it via the ``pool.fallback`` gauge plus
+    a one-time ``RuntimeWarning`` (never silently).
 
     ``recorder`` is an optional :class:`repro.obs.Recorder`; by default
     the shared no-op recorder is used and instrumentation costs nothing
@@ -97,12 +102,19 @@ class ThreadFuserAnalyzer:
 
     def __init__(self, config: Optional[AnalyzerConfig] = None,
                  jobs: int = 1, recorder=None, memo: bool = True,
-                 packed: bool = True) -> None:
+                 packed: bool = True, pool: str = "shared",
+                 stage_timeout: Optional[float] = None) -> None:
+        if pool not in ("shared", "fork"):
+            raise ValueError(
+                f"unknown pool substrate {pool!r} (expected 'shared' or "
+                "'fork')")
         self.config = config or AnalyzerConfig()
         self.jobs = max(1, int(jobs))
         self.obs = recorder if recorder is not None else NULL_RECORDER
         self.memo = bool(memo)
         self.packed = bool(packed)
+        self.pool = pool
+        self.stage_timeout = stage_timeout
 
     def telemetry(self) -> Telemetry:
         """Snapshot of this analyzer's recorder (empty when disabled)."""
@@ -142,13 +154,36 @@ class ThreadFuserAnalyzer:
             wanted_parallel = (self.jobs > 1 and visitor_factory is None
                                and len(warps) > 1)
             if wanted_parallel:
-                outcome = _replay_parallel(warps, dcfgs, cfg, self.jobs,
-                                           memo=use_memo,
-                                           packed=self.packed)
+                outcome = None
+                if self.pool == "shared" and self.packed:
+                    outcome = pool_mod.replay_warps_shared(
+                        traces, warps, dcfgs, cfg, self.jobs,
+                        memo=use_memo, stage_timeout=self.stage_timeout,
+                        obs=self.obs,
+                    )
+                    if outcome is None:
+                        # Shared-memory substrate unavailable or failed
+                        # retryably; cascade to the per-call fork pool.
+                        self.obs.gauge("pool.shared_fallback", 1)
                 if outcome is None:
-                    # Pool unavailable or its workers failed retryably;
-                    # the serial path below is bit-identical to jobs=1.
+                    outcome = _replay_parallel(
+                        warps, dcfgs, cfg, self.jobs, memo=use_memo,
+                        packed=self.packed,
+                        stage_timeout=self.stage_timeout,
+                    )
+                if outcome is None:
+                    # Every substrate bowed out; the serial path below
+                    # is bit-identical to jobs=1.  Never silent: the
+                    # degradation is visible as a gauge and a one-time
+                    # warning.
                     self.obs.gauge("faults.replay_fallbacks", 1)
+                    self.obs.gauge("pool.fallback", 1)
+                    pool_mod.warn_once(
+                        "replay-serial-fallback",
+                        "parallel warp replay unavailable (no usable "
+                        "worker pool); falling back to the bit-identical "
+                        "serial path",
+                    )
                 else:
                     per_warp, memo_lookups, memo_hits = outcome
             if per_warp is None:
@@ -246,15 +281,11 @@ def _memo_key(warp) -> tuple:
     return (warp[0].root, tuple(trace.signature for trace in warp))
 
 
-#: Shared state inherited by forked replay workers (set around the pool).
-_FORK_STATE: Optional[tuple] = None
-
-
 def _replay_shard(
         indices: List[int]
 ) -> Tuple[List[Tuple[int, WarpMetrics, int]], int, int]:
     faults.check("pool.worker", f"replay:{indices[0] if indices else '-'}")
-    warps, dcfgs, cfg, memo, packed = _FORK_STATE
+    warps, dcfgs, cfg, memo, packed = pool_mod.fork_state()
     out = []
     memo_table: Dict[tuple, WarpMetrics] = {}
     lookups = hits = 0
@@ -280,6 +311,7 @@ def _replay_shard(
 def _replay_parallel(
         warps, dcfgs: DCFGSet, cfg: AnalyzerConfig, jobs: int,
         memo: bool = True, packed: bool = True,
+        stage_timeout: Optional[float] = None,
 ) -> Optional[Tuple[List[Tuple[WarpMetrics, int]], int, int]]:
     """Replay ``warps`` on a fork pool; None means "fall back to serial".
 
@@ -290,18 +322,13 @@ def _replay_parallel(
     Each shard keeps its own memo table (forked workers share no state),
     so hit counts vary with ``jobs`` even though the metrics do not.
 
-    Crash safety: a worker that dies (killed, OOM) breaks the executor,
-    which surfaces as :class:`BrokenExecutor` here -- classified as
-    retryable and answered with the serial fallback (``None``).  A
-    worker exception that is a *bug* in replay code propagates with its
-    original traceback; the fallback must never mask defects.
+    Crash safety is :func:`repro.pool.fork_map`'s retry-classification
+    contract: a worker that dies or times out makes the outcome
+    incomplete -- answered here with the serial fallback (``None``,
+    partial results discarded so aggregation order never changes) --
+    while a worker exception that is a *bug* in replay code propagates
+    with its original traceback; the fallback must never mask defects.
     """
-    global _FORK_STATE
-    try:
-        faults.check("pool.spawn")
-        ctx = multiprocessing.get_context("fork")
-    except (ValueError, OSError):
-        return None
     if packed:
         # Pack (and verify) in the parent so the forked workers inherit
         # the columnar buffers copy-on-write instead of re-packing the
@@ -311,26 +338,19 @@ def _replay_parallel(
                 trace.packed().ensure_verified()
     jobs = min(jobs, len(warps))
     shards = [list(range(j, len(warps), jobs)) for j in range(jobs)]
-    _FORK_STATE = (warps, dcfgs, cfg, memo, packed)
-    chunks: List[List[Tuple[int, WarpMetrics, int]]] = []
-    lookups = hits = 0
-    try:
-        with ProcessPoolExecutor(max_workers=jobs, mp_context=ctx) as pool:
-            futures = [pool.submit(_replay_shard, shard) for shard in shards]
-            for future in futures:
-                chunk, shard_lookups, shard_hits = future.result()
-                chunks.append(chunk)
-                lookups += shard_lookups
-                hits += shard_hits
-    except Exception as exc:
-        if isinstance(exc, (BrokenExecutor, OSError)) \
-                or faults.is_retryable(exc):
-            return None
-        raise
-    finally:
-        _FORK_STATE = None
+    outcome = pool_mod.fork_map(
+        _replay_shard, shards, jobs,
+        tokens=[f"replay:{shard[0]}" for shard in shards],
+        stage_timeout=stage_timeout,
+        state=(warps, dcfgs, cfg, memo, packed),
+    )
+    if outcome is None or not outcome.complete(len(shards)):
+        return None
+    chunks = [outcome.results[index] for index in range(len(shards))]
+    lookups = sum(chunk[1] for chunk in chunks)
+    hits = sum(chunk[2] for chunk in chunks)
     flat = sorted(
-        (item for chunk in chunks for item in chunk), key=lambda t: t[0]
+        (item for chunk in chunks for item in chunk[0]), key=lambda t: t[0]
     )
     per_warp = [(metrics, n_threads) for _index, metrics, n_threads in flat]
     return per_warp, lookups, hits
@@ -342,7 +362,8 @@ def sweep_warp_sizes(traces: TraceSet, warp_sizes=(8, 16, 32),
                      lock_reconvergence: str = "unlock",
                      config: Optional[AnalyzerConfig] = None,
                      jobs: int = 1, memo: bool = True,
-                     packed: bool = True):
+                     packed: bool = True, pool: str = "shared",
+                     stage_timeout: Optional[float] = None):
     """SIMT efficiency across warp widths (the Fig. 1 sweep).
 
     Builds the DCFG/IPDOM tables once and replays per width; returns
@@ -355,13 +376,15 @@ def sweep_warp_sizes(traces: TraceSet, warp_sizes=(8, 16, 32),
         batching=batching, emulate_locks=emulate_locks,
         lock_reconvergence=lock_reconvergence,
     )
-    analyzer = ThreadFuserAnalyzer(base, jobs=jobs, memo=memo, packed=packed)
+    analyzer = ThreadFuserAnalyzer(base, jobs=jobs, memo=memo, packed=packed,
+                                   pool=pool, stage_timeout=stage_timeout)
     dcfgs = analyzer.prepare(traces)
     out = {}
     for warp_size in warp_sizes:
         sized = dataclasses.replace(base, warp_size=warp_size)
         out[warp_size] = ThreadFuserAnalyzer(
-            sized, jobs=jobs, memo=memo, packed=packed
+            sized, jobs=jobs, memo=memo, packed=packed, pool=pool,
+            stage_timeout=stage_timeout,
         ).analyze(traces, dcfgs=dcfgs)
     return out
 
@@ -371,12 +394,14 @@ def analyze_traces(traces: TraceSet, warp_size: int = 32,
                    emulate_locks: bool = False,
                    lock_reconvergence: str = "unlock",
                    jobs: int = 1, memo: bool = True,
-                   packed: bool = True) -> AnalysisReport:
+                   packed: bool = True, pool: str = "shared",
+                   stage_timeout: Optional[float] = None) -> AnalysisReport:
     """One-call convenience wrapper around :class:`ThreadFuserAnalyzer`."""
     config = AnalyzerConfig(
         warp_size=warp_size, batching=batching, emulate_locks=emulate_locks,
         lock_reconvergence=lock_reconvergence,
     )
     return ThreadFuserAnalyzer(
-        config, jobs=jobs, memo=memo, packed=packed
+        config, jobs=jobs, memo=memo, packed=packed, pool=pool,
+        stage_timeout=stage_timeout,
     ).analyze(traces)

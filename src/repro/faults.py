@@ -14,6 +14,14 @@ site                where it fires
                     (hard ``os._exit`` kill or transient ``OSError``)
 ``pool.result``     parent-side, before waiting on a worker result
                     (:class:`~repro.errors.StageTimeoutError`)
+``pool.attach``     inside a persistent worker, before it maps a
+                    shared-memory column arena (transient ``OSError``;
+                    the affected items fall back to the bit-identical
+                    serial path)
+``shm.unlink``      parent-side, before a shared-memory segment is
+                    unlinked at arena close (transient ``OSError``;
+                    the arena retries once, then records the segment
+                    for atexit reclamation -- see :mod:`repro.pool`)
 ``io.transient``    inside :class:`~repro.artifacts.ArtifactStore` reads
                     and writes (transient ``OSError``; the store retries
                     with backoff)
@@ -77,6 +85,8 @@ FAULT_SITES = (
     "pool.spawn",
     "pool.worker",
     "pool.result",
+    "pool.attach",
+    "shm.unlink",
     "io.transient",
     "artifact.read",
     "artifact.meta",
@@ -235,6 +245,27 @@ def smoke_plan(seed: Optional[int] = None) -> FaultPlan:
     )
 
 
+def smoke_pool_plan(seed: Optional[int] = None) -> FaultPlan:
+    """``THREADFUSER_FAULTS=smoke-pool``: smoke plus the shm substrate.
+
+    Extends :func:`smoke_plan` with the two persistent-pool sites
+    introduced with :mod:`repro.pool` -- ``pool.attach`` (a worker
+    fails to map a shared-memory arena; the batch falls back to the
+    bit-identical serial path) and ``shm.unlink`` (releasing a segment
+    fails transiently; the arena retries and, at worst, defers the
+    unlink to atexit).  Both are recovery transparent, so an arbitrary
+    suite passes under this mode too.
+    """
+    base = smoke_plan(seed)
+    return FaultPlan(
+        specs=tuple(base.specs) + (
+            FaultSpec(site="pool.attach", kind="raise", rate=0.05),
+            FaultSpec(site="shm.unlink", kind="raise", rate=0.05),
+        ),
+        seed=base.seed,
+    )
+
+
 def plan_from_env() -> Optional[FaultPlan]:
     """The plan named by ``$THREADFUSER_FAULTS`` (``None`` when unset)."""
     mode = os.environ.get(ENV_VAR, "").strip().lower()
@@ -242,8 +273,10 @@ def plan_from_env() -> Optional[FaultPlan]:
         return None
     if mode == "smoke":
         return smoke_plan()
+    if mode == "smoke-pool":
+        return smoke_pool_plan()
     raise ValueError(f"unknown {ENV_VAR} mode {mode!r} "
-                     "(expected 'smoke' or unset)")
+                     "(expected 'smoke', 'smoke-pool' or unset)")
 
 
 def active() -> Optional[FaultPlan]:
@@ -382,4 +415,5 @@ __all__ = [
     "plan_from_env",
     "reset",
     "smoke_plan",
+    "smoke_pool_plan",
 ]

@@ -36,12 +36,11 @@ from __future__ import annotations
 
 import dataclasses
 import io as _stdio
-import multiprocessing
 import time
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from . import faults
+from . import pool as pool_mod
 from .errors import RetryExhaustedError
 from .artifacts import (
     KIND_DCFGS,
@@ -100,9 +99,26 @@ class AnalysisSession:
         non-retryable exceptions -- always propagate immediately with
         their original traceback.
     stage_timeout:
-        Optional per-item deadline (seconds) for fork-pool results;
-        a worker that exceeds it is treated as a retryable failure and
-        its item falls back to the bit-identical serial path.
+        Optional per-item deadline (seconds) for pool results; a worker
+        that exceeds it is treated as a retryable failure and its item
+        falls back to the bit-identical serial path.  One knob governs
+        both substrates (see ``pool``).
+    pool:
+        Parallel substrate for ``jobs>1``: ``"shared"`` (the default)
+        runs on the persistent :mod:`repro.pool` workers -- spawned
+        once, reused across ``trace_many``/replay/sweep calls, traces
+        shared zero-copy through shared-memory column arenas -- while
+        ``"fork"`` keeps the per-call fork pool for platforms without
+        usable shared memory.  Results are bit-identical across
+        substrates (and serial); the choice never enters artifact
+        fingerprints.
+
+    Sessions are context managers: ``close()`` (or leaving the ``with``
+    block) releases every shared-memory arena attached to this
+    session's traces.  The persistent workers themselves outlive the
+    session by design (that is the point of the substrate) and are torn
+    down at interpreter exit, or explicitly via
+    :func:`repro.pool.shutdown`.
     """
 
     def __init__(self, cache_dir: Optional[str] = None, jobs: int = 1,
@@ -110,7 +126,11 @@ class AnalysisSession:
                  recorder=None, engine: Optional[str] = None,
                  retry: Optional[faults.RetryPolicy] = None,
                  stage_timeout: Optional[float] = None,
-                 memo: bool = True) -> None:
+                 memo: bool = True, pool: str = "shared") -> None:
+        if pool not in ("shared", "fork"):
+            raise ValueError(
+                f"unknown pool substrate {pool!r} (expected 'shared' or "
+                "'fork')")
         if store is None and cache_dir is not None:
             store = ArtifactStore(cache_dir)
         self.store = store
@@ -123,6 +143,7 @@ class AnalysisSession:
         self.obs = recorder if recorder is not None else NULL_RECORDER
         self.retry = retry or faults.RetryPolicy()
         self.stage_timeout = stage_timeout
+        self.pool = pool
         #: Machine executions performed by this session (test surface:
         #: a warm cache keeps this at zero).
         self.executions = 0
@@ -137,6 +158,25 @@ class AnalysisSession:
         self._traces: Dict[str, TraceSet] = {}
         self._dcfgs: Dict[str, DCFGSet] = {}
         self._reports: Dict[str, AnalysisReport] = {}
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the shared-memory arenas of this session's traces.
+
+        Idempotent.  Workers detach, segments are unlinked, and
+        :func:`repro.pool.live_arenas` drops the entries -- the
+        zero-leak guarantee the tests assert.  The persistent workers
+        stay up for the next session (shut down at interpreter exit).
+        """
+        for traces in list(self._traces.values()):
+            pool_mod.release_arena(traces)
+
+    def __enter__(self) -> "AnalysisSession":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
 
     # -- cache surface ---------------------------------------------------
 
@@ -182,6 +222,13 @@ class AnalysisSession:
         if plan is not None:
             for site, fired in sorted(plan.injected.items()):
                 snapshot.gauges[f"faults.injected.{site}"] = fired
+        # Persistent-substrate activity (worker reuse, arena bytes,
+        # attach latency) is environmental, so it rides in gauges too.
+        if pool_mod.substrate_active():
+            for name, value in sorted(pool_mod.stats_snapshot().items()):
+                if isinstance(value, float):
+                    value = round(value, 6)
+                snapshot.gauges[f"pool.{name}"] = value
         snapshot.meta.setdefault("jobs", self.jobs)
         return snapshot
 
@@ -447,46 +494,76 @@ class AnalysisSession:
     def _pool_trace(self, cold: List[str], n_threads: Optional[int],
                     seed: int, opt_level: str,
                     pool_jobs: int) -> Dict[str, Tuple[bytes, Dict]]:
-        """Run the cold workloads on a crash-safe fork pool.
+        """Run the cold workloads on a crash-safe worker pool.
 
-        Returns serialized results for the items whose workers
-        succeeded.  Items whose workers failed *retryably* (killed,
-        broken pool, timeout, transient ``OSError``) are simply absent
-        -- the caller regenerates them serially.  A non-retryable
-        worker exception re-raises with its remote traceback attached
-        (``concurrent.futures`` chains it as the ``__cause__``).
+        Dispatches to the session's substrate (``pool="shared"``: the
+        persistent :mod:`repro.pool` workers; ``"fork"``: a per-call
+        fork pool), cascading shared -> fork -> serial.  Returns
+        serialized results for the items whose workers succeeded.
+        Items whose workers failed *retryably* (killed, broken pool,
+        timeout, transient ``OSError``) are simply absent -- the caller
+        regenerates them serially.  A non-retryable worker exception
+        re-raises with its remote traceback attached as the
+        ``__cause__``.
         """
-        results: Dict[str, Tuple[bytes, Dict]] = {}
-        try:
-            faults.check("pool.spawn")
-            ctx = multiprocessing.get_context("fork")
-        except (ValueError, OSError):
-            self.fault_stats["pool_fallbacks"] += 1
-            return results
         specs = [(name, n_threads, seed, opt_level, self.engine)
                  for name in cold]
-        try:
-            with ProcessPoolExecutor(max_workers=pool_jobs,
-                                     mp_context=ctx) as pool:
-                futures = [(name, pool.submit(_trace_worker, spec))
-                           for name, spec in zip(cold, specs)]
-                for name, future in futures:
-                    try:
-                        faults.check("pool.result", name)
-                        rname, data, counts = future.result(
-                            timeout=self.stage_timeout
-                        )
-                        results[rname] = (data, counts)
-                    except Exception as exc:
-                        if not faults.is_retryable(exc):
-                            raise
-                        self.fault_stats["worker_failures"] += 1
-        except BrokenExecutor:
+        if self.pool == "shared":
+            results = self._shared_trace(cold, specs, pool_jobs)
+            if results is not None:
+                return results
+            self.fault_stats["pool_fallbacks"] += 1
+        results = {}
+        outcome = pool_mod.fork_map(
+            _trace_worker, specs, pool_jobs, tokens=cold,
+            stage_timeout=self.stage_timeout,
+        )
+        if outcome is None:
+            self.fault_stats["pool_fallbacks"] += 1
+            return results
+        self.fault_stats["worker_failures"] += outcome.worker_failures
+        if outcome.broken:
             # The pool itself died (e.g. while shutting down); whatever
             # completed is kept, the rest falls back to serial.
             self.fault_stats["pool_fallbacks"] += 1
-        except OSError:
-            self.fault_stats["pool_fallbacks"] += 1
+        for value in outcome.results.values():
+            rname, data, counts = value
+            results[rname] = (data, counts)
+        return results
+
+    def _shared_trace(
+            self, cold: List[str], specs: List[tuple],
+            pool_jobs: int) -> Optional[Dict[str, Tuple[bytes, Dict]]]:
+        """Trace the cold workloads on the persistent shared pool.
+
+        ``None`` means the substrate was unavailable or failed
+        retryably as a whole (cascade to the fork pool); otherwise the
+        per-item contract matches :meth:`_pool_trace`.  The task
+        callable is read from this module's ``_trace_worker`` attribute
+        at dispatch time and shipped by reference, preserving both
+        monkeypatchability and the bug-propagation contract of the fork
+        path.
+        """
+        # Late global lookup (not an early binding): monkeypatched
+        # replacements of ``_trace_worker`` are honored, like
+        # ``executor.submit(_trace_worker, ...)`` was.
+        tasks = [(_trace_worker, spec, name)
+                 for name, spec in zip(cold, specs)]
+        try:
+            shared = pool_mod.shared_pool()
+            outcomes = shared.run_tasks(tasks, jobs=pool_jobs,
+                                        stage_timeout=self.stage_timeout)
+        except Exception as exc:
+            if faults.is_retryable(exc):
+                return None
+            raise
+        results: Dict[str, Tuple[bytes, Dict]] = {}
+        for value in outcomes:
+            if value is None:
+                self.fault_stats["worker_failures"] += 1
+                continue
+            rname, data, counts = value
+            results[rname] = (data, counts)
         return results
 
     def _trace_with_retry(self, name: str, n_threads: Optional[int],
@@ -556,7 +633,8 @@ class AnalysisSession:
         """
         analyzer = ThreadFuserAnalyzer(
             config, jobs=self.jobs if jobs is None else jobs,
-            recorder=self.obs, memo=self.memo,
+            recorder=self.obs, memo=self.memo, pool=self.pool,
+            stage_timeout=self.stage_timeout,
         )
         with self.obs.span("replay"):
             return analyzer.analyze(

@@ -65,6 +65,35 @@ _PACK_HINT = (
     "workload (or clear the artifact cache) to rebuild the trace"
 )
 
+#: Column layout of one packed trace inside a shared-memory arena:
+#: ``(attribute, array typecode)`` in serialization order.  Derived
+#: columns (``cumn``, ``runs``, ``msegf``, ``msegl``) are exported too,
+#: so attaching workers never recompute prefix sums -- but only the
+#: eight pristine columns participate in the content signature, exactly
+#: as for in-process instances.
+SHM_COLUMNS = (
+    ("kinds", "b"),
+    ("arg", "q"),
+    ("nins", "q"),
+    ("cumn", "q"),
+    ("moff", "q"),
+    ("mslot", "q"),
+    ("mstore", "b"),
+    ("maddr", "q"),
+    ("msize", "q"),
+    ("runs", "q"),
+    ("msegf", "q"),
+    ("msegl", "q"),
+)
+
+#: Alignment of each column inside the arena buffer.  Eight bytes keeps
+#: every ``'q'`` column naturally aligned for ``memoryview.cast``.
+SHM_ALIGN = 8
+
+
+def _align(offset: int) -> int:
+    return (offset + SHM_ALIGN - 1) & ~(SHM_ALIGN - 1)
+
 
 class PackedTrace:
     """One thread's token stream as flat columnar buffers."""
@@ -288,6 +317,66 @@ class PackedTrace:
             else:
                 out.append([CODE_KINDS[kind], arg[i]])
         return out
+
+    # ------------------------------------------------------------------
+    # shared-memory export (zero-copy transport between processes)
+
+    def shm_nbytes(self) -> int:
+        """Bytes this trace occupies in an arena (aligned columns)."""
+        total = 0
+        for attr, _ in SHM_COLUMNS:
+            column = getattr(self, attr)
+            total = _align(total) + len(column) * column.itemsize
+        return _align(total)
+
+    def to_shm(self, buf, offset: int) -> Tuple[tuple, int]:
+        """Copy the columns into ``buf`` at ``offset`` (a writable
+        buffer, typically ``SharedMemory.buf``).
+
+        Returns ``(descriptor, end_offset)``.  The descriptor is a
+        small picklable tuple -- ``(signature, names, column spans)`` --
+        that :meth:`from_shm` turns back into a live trace against the
+        same bytes in another process.  The signature travels in the
+        descriptor, so attaching workers re-verify the shared columns
+        exactly like locally packed ones.
+        """
+        spans = []
+        view = memoryview(buf)
+        for attr, typecode in SHM_COLUMNS:
+            column = getattr(self, attr)
+            raw = column.tobytes()
+            offset = _align(offset)
+            view[offset:offset + len(raw)] = raw
+            spans.append((offset, len(column)))
+            offset += len(raw)
+        return (self.signature, self.names, tuple(spans)), _align(offset)
+
+    @classmethod
+    def from_shm(cls, descriptor: tuple, buf) -> "PackedTrace":
+        """Attach a trace to arena bytes written by :meth:`to_shm`.
+
+        The columns are zero-copy ``memoryview`` casts over ``buf`` --
+        nothing is deserialized.  The instance starts *unverified*, so
+        the first consumer re-hashes the shared bytes against the
+        descriptor signature; corruption of the arena (or an injected
+        ``trace.pack`` fault in the producer) surfaces as the usual
+        :class:`TraceCorruptError` instead of silently wrong replay.
+
+        Keeps a view per column alive; the segment must not be closed
+        while the returned trace (or anything it produced) is in use.
+        """
+        signature, names, spans = descriptor
+        self = object.__new__(cls)
+        view = memoryview(buf)
+        for (attr, typecode), (offset, count) in zip(SHM_COLUMNS, spans):
+            itemsize = 1 if typecode == "b" else 8
+            column = view[offset:offset + count * itemsize].cast(typecode)
+            setattr(self, attr, column)
+        self.n_tokens = len(self.kinds)
+        self.names = tuple(names)
+        self.signature = signature
+        self._verified = False
+        return self
 
     # ------------------------------------------------------------------
     # derived data

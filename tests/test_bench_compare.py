@@ -1,0 +1,155 @@
+"""The benchmark regression gate (``tools/bench_compare.py``).
+
+Exercises the three contracts CI leans on:
+
+* direction-aware comparison -- ``_s`` keys are lower-is-better,
+  ``_ips``/``speedup``/``hit_rate`` higher-is-better, everything else
+  reported but never fatal;
+* exit codes -- 0 clean, 1 when a directional metric regresses beyond
+  ``--max-regression``, 2 for missing/unreadable/malformed input;
+* tolerance of schema drift -- keys present in only one file are
+  reported, never fatal.
+"""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_TOOL = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "tools", "bench_compare.py")
+_spec = importlib.util.spec_from_file_location("bench_compare", _TOOL)
+bench_compare = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_compare)
+
+
+def _write(tmp_path, name, payload):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+class TestFlatten:
+    def test_nested_numeric_leaves_get_dotted_keys(self):
+        flat = bench_compare.flatten(
+            {"a": {"b": 1.5, "c": {"d": 2}}, "e": 3})
+        assert flat == {"a.b": 1.5, "a.c.d": 2.0, "e": 3.0}
+
+    def test_non_numeric_and_bool_leaves_are_dropped(self):
+        flat = bench_compare.flatten(
+            {"mode": "full", "ok": True, "x": 1, "items": [1, 2]})
+        assert flat == {"x": 1.0}
+
+
+class TestDirection:
+    @pytest.mark.parametrize("key", [
+        "serial_s", "scales.512.jobs.4.shared_warm_s", "attach_s"])
+    def test_wall_clock_is_lower_better(self, key):
+        assert bench_compare.direction(key) == -1
+
+    @pytest.mark.parametrize("key", [
+        "replay_ips", "jobs.4.warm_speedup", "memo.hit_rate"])
+    def test_throughput_is_higher_better(self, key):
+        assert bench_compare.direction(key) == 1
+
+    @pytest.mark.parametrize("key", ["warp_size", "rounds", "arena_bytes"])
+    def test_configuration_echoes_are_neutral(self, key):
+        assert bench_compare.direction(key) == 0
+
+
+class TestCompare:
+    def test_slower_wall_clock_regresses(self):
+        lines, regressions = bench_compare.compare(
+            {"run_s": 1.0}, {"run_s": 1.5}, max_regression=10.0)
+        assert len(regressions) == 1
+        assert "worse" in regressions[0]
+
+    def test_faster_wall_clock_is_fine(self):
+        _lines, regressions = bench_compare.compare(
+            {"run_s": 1.0}, {"run_s": 0.5}, max_regression=10.0)
+        assert regressions == []
+
+    def test_lower_speedup_regresses(self):
+        _lines, regressions = bench_compare.compare(
+            {"warm_speedup": 10.0}, {"warm_speedup": 2.0},
+            max_regression=10.0)
+        assert len(regressions) == 1
+
+    def test_higher_speedup_is_fine(self):
+        _lines, regressions = bench_compare.compare(
+            {"warm_speedup": 2.0}, {"warm_speedup": 10.0},
+            max_regression=10.0)
+        assert regressions == []
+
+    def test_threshold_is_respected(self):
+        base, cur = {"run_s": 1.0}, {"run_s": 1.05}
+        assert bench_compare.compare(base, cur, 10.0)[1] == []
+        assert len(bench_compare.compare(base, cur, 1.0)[1]) == 1
+
+    def test_neutral_keys_never_regress(self):
+        lines, regressions = bench_compare.compare(
+            {"warp_size": 32}, {"warp_size": 64}, max_regression=0.0)
+        assert regressions == []
+        assert any("changed" in line for line in lines)
+
+    def test_added_and_removed_keys_are_reported_not_fatal(self):
+        lines, regressions = bench_compare.compare(
+            {"old_s": 1.0}, {"new_s": 1.0}, max_regression=0.0)
+        assert regressions == []
+        assert any("new" in line for line in lines)
+        assert any("removed" in line for line in lines)
+
+    def test_zero_baseline_is_not_scored(self):
+        lines, regressions = bench_compare.compare(
+            {"run_s": 0.0}, {"run_s": 5.0}, max_regression=10.0)
+        assert regressions == []
+        assert any("not scored" in line for line in lines)
+
+
+class TestMainExitCodes:
+    def test_identical_files_exit_zero(self, tmp_path, capsys):
+        path = _write(tmp_path, "a.json", {"run_s": 1.0})
+        assert bench_compare.main([path, path]) == 0
+        assert "no differences" in capsys.readouterr().out
+
+    def test_regression_exits_one(self, tmp_path, capsys):
+        base = _write(tmp_path, "base.json", {"run_s": 1.0})
+        cur = _write(tmp_path, "cur.json", {"run_s": 2.0})
+        assert bench_compare.main([base, cur]) == 1
+        assert "regressed" in capsys.readouterr().out
+
+    def test_max_regression_flag_tolerates(self, tmp_path):
+        base = _write(tmp_path, "base.json", {"run_s": 1.0})
+        cur = _write(tmp_path, "cur.json", {"run_s": 2.0})
+        assert bench_compare.main(
+            [base, cur, "--max-regression", "150"]) == 0
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        path = _write(tmp_path, "a.json", {"run_s": 1.0})
+        missing = str(tmp_path / "nope.json")
+        assert bench_compare.main([missing, path]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_malformed_json_exits_two(self, tmp_path, capsys):
+        good = _write(tmp_path, "good.json", {"run_s": 1.0})
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert bench_compare.main([good, str(bad)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_quiet_prints_only_verdict(self, tmp_path, capsys):
+        base = _write(tmp_path, "base.json", {"run_s": 1.0})
+        cur = _write(tmp_path, "cur.json", {"run_s": 0.9})
+        assert bench_compare.main([base, cur, "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "no regressions beyond threshold" in out
+        assert "better" not in out
+
+    def test_real_scale_bench_self_compares_clean(self, capsys):
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        bench = os.path.join(root, "BENCH_scale.json")
+        if not os.path.exists(bench):
+            pytest.skip("BENCH_scale.json not generated yet")
+        assert bench_compare.main([bench, bench]) == 0
+        capsys.readouterr()

@@ -350,6 +350,27 @@ class TestEnvironmentPlans:
             <= {"pool.spawn", "pool.worker", "pool.result"}
         assert all(spec.rate > 0 for spec in plan.specs)
 
+    def test_smoke_pool_plan_adds_the_shm_substrate_sites(self):
+        plan = faults.smoke_pool_plan(seed=1)
+        sites = {spec.site for spec in plan.specs}
+        # Everything smoke arms, plus the persistent-pool sites.
+        assert sites >= {spec.site for spec in faults.smoke_plan(seed=1).specs}
+        assert {"pool.attach", "shm.unlink"} <= sites
+        assert sites <= set(faults.FAULT_SITES)
+        assert all(spec.rate > 0 for spec in plan.specs)
+
+    def test_env_smoke_pool_installs_the_extended_plan(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "smoke-pool")
+        monkeypatch.setenv(faults.ENV_SEED_VAR, "78")
+        faults.reset()
+        try:
+            plan = faults.active()
+            assert plan is not None
+            assert plan.seed == 78
+            assert "shm.unlink" in {spec.site for spec in plan.specs}
+        finally:
+            faults.reset()
+
     def test_env_smoke_installs_a_plan(self, monkeypatch):
         monkeypatch.setenv(faults.ENV_VAR, "smoke")
         monkeypatch.setenv(faults.ENV_SEED_VAR, "77")

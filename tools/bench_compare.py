@@ -17,7 +17,9 @@ Usage::
         [--max-regression PCT] [--quiet]
 
 Exit status 1 when any directional metric regresses by more than
-``--max-regression`` percent (default 10), else 0.  Keys present in only
+``--max-regression`` percent (default 10), else 0.  A missing,
+unreadable, or malformed input file is reported on stderr and exits 2
+(distinct from "regression found" for scripting).  Keys present in only
 one file are reported but never fatal, so workloads can be added or
 retired without breaking the comparison.
 """
@@ -99,10 +101,21 @@ def main(argv=None):
                         help="print only regressions")
     args = parser.parse_args(argv)
 
-    with open(args.baseline) as fh:
-        baseline = flatten(json.load(fh))
-    with open(args.current) as fh:
-        current = flatten(json.load(fh))
+    def load(path):
+        try:
+            with open(path) as fh:
+                return flatten(json.load(fh))
+        except OSError as exc:
+            print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        except json.JSONDecodeError as exc:
+            print(f"error: {path} is not valid JSON: {exc}",
+                  file=sys.stderr)
+        return None
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+    if baseline is None or current is None:
+        return 2
 
     lines, regressions = compare(baseline, current, args.max_regression)
     if not args.quiet:
