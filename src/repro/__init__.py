@@ -22,7 +22,11 @@ Reproduction of Alawneh et al., MICRO 2024.  The public API spans:
   machine counters, ``telemetry.json`` export, ``--profile`` CLI surface;
 * :mod:`repro.faults` / :mod:`repro.errors` -- deterministic fault
   injection for robustness testing and the typed :class:`ReproError`
-  failure taxonomy (see ``docs/ROBUSTNESS.md``).
+  failure taxonomy (see ``docs/ROBUSTNESS.md``);
+* :mod:`repro.serve` -- the analysis service: a stdlib-only HTTP/JSON
+  server wrapping one persistent session, with fingerprint-keyed jobs,
+  request coalescing, and bounded-queue backpressure (see
+  ``docs/SERVING.md``).
 """
 
 from .artifacts import ArtifactStore, default_cache_dir
@@ -41,7 +45,7 @@ from .obs import Recorder, Telemetry
 from .pipeline import analyze_program, trace_program
 from .session import AnalysisSession
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AnalyzerConfig",

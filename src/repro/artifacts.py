@@ -303,7 +303,8 @@ class ArtifactStore:
 
         try:
             data = faults.call_with_retry(
-                read, policy=_IO_RETRY, label=f"read {kind} {key[:12]}"
+                read, policy=_IO_RETRY, label=f"read {kind} {key[:12]}",
+                site="io.transient",
             )
         except FileNotFoundError:
             return self._corrupt(
@@ -355,7 +356,8 @@ class ArtifactStore:
             self._atomic_write(meta, meta_bytes)
 
         faults.call_with_retry(
-            write, policy=_IO_RETRY, label=f"write {kind} {key[:12]}"
+            write, policy=_IO_RETRY, label=f"write {kind} {key[:12]}",
+            site="io.transient",
         )
         self.stats.puts += 1
         self.stats.bytes_written += len(data)

@@ -212,6 +212,41 @@ def _build_parser() -> argparse.ArgumentParser:
             help="artifact cache directory (default: "
                  "$THREADFUSER_CACHE_DIR or ~/.cache/threadfuser)")
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the analysis server (see docs/SERVING.md)",
+        description="Long-running HTTP/JSON analysis server over a "
+                    "persistent session: submit analyze/sweep jobs, "
+                    "poll or stream stage progress, fetch reports and "
+                    "telemetry, probe pool/cache health.  Identical "
+                    "in-flight requests coalesce onto one computation; "
+                    "warm fingerprints answer from the artifact store.",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8787,
+                       help="bind port; 0 picks an ephemeral port "
+                            "(default 8787)")
+    serve.add_argument("--queue-depth", type=int, default=None,
+                       help="pending-job bound; submits beyond it get a "
+                            "typed 503 (default 64)")
+    serve.add_argument("--jobs", type=int, default=1,
+                       help="worker processes per job (default 1)")
+    serve.add_argument("--cache-dir", default=None,
+                       help="artifact cache directory (default: "
+                            "$THREADFUSER_CACHE_DIR or ~/.cache/threadfuser)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="disable the on-disk artifact cache (loses the "
+                            "store-warm fast path across restarts)")
+    serve.add_argument("--engine", default=None,
+                       choices=("compiled", "interp"),
+                       help="execution engine for the trace stage")
+    serve.add_argument("--no-memo", action="store_true",
+                       help="disable warp-replay memoization")
+    serve.add_argument("--pool", default="shared",
+                       choices=("shared", "fork"),
+                       help="parallel substrate for --jobs (default shared)")
+
     pool = sub.add_parser("pool", help="persistent worker-pool diagnostics")
     pool_sub = pool.add_subparsers(dest="pool_command", required=True)
     pool_info = pool_sub.add_parser(
@@ -429,6 +464,20 @@ def _cmd_pool(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from . import serve as serve_mod
+
+    session = _session_from_args(args)
+    server = serve_mod.AnalysisServer(
+        session=session, host=args.host, port=args.port,
+        queue_depth=args.queue_depth or serve_mod.DEFAULT_QUEUE_DEPTH,
+    )
+    try:
+        return serve_mod.run_server(server)
+    finally:
+        session.close()
+
+
 _COMMANDS = {
     "list": _cmd_list,
     "analyze": _cmd_analyze,
@@ -439,6 +488,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "cache": _cmd_cache,
     "pool": _cmd_pool,
+    "serve": _cmd_serve,
 }
 
 

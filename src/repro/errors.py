@@ -55,6 +55,28 @@ class ReproError(Exception):
         self.site = site
         self.hint = hint
 
+    def payload(self) -> dict:
+        """The error as a JSON-safe document.
+
+        Returns ``{"type", "message", "site", "hint"}`` -- the shape
+        the serving layer (:mod:`repro.serve`) puts in the body of
+        typed 5xx responses, carrying the same fields the CLI prints.
+        ``site`` falls back to the first site found on the
+        ``__cause__`` chain, so a :class:`RetryExhaustedError` that
+        wraps transient IO failures still names ``io.transient``.
+        """
+        site = self.site
+        cause = self.__cause__
+        while site is None and cause is not None:
+            site = getattr(cause, "site", None)
+            cause = getattr(cause, "__cause__", None)
+        return {
+            "type": type(self).__name__,
+            "message": str(self),
+            "site": site,
+            "hint": self.hint,
+        }
+
 
 class ArtifactCorruptError(ReproError):
     """A stored artifact's payload failed its sha256 checksum (or its

@@ -369,12 +369,16 @@ class RetryPolicy:
 
 
 def call_with_retry(fn, *, policy: RetryPolicy, label: str,
-                    on_retry=None):
+                    on_retry=None, site: Optional[str] = None):
     """Run ``fn()`` under ``policy``; non-retryable errors propagate.
 
     ``on_retry(attempt, exc)`` is called before each backoff sleep.
     When every attempt fails retryably, raises
-    :class:`RetryExhaustedError` chained to the last error.
+    :class:`RetryExhaustedError` chained to the last error; ``site``,
+    when given, names the fault site (see :data:`FAULT_SITES`) the
+    retried operation belongs to and is carried on the raised error so
+    downstream consumers (CLI, serving layer) can surface *where* the
+    transient failures happened.
     """
     last: Optional[BaseException] = None
     for attempt in range(max(1, policy.attempts)):
@@ -391,6 +395,7 @@ def call_with_retry(fn, *, policy: RetryPolicy, label: str,
     raise RetryExhaustedError(
         f"{label}: {policy.attempts} attempts failed "
         f"(last: {type(last).__name__}: {last})",
+        site=site,
         hint="transient failures persisted past backoff; check disk/"
              "process health, then rerun (cached stages are preserved)",
     ) from last

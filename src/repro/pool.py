@@ -662,6 +662,7 @@ class WorkerPool:
         self._slots = []
 
     def workers_alive(self) -> int:
+        """How many worker processes are currently alive (0..jobs)."""
         return sum(1 for slot in self._slots
                    if slot.process is not None and slot.process.is_alive())
 
@@ -710,10 +711,13 @@ class WorkerPool:
         -- aborts the batch and re-raises here with the remote
         traceback as ``__cause__``.
 
-        ``arenas`` and ``state`` are pushed to each participating
-        worker before its first task unless the worker already holds
-        them; the active fault plan is re-broadcast every batch so
-        worker-side sites stay deterministic despite reuse.
+        ``stage_timeout`` is the per-task deadline in **seconds**
+        (``None``: wait forever); a worker that exceeds it is killed
+        and counted as a retryable failure.  ``arenas`` and ``state``
+        are pushed to each participating worker before its first task
+        unless the worker already holds them; the active fault plan is
+        re-broadcast every batch so worker-side sites stay
+        deterministic despite reuse.
         """
         if self.closed:
             raise OSError("worker pool is closed")
@@ -940,7 +944,11 @@ class WorkerPool:
         raise exc
 
     def ping(self, timeout: float = 5.0) -> List[int]:
-        """Round-trip every live worker; returns their pids."""
+        """Round-trip every live worker; returns their pids.
+
+        ``timeout`` is the per-worker reply deadline in **seconds**;
+        a worker that misses it is killed (and respawned on next use).
+        """
         pids = []
         for slot in self._slots:
             if slot.process is None:
@@ -1083,6 +1091,11 @@ class ForkOutcome:
     broken: bool = False
 
     def complete(self, n_items: int) -> bool:
+        """True when all ``n_items`` succeeded with no failures.
+
+        A ``False`` return means the caller must regenerate the
+        missing items on the serial fallback path.
+        """
         return (not self.broken and not self.worker_failures
                 and len(self.results) == n_items)
 
@@ -1108,8 +1121,9 @@ def fork_map(fn, items: Sequence, jobs: int, *,
     * ``state`` is exposed to the forked workers via
       :func:`fork_state` (inherited copy-on-write at fork time).
 
-    ``tokens`` (parallel to ``items``) are the ``pool.result`` fault
-    tokens; they default to the empty token.
+    ``stage_timeout`` is the per-item result deadline in **seconds**
+    (``None``: wait forever).  ``tokens`` (parallel to ``items``) are
+    the ``pool.result`` fault tokens; they default to the empty token.
     """
     global _FORK_STATE
     try:

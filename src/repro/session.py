@@ -319,6 +319,28 @@ class AnalysisSession:
             "exclude": list(instance.exclude),
         }
 
+    def report_fields(self, workload: str, n_threads: Optional[int] = None,
+                      seed: int = 7, opt_level: str = OPT_BASE,
+                      config: Optional[AnalyzerConfig] = None,
+                      machine_overrides: Optional[Dict] = None) -> Dict:
+        """The artifact fingerprint of one report-stage output.
+
+        The trace fingerprint (see :meth:`trace_fields`) extended with
+        the analyzer configuration: the full identity of an
+        :meth:`analyze` result.  ``config`` defaults to
+        :class:`AnalyzerConfig`'s defaults, matching :meth:`analyze`.
+        This is also the job identity of the serving layer
+        (:mod:`repro.serve`): two requests with equal report fields
+        are the same job.
+        """
+        config = config or AnalyzerConfig()
+        trace_fields = self.trace_fields(
+            workload, n_threads, seed, opt_level, machine_overrides
+        )
+        return dict(
+            trace_fields, kind=KIND_REPORT, analyzer=config.fingerprint()
+        )
+
     # -- stage: trace ----------------------------------------------------
 
     def trace(self, workload: str, n_threads: Optional[int] = None,
@@ -658,7 +680,8 @@ class AnalysisSession:
                 workload, n_threads, seed, opt_level, machine_overrides
             )
             report_fields = dict(
-                trace_fields, kind=KIND_REPORT, analyzer=config.fingerprint()
+                trace_fields, kind=KIND_REPORT,
+                analyzer=config.fingerprint()
             )
             key = fingerprint_key(report_fields)
             report = self._reports.get(key)

@@ -153,3 +153,43 @@ class TestMainExitCodes:
             pytest.skip("BENCH_scale.json not generated yet")
         assert bench_compare.main([bench, bench]) == 0
         capsys.readouterr()
+
+
+class TestListMetrics:
+    def test_lists_keys_with_directions(self, tmp_path, capsys):
+        path = _write(tmp_path, "bench.json", {
+            "run_s": 1.25, "rate_ips": 40.0, "threads": 8})
+        assert bench_compare.main(["--list-metrics", path]) == 0
+        out = capsys.readouterr().out
+        assert "3 tracked metric(s)" in out
+        assert "lower-is-better  run_s = 1.25" in out
+        assert "higher-is-better rate_ips = 40" in out
+        assert "neutral          threads = 8" in out
+
+    def test_accepts_two_files(self, tmp_path, capsys):
+        a = _write(tmp_path, "a.json", {"run_s": 1.0})
+        b = _write(tmp_path, "b.json", {"run_s": 2.0})
+        assert bench_compare.main(["--list-metrics", a, b]) == 0
+        out = capsys.readouterr().out
+        assert out.count("tracked metric(s)") == 2
+
+    def test_unreadable_file_exits_two(self, tmp_path, capsys):
+        missing = str(tmp_path / "missing.json")
+        assert bench_compare.main(["--list-metrics", missing]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_without_files_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            bench_compare.main(["--list-metrics"])
+        assert err.value.code == 2
+        capsys.readouterr()
+
+    def test_real_serve_bench_lists_clean(self, capsys):
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        bench = os.path.join(root, "BENCH_serve.json")
+        if not os.path.exists(bench):
+            pytest.skip("BENCH_serve.json not generated yet")
+        assert bench_compare.main(["--list-metrics", bench]) == 0
+        out = capsys.readouterr().out
+        assert "serve.throughput_ips" in out
+        assert "serve.coalesce_hit_rate" in out

@@ -1,0 +1,451 @@
+"""The serving layer (``repro.serve``): the ISSUE 7 contracts.
+
+* **Coalescing** -- N concurrent identical submits share one job id
+  and trigger exactly one underlying analysis.
+* **Warm fast path** -- a finished fingerprint answers instantly from
+  the job registry; across a server restart the artifact store answers
+  with zero machine executions.
+* **Backpressure** -- a full bounded queue rejects submits with a
+  typed 503 (``QueueSaturated``), never by crashing or queueing
+  unboundedly.
+* **Typed errors** -- 4xx for request mistakes (unknown workload/job,
+  malformed bodies, wrong methods), 5xx carrying the
+  :class:`~repro.errors.ReproError` type/site/hint for pipeline
+  failures.
+* **Fault smoke** -- an injected ``io.transient`` storm surfaces as a
+  5xx naming its site, never as a wrong report; after the storm the
+  same fingerprint analyzes cleanly.
+
+All tests drive a real server over real HTTP (an in-process
+:func:`repro.serve.start_in_background` instance).
+"""
+
+import http.client
+import importlib.util
+import json
+import os
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import faults
+from repro.errors import ReproError, RetryExhaustedError, StageTimeoutError
+from repro.serve import (
+    AnalysisServer,
+    JobSpec,
+    ServeError,
+    error_payload,
+    start_in_background,
+)
+from repro.session import AnalysisSession
+
+_TOOL = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "tools", "serve_load.py")
+_spec = importlib.util.spec_from_file_location("serve_load", _TOOL)
+serve_load = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(serve_load)
+
+WORKLOAD = "vectoradd"
+SPEC = {"workload": WORKLOAD, "n_threads": 8}
+
+
+def _get(url, path):
+    try:
+        with urllib.request.urlopen(url + path) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _post(url, path, body, raw=None):
+    data = raw if raw is not None else json.dumps(body).encode()
+    request = urllib.request.Request(
+        url + path, data=data, method="POST",
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _wait(url, job_id, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status, doc = _get(url, f"/v1/jobs/{job_id}")
+        assert status == 200, doc
+        if doc["status"] in ("done", "failed"):
+            return doc
+        time.sleep(0.01)
+    raise AssertionError(f"job {job_id[:12]} never finished")
+
+
+class GatedSession(AnalysisSession):
+    """A session whose ``analyze`` blocks until the test opens a gate.
+
+    Lets tests pin a job in the ``running`` state (to observe
+    coalescing and fill the queue) and count underlying analyzer
+    invocations.
+    """
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.gate = threading.Event()
+        self.analyze_calls = 0
+
+    def analyze(self, *args, **kwargs):
+        self.analyze_calls += 1
+        assert self.gate.wait(60.0), "test never opened the gate"
+        return super().analyze(*args, **kwargs)
+
+
+@pytest.fixture
+def server(tmp_path):
+    handle = start_in_background(cache_dir=str(tmp_path / "cache"), jobs=1)
+    yield handle
+    handle.close()
+
+
+@pytest.fixture
+def gated(tmp_path):
+    session = GatedSession(cache_dir=str(tmp_path / "cache"))
+    handle = start_in_background(session=session, queue_depth=1)
+    yield handle, session
+    session.gate.set()
+    handle.close()
+    session.close()
+
+
+class TestJobSpec:
+    def test_defaults_resolve_against_the_catalog(self):
+        spec = JobSpec.parse("analyze", {"workload": WORKLOAD})
+        assert spec.n_threads > 0
+        assert spec.warp_sizes == (32,)
+        assert spec.config().warp_size == 32
+
+    def test_equal_requests_share_one_key(self):
+        a = JobSpec.parse("analyze", {"workload": WORKLOAD, "seed": 7})
+        b = JobSpec.parse("analyze", {"workload": WORKLOAD})
+        assert a.key() == b.key()
+
+    @pytest.mark.parametrize("body,status", [
+        ({"workload": "no-such-workload"}, 404),
+        ({}, 400),
+        ({"workload": WORKLOAD, "n_threads": 0}, 400),
+        ({"workload": WORKLOAD, "n_threads": "many"}, 400),
+        ({"workload": WORKLOAD, "warp_size": True}, 400),
+        ({"workload": WORKLOAD, "opt_level": "O9"}, 400),
+        ({"workload": WORKLOAD, "batching": "zigzag"}, 400),
+    ])
+    def test_validation_maps_to_4xx(self, body, status):
+        with pytest.raises(ServeError) as err:
+            JobSpec.parse("analyze", body)
+        assert err.value.status == status
+
+    def test_sweep_warp_sizes_validated(self):
+        with pytest.raises(ServeError):
+            JobSpec.parse("sweep", {"workload": WORKLOAD,
+                                    "warp_sizes": []})
+        spec = JobSpec.parse("sweep", {"workload": WORKLOAD,
+                                       "warp_sizes": [8, 16]})
+        assert spec.warp_sizes == (8, 16)
+
+
+class TestErrorPayload:
+    def test_repro_error_carries_site_and_hint(self):
+        status, body = error_payload(
+            ReproError("boom", site="pool.worker", hint="replace it"))
+        assert status == 500
+        assert body["error"] == {
+            "type": "ReproError", "message": "boom",
+            "site": "pool.worker", "hint": "replace it",
+        }
+
+    def test_stage_timeout_maps_to_504(self):
+        status, _body = error_payload(StageTimeoutError("slow"))
+        assert status == 504
+
+    def test_site_recovered_from_cause_chain(self):
+        try:
+            try:
+                raise OSError("disk flake")
+            except OSError as inner:
+                raise RetryExhaustedError("gave up",
+                                          hint="rerun") from inner
+        except RetryExhaustedError as outer:
+            outer.__cause__.site = "io.transient"
+            _status, body = error_payload(outer)
+        assert body["error"]["site"] == "io.transient"
+
+    def test_serve_error_uses_its_own_status(self):
+        status, body = error_payload(
+            ServeError(503, "full", kind="QueueSaturated", hint="wait"))
+        assert status == 503
+        assert body["error"]["type"] == "QueueSaturated"
+
+
+class TestHttpSurface:
+    def test_banner_health_and_catalog(self, server):
+        status, banner = _get(server.url, "/")
+        assert status == 200
+        assert "POST /v1/analyze" in banner["endpoints"]
+        status, health = _get(server.url, "/v1/health")
+        assert status == 200
+        assert health["status"] == "ok"
+        assert health["queue"]["depth"] >= 1
+        status, catalog = _get(server.url, "/v1/workloads")
+        assert status == 200
+        assert WORKLOAD in {w["name"] for w in catalog["workloads"]}
+
+    def test_analyze_roundtrip_report_and_telemetry(self, server):
+        status, doc = _post(server.url, "/v1/analyze", SPEC)
+        assert status == 202 and doc["status"] == "queued"
+        done = _wait(server.url, doc["job_id"])
+        assert done["status"] == "done"
+        assert done["executions"] == 1
+        assert {s["stage"] for s in done["stages"]} >= {
+            "build", "trace", "prepare", "replay"}
+        status, report = _get(server.url,
+                              f"/v1/jobs/{doc['job_id']}/report")
+        assert status == 200
+        assert report["report"]["workload"] == WORKLOAD
+        assert 0.0 < report["report"]["simt_efficiency"] <= 1.0
+        status, tele = _get(server.url,
+                            f"/v1/jobs/{doc['job_id']}/telemetry")
+        assert status == 200
+        assert "session.executions" in tele["telemetry"]["counters"]
+
+    def test_sweep_returns_per_width_reports(self, server):
+        status, doc = _post(server.url, "/v1/sweep",
+                            dict(SPEC, warp_sizes=[4, 8]))
+        assert status == 202
+        _wait(server.url, doc["job_id"])
+        status, report = _get(server.url,
+                              f"/v1/jobs/{doc['job_id']}/report")
+        assert status == 200
+        assert set(report["reports"]) == {"4", "8"}
+
+    def test_typed_request_errors(self, server):
+        status, body = _post(server.url, "/v1/analyze",
+                             {"workload": "no-such-workload"})
+        assert (status, body["error"]["type"]) == (404, "UnknownWorkload")
+        status, body = _post(server.url, "/v1/analyze", None,
+                             raw=b"{not json")
+        assert (status, body["error"]["type"]) == (400, "BadRequest")
+        status, body = _get(server.url, "/v1/jobs/deadbeef")
+        assert (status, body["error"]["type"]) == (404, "UnknownJob")
+        status, body = _get(server.url, "/v1/nope")
+        assert status == 404
+        request = urllib.request.Request(
+            server.url + "/v1/health", method="DELETE")
+        try:
+            urllib.request.urlopen(request)
+            raise AssertionError("DELETE should be rejected")
+        except urllib.error.HTTPError as exc:
+            assert exc.code == 405
+
+    def test_registry_warm_resubmit_is_instant(self, server):
+        _status, doc = _post(server.url, "/v1/analyze", SPEC)
+        _wait(server.url, doc["job_id"])
+        t0 = time.perf_counter()
+        status, again = _post(server.url, "/v1/analyze", SPEC)
+        warm_s = time.perf_counter() - t0
+        assert status == 200
+        assert again["status"] == "done"
+        assert again["job_id"] == doc["job_id"]
+        assert warm_s < 1.0
+        _status, health = _get(server.url, "/v1/health")
+        assert health["requests"]["warm_hits"] >= 1
+        assert health["coalesce_hit_rate"] > 0.0
+
+
+class TestWarmAcrossRestart:
+    def test_store_warm_fingerprint_runs_zero_executions(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        first = start_in_background(cache_dir=cache)
+        try:
+            _status, doc = _post(first.url, "/v1/analyze", SPEC)
+            done = _wait(first.url, doc["job_id"])
+            assert done["executions"] == 1
+        finally:
+            first.close()
+
+        second = start_in_background(cache_dir=cache)
+        try:
+            status, doc2 = _post(second.url, "/v1/analyze", SPEC)
+            assert status == 202
+            assert doc2["job_id"] == doc["job_id"]
+            assert doc2["warm"] is True
+            done = _wait(second.url, doc2["job_id"])
+            assert done["status"] == "done"
+            assert done["executions"] == 0
+            assert second.server.session.executions == 0
+        finally:
+            second.close()
+
+
+class TestCoalescing:
+    def test_identical_concurrent_submits_run_one_analysis(self, gated):
+        handle, session = gated
+        clients = 5
+        results = [None] * clients
+        barrier = threading.Barrier(clients)
+
+        def submit(slot):
+            barrier.wait()
+            results[slot] = _post(handle.url, "/v1/analyze", SPEC)
+
+        threads = [threading.Thread(target=submit, args=(slot,))
+                   for slot in range(clients)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        job_ids = {doc["job_id"] for _status, doc in results}
+        assert len(job_ids) == 1
+        coalesced = [doc for _status, doc in results if doc["coalesced"]]
+        assert len(coalesced) == clients - 1
+        # A coalesced waiter cannot fetch a report early.
+        job_id = job_ids.pop()
+        status, body = _get(handle.url, f"/v1/jobs/{job_id}/report")
+        assert (status, body["error"]["type"]) == (409, "NotFinished")
+
+        session.gate.set()
+        done = _wait(handle.url, job_id)
+        assert done["status"] == "done"
+        assert session.analyze_calls == 1
+        assert session.executions == 1
+
+    def test_queue_saturation_returns_typed_503(self, gated):
+        handle, session = gated  # queue_depth=1
+
+        _status, first = _post(handle.url, "/v1/analyze", SPEC)
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            _s, doc = _get(handle.url, f"/v1/jobs/{first['job_id']}")
+            if doc["status"] == "running":
+                break
+            time.sleep(0.01)
+        assert doc["status"] == "running"
+
+        status, second = _post(handle.url, "/v1/analyze",
+                               dict(SPEC, seed=11))
+        assert status == 202
+
+        status, rejected = _post(handle.url, "/v1/analyze",
+                                 dict(SPEC, seed=12))
+        assert status == 503
+        assert rejected["error"]["type"] == "QueueSaturated"
+        assert "queue-depth" in rejected["error"]["hint"]
+        _status, health = _get(handle.url, "/v1/health")
+        assert health["requests"]["rejected"] == 1
+
+        session.gate.set()
+        _wait(handle.url, first["job_id"])
+        _wait(handle.url, second["job_id"])
+        status, retried = _post(handle.url, "/v1/analyze",
+                                dict(SPEC, seed=12))
+        assert status == 202
+        assert _wait(handle.url, retried["job_id"])["status"] == "done"
+
+
+class TestFaultSmoke:
+    def test_io_transient_storm_fails_typed_then_recovers(self, tmp_path):
+        handle = start_in_background(cache_dir=str(tmp_path / "cache"))
+        plan = faults.FaultPlan([faults.FaultSpec(
+            site="io.transient", kind="raise", at=1, count=100)])
+        try:
+            faults.install(plan)
+            _status, doc = _post(handle.url, "/v1/analyze", SPEC)
+            failed = _wait(handle.url, doc["job_id"])
+            assert failed["status"] == "failed"
+            assert failed["error"]["type"] == "RetryExhaustedError"
+            assert failed["error"]["site"] == "io.transient"
+            assert failed["error"]["hint"]
+            status, body = _get(handle.url,
+                                f"/v1/jobs/{doc['job_id']}/report")
+            assert status == 500
+            assert body["error"]["site"] == "io.transient"
+        finally:
+            faults.reset()
+
+        # The storm over, the same fingerprint analyzes cleanly: a
+        # failed job is replaced, never served as a wrong report.
+        _status, retry = _post(handle.url, "/v1/analyze", SPEC)
+        assert retry["status"] == "queued"
+        done = _wait(handle.url, retry["job_id"])
+        assert done["status"] == "done"
+        status, body = _get(handle.url,
+                            f"/v1/jobs/{retry['job_id']}/report")
+        assert status == 200
+        assert body["report"]["simt_efficiency"] > 0.0
+        handle.close()
+
+
+class TestEventsStream:
+    def test_stream_follows_job_to_completion(self, gated):
+        handle, session = gated
+        _status, doc = _post(handle.url, "/v1/analyze", SPEC)
+        host, port = handle.url.rsplit("//", 1)[1].split(":")
+        conn = http.client.HTTPConnection(host, int(port), timeout=60.0)
+        conn.request("GET", f"/v1/jobs/{doc['job_id']}/events")
+
+        def release():
+            time.sleep(0.2)
+            session.gate.set()
+
+        threading.Thread(target=release).start()
+        response = conn.getresponse()
+        assert response.status == 200
+        assert response.getheader("Content-Type") == "application/x-ndjson"
+        lines = [json.loads(line)
+                 for line in response.read().decode().splitlines()]
+        conn.close()
+        assert lines, "stream emitted nothing"
+        assert lines[-1]["status"] == "done"
+        statuses = [snap["status"] for snap in lines]
+        assert statuses == sorted(
+            statuses, key=["queued", "running", "done"].index)
+        assert any(snap["stage"] for snap in lines)
+
+
+class TestServeLoadTool:
+    def test_smoke_run_against_live_server(self, server, tmp_path):
+        out = str(tmp_path / "serve_load.json")
+        code = serve_load.main(["--url", server.url, "--smoke",
+                                "--out", out])
+        assert code == 0
+        with open(out) as fh:
+            metrics = json.load(fh)["serve_load"]
+        for key in ("throughput_ips", "cold_p50_s", "warm_p50_s",
+                    "coalesce_hit_rate", "burst_analyses"):
+            assert key in metrics
+        assert metrics["burst_analyses"] <= 1
+
+
+class TestCli:
+    def test_serve_subcommand_is_registered(self):
+        from repro import cli
+
+        args = cli._build_parser().parse_args(
+            ["serve", "--port", "0", "--queue-depth", "8", "--jobs", "2"])
+        assert args.command == "serve"
+        assert args.queue_depth == 8
+        assert cli._COMMANDS["serve"] is cli._cmd_serve
+
+    def test_run_server_prints_parseable_url(self, capsys):
+        server = AnalysisServer(cache_dir=None)
+
+        async def boot_and_stop():
+            await server.start()
+            print(f"SERVE_URL={server.url}", flush=True)
+            await server.stop()
+
+        import asyncio
+        asyncio.run(boot_and_stop())
+        out = capsys.readouterr().out
+        assert f"SERVE_URL=http://{server.host}:{server.port}" in out

@@ -15,13 +15,25 @@ Usage::
 
     python tools/bench_compare.py BASELINE.json CURRENT.json \
         [--max-regression PCT] [--quiet]
+    python tools/bench_compare.py --list-metrics BENCH.json [...]
 
-Exit status 1 when any directional metric regresses by more than
-``--max-regression`` percent (default 10), else 0.  A missing,
-unreadable, or malformed input file is reported on stderr and exits 2
-(distinct from "regression found" for scripting).  Keys present in only
-one file are reported but never fatal, so workloads can be added or
-retired without breaking the comparison.
+Exit-code contract (stable for scripting/CI):
+
+* **0** -- comparison ran and no directional metric regressed beyond
+  ``--max-regression`` percent (default 10); also the
+  ``--list-metrics`` success path;
+* **1** -- the comparison ran and at least one directional metric
+  regressed beyond the threshold;
+* **2** -- an input file is missing, unreadable, or malformed JSON
+  (reported on stderr; distinct from "regression found").
+
+Keys present in only one file are reported but never fatal, so
+workloads can be added or retired without breaking the comparison.
+
+``--list-metrics`` prints every tracked (flattened) metric of the given
+file(s) with its inferred direction instead of comparing -- the
+documentation enumerates tracked metrics through this flag rather than
+hand-maintained tables.
 """
 
 import argparse
@@ -88,32 +100,68 @@ def compare(baseline, current, max_regression):
     return lines, regressions
 
 
+def list_metrics(paths):
+    """Print every flattened metric of ``paths`` with its direction.
+
+    Returns the exit code: 0, or 2 when a file is unreadable
+    (matching the contract in the module docstring).
+    """
+    labels = {-1: "lower-is-better", 1: "higher-is-better", 0: "neutral"}
+    for path in paths:
+        flat = _load(path)
+        if flat is None:
+            return 2
+        print(f"{path}: {len(flat)} tracked metric(s)")
+        for key in sorted(flat):
+            print(f"  {labels[direction(key)]:<16} {key} = {flat[key]:g}")
+    return 0
+
+
+def _load(path):
+    try:
+        with open(path) as fh:
+            return flatten(json.load(fh))
+    except OSError as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+    except json.JSONDecodeError as exc:
+        print(f"error: {path} is not valid JSON: {exc}",
+              file=sys.stderr)
+    return None
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
-        description="Diff two BENCH_*.json files; fail on regressions.")
-    parser.add_argument("baseline", help="baseline BENCH_*.json")
-    parser.add_argument("current", help="current BENCH_*.json")
+        description="Diff two BENCH_*.json files; fail on regressions.",
+        epilog="Exit codes: 0 no regression (or --list-metrics ok); "
+               "1 a directional metric regressed beyond --max-regression; "
+               "2 missing/unreadable/malformed input.")
+    parser.add_argument("baseline", nargs="?", default=None,
+                        help="baseline BENCH_*.json")
+    parser.add_argument("current", nargs="?", default=None,
+                        help="current BENCH_*.json")
     parser.add_argument("--max-regression", type=float, default=10.0,
                         metavar="PCT",
                         help="tolerated per-metric regression in percent "
                              "(default: %(default)s)")
     parser.add_argument("--quiet", action="store_true",
                         help="print only regressions")
+    parser.add_argument("--list-metrics", action="store_true",
+                        help="list the tracked metrics (with inferred "
+                             "direction) of the given file(s) instead of "
+                             "comparing")
     args = parser.parse_args(argv)
 
-    def load(path):
-        try:
-            with open(path) as fh:
-                return flatten(json.load(fh))
-        except OSError as exc:
-            print(f"error: cannot read {path}: {exc}", file=sys.stderr)
-        except json.JSONDecodeError as exc:
-            print(f"error: {path} is not valid JSON: {exc}",
-                  file=sys.stderr)
-        return None
+    if args.list_metrics:
+        paths = [p for p in (args.baseline, args.current) if p]
+        if not paths:
+            parser.error("--list-metrics needs at least one BENCH file")
+        return list_metrics(paths)
+    if args.baseline is None or args.current is None:
+        parser.error("need BASELINE.json and CURRENT.json "
+                     "(or --list-metrics FILE)")
 
-    baseline = load(args.baseline)
-    current = load(args.current)
+    baseline = _load(args.baseline)
+    current = _load(args.current)
     if baseline is None or current is None:
         return 2
 

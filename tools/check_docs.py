@@ -7,17 +7,29 @@ and runs it, so examples can never drift from the shipped package:
 * ``python`` fences run via :func:`exec`, each in a fresh namespace,
   with the CWD set to a scratch directory.
 * ``bash`` fences run line by line; every line must start with
-  ``threadfuser``, which is rewritten to ``<this interpreter> -m
-  repro`` so the check does not depend on the console script being on
-  PATH.
+  ``threadfuser`` (rewritten to ``<this interpreter> -m repro`` so the
+  check does not depend on the console script being on PATH) or
+  ``python tools/`` (run from the repo root, so fences can demonstrate
+  the repo's own tooling).
 
 Other fence languages (``text``, ``json``, ...) are ignored.
 
+Beyond the fences, two API-hygiene audits run over the serving and
+pool layers (the newest public surfaces):
+
+* every ``__all__`` symbol of ``repro.serve`` and ``repro.pool`` --
+  and every public method of the public classes among them -- must
+  have a docstring;
+* every ``__all__`` symbol of ``repro.serve`` must be mentioned in
+  ``docs/API.md``.
+
 Usage: python tools/check_docs.py [doc.md ...]
-Defaults to docs/OBSERVABILITY.md, docs/PERFORMANCE.md, and
-docs/ROBUSTNESS.md.
+Defaults to docs/OBSERVABILITY.md, docs/PERFORMANCE.md,
+docs/ROBUSTNESS.md, docs/SERVING.md, and docs/ARCHITECTURE.md.
+Passing explicit documents skips the API audits (fences only).
 """
 
+import inspect
 import os
 import re
 import subprocess
@@ -29,7 +41,15 @@ DEFAULT_DOCS = [
     os.path.join(REPO, "docs", "OBSERVABILITY.md"),
     os.path.join(REPO, "docs", "PERFORMANCE.md"),
     os.path.join(REPO, "docs", "ROBUSTNESS.md"),
+    os.path.join(REPO, "docs", "SERVING.md"),
+    os.path.join(REPO, "docs", "ARCHITECTURE.md"),
 ]
+
+#: Modules whose public surface must be fully docstringed.
+DOCSTRING_MODULES = ["repro.serve", "repro.pool"]
+
+#: Modules whose public surface must be mentioned in docs/API.md.
+API_DOC_MODULES = ["repro.serve"]
 
 FENCE_RE = re.compile(
     r"^```(\w+)[^\n]*\n(.*?)^```\s*$", re.MULTILINE | re.DOTALL
@@ -55,13 +75,22 @@ def run_bash(code, label):
         line = raw.strip()
         if not line or line.startswith("#"):
             continue
-        if not line.startswith("threadfuser"):
+        if line.startswith("threadfuser"):
+            argv = [sys.executable, "-m", "repro"] + line.split()[1:]
+            subprocess.run(argv, check=True, stdout=subprocess.DEVNULL)
+        elif line.startswith("python tools/"):
+            argv = [sys.executable] + [
+                os.path.join(REPO, part) if part.startswith("tools/")
+                else part
+                for part in line.split()[1:]
+            ]
+            subprocess.run(argv, check=True, cwd=REPO,
+                           stdout=subprocess.DEVNULL)
+        else:
             raise SystemExit(
-                f"{label}: only 'threadfuser ...' lines are runnable in "
-                f"bash fences, got: {line!r}"
+                f"{label}: only 'threadfuser ...' and 'python tools/...' "
+                f"lines are runnable in bash fences, got: {line!r}"
             )
-        argv = [sys.executable, "-m", "repro"] + line.split()[1:]
-        subprocess.run(argv, check=True, stdout=subprocess.DEVNULL)
 
 
 def check_document(path):
@@ -85,6 +114,75 @@ def check_document(path):
     return n_run, failures
 
 
+def _missing_docstrings(module):
+    """Public ``__all__`` symbols (and their public methods) lacking docs."""
+    missing = []
+    for name in getattr(module, "__all__", []):
+        obj = getattr(module, name, None)
+        if obj is None or not callable(obj):
+            # Constants document themselves through API.md and comments.
+            continue
+        if not inspect.getdoc(obj):
+            missing.append(f"{module.__name__}.{name}")
+        if inspect.isclass(obj):
+            for attr, member in vars(obj).items():
+                if attr.startswith("_"):
+                    continue
+                fn = member
+                if isinstance(member, (staticmethod, classmethod)):
+                    fn = member.__func__
+                elif isinstance(member, property):
+                    fn = member.fget
+                if not callable(fn):
+                    continue
+                if not inspect.getdoc(fn):
+                    missing.append(f"{module.__name__}.{name}.{attr}")
+    return missing
+
+
+def check_docstrings():
+    """Audit :data:`DOCSTRING_MODULES`; returns (n_checked, failures)."""
+    import importlib
+
+    failures = 0
+    checked = 0
+    for module_name in DOCSTRING_MODULES:
+        checked += 1
+        module = importlib.import_module(module_name)
+        missing = _missing_docstrings(module)
+        if missing:
+            failures += 1
+            print(f"FAIL docstrings {module_name}: missing on "
+                  + ", ".join(missing))
+        else:
+            print(f"ok   docstrings {module_name} "
+                  f"({len(getattr(module, '__all__', []))} public symbols)")
+    return checked, failures
+
+
+def check_api_coverage():
+    """Every public serve symbol appears in docs/API.md."""
+    import importlib
+
+    api_path = os.path.join(REPO, "docs", "API.md")
+    with open(api_path, "r", encoding="utf-8") as inp:
+        api_text = inp.read()
+    failures = 0
+    checked = 0
+    for module_name in API_DOC_MODULES:
+        checked += 1
+        module = importlib.import_module(module_name)
+        missing = [name for name in getattr(module, "__all__", [])
+                   if name not in api_text]
+        if missing:
+            failures += 1
+            print(f"FAIL api-coverage {module_name}: not in docs/API.md: "
+                  + ", ".join(missing))
+        else:
+            print(f"ok   api-coverage {module_name} in docs/API.md")
+    return checked, failures
+
+
 def main(argv):
     docs = argv or DEFAULT_DOCS
     sys.path.insert(0, os.path.join(REPO, "src"))
@@ -104,7 +202,14 @@ def main(argv):
             total += n_run
             failed += failures
         os.chdir(REPO)
-    print(f"{total - failed}/{total} fences passed")
+    if not argv:
+        n, f = check_docstrings()
+        total += n
+        failed += f
+        n, f = check_api_coverage()
+        total += n
+        failed += f
+    print(f"{total - failed}/{total} checks passed")
     return 1 if failed else 0
 
 
