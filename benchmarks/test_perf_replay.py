@@ -1,12 +1,19 @@
-"""Analyzer replay throughput: packed columnar replay vs seed replay.
+"""Analyzer replay throughput: seed vs packed vs vectorized replay.
 
-Measures analyze-side wall clock for both replay engines -- the seed
-tuple replayer (``packed=False, memo=False``) against the full packed
-pipeline (columnar cursors, batched converged runs, DCFG scan dedup,
-signature-keyed warp memoization) -- over the five core workloads, plus
-a synthetic replicated-lane workload that exercises the warp-memo fast
-path directly.  Results go to ``benchmarks/results/perf_replay.txt``
-and the machine-readable ``BENCH_replay.json`` at the repo root.
+Measures analyze-side wall clock for three replay engines -- the seed
+tuple replayer (``packed=False, memo=False``), the packed pipeline
+(columnar cursors, batched converged runs, DCFG scan dedup,
+signature-keyed warp memoization) with ``vector=False``, and the
+vectorized bulk-span replayer on top of it -- over the five core
+workloads, plus a synthetic replicated-lane workload that exercises the
+warp-memo fast path directly.  Results go to
+``benchmarks/results/perf_replay.txt`` and the machine-readable
+``BENCH_replay.json`` at the repo root.
+
+The packed and vectorized analyzers run in alternating order within
+each round: they are the close pair whose ratio gates acceptance, and
+interleaving cancels slow drift (thermal, cache warmup) that a
+measure-all-of-A-then-all-of-B loop folds into the ratio.
 
 One-time trace *packing* is timed separately (``pack_s``): it is paid
 once per trace set and shared by every subsequent analysis, so folding
@@ -15,9 +22,9 @@ it into per-analysis replay time would misstate both.
 Two modes:
 
 * full (default): five workloads at 64 threads, best-of-3; asserts the
-  acceptance target -- packed replay >= 1.5x geomean over seed replay
-  -- and bit-identical reports between the two engines and between
-  memo on/off.
+  acceptance targets -- packed replay >= 1.5x geomean over seed replay
+  and vectorized replay >= 1.4x geomean over packed replay -- and
+  bit-identical reports across all three engines and memo on/off.
 * smoke (``THREADFUSER_PERF_SMOKE=1``): one small workload, best-of-2,
   with deliberately generous floors -- a CI canary against massive
   regressions, not a precision measurement.
@@ -30,6 +37,7 @@ import time
 
 from conftest import emit, run_once
 
+from repro.core import vector
 from repro.core.analyzer import AnalyzerConfig, ThreadFuserAnalyzer
 from repro.obs import Recorder
 from repro.tracer.events import TraceSet
@@ -47,9 +55,18 @@ ROUNDS = 2 if SMOKE else 3
 #: Full-mode acceptance: the packed replay pipeline's reason to exist.
 FULL_MIN_GEOMEAN_SPEEDUP = 1.5
 
+#: Full-mode acceptance for the vectorized bulk-span path, measured
+#: against the packed pipeline it extends (not against seed replay).
+FULL_MIN_GEOMEAN_VECTOR = 1.4
+
 #: Smoke floor: packed replay must not be drastically slower than seed
 #: replay.  Measured speedups are ~2x; only a broken fast path trips it.
 SMOKE_MIN_SPEEDUP = 0.6
+
+#: Smoke floor for vector-over-packed: deliberately below 1.0 -- smoke
+#: hardware is noisy and the smoke workload tiny; this only catches a
+#: catastrophically broken bulk path.
+SMOKE_MIN_VECTOR_SPEEDUP = 0.5
 
 
 def _canonical(report):
@@ -69,6 +86,21 @@ def _best(analyzer, traces):
         report = analyzer.analyze(traces)
         best = min(best, time.perf_counter() - t0)
     return best, report
+
+
+def _best_pair(first, second, traces):
+    """Best-of-ROUNDS for two analyzers, alternating order each round."""
+    bests = {id(first): float("inf"), id(second): float("inf")}
+    reports = {}
+    for round_no in range(ROUNDS):
+        order = (first, second) if round_no % 2 == 0 else (second, first)
+        for analyzer in order:
+            t0 = time.perf_counter()
+            reports[id(analyzer)] = analyzer.analyze(traces)
+            bests[id(analyzer)] = min(bests[id(analyzer)],
+                                      time.perf_counter() - t0)
+    return ((bests[id(first)], reports[id(first)]),
+            (bests[id(second)], reports[id(second)]))
 
 
 def _replicated_traces(n_threads):
@@ -99,28 +131,36 @@ def _measure(name, traces):
         thread.packed()
     pack_s = time.perf_counter() - t0
 
+    packed = ThreadFuserAnalyzer(cfg, vector=False)
     recorder = Recorder()
-    fast = ThreadFuserAnalyzer(cfg, recorder=recorder)
-    fast_s, fast_report = _best(fast, traces)
+    vectorized = ThreadFuserAnalyzer(cfg, recorder=recorder)
+    ((packed_s, packed_report),
+     (vector_s, vector_report)) = _best_pair(packed, vectorized, traces)
     nomemo_report = ThreadFuserAnalyzer(cfg, memo=False).analyze(traces)
 
-    # Bit-identical acceptance: packed+memo replay is an invisible
-    # optimization, with or without memoization.
-    assert _canonical(fast_report) == _canonical(seed_report), name
+    # Bit-identical acceptance: packed, vectorized, and memo replay are
+    # invisible optimizations, in any combination.
+    assert _canonical(packed_report) == _canonical(seed_report), name
+    assert _canonical(vector_report) == _canonical(seed_report), name
     assert _canonical(nomemo_report) == _canonical(seed_report), name
 
     gauges = recorder.telemetry().gauges
     lookups = gauges.get("memo.warp_lookups", 0)
     hits = gauges.get("memo.warp_hits", 0)
-    instructions = fast_report.metrics.thread_instructions
+    instructions = vector_report.metrics.thread_instructions
     return {
         "thread_instructions": instructions,
         "seed_replay_s": seed_s,
-        "packed_replay_s": fast_s,
+        "packed_replay_s": packed_s,
+        "vector_replay_s": vector_s,
         "pack_s": pack_s,
         "seed_ips": instructions / seed_s,
-        "packed_ips": instructions / fast_s,
-        "speedup": seed_s / fast_s,
+        "packed_ips": instructions / packed_s,
+        "vector_ips": instructions / vector_s,
+        "speedup": seed_s / packed_s,
+        "vector_speedup": packed_s / vector_s,
+        "vector_token_fraction": gauges.get(
+            "replay.vector_token_fraction", 0.0),
         "memo_lookups": lookups,
         "memo_hits": hits,
         "memo_hit_rate": hits / lookups if lookups else 0.0,
@@ -150,27 +190,34 @@ def test_replay_throughput(benchmark):
     rows = run_once(benchmark, experiment)
 
     lines = [
-        "Analyzer replay throughput (packed+memo vs seed tuple replay; "
+        "Analyzer replay throughput (seed vs packed vs vectorized; "
         f"{'smoke' if SMOKE else 'full'} mode, {N_THREADS} threads, "
-        f"warp {WARP_SIZE}, best of {ROUNDS})",
-        "{:<14} {:>11} {:>9} {:>9} {:>8} {:>8} {:>9}".format(
-            "workload", "thread-ins", "seed", "packed", "pack",
-            "spdup", "memo-hit"),
-        "{:<14} {:>11} {:>9} {:>9} {:>8} {:>8} {:>9}".format(
-            "", "", "ms", "ms", "ms", "", "rate"),
+        f"warp {WARP_SIZE}, best of {ROUNDS}, "
+        f"vector backend {vector.BACKEND})",
+        "{:<14} {:>11} {:>8} {:>8} {:>8} {:>7} {:>7} {:>7} {:>6} {:>5}"
+        .format("workload", "thread-ins", "seed", "packed", "vector",
+                "pack", "spdup", "vspdup", "vfrac", "memo"),
+        "{:<14} {:>11} {:>8} {:>8} {:>8} {:>7} {:>7} {:>7} {:>6} {:>5}"
+        .format("", "", "ms", "ms", "ms", "ms", "", "", "", "rate"),
     ]
     for name, r in rows.items():
         lines.append(
             f"{name:<14} {r['thread_instructions']:>11} "
-            f"{r['seed_replay_s'] * 1e3:>9.1f} "
-            f"{r['packed_replay_s'] * 1e3:>9.1f} "
-            f"{r['pack_s'] * 1e3:>8.1f} "
-            f"{r['speedup']:>7.2f}x "
-            f"{r['memo_hit_rate']:>9.2f}"
+            f"{r['seed_replay_s'] * 1e3:>8.1f} "
+            f"{r['packed_replay_s'] * 1e3:>8.1f} "
+            f"{r['vector_replay_s'] * 1e3:>8.1f} "
+            f"{r['pack_s'] * 1e3:>7.1f} "
+            f"{r['speedup']:>6.2f}x "
+            f"{r['vector_speedup']:>6.2f}x "
+            f"{r['vector_token_fraction']:>6.2f} "
+            f"{r['memo_hit_rate']:>5.2f}"
         )
     core = [rows[name]["speedup"] for name in WORKLOADS]
     geomean = _geomean(core)
-    lines.append(f"geomean speedup (core workloads): {geomean:.2f}x")
+    vector_geomean = _geomean(
+        [rows[name]["vector_speedup"] for name in WORKLOADS])
+    lines.append(f"geomean speedup (core workloads): {geomean:.2f}x "
+                 f"packed/seed, {vector_geomean:.2f}x vector/packed")
     emit("perf_replay_smoke" if SMOKE else "perf_replay",
          "\n".join(lines))
 
@@ -181,9 +228,12 @@ def test_replay_throughput(benchmark):
         "rounds": ROUNDS,
         "unit": "thread-instructions/second of analyze(), single process",
         "baseline": "seed replay (ThreadFuserAnalyzer(memo=False, "
-                    "packed=False))",
+                    "packed=False)); vector_speedup is measured against "
+                    "the packed pipeline (vector=False)",
+        "vector_backend": vector.BACKEND,
         "workloads": rows,
         "geomean_speedup": geomean,
+        "geomean_vector_speedup": vector_geomean,
     }
     if not SMOKE:
         root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -203,8 +253,18 @@ def test_replay_throughput(benchmark):
                 f"{name}: packed replay far below seed replay "
                 f"({rows[name]['speedup']:.2f}x)"
             )
+            assert (rows[name]["vector_speedup"]
+                    >= SMOKE_MIN_VECTOR_SPEEDUP), (
+                f"{name}: vectorized replay far below packed replay "
+                f"({rows[name]['vector_speedup']:.2f}x)"
+            )
     else:
         assert geomean >= FULL_MIN_GEOMEAN_SPEEDUP, (
             f"packed replay geomean speedup {geomean:.2f}x is below the "
             f"{FULL_MIN_GEOMEAN_SPEEDUP}x acceptance target"
+        )
+        assert vector_geomean >= FULL_MIN_GEOMEAN_VECTOR, (
+            f"vectorized replay geomean speedup {vector_geomean:.2f}x "
+            f"over packed replay is below the {FULL_MIN_GEOMEAN_VECTOR}x "
+            f"acceptance target"
         )

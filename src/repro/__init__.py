@@ -45,7 +45,7 @@ from .obs import Recorder, Telemetry
 from .pipeline import analyze_program, trace_program
 from .session import AnalysisSession
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "AnalyzerConfig",

@@ -71,6 +71,11 @@ def _add_session_options(parser: argparse.ArgumentParser) -> None:
                         help="disable warp-replay memoization (results are "
                              "bit-identical either way, see "
                              "docs/PERFORMANCE.md)")
+    parser.add_argument("--no-vector", action="store_true",
+                        help="disable vectorized bulk-span replay and fall "
+                             "back to the per-token packed replayer "
+                             "(results are bit-identical either way, see "
+                             "docs/PERFORMANCE.md)")
     parser.add_argument("--pool", default="shared",
                         choices=("shared", "fork"),
                         help="parallel substrate for --jobs: 'shared' "
@@ -90,6 +95,7 @@ def _session_from_args(args) -> AnalysisSession:
                            recorder=recorder,
                            engine=getattr(args, "engine", None),
                            memo=not getattr(args, "no_memo", False),
+                           vector=not getattr(args, "no_vector", False),
                            pool=getattr(args, "pool", "shared"))
 
 
@@ -243,6 +249,8 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="execution engine for the trace stage")
     serve.add_argument("--no-memo", action="store_true",
                        help="disable warp-replay memoization")
+    serve.add_argument("--no-vector", action="store_true",
+                       help="disable vectorized bulk-span replay")
     serve.add_argument("--pool", default="shared",
                        choices=("shared", "fork"),
                        help="parallel substrate for --jobs (default shared)")
@@ -442,6 +450,9 @@ def _cmd_pool(args) -> int:
     print(f"start method:   {info['start_method']}")
     print(f"shared memory:  "
           f"{'available' if info['shm_supported'] else 'unavailable'}")
+    print(f"vector backend: {info['vector_backend']} "
+          f"(numpy accelerator "
+          f"{'active' if info['numpy_accel'] else 'inactive'})")
     if "ping_pids" in info:
         pids = ", ".join(str(pid) for pid in info["ping_pids"])
         print(f"workers:        {info.get('workers', 0)} alive "

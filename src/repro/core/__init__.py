@@ -17,7 +17,12 @@ from .metrics import (
     WarpMetrics,
     transactions_for,
 )
-from .replay import PackedWarpReplayer, ReplayError, WarpReplayer
+from .replay import (
+    PackedWarpReplayer,
+    ReplayError,
+    VectorWarpReplayer,
+    WarpReplayer,
+)
 from .report import AnalysisReport, FunctionReport
 from .warp import POLICIES, form_warps
 
@@ -43,6 +48,7 @@ __all__ = [
     "transactions_for",
     "PackedWarpReplayer",
     "ReplayError",
+    "VectorWarpReplayer",
     "WarpReplayer",
     "AnalysisReport",
     "FunctionReport",

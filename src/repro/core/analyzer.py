@@ -31,7 +31,8 @@ from ..tracer.events import TraceSet
 from .dcfg import DCFGSet, build_dcfgs
 from .ipdom import compute_all_ipdoms
 from .metrics import AggregateMetrics, WarpMetrics
-from .replay import PackedWarpReplayer, WarpReplayer
+from . import vector as vector_mod
+from .replay import PackedWarpReplayer, VectorWarpReplayer, WarpReplayer
 from .report import AnalysisReport
 from .warp import form_warps
 
@@ -86,23 +87,30 @@ class ThreadFuserAnalyzer:
     the shared no-op recorder is used and instrumentation costs nothing
     beyond a no-op call per stage.
 
-    ``memo`` and ``packed`` are execution knobs like ``jobs`` (they never
-    change the result, so they stay out of :class:`AnalyzerConfig` and
-    its fingerprint): ``packed`` replays over the columnar
-    :class:`~repro.tracer.packed.PackedTrace` form with batched
-    converged-run accounting, ``memo`` reuses the metrics of an
+    ``memo``, ``packed``, and ``vector`` are execution knobs like
+    ``jobs`` (they never change the result, so they stay out of
+    :class:`AnalyzerConfig` and its fingerprint): ``packed`` replays
+    over the columnar :class:`~repro.tracer.packed.PackedTrace` form
+    with batched converged-run accounting, ``vector`` upgrades packed
+    replay to the bulk-span :class:`VectorWarpReplayer` (whole
+    converged spans per step, coalescing computed from whole column
+    slices by :mod:`repro.core.vector`; meaningless without
+    ``packed``), and ``memo`` reuses the metrics of an
     already-replayed warp when a later warp's ordered lane-signature
     tuple matches (a content-addressed cache over
-    :attr:`ThreadTrace.signature`).  Both default on; ``--no-memo``
-    surfaces them on the CLI.  Memo hit counts are exported as
-    ``memo.*`` telemetry *gauges*, never counters -- hits legitimately
-    differ between ``jobs=1`` and ``jobs=N`` (each shard memoizes
-    locally) while counters must stay bit-identical.
+    :attr:`ThreadTrace.signature`).  All default on; ``--no-memo`` and
+    ``--no-vector`` surface them on the CLI.  Memo hit counts and the
+    vectorized token fraction are exported as ``memo.*`` /
+    ``replay.vector_*`` telemetry *gauges*, never counters -- they
+    legitimately differ between ``jobs=1`` and ``jobs=N`` (each shard
+    memoizes locally; memo hits skip replays) while counters must stay
+    bit-identical.
     """
 
     def __init__(self, config: Optional[AnalyzerConfig] = None,
                  jobs: int = 1, recorder=None, memo: bool = True,
-                 packed: bool = True, pool: str = "shared",
+                 packed: bool = True, vector: bool = True,
+                 pool: str = "shared",
                  stage_timeout: Optional[float] = None) -> None:
         if pool not in ("shared", "fork"):
             raise ValueError(
@@ -113,6 +121,7 @@ class ThreadFuserAnalyzer:
         self.obs = recorder if recorder is not None else NULL_RECORDER
         self.memo = bool(memo)
         self.packed = bool(packed)
+        self.vector = bool(vector)
         self.pool = pool
         self.stage_timeout = stage_timeout
 
@@ -147,10 +156,14 @@ class ThreadFuserAnalyzer:
         with self.obs.span("replay_warps"):
             per_warp: Optional[List[Tuple[WarpMetrics, int]]] = None
             memo_lookups = memo_hits = 0
+            # [vector_tokens, total_tokens] over every fresh replay
+            # (memo hits skip replays, so they contribute to neither).
+            vstats = [0, 0]
             # Visitors need their per-block callbacks, so their presence
             # forces fresh serial replays (no memo reuse) -- the generated
             # warp traces stay identical with memoization on or off.
             use_memo = self.memo and visitor_factory is None
+            use_vector = self.packed and self.vector
             wanted_parallel = (self.jobs > 1 and visitor_factory is None
                                and len(warps) > 1)
             if wanted_parallel:
@@ -158,7 +171,8 @@ class ThreadFuserAnalyzer:
                 if self.pool == "shared" and self.packed:
                     outcome = pool_mod.replay_warps_shared(
                         traces, warps, dcfgs, cfg, self.jobs,
-                        memo=use_memo, stage_timeout=self.stage_timeout,
+                        memo=use_memo, vector=use_vector,
+                        stage_timeout=self.stage_timeout,
                         obs=self.obs,
                     )
                     if outcome is None:
@@ -168,7 +182,7 @@ class ThreadFuserAnalyzer:
                 if outcome is None:
                     outcome = _replay_parallel(
                         warps, dcfgs, cfg, self.jobs, memo=use_memo,
-                        packed=self.packed,
+                        packed=self.packed, vector=use_vector,
                         stage_timeout=self.stage_timeout,
                     )
                 if outcome is None:
@@ -185,7 +199,8 @@ class ThreadFuserAnalyzer:
                         "serial path",
                     )
                 else:
-                    per_warp, memo_lookups, memo_hits = outcome
+                    per_warp, memo_lookups, memo_hits, pair = outcome
+                    vstats = list(pair)
             if per_warp is None:
                 per_warp = []
                 memo_table: Dict[tuple, WarpMetrics] = {}
@@ -203,17 +218,33 @@ class ThreadFuserAnalyzer:
                             per_warp.append((cached.clone(), len(warp)))
                             continue
                         metrics = _replay_warp(warp, dcfgs, cfg, None,
-                                               packed=self.packed)
+                                               packed=self.packed,
+                                               vector=use_vector,
+                                               stats=vstats)
                         memo_table[key] = metrics
                         per_warp.append((metrics, len(warp)))
                     else:
                         per_warp.append(
                             (_replay_warp(warp, dcfgs, cfg, visitor,
-                                          packed=self.packed), len(warp))
+                                          packed=self.packed,
+                                          vector=use_vector,
+                                          stats=vstats), len(warp))
                         )
             if use_memo:
                 self.obs.gauge("memo.warp_lookups", memo_lookups)
                 self.obs.gauge("memo.warp_hits", memo_hits)
+            if use_vector:
+                # Gauges, never counters: the fraction legitimately
+                # varies with jobs/memo (hits skip whole replays)
+                # while reports and counters stay bit-identical.
+                vector_tokens, total_tokens = vstats
+                self.obs.gauge("replay.vector_tokens", vector_tokens)
+                self.obs.gauge("replay.vector_total_tokens", total_tokens)
+                self.obs.gauge(
+                    "replay.vector_token_fraction",
+                    vector_tokens / total_tokens if total_tokens else 0.0)
+                self.obs.gauge("replay.vector_backend_numpy",
+                               1 if vector_mod.numpy_active() else 0)
         aggregate = AggregateMetrics(cfg.warp_size)
         for metrics, n_threads in per_warp:
             aggregate.merge(metrics, n_threads=n_threads)
@@ -256,8 +287,20 @@ class ThreadFuserAnalyzer:
 
 
 def _replay_warp(warp, dcfgs: DCFGSet, cfg: AnalyzerConfig,
-                 visitor=None, packed: bool = True) -> WarpMetrics:
-    replayer_cls = PackedWarpReplayer if packed else WarpReplayer
+                 visitor=None, packed: bool = True, vector: bool = True,
+                 stats: Optional[list] = None) -> WarpMetrics:
+    """Replay one warp with the selected replayer.
+
+    ``stats``, when given, is a ``[vector_tokens, total_tokens]``
+    accumulator the caller aggregates into the ``replay.vector_*``
+    gauges.
+    """
+    if not packed:
+        replayer_cls = WarpReplayer
+    elif vector:
+        replayer_cls = VectorWarpReplayer
+    else:
+        replayer_cls = PackedWarpReplayer
     replayer = replayer_cls(
         warp,
         dcfgs,
@@ -266,7 +309,11 @@ def _replay_warp(warp, dcfgs: DCFGSet, cfg: AnalyzerConfig,
         visitor=visitor,
         lock_reconvergence=cfg.lock_reconvergence,
     )
-    return replayer.run()
+    metrics = replayer.run()
+    if stats is not None:
+        stats[0] += replayer.vector_tokens
+        stats[1] += replayer.total_tokens
+    return metrics
 
 
 def _memo_key(warp) -> tuple:
@@ -283,12 +330,13 @@ def _memo_key(warp) -> tuple:
 
 def _replay_shard(
         indices: List[int]
-) -> Tuple[List[Tuple[int, WarpMetrics, int]], int, int]:
+) -> Tuple[List[Tuple[int, WarpMetrics, int]], int, int, int, int]:
     faults.check("pool.worker", f"replay:{indices[0] if indices else '-'}")
-    warps, dcfgs, cfg, memo, packed = pool_mod.fork_state()
+    warps, dcfgs, cfg, memo, packed, vector = pool_mod.fork_state()
     out = []
     memo_table: Dict[tuple, WarpMetrics] = {}
     lookups = hits = 0
+    vstats = [0, 0]
     for index in indices:
         warp = warps[index]
         if memo:
@@ -299,23 +347,27 @@ def _replay_shard(
                 hits += 1
                 out.append((index, cached.clone(), len(warp)))
                 continue
-            metrics = _replay_warp(warp, dcfgs, cfg, packed=packed)
+            metrics = _replay_warp(warp, dcfgs, cfg, packed=packed,
+                                   vector=vector, stats=vstats)
             memo_table[key] = metrics
             out.append((index, metrics, len(warp)))
         else:
-            out.append((index, _replay_warp(warp, dcfgs, cfg, packed=packed),
+            out.append((index, _replay_warp(warp, dcfgs, cfg, packed=packed,
+                                            vector=vector, stats=vstats),
                         len(warp)))
-    return out, lookups, hits
+    return out, lookups, hits, vstats[0], vstats[1]
 
 
 def _replay_parallel(
         warps, dcfgs: DCFGSet, cfg: AnalyzerConfig, jobs: int,
-        memo: bool = True, packed: bool = True,
+        memo: bool = True, packed: bool = True, vector: bool = True,
         stage_timeout: Optional[float] = None,
-) -> Optional[Tuple[List[Tuple[WarpMetrics, int]], int, int]]:
+) -> Optional[Tuple[List[Tuple[WarpMetrics, int]], int, int,
+                    Tuple[int, int]]]:
     """Replay ``warps`` on a fork pool; None means "fall back to serial".
 
-    Returns ``(per_warp, memo_lookups, memo_hits)`` on success.  Warps
+    Returns ``(per_warp, memo_lookups, memo_hits, (vector_tokens,
+    total_tokens))`` on success.  Warps
     are striped across shards for load balance; results are re-sorted by
     warp index before merging so aggregation order (and therefore every
     dict insertion order in the report) matches the serial path exactly.
@@ -342,18 +394,20 @@ def _replay_parallel(
         _replay_shard, shards, jobs,
         tokens=[f"replay:{shard[0]}" for shard in shards],
         stage_timeout=stage_timeout,
-        state=(warps, dcfgs, cfg, memo, packed),
+        state=(warps, dcfgs, cfg, memo, packed, vector),
     )
     if outcome is None or not outcome.complete(len(shards)):
         return None
     chunks = [outcome.results[index] for index in range(len(shards))]
     lookups = sum(chunk[1] for chunk in chunks)
     hits = sum(chunk[2] for chunk in chunks)
+    vector_tokens = sum(chunk[3] for chunk in chunks)
+    total_tokens = sum(chunk[4] for chunk in chunks)
     flat = sorted(
         (item for chunk in chunks for item in chunk[0]), key=lambda t: t[0]
     )
     per_warp = [(metrics, n_threads) for _index, metrics, n_threads in flat]
-    return per_warp, lookups, hits
+    return per_warp, lookups, hits, (vector_tokens, total_tokens)
 
 
 def sweep_warp_sizes(traces: TraceSet, warp_sizes=(8, 16, 32),
@@ -362,7 +416,8 @@ def sweep_warp_sizes(traces: TraceSet, warp_sizes=(8, 16, 32),
                      lock_reconvergence: str = "unlock",
                      config: Optional[AnalyzerConfig] = None,
                      jobs: int = 1, memo: bool = True,
-                     packed: bool = True, pool: str = "shared",
+                     packed: bool = True, vector: bool = True,
+                     pool: str = "shared",
                      stage_timeout: Optional[float] = None):
     """SIMT efficiency across warp widths (the Fig. 1 sweep).
 
@@ -377,14 +432,15 @@ def sweep_warp_sizes(traces: TraceSet, warp_sizes=(8, 16, 32),
         lock_reconvergence=lock_reconvergence,
     )
     analyzer = ThreadFuserAnalyzer(base, jobs=jobs, memo=memo, packed=packed,
-                                   pool=pool, stage_timeout=stage_timeout)
+                                   vector=vector, pool=pool,
+                                   stage_timeout=stage_timeout)
     dcfgs = analyzer.prepare(traces)
     out = {}
     for warp_size in warp_sizes:
         sized = dataclasses.replace(base, warp_size=warp_size)
         out[warp_size] = ThreadFuserAnalyzer(
-            sized, jobs=jobs, memo=memo, packed=packed, pool=pool,
-            stage_timeout=stage_timeout,
+            sized, jobs=jobs, memo=memo, packed=packed, vector=vector,
+            pool=pool, stage_timeout=stage_timeout,
         ).analyze(traces, dcfgs=dcfgs)
     return out
 
@@ -394,7 +450,8 @@ def analyze_traces(traces: TraceSet, warp_size: int = 32,
                    emulate_locks: bool = False,
                    lock_reconvergence: str = "unlock",
                    jobs: int = 1, memo: bool = True,
-                   packed: bool = True, pool: str = "shared",
+                   packed: bool = True, vector: bool = True,
+                   pool: str = "shared",
                    stage_timeout: Optional[float] = None) -> AnalysisReport:
     """One-call convenience wrapper around :class:`ThreadFuserAnalyzer`."""
     config = AnalyzerConfig(
@@ -402,6 +459,6 @@ def analyze_traces(traces: TraceSet, warp_size: int = 32,
         lock_reconvergence=lock_reconvergence,
     )
     return ThreadFuserAnalyzer(
-        config, jobs=jobs, memo=memo, packed=packed, pool=pool,
-        stage_timeout=stage_timeout,
+        config, jobs=jobs, memo=memo, packed=packed, vector=vector,
+        pool=pool, stage_timeout=stage_timeout,
     ).analyze(traces)

@@ -48,6 +48,7 @@ from ..tracer.packed import (
     KIND_UNLOCK,
     TRANSACTION_SHIFT,
 )
+from . import vector
 from .dcfg import DCFGSet, VEXIT
 from .metrics import TRANSACTION_BYTES, WarpMetrics
 
@@ -144,6 +145,12 @@ class WarpReplayer:
         #: Live SIMT-stack entries summed over all nested frames; its
         #: maximum is the warp's ``stack_depth_hwm`` metric.
         self._depth = 0
+        #: Tokens consumed through vectorized bulk-span paths (only
+        #: :class:`VectorWarpReplayer` advances this) out of the warp's
+        #: total; the analyzer aggregates them into the
+        #: ``replay.vector_*`` telemetry gauges.
+        self.vector_tokens = 0
+        self.total_tokens = 0
 
     # ------------------------------------------------------------------
 
@@ -157,6 +164,7 @@ class WarpReplayer:
                 f"warp fuses threads with different roots: {sorted(roots)}"
             )
         self.cursors = [_Cursor(trace) for trace in self.warp]
+        self.total_tokens = sum(len(c.tokens) for c in self.cursors)
         lanes = list(range(len(self.warp)))
         root = next(iter(roots))
         live = [lane for lane in lanes if not self.cursors[lane].at_end()]
@@ -549,7 +557,7 @@ class _PCursor:
 
     __slots__ = ("packed", "pos", "n", "kinds", "arg", "nins", "cumn",
                  "moff", "mslot", "mstore", "maddr", "msize", "names",
-                 "runs", "msegf", "msegl")
+                 "runs", "msegf", "msegl", "mcnt", "bext")
 
     def __init__(self, packed) -> None:
         packed.ensure_verified()
@@ -569,6 +577,8 @@ class _PCursor:
         self.runs = packed.runs
         self.msegf = packed.msegf
         self.msegl = packed.msegl
+        self.mcnt = packed.mcnt
+        self.bext = packed.bext
 
 
 class PackedWarpReplayer(WarpReplayer):
@@ -594,6 +604,7 @@ class PackedWarpReplayer(WarpReplayer):
                 f"warp fuses threads with different roots: {sorted(roots)}"
             )
         self.cursors = [_PCursor(trace.packed()) for trace in self.warp]
+        self.total_tokens = sum(c.n for c in self.cursors)
         lanes = list(range(len(self.warp)))
         root = next(iter(roots))
         live = [lane for lane in lanes if self.cursors[lane].n > 0]
@@ -1217,3 +1228,311 @@ class PackedWarpReplayer(WarpReplayer):
         finally:
             # Publish the local position on every exit path.
             cursor.pos = pos
+
+
+class VectorWarpReplayer(PackedWarpReplayer):
+    """Vectorized lock-step replay: whole converged spans per step.
+
+    Extends :class:`PackedWarpReplayer` by consuming, in one step, the
+    longest prefix of a ``B``-token run -- memory blocks included (the
+    ``bext`` column) -- on which the lanes provably agree: the packed
+    ``arg`` and ``mcnt`` columns share a common prefix (found by the
+    backend's ``prefix_len``, C-speed slice bisection or numpy
+    ``argmax``) and the per-record ``mslot``/``mstore`` slices compare
+    equal.  Equal ``arg`` slices make every intermediate regroup
+    convergent and equal record columns make every intermediate block
+    aligned, so instruction accounting collapses to one prefix-sum
+    subtraction (``cumn``) and 32-byte coalescing is computed from
+    whole ``msegf``/``msegl`` slices by the active
+    :mod:`repro.core.vector` backend (stdlib ``array`` slicing, or
+    numpy via the ``accel`` extra -- selected at import time, never
+    changing results).  On any disagreement the span falls back to the
+    parent's per-token step, so divergence partitioning, lock
+    serialization, record-misalignment handling, and every error
+    message stay exactly the parent's -- the parity matrix in
+    ``tests/test_replay_memo.py`` enforces bit-identical reports.
+
+    ``vector_tokens`` counts tokens consumed through the bulk-span
+    paths; together with ``total_tokens`` it feeds the
+    ``replay.vector_*`` telemetry *gauges* (never counters: the
+    fraction may vary across ``jobs``/memo settings while reports and
+    counters stay bit-identical).
+    """
+
+    #: Minimum representative-lane ``bext`` run for the bulk path.
+    #: Below it the per-lane agreement checks cannot amortize over the
+    #: span and the parent's per-block step is faster (measured on the
+    #: short-run, divergence-heavy workloads, e.g. pigz); the solo path
+    #: has no cross-lane checks and ignores this floor.
+    MIN_SPAN = 8
+
+    def _step_entry(self, function: str, e: _Entry,
+                    stack: List[_Entry]) -> None:
+        if self.visitor is not None:
+            # Visitors need their per-block callbacks: the parent
+            # already steps block-by-block in that mode.
+            PackedWarpReplayer._step_entry(self, function, e, stack)
+            return
+        mask = e.mask
+        if len(mask) == 1:
+            self._solo_leg(function, e)
+            return
+        cursors = self.cursors
+        rep = cursors[mask[0]]
+        rep_pos = rep.pos
+        run = rep.bext[rep_pos] if rep_pos < rep.n else 0
+        if run < self.MIN_SPAN or rep.arg[rep_pos] != e.pc:
+            # Too short to amortize the cross-lane span checks, or not
+            # sitting on this entry's block token (the parent raises
+            # the precise stream error for the latter).
+            PackedWarpReplayer._step_entry(self, function, e, stack)
+            return
+        rpc = e.rpc
+        if run > 1 and rpc != VEXIT:
+            # The entry must stop at its reconvergence PC so the outer
+            # entry replays that block at its wider mask.  Base entries
+            # (rpc=VEXIT, where the long spans live) skip the scan.
+            cut = vector.first_index(rep.arg, rep_pos + 1,
+                                     rep_pos + run, rpc)
+            if cut >= 0:
+                run = cut - rep_pos
+        if run <= 1:
+            # No span beyond the current block: the parent's
+            # single-block step is both exact and cheaper than the bulk
+            # machinery for one token.  (No MIN_SPAN floor here: the
+            # preamble and rpc scan are already paid, so consuming even
+            # a short span beats re-paying them per delegated block.)
+            PackedWarpReplayer._step_entry(self, function, e, stack)
+            return
+        # Clamp to the longest prefix every lane shares, block addresses
+        # and record shapes alike.  Stepping that prefix one block at a
+        # time would regroup convergently at every boundary (equal next
+        # addresses) with no event tokens in between (``bext`` runs are
+        # all-``B``), so consuming it whole and regrouping once at the
+        # end is exact; the first disagreeing block is left to the
+        # parent, which applies its alignment rules and error messages.
+        # Lanes checked before a later clamp stay valid: agreement on a
+        # span implies agreement on every prefix of it.  The common
+        # converged case costs two C-speed slice compares per lane;
+        # ``prefix_len`` runs only on an actual mismatch.
+        n_mask = len(mask)
+        rep_lo = rep.moff[rep_pos]
+        # A record-free representative span needs no record-shape
+        # agreement at all: lanes cannot carry *fewer* records than
+        # zero, and the oracle ignores lanes' extra records outright.
+        spanned = rep.moff[rep_pos + run] != rep_lo
+        ref_arg = rep.arg[rep_pos:rep_pos + run]
+        ref_cnt = rep.mcnt[rep_pos:rep_pos + run] if spanned else None
+        for i in range(1, n_mask):
+            cursor = cursors[mask[i]]
+            pos = cursor.pos
+            k = cursor.bext[pos]
+            if k < run:
+                if k <= 1:
+                    PackedWarpReplayer._step_entry(self, function, e,
+                                                   stack)
+                    return
+                run = k
+                ref_arg = ref_arg[:k]
+                if spanned:
+                    ref_cnt = ref_cnt[:k]
+            if cursor.arg[pos:pos + run] == ref_arg and (
+                    not spanned
+                    or cursor.mcnt[pos:pos + run] == ref_cnt):
+                continue
+            if run <= 32:
+                # Short spans (the common intra-run divergence case):
+                # an element-wise scan beats slice bisection.
+                c_arg = cursor.arg
+                c_cnt = cursor.mcnt
+                k = 0
+                while (c_arg[pos + k] == ref_arg[k]
+                       and (not spanned or c_cnt[pos + k] == ref_cnt[k])):
+                    k += 1  # the failed slice compare bounds k < run
+            else:
+                k = vector.prefix_len(rep.arg, rep_pos, cursor.arg,
+                                      pos, run)
+                if k and spanned:
+                    k = vector.prefix_len(rep.mcnt, rep_pos, cursor.mcnt,
+                                          pos, k)
+            if k <= 1:
+                PackedWarpReplayer._step_entry(self, function, e, stack)
+                return
+            run = k
+            ref_arg = ref_arg[:k]
+            if spanned:
+                ref_cnt = ref_cnt[:k]
+        nrec = rep.moff[rep_pos + run] - rep_lo
+        los = [rep_lo]
+        if nrec:
+            ref_slot = rep.mslot[rep_lo:rep_lo + nrec]
+            ref_store = rep.mstore[rep_lo:rep_lo + nrec]
+            for i in range(1, n_mask):
+                cursor = cursors[mask[i]]
+                lo = cursor.moff[cursor.pos]
+                if (cursor.mslot[lo:lo + nrec] != ref_slot
+                        or cursor.mstore[lo:lo + nrec] != ref_store):
+                    # Same addresses and record counts but different
+                    # slot/store shapes -- possible only for pathological
+                    # streams; the parent reproduces the exact outcome.
+                    PackedWarpReplayer._step_entry(self, function, e,
+                                                   stack)
+                    return
+                los.append(lo)
+        self.metrics.account_block(
+            function, rep.cumn[rep_pos + run] - rep.cumn[rep_pos], n_mask)
+        if nrec:
+            self._coalesce_span(mask, los, nrec)
+        for lane in mask:
+            cursors[lane].pos += run
+        self.vector_tokens += run * n_mask
+        self._post_block(function, e, stack, rep.arg[rep_pos + run - 1])
+
+    def _coalesce_span(self, mask: List[int], los: List[int],
+                       nrec: int) -> None:
+        """Bulk-coalesce an aligned span of memory records across lanes.
+
+        Exact parity with per-record coalescing: each record's
+        transaction count is the size of the union of the lanes'
+        32-byte segment ranges, computed by the active backend from
+        whole ``msegf``/``msegl`` slices; the segment class comes from
+        the representative lane's address, as in
+        :meth:`~repro.core.metrics.WarpMetrics.account_memory`.
+        """
+        cursors = self.cursors
+        rep = cursors[mask[0]]
+        fcols = [cursors[lane].msegf for lane in mask]
+        lcols = [cursors[lane].msegl for lane in mask]
+        heap_ins, heap_txn, stack_ins, stack_txn = vector.span_stats(
+            fcols, lcols, los, rep.maddr, nrec, STACK_BASE)
+        n_lanes = len(mask)
+        if heap_ins:
+            seg = self.metrics.memory[SEG_HEAP]
+            seg.instructions += heap_ins
+            seg.accesses += heap_ins * n_lanes
+            seg.transactions += heap_txn
+        if stack_ins:
+            seg = self.metrics.memory[SEG_STACK]
+            seg.instructions += stack_ins
+            seg.accesses += stack_ins * n_lanes
+            seg.transactions += stack_txn
+
+    def _solo_leg(self, function: str, e: _Entry) -> None:
+        """Single-lane leg sweep over ``bext`` spans.
+
+        The parent's solo sweep batches memory-less runs only; this one
+        consumes maximal ``B`` runs with records included, accounting
+        each span's records through the active backend in bulk.  Frame
+        bookkeeping, lock handling, and stop conditions are the
+        parent's, verbatim.
+        """
+        lane = e.mask[0]
+        cursor = self.cursors[lane]
+        kinds = cursor.kinds
+        arg = cursor.arg
+        cumn = cursor.cumn
+        bext = cursor.bext
+        moff = cursor.moff
+        maddr = cursor.maddr
+        msegf = cursor.msegf
+        msegl = cursor.msegl
+        names = cursor.names
+        n = cursor.n
+        pos = cursor.pos
+        rpc = e.rpc
+        metrics = self.metrics
+        heap = metrics.memory[SEG_HEAP]
+        stack_seg = metrics.memory[SEG_STACK]
+        depth = 0            # nested activations entered inside the leg
+        fstack = [function]  # enclosing function names, innermost last
+        pend = 0             # accumulated issues for fstack[-1]
+
+        def flush(amount: int, fname: str) -> None:
+            if amount:
+                metrics.issues += amount
+                metrics.thread_instructions += amount
+                stats = metrics.function_stats(fname)
+                stats.issues += amount
+                stats.thread_instructions += amount
+
+        while True:
+            if pos >= n:
+                self._depth -= depth
+                flush(pend, fstack[-1])
+                cursor.pos = pos
+                e.pc = VEXIT
+                return
+            kind = kinds[pos]
+            if kind == KIND_B:
+                if depth == 0 and arg[pos] == rpc:
+                    flush(pend, fstack[-1])
+                    cursor.pos = pos
+                    e.pc = rpc
+                    return
+                run = bext[pos]
+                if depth == 0 and rpc != VEXIT and run > 1:
+                    # Only the enclosing frame can hit the
+                    # reconvergence PC; nested frames replay to their
+                    # own virtual exit.
+                    cut = vector.first_index(arg, pos + 1, pos + run,
+                                             rpc)
+                    if cut >= 0:
+                        run = cut - pos
+                pend += cumn[pos + run] - cumn[pos]
+                lo = moff[pos]
+                hi = moff[pos + run]
+                if hi != lo:
+                    (heap_ins, heap_txn, stack_ins,
+                     stack_txn) = vector.solo_span_stats(
+                        maddr, msegf, msegl, lo, hi, STACK_BASE)
+                    if heap_ins:
+                        heap.instructions += heap_ins
+                        heap.accesses += heap_ins
+                        heap.transactions += heap_txn
+                    if stack_ins:
+                        stack_seg.instructions += stack_ins
+                        stack_seg.accesses += stack_ins
+                        stack_seg.transactions += stack_txn
+                self.vector_tokens += run
+                pos += run
+                if pos >= n:
+                    continue  # termination handled at the loop top
+                # At most one post-block event token follows a block.
+                follow = kinds[pos]
+                if follow == KIND_CALL:
+                    flush(pend, fstack[-1])
+                    pend = 0
+                    callee = names[arg[pos]]
+                    pos += 1
+                    metrics.account_call(callee)
+                    fstack.append(callee)
+                    depth += 1
+                    self._depth += 1
+                    if self._depth > metrics.stack_depth_hwm:
+                        metrics.stack_depth_hwm = self._depth
+                elif follow == KIND_LOCK:
+                    # One lane, one lock address: an uncontended warp
+                    # lock event under either emulation policy.
+                    metrics.locks.lock_events += 1
+                    pos += 1
+                elif follow == KIND_UNLOCK:
+                    pos += 1
+            elif kind == KIND_RET:
+                if depth == 0:
+                    # The enclosing frame's RET: leave it for the
+                    # _replay_frame drain loop.
+                    flush(pend, fstack[-1])
+                    cursor.pos = pos
+                    e.pc = VEXIT
+                    return
+                flush(pend, fstack[-1])
+                pend = 0
+                fstack.pop()
+                depth -= 1
+                self._depth -= 1
+                pos += 1
+            else:
+                raise ReplayError(
+                    f"lane {lane} has unexpected token "
+                    f"{CODE_KINDS[kind]!r} at a block boundary"
+                )

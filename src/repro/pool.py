@@ -449,13 +449,15 @@ def _worker_main(conn) -> None:
             break
 
 
-def _shm_replay_shard(payload: tuple) -> Tuple[list, int, int]:
+def _shm_replay_shard(payload: tuple) -> Tuple[list, int, int, int, int]:
     """Pool-resident task: replay one shard of warps from an arena.
 
-    ``payload``: ``(arena_name, state_key, cfg, entries, memo)`` where
-    ``entries`` is ``[(warp_index, [thread_index, ...]), ...]``.
-    Returns ``(results, memo_lookups, memo_hits)`` with results as
-    ``(warp_index, WarpMetrics, n_threads)``.
+    ``payload``: ``(arena_name, state_key, cfg, entries, memo,
+    vector)`` where ``entries`` is ``[(warp_index,
+    [thread_index, ...]), ...]``.  Returns ``(results, memo_lookups,
+    memo_hits, vector_tokens, total_tokens)`` with results as
+    ``(warp_index, WarpMetrics, n_threads)``; the trailing token pair
+    feeds the parent's ``replay.vector_*`` gauges.
 
     The memo is worker-resident and keyed on ``(dcfgs token, config
     items, warp root, ordered lane signatures)``, so it survives across
@@ -469,7 +471,7 @@ def _shm_replay_shard(payload: tuple) -> Tuple[list, int, int]:
     ctx = _WORKER_CTX
     if ctx is None:
         raise RuntimeError("replay shard dispatched outside a pool worker")
-    arena_name, state_key, cfg, entries, memo = payload
+    arena_name, state_key, cfg, entries, memo, vector = payload
     faults.check("pool.worker",
                  f"replay:{entries[0][0] if entries else '-'}")
     entry = ctx.arenas.get(arena_name)
@@ -493,6 +495,7 @@ def _shm_replay_shard(payload: tuple) -> Tuple[list, int, int]:
     cfg_token = tuple(sorted(dataclasses.asdict(cfg).items()))
     out = []
     lookups = hits = 0
+    vstats = [0, 0]
     for warp_index, lanes in entries:
         warp = [traces[i] for i in lanes]
         if memo:
@@ -504,16 +507,18 @@ def _shm_replay_shard(payload: tuple) -> Tuple[list, int, int]:
                 hits += 1
                 out.append((warp_index, cached.clone(), len(warp)))
                 continue
-            metrics = _replay_warp(warp, dcfgs, cfg, packed=True)
+            metrics = _replay_warp(warp, dcfgs, cfg, packed=True,
+                                   vector=vector, stats=vstats)
             if len(ctx.memo) >= MEMO_CAP:
                 ctx.memo.clear()
             ctx.memo[key] = metrics
             out.append((warp_index, metrics, len(warp)))
         else:
             out.append((warp_index,
-                        _replay_warp(warp, dcfgs, cfg, packed=True),
+                        _replay_warp(warp, dcfgs, cfg, packed=True,
+                                     vector=vector, stats=vstats),
                         len(warp)))
-    return out, lookups, hits
+    return out, lookups, hits, vstats[0], vstats[1]
 
 
 def _probe_task(payload):
@@ -1016,12 +1021,13 @@ atexit.register(shutdown)
 
 
 def replay_warps_shared(traces: TraceSet, warps, dcfgs, cfg, jobs: int, *,
-                        memo: bool = True,
+                        memo: bool = True, vector: bool = True,
                         stage_timeout: Optional[float] = None,
                         obs=None) -> Optional[tuple]:
     """Replay ``warps`` on the persistent pool via a shared-memory arena.
 
-    Returns ``(per_warp, memo_lookups, memo_hits)`` exactly like the
+    Returns ``(per_warp, memo_lookups, memo_hits, (vector_tokens,
+    total_tokens))`` exactly like the
     fork path, or ``None`` when the substrate is unavailable or failed
     retryably (callers cascade to the fork pool, then serial).  Warps
     are striped across workers with stable affinity (shard ``j`` ->
@@ -1039,7 +1045,7 @@ def replay_warps_shared(traces: TraceSet, warps, dcfgs, cfg, jobs: int, *,
                    for index in range(j, len(warps), jobs)]
                   for j in range(jobs)]
         tasks = [(_shm_replay_shard,
-                  (arena.name, token, cfg, shard, memo),
+                  (arena.name, token, cfg, shard, memo, vector),
                   f"replay:{shard[0][0]}")
                  for shard in shards]
         outcomes = pool.run_tasks(tasks, jobs=jobs,
@@ -1060,9 +1066,11 @@ def replay_warps_shared(traces: TraceSet, warps, dcfgs, cfg, jobs: int, *,
     per_warp = [(metrics, n_threads) for _index, metrics, n_threads in flat]
     lookups = sum(outcome[1] for outcome in outcomes)
     hits = sum(outcome[2] for outcome in outcomes)
+    vector_tokens = sum(outcome[3] for outcome in outcomes)
+    total_tokens = sum(outcome[4] for outcome in outcomes)
     if obs is not None and obs.enabled:
         export_gauges(obs)
-    return per_warp, lookups, hits
+    return per_warp, lookups, hits, (vector_tokens, total_tokens)
 
 
 # -- the per-call fork pool (the ``pool="fork"`` fallback) ---------------
@@ -1190,9 +1198,13 @@ def probe_info(jobs: int = 2, probe: bool = True) -> Dict[str, Any]:
     synthetic arena to measure attach latency; without it, only the
     static capabilities and current stats are reported.
     """
+    from .core import vector
+
     info: Dict[str, Any] = {
         "start_method": start_method(),
         "shm_supported": shm_supported(),
+        "vector_backend": vector.BACKEND,
+        "numpy_accel": vector.numpy_active(),
     }
     if probe:
         traces = TraceSet(workload="pool-probe")

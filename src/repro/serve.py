@@ -83,6 +83,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from . import faults
 from . import pool as pool_mod
 from .artifacts import KIND_REPORT, fingerprint_key
+from .core import vector
 from .core.analyzer import AnalyzerConfig
 from .core.report import AnalysisReport
 from .errors import ReproError, StageTimeoutError
@@ -756,9 +757,12 @@ class AnalysisServer:
                 "jobs": self._session.jobs,
                 "pool": self._session.pool,
                 "memo": self._session.memo,
+                "vector": self._session.vector,
                 "executions": self._session.executions,
                 "cached": self._session.store is not None,
             },
+            "vector_backend": vector.BACKEND,
+            "numpy_accel": vector.numpy_active(),
             "cache": {
                 "hits": stats.hits, "misses": stats.misses,
                 "puts": stats.puts, "corrupt": stats.corrupt,

@@ -27,6 +27,11 @@ whole stream that warp-replay memoization keys on.  ``runs`` additionally
 caches, for every position starting a memory-less ``B`` token, the length
 of the maximal run of memory-less ``B`` tokens from there; the packed
 replayer uses it to consume whole converged block runs in one batched
+accounting call.  ``mcnt`` (per-token memory-record counts, the forward
+differences of ``moff``) and ``bext`` (maximal ``B``-token run lengths,
+memory records allowed) extend the same idea for the vectorized
+replayer, which compares ``mcnt`` slices across lanes at C speed and
+consumes whole ``bext`` spans -- memory blocks included -- per
 accounting call.
 
 Integrity: the signature is computed over the pristine buffers at pack
@@ -67,10 +72,10 @@ _PACK_HINT = (
 
 #: Column layout of one packed trace inside a shared-memory arena:
 #: ``(attribute, array typecode)`` in serialization order.  Derived
-#: columns (``cumn``, ``runs``, ``msegf``, ``msegl``) are exported too,
-#: so attaching workers never recompute prefix sums -- but only the
-#: eight pristine columns participate in the content signature, exactly
-#: as for in-process instances.
+#: columns (``cumn``, ``runs``, ``msegf``, ``msegl``, ``mcnt``,
+#: ``bext``) are exported too, so attaching workers never recompute
+#: prefix sums -- but only the eight pristine columns participate in
+#: the content signature, exactly as for in-process instances.
 SHM_COLUMNS = (
     ("kinds", "b"),
     ("arg", "q"),
@@ -84,6 +89,8 @@ SHM_COLUMNS = (
     ("runs", "q"),
     ("msegf", "q"),
     ("msegl", "q"),
+    ("mcnt", "q"),
+    ("bext", "q"),
 )
 
 #: Alignment of each column inside the arena buffer.  Eight bytes keeps
@@ -101,7 +108,8 @@ class PackedTrace:
     __slots__ = (
         "n_tokens", "kinds", "arg", "nins", "cumn", "moff",
         "mslot", "mstore", "maddr", "msize", "names",
-        "signature", "runs", "msegf", "msegl", "_verified",
+        "signature", "runs", "msegf", "msegl", "mcnt", "bext",
+        "_verified",
     )
 
     def __init__(self, kinds, arg, nins, moff, mslot, mstore, maddr,
@@ -124,6 +132,7 @@ class PackedTrace:
             append(total)
         self.cumn = cumn
         self.runs = self._block_runs()
+        self.mcnt, self.bext = self._block_extents()
         self.signature = self._digest()
         # Verified lazily: the first consumer (replay cursor, memo key)
         # re-hashes the buffers against the signature exactly once.
@@ -404,6 +413,30 @@ class PackedTrace:
                 run = 0
             runs[i] = run
         return runs
+
+    def _block_extents(self) -> Tuple[array, array]:
+        """``mcnt[i]``: memory records of token ``i``; ``bext[i]``:
+        length of the maximal run of ``B`` tokens (memory records
+        allowed) starting at ``i``, zero for non-``B`` positions.
+
+        Derived data like ``runs``: recomputed at pack time, outside
+        the signature.  The vectorized replayer compares ``mcnt``
+        slices across lanes at C speed to prove record alignment and
+        consumes whole ``bext`` spans with one accounting call.
+        """
+        n = self.n_tokens
+        mcnt = array("q", bytes(8 * n))
+        bext = array("q", bytes(8 * n))
+        kinds, moff = self.kinds, self.moff
+        run = 0
+        for i in range(n - 1, -1, -1):
+            mcnt[i] = moff[i + 1] - moff[i]
+            if kinds[i] == KIND_B:
+                run += 1
+            else:
+                run = 0
+            bext[i] = run
+        return mcnt, bext
 
     # ------------------------------------------------------------------
     # integrity

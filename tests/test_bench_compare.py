@@ -8,7 +8,10 @@ Exercises the three contracts CI leans on:
 * exit codes -- 0 clean, 1 when a directional metric regresses beyond
   ``--max-regression``, 2 for missing/unreadable/malformed input;
 * tolerance of schema drift -- keys present in only one file are
-  reported, never fatal.
+  reported, never fatal;
+* metric scoping -- ``--only SUBSTR`` restricts the gate to matching
+  keys, which is how CI compares ratio metrics (machine-independent)
+  across BENCH files measured on different hardware.
 """
 
 import importlib.util
@@ -152,6 +155,59 @@ class TestMainExitCodes:
         if not os.path.exists(bench):
             pytest.skip("BENCH_scale.json not generated yet")
         assert bench_compare.main([bench, bench]) == 0
+        capsys.readouterr()
+
+
+class TestOnlyFilter:
+    def test_restrict_keeps_matching_keys(self):
+        flat = {"a.run_s": 1.0, "a.speedup": 2.0, "b.speedup": 3.0}
+        assert bench_compare.restrict(flat, ["speedup"]) == {
+            "a.speedup": 2.0, "b.speedup": 3.0}
+        assert bench_compare.restrict(flat, None) is flat
+
+    def test_only_scopes_the_gate_to_matching_keys(self, tmp_path):
+        # Wall clock regressed badly, the ratio did not: a speedup-only
+        # comparison must pass while the unrestricted one fails.
+        base = _write(tmp_path, "base.json",
+                      {"run_s": 1.0, "speedup": 2.0})
+        cur = _write(tmp_path, "cur.json",
+                     {"run_s": 3.0, "speedup": 2.0})
+        assert bench_compare.main([base, cur]) == 1
+        assert bench_compare.main([base, cur, "--only", "speedup"]) == 0
+
+    def test_only_still_catches_matching_regressions(self, tmp_path):
+        base = _write(tmp_path, "base.json",
+                      {"run_s": 1.0, "speedup": 2.0})
+        cur = _write(tmp_path, "cur.json",
+                     {"run_s": 1.0, "speedup": 1.0})
+        assert bench_compare.main([base, cur, "--only", "speedup"]) == 1
+
+    def test_only_is_repeatable(self, tmp_path):
+        base = _write(tmp_path, "base.json",
+                      {"run_s": 1.0, "speedup": 2.0, "rate_ips": 10.0})
+        cur = _write(tmp_path, "cur.json",
+                     {"run_s": 9.0, "speedup": 2.0, "rate_ips": 1.0})
+        assert bench_compare.main(
+            [base, cur, "--only", "speedup", "--only", "_ips"]) == 1
+        assert bench_compare.main([base, cur, "--only", "speedup"]) == 0
+
+    def test_only_filters_list_metrics(self, tmp_path, capsys):
+        path = _write(tmp_path, "bench.json", {
+            "run_s": 1.25, "speedup": 2.0, "threads": 8})
+        assert bench_compare.main(
+            ["--list-metrics", path, "--only", "speedup"]) == 0
+        out = capsys.readouterr().out
+        assert "1 tracked metric(s)" in out
+        assert "speedup" in out
+        assert "run_s" not in out
+
+    def test_real_replay_bench_self_compares_clean(self, capsys):
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        bench = os.path.join(root, "BENCH_replay.json")
+        if not os.path.exists(bench):
+            pytest.skip("BENCH_replay.json not generated yet")
+        assert bench_compare.main(
+            [bench, bench, "--only", "speedup"]) == 0
         capsys.readouterr()
 
 

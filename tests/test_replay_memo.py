@@ -1,12 +1,15 @@
-"""Memoized warp replay is observationally invisible.
+"""Replay execution knobs are observationally invisible.
 
-The two replay execution knobs -- ``packed`` (columnar replay) and
+The three replay execution knobs -- ``packed`` (columnar replay),
+``vector`` (bulk converged-span consumption over packed columns), and
 ``memo`` (signature-keyed warp-metrics reuse) -- must never change a
-single observable: for one workload per catalog family, every
-(packed, memo, jobs) combination has to produce a byte-identical
-pickled report and identical telemetry *counters* (gauges are excluded
-by design: ``memo.*`` hit rates legitimately differ between serial and
-sharded replay, which is exactly why they are gauges).
+single observable: for one workload per catalog family, every (mode,
+memo, jobs) combination, traced under both execution engines, has to
+produce a byte-identical pickled report and identical telemetry
+*counters* (gauges are excluded by design: ``memo.*`` hit rates
+legitimately differ between serial and sharded replay, and the
+``replay.vector_*`` utilization fractions vary with sharding too,
+which is exactly why they are gauges).
 
 The synthetic replicated-lane tests then pin down the memo mechanics
 themselves: identical warps actually hit, hits clone rather than
@@ -40,17 +43,27 @@ FAMILY_WORKLOADS = [
 N_THREADS = 48
 WARP_SIZE = 16
 
+#: Replay mode -> (packed, vector) analyzer knobs.
+MODES = {
+    "tuple": (False, False),
+    "packed": (True, False),
+    "vector": (True, True),
+}
+
+ENGINES = ("compiled", "interp")
+
 COMBOS = [
-    (packed, memo, jobs)
-    for packed in (True, False)
+    (mode, memo, jobs)
+    for mode in MODES
     for memo in (True, False)
     for jobs in (1, 2)
 ]
 
 
 @functools.lru_cache(maxsize=None)
-def _traces(name):
-    traces, _ = trace_instance(get_workload(name).instantiate(N_THREADS))
+def _traces(name, engine="compiled"):
+    traces, _ = trace_instance(get_workload(name).instantiate(N_THREADS),
+                               engine=engine)
     return traces
 
 
@@ -59,27 +72,37 @@ def _config(name):
                           emulate_locks=(name == "memcached"))
 
 
-def _run(name, packed, memo, jobs):
+def _run(name, mode, memo, jobs, engine="compiled"):
+    packed, vector = MODES[mode]
     recorder = Recorder()
     analyzer = ThreadFuserAnalyzer(_config(name), jobs=jobs,
                                    recorder=recorder, memo=memo,
-                                   packed=packed)
-    report = analyzer.analyze(_traces(name))
+                                   packed=packed, vector=vector)
+    report = analyzer.analyze(_traces(name, engine))
     telemetry = recorder.telemetry()
     return pickle.dumps(report), dict(telemetry.counters), telemetry.gauges
 
 
+@functools.lru_cache(maxsize=None)
+def _reference(name, engine):
+    """The seed observables: tuple replay, no memo, serial."""
+    report, counters, _ = _run(name, "tuple", memo=False, jobs=1,
+                               engine=engine)
+    return report, counters
+
+
 class TestMemoParityMatrix:
-    @pytest.mark.parametrize("packed,memo,jobs", COMBOS,
-                             ids=[f"{'packed' if p else 'tuple'}-"
+    @pytest.mark.parametrize("mode,memo,jobs", COMBOS,
+                             ids=[f"{mode}-"
                                   f"{'memo' if m else 'nomemo'}-jobs{j}"
-                                  for p, m, j in COMBOS])
+                                  for mode, m, j in COMBOS])
+    @pytest.mark.parametrize("engine", ENGINES)
     @pytest.mark.parametrize("name", FAMILY_WORKLOADS)
-    def test_reports_and_counters_identical(self, name, packed, memo,
-                                            jobs):
-        reference, ref_counters, _ = _run(name, packed=False, memo=False,
-                                          jobs=1)
-        report, counters, gauges = _run(name, packed, memo, jobs)
+    def test_reports_and_counters_identical(self, name, engine, mode,
+                                            memo, jobs):
+        reference, ref_counters = _reference(name, engine)
+        report, counters, gauges = _run(name, mode, memo, jobs,
+                                        engine=engine)
         assert report == reference
         assert counters == ref_counters
         if memo and jobs == 1:

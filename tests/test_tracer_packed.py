@@ -106,6 +106,24 @@ class TestDerivedColumns:
                     j += 1
             assert packed.runs[i] == expected, i
 
+    def test_mcnt_is_the_per_token_record_count(self):
+        packed = PackedTrace.from_tokens(SAMPLE_TOKENS)
+        for i, token in enumerate(SAMPLE_TOKENS):
+            expected = len(token[3]) if token[0] == TOK_BLOCK else 0
+            assert packed.mcnt[i] == expected, i
+
+    def test_bext_is_maximal_block_runs_memory_allowed(self):
+        packed = PackedTrace.from_tokens(SAMPLE_TOKENS)
+        for i, token in enumerate(SAMPLE_TOKENS):
+            expected = 0
+            if token[0] == TOK_BLOCK:
+                j = i
+                while (j < len(SAMPLE_TOKENS)
+                       and SAMPLE_TOKENS[j][0] == TOK_BLOCK):
+                    expected += 1
+                    j += 1
+            assert packed.bext[i] == expected, i
+
     def test_segment_bounds_match_transaction_arithmetic(self):
         packed = PackedTrace.from_tokens(SAMPLE_TOKENS)
         records = [m for token in SAMPLE_TOKENS if token[0] == TOK_BLOCK

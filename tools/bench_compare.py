@@ -14,8 +14,13 @@ the key name:
 Usage::
 
     python tools/bench_compare.py BASELINE.json CURRENT.json \
-        [--max-regression PCT] [--quiet]
+        [--max-regression PCT] [--only SUBSTR ...] [--quiet]
     python tools/bench_compare.py --list-metrics BENCH.json [...]
+
+``--only SUBSTR`` (repeatable) restricts the comparison to flattened
+keys containing any given substring.  CI uses it to gate on
+machine-independent ratio metrics (``--only speedup``) while ignoring
+absolute wall-clock numbers measured on different hardware.
 
 Exit-code contract (stable for scripting/CI):
 
@@ -100,7 +105,15 @@ def compare(baseline, current, max_regression):
     return lines, regressions
 
 
-def list_metrics(paths):
+def restrict(flat, only):
+    """Keep the keys containing any of the ``only`` substrings."""
+    if not only:
+        return flat
+    return {key: value for key, value in flat.items()
+            if any(substr in key for substr in only)}
+
+
+def list_metrics(paths, only=None):
     """Print every flattened metric of ``paths`` with its direction.
 
     Returns the exit code: 0, or 2 when a file is unreadable
@@ -111,6 +124,7 @@ def list_metrics(paths):
         flat = _load(path)
         if flat is None:
             return 2
+        flat = restrict(flat, only)
         print(f"{path}: {len(flat)} tracked metric(s)")
         for key in sorted(flat):
             print(f"  {labels[direction(key)]:<16} {key} = {flat[key]:g}")
@@ -143,6 +157,11 @@ def main(argv=None):
                         metavar="PCT",
                         help="tolerated per-metric regression in percent "
                              "(default: %(default)s)")
+    parser.add_argument("--only", action="append", default=None,
+                        metavar="SUBSTR",
+                        help="compare only flattened keys containing this "
+                             "substring (repeatable; e.g. --only speedup "
+                             "gates ratio metrics only)")
     parser.add_argument("--quiet", action="store_true",
                         help="print only regressions")
     parser.add_argument("--list-metrics", action="store_true",
@@ -155,7 +174,7 @@ def main(argv=None):
         paths = [p for p in (args.baseline, args.current) if p]
         if not paths:
             parser.error("--list-metrics needs at least one BENCH file")
-        return list_metrics(paths)
+        return list_metrics(paths, only=args.only)
     if args.baseline is None or args.current is None:
         parser.error("need BASELINE.json and CURRENT.json "
                      "(or --list-metrics FILE)")
@@ -164,6 +183,8 @@ def main(argv=None):
     current = _load(args.current)
     if baseline is None or current is None:
         return 2
+    baseline = restrict(baseline, args.only)
+    current = restrict(current, args.only)
 
     lines, regressions = compare(baseline, current, args.max_regression)
     if not args.quiet:

@@ -46,7 +46,7 @@ DEFAULT_DOCS = [
 ]
 
 #: Modules whose public surface must be fully docstringed.
-DOCSTRING_MODULES = ["repro.serve", "repro.pool"]
+DOCSTRING_MODULES = ["repro.serve", "repro.pool", "repro.core.vector"]
 
 #: Modules whose public surface must be mentioned in docs/API.md.
 API_DOC_MODULES = ["repro.serve"]
