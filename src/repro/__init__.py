@@ -26,7 +26,10 @@ Reproduction of Alawneh et al., MICRO 2024.  The public API spans:
 * :mod:`repro.serve` -- the analysis service: a stdlib-only HTTP/JSON
   server wrapping one persistent session, with fingerprint-keyed jobs,
   request coalescing, and bounded-queue backpressure (see
-  ``docs/SERVING.md``).
+  ``docs/SERVING.md``);
+* :mod:`repro.index` -- the sqlite result index over the artifact
+  store: filtered run queries, run diffs, and benchmark regression
+  trajectories, never unpickling a payload (see ``docs/INDEX.md``).
 """
 
 from .artifacts import ArtifactStore, default_cache_dir
@@ -45,7 +48,7 @@ from .obs import Recorder, Telemetry
 from .pipeline import analyze_program, trace_program
 from .session import AnalysisSession
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "AnalyzerConfig",

@@ -42,6 +42,15 @@ transparently recompute instead of consuming garbage.  ``threadfuser
 cache info`` reports quarantined objects; ``cache clear --quarantined``
 purges them.  Transient ``OSError`` on the raw file operations is
 retried with exponential backoff (see :mod:`repro.faults`).
+
+Every mutation -- put, quarantine, clear -- additionally notifies the
+store's registered listeners, which is how the sqlite result index
+(:mod:`repro.index`) stays consistent with the store incrementally:
+the :attr:`ArtifactStore.index` handle is created lazily on first use,
+attaches itself as a listener, and backfills from the existing entries
+when its database file does not exist yet.  Listener failures never
+fail a store operation (the index degrades to a warning and is
+restored by ``threadfuser index rebuild``).
 """
 
 from __future__ import annotations
@@ -173,6 +182,8 @@ class ArtifactStore:
     def __init__(self, root: str) -> None:
         self.root = os.path.abspath(os.path.expanduser(root))
         self.stats = CacheStats()
+        self._listeners: List[Any] = []
+        self._index: Optional[Any] = None
         os.makedirs(os.path.join(self.root, "objects"), exist_ok=True)
         marker = os.path.join(self.root, "store.json")
         if not os.path.exists(marker):
@@ -180,6 +191,44 @@ class ArtifactStore:
                 marker,
                 json.dumps({"schema": SCHEMA_VERSION}).encode() + b"\n",
             )
+
+    # -- mutation listeners (the result index's feed) --------------------
+
+    def add_listener(self, listener: Any) -> None:
+        """Register a mutation callback.
+
+        ``listener(event, kind=..., key=..., fields=..., data=...)`` is
+        invoked after every successful ``put`` (with the fingerprint
+        fields and payload bytes), ``remove`` (quarantine), and
+        ``clear``.  Listeners must not raise for transient problems of
+        their own -- the store treats them as best-effort observers.
+        """
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+
+    def _notify(self, event: str, kind: Optional[str] = None,
+                key: Optional[str] = None,
+                fields: Optional[Dict[str, Any]] = None,
+                data: Optional[bytes] = None) -> None:
+        for listener in self._listeners:
+            listener(event, kind=kind, key=key, fields=fields, data=data)
+
+    @property
+    def index(self):
+        """The store's :class:`repro.index.ResultIndex` (lazy).
+
+        Created on first access, registered as a mutation listener so
+        subsequent puts/quarantines/clears keep it consistent, and
+        backfilled with one rebuild when its ``index.db`` does not
+        exist yet but the store already holds entries.
+        """
+        if self._index is None:
+            from .index import ResultIndex  # deferred: index imports us
+
+            self._index = ResultIndex(self)
+            self.add_listener(self._index.on_store_event)
+            self._index.ensure_built()
+        return self._index
 
     # -- paths -----------------------------------------------------------
 
@@ -250,6 +299,7 @@ class ArtifactStore:
                 moved += 1
             except OSError:
                 pass
+        self._notify("remove", kind=kind, key=key)
         return moved
 
     def _corrupt(self, kind: str, key: str, reason: str,
@@ -285,12 +335,32 @@ class ArtifactStore:
         :class:`~repro.errors.ArtifactCorruptError` instead (strict
         consumers, fuzz harnesses).
         """
-        key = fingerprint_key(fields)
+        return self.read_key(kind, fingerprint_key(fields), on_corrupt)
+
+    def read_key(self, kind: str, key: str,
+                 on_corrupt: str = "miss",
+                 count_stats: bool = True) -> Optional[bytes]:
+        """Like :meth:`get_bytes`, addressed by stored key.
+
+        The maintenance surface (and the result index's rebuild) walks
+        meta records whose fingerprints may have been written under
+        another schema version, making them unaddressable through
+        :func:`fingerprint_key`; this reads -- with full checksum
+        verification and quarantine-on-failure -- by the key the meta
+        record itself declares.
+
+        ``count_stats=False`` keeps the read out of the hit/miss
+        counters: internal maintenance reads (an index rebuild walking
+        every entry) must not inflate the cache-effectiveness stats
+        that sessions report.  Corruption is always counted -- it is a
+        real event regardless of who found it.
+        """
         _, payload, meta = self._paths(kind, key)
         meta_record = self._read_meta(meta)
         if meta_record is None:
             if not os.path.exists(payload) and not os.path.exists(meta):
-                self.stats.misses += 1
+                if count_stats:
+                    self.stats.misses += 1
                 return None
             return self._corrupt(
                 kind, key, "meta record missing or unreadable", on_corrupt
@@ -329,8 +399,9 @@ class ArtifactStore:
                 f"{meta_record['size']} (pre-checksum meta)",
                 on_corrupt,
             )
-        self.stats.hits += 1
-        self.stats.bytes_read += len(data)
+        if count_stats:
+            self.stats.hits += 1
+            self.stats.bytes_read += len(data)
         return data
 
     def put_bytes(self, kind: str, fields: Dict[str, Any],
@@ -361,6 +432,15 @@ class ArtifactStore:
         )
         self.stats.puts += 1
         self.stats.bytes_written += len(data)
+        if self._index is None:
+            try:
+                self.index  # lazy-attach the result index listener
+            except Exception:
+                # A broken index must never fail an artifact write; the
+                # next index operation reports the typed failure.
+                pass
+        self._notify("put", kind=kind, key=key, fields=dict(fields),
+                     data=data)
         return payload
 
     # -- typed helpers ---------------------------------------------------
@@ -426,13 +506,24 @@ class ArtifactStore:
                         record = json.load(inp)
                 except (OSError, ValueError):
                     continue
+                if not isinstance(record, dict):
+                    # Valid JSON, wrong shape (foreign tooling): skip
+                    # it like any other unreadable meta.
+                    continue
                 found.append(ArtifactEntry(
                     kind=record.get("kind", "?"),
                     key=record.get("key", ""),
                     size=record.get("size", 0),
                     fingerprint=record.get("fingerprint", {}),
                 ))
-        found.sort(key=lambda e: (e.kind, e.key))
+        # Deterministic regardless of directory-walk order: by kind,
+        # then workload (mixed-schema fingerprints may lack one), then
+        # key -- the order ``threadfuser cache ls`` prints.
+        found.sort(key=lambda e: (
+            e.kind,
+            str((e.fingerprint or {}).get("workload") or ""),
+            e.key,
+        ))
         return found
 
     def disk_schema(self) -> Optional[int]:
@@ -535,6 +626,7 @@ class ArtifactStore:
                         os.unlink(path)
                     except OSError:
                         pass
+        self._notify("clear", kind=kind)
         return removed
 
 

@@ -7,6 +7,7 @@ Subcommands mirror the paper's workflows::
     threadfuser speedup nbody                # cycle-level projection
     threadfuser tracegen pigz -o pigz.trace  # simulator trace file
     threadfuser cache info                   # artifact store maintenance
+    threadfuser index query --workload pigz  # query the result index
     threadfuser pool info                    # worker-pool diagnostics
 
 Workload commands run through a cached :class:`~repro.session.
@@ -20,6 +21,13 @@ command with the same parameters skips machine execution entirely.
 turns on the :mod:`repro.obs` observability layer: the command prints a
 stage-time/counter table and writes a schema-versioned
 ``telemetry.json`` (``--telemetry-out``); see ``docs/OBSERVABILITY.md``.
+
+``threadfuser index`` queries the sqlite result index over the store
+(see ``docs/INDEX.md``) with a stable exit-code contract: **0** success,
+**1** a tracked metric regressed beyond ``history --max-regression``,
+**2** bad input (unknown run key, ambiguous prefix, unknown metric,
+malformed bench file or predicate), **3** a typed
+:class:`~repro.errors.ReproError` (e.g. a corrupt ``index.db``).
 """
 
 from __future__ import annotations
@@ -217,6 +225,70 @@ def _build_parser() -> argparse.ArgumentParser:
             "--cache-dir", default=None,
             help="artifact cache directory (default: "
                  "$THREADFUSER_CACHE_DIR or ~/.cache/threadfuser)")
+
+    index = sub.add_parser(
+        "index",
+        help="query the sqlite result index (see docs/INDEX.md)",
+        description="Query, diff, and track results across runs from "
+                    "the store's index.db -- no payload is ever "
+                    "unpickled.  Exit codes: 0 success; 1 regression "
+                    "beyond --max-regression; 2 bad input; 3 typed "
+                    "pipeline error.")
+    index_sub = index.add_subparsers(dest="index_command", required=True)
+    rebuild = index_sub.add_parser(
+        "rebuild", help="regenerate index.db from the artifact store")
+    query = index_sub.add_parser(
+        "query", help="filtered run rows (workload, efficiency, "
+                      "hotspot, counter)")
+    query.add_argument("--workload", default=None,
+                       help="exact workload name")
+    query.add_argument("--opt-level", default=None,
+                       choices=["O0", "O1", "O2", "O3"])
+    query.add_argument("--warp-size", type=int, default=None)
+    query.add_argument("--min-efficiency", type=float, default=None,
+                       metavar="FRAC",
+                       help="keep runs with SIMT efficiency >= FRAC")
+    query.add_argument("--max-efficiency", type=float, default=None,
+                       metavar="FRAC",
+                       help="keep runs with SIMT efficiency <= FRAC")
+    query.add_argument("--hotspot", default=None, metavar="FUNC[@ADDR]",
+                       help="keep runs with a divergence hotspot in "
+                            "FUNC (optionally at one block address)")
+    query.add_argument("--counter", default=None, metavar="EXPR",
+                       help="telemetry predicate, e.g. "
+                            "'replay.divergence_events>100'")
+    query.add_argument("--limit", type=int, default=None)
+    diff = index_sub.add_parser(
+        "diff", help="field/hotspot/counter differences of two runs")
+    diff.add_argument("key_a", metavar="KEY_A",
+                      help="run key (unique prefix ok; see 'index query')")
+    diff.add_argument("key_b", metavar="KEY_B")
+    history = index_sub.add_parser(
+        "history", help="perf trajectory of one bench metric")
+    history.add_argument("--metric", required=True,
+                         help="flattened metric name, e.g. "
+                              "geomean_vector_speedup (see "
+                              "'bench_compare --list-metrics')")
+    history.add_argument("--label", default=None,
+                         help="restrict to one bench label "
+                              "(default: every label tracking the metric)")
+    history.add_argument("--max-regression", type=float, default=None,
+                         metavar="PCT",
+                         help="exit 1 when the newest point regressed "
+                              "beyond PCT%% vs the previous one")
+    ingest = index_sub.add_parser(
+        "ingest", help="record BENCH_*.json snapshots in the trajectory")
+    ingest.add_argument("files", nargs="+", metavar="BENCH.json")
+    ingest.add_argument("--label", default=None,
+                        help="trajectory label (default: file basename)")
+    for sub_parser in (rebuild, query, diff, history, ingest):
+        sub_parser.add_argument(
+            "--cache-dir", default=None,
+            help="artifact cache directory (default: "
+                 "$THREADFUSER_CACHE_DIR or ~/.cache/threadfuser)")
+        sub_parser.add_argument(
+            "--json", action="store_true",
+            help="machine-readable JSON output")
 
     serve = sub.add_parser(
         "serve",
@@ -442,6 +514,151 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_index(args) -> int:
+    import json as _json
+
+    from .index import (ResultIndex, history_regression,
+                        metric_direction, parse_counter_expr)
+
+    store = ArtifactStore(args.cache_dir or default_cache_dir())
+    index: ResultIndex = store.index
+    cmd = args.index_command
+
+    if cmd == "rebuild":
+        stats = index.rebuild()
+        if args.json:
+            print(_json.dumps(dict(stats, **index.stats()),
+                              sort_keys=True))
+            return 0
+        print(f"indexed {stats['indexed']} artifacts from {store.root}")
+        if stats["skipped_corrupt"]:
+            print(f"  skipped {stats['skipped_corrupt']} corrupt "
+                  "entries (quarantined)")
+        if stats["skipped_unknown"]:
+            print(f"  skipped {stats['skipped_unknown']} entries of "
+                  "unknown kinds")
+        for table, count in sorted(index.stats().items()):
+            print(f"  {table:<13} {count:>6} rows")
+        return 0
+
+    if cmd == "query":
+        counter = None
+        if args.counter is not None:
+            try:
+                counter = parse_counter_expr(args.counter)
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+        rows = index.query(
+            workload=args.workload, opt_level=args.opt_level,
+            warp_size=args.warp_size,
+            min_efficiency=args.min_efficiency,
+            max_efficiency=args.max_efficiency,
+            hotspot=args.hotspot, counter=counter, limit=args.limit,
+        )
+        if args.json:
+            for row in rows:
+                print(_json.dumps(row, sort_keys=True))
+            return 0
+        print(f"{'workload':<22} {'warp':>5} {'opt':>4} {'thr':>5} "
+              f"{'seed':>5} {'eff':>7} {'issues':>9}  key")
+        for row in rows:
+            print(f"{row['workload']:<22} {row['warp_size']:>5} "
+                  f"{row['opt_level']:>4} {row['n_threads']:>5} "
+                  f"{row['seed']:>5} {row['simt_efficiency']:>7.1%} "
+                  f"{row['issues']:>9}  {row['key'][:12]}")
+        print(f"{len(rows)} run(s)")
+        return 0
+
+    if cmd == "diff":
+        try:
+            result = index.diff(args.key_a, args.key_b)
+        except KeyError as exc:
+            print(f"error: no indexed run matches key {exc.args[0]!r} "
+                  "(see 'threadfuser index query')", file=sys.stderr)
+            return 2
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(_json.dumps(result, sort_keys=True))
+            return 0
+        print(f"a: {result['a']['key'][:12]}  "
+              f"({result['a']['workload']})")
+        print(f"b: {result['b']['key'][:12]}  "
+              f"({result['b']['workload']})")
+        for section in ("fields", "hotspots", "counters"):
+            entries = result[section]
+            if not entries:
+                continue
+            print(f"{section}:")
+            for name in sorted(entries):
+                print(f"  {name:<40} {entries[name]['a']} -> "
+                      f"{entries[name]['b']}")
+        if not (result["fields"] or result["hotspots"]
+                or result["counters"]):
+            print("no differences")
+        return 0
+
+    if cmd == "history":
+        points = index.history(args.metric, label=args.label)
+        if not points:
+            known = index.metrics(label=args.label)
+            print(f"error: no tracked points for metric "
+                  f"{args.metric!r}"
+                  + (f" (tracked: {', '.join(known[:8])}...)" if known
+                     else " (ingest BENCH files first: "
+                          "'threadfuser index ingest BENCH_replay.json')"),
+                  file=sys.stderr)
+            return 2
+        verdict = history_regression(points, args.metric,
+                                     args.max_regression)
+        if args.json:
+            print(_json.dumps({"metric": args.metric, "points": points,
+                               "verdict": verdict}, sort_keys=True))
+            return 1 if verdict and verdict["regressed"] else 0
+        labels = {-1: "lower-is-better", 1: "higher-is-better",
+                  0: "neutral"}
+        print(f"{args.metric} ({labels[metric_direction(args.metric)]}):")
+        peak = max(abs(p["value"]) for p in points) or 1.0
+        for point in points:
+            bar = "#" * max(1, int(abs(point["value"]) / peak * 40))
+            print(f"  {point['run_id']:>4} {point['label']:<20} "
+                  f"{point['value']:>12g}  {bar}")
+        if verdict is not None:
+            arrow = (f"{verdict['before']:g} -> {verdict['after']:g} "
+                     f"({abs(verdict['delta_pct']):.1f}% "
+                     f"{'worse' if verdict['delta_pct'] > 0 else 'better'})")
+            if verdict["regressed"]:
+                print(f"regression beyond "
+                      f"{verdict['max_regression']:g}%: {arrow}")
+                return 1
+            print(f"no regression beyond "
+                  f"{verdict['max_regression']:g}%: {arrow}")
+        return 0
+
+    # cmd == "ingest"
+    results = []
+    for path in args.files:
+        try:
+            results.append(index.ingest_bench(path, label=args.label))
+        except OSError as exc:
+            print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+            return 2
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    if args.json:
+        print(_json.dumps(results, sort_keys=True))
+        return 0
+    for result in results:
+        state = ("already recorded" if result["deduplicated"]
+                 else f"recorded as run {result['run_id']}")
+        print(f"{result['label']}: {result['metrics']} metric(s), "
+              f"{state}")
+    return 0
+
+
 def _cmd_pool(args) -> int:
     from . import pool as pool_mod
 
@@ -498,6 +715,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "sweep": _cmd_sweep,
     "cache": _cmd_cache,
+    "index": _cmd_index,
     "pool": _cmd_pool,
     "serve": _cmd_serve,
 }

@@ -15,6 +15,7 @@ Hierarchy::
     ├── WorkerCrashError        # a fork-pool worker died abruptly
     ├── StageTimeoutError       # a stage exceeded its deadline
     ├── RetryExhaustedError     # retries + serial fallback all failed
+    ├── IndexCorruptError       # result index (index.db) unreadable
     ├── MachineError            # execution errors (repro.machine.errors)
     └── TelemetryError          # telemetry document errors (repro.obs)
 
@@ -93,6 +94,14 @@ class TraceCorruptError(ReproError, ValueError):
     """
 
 
+class IndexCorruptError(ReproError):
+    """The sqlite result index (``index.db``) is locked beyond the
+    retry budget, corrupt, or written under another schema.  Queries
+    raise this instead of ever answering from an untrustworthy
+    database; ``threadfuser index rebuild`` regenerates the file from
+    the artifact store (which is never affected)."""
+
+
 class WorkerCrashError(ReproError):
     """A fork-pool worker terminated abruptly (killed, OOM, crashed)."""
 
@@ -115,4 +124,5 @@ __all__ = [
     "WorkerCrashError",
     "StageTimeoutError",
     "RetryExhaustedError",
+    "IndexCorruptError",
 ]

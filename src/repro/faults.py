@@ -36,6 +36,12 @@ site                where it fires
                     / truncation -- caught by the packed content
                     signature before replay or memoization can consume
                     the buffers)
+``index.db``        before every sqlite operation of the result index
+                    (:mod:`repro.index`) -- transient ``OSError``,
+                    like a locked database; the index retries with
+                    backoff, then raises a typed
+                    :class:`~repro.errors.IndexCorruptError` (writes
+                    degrade to a warning), never a wrong query answer
 ==================  ====================================================
 
 Faults are either *scheduled* (``at``/``count``: fire on the Nth hit of
@@ -92,6 +98,7 @@ FAULT_SITES = (
     "artifact.meta",
     "trace.load",
     "trace.pack",
+    "index.db",
 )
 
 #: Fault kinds and what they do when they fire.
@@ -228,10 +235,13 @@ _STATE: Dict[str, object] = {"plan": None, "env_checked": False}
 def smoke_plan(seed: Optional[int] = None) -> FaultPlan:
     """The ``THREADFUSER_FAULTS=smoke`` plan: low-rate pool faults.
 
-    Smoke mode only arms the pool sites, whose faults are *recovery
-    transparent*: the serial fallback is bit-identical to ``jobs=1``
-    and leaves every observable counter unchanged, so an arbitrary test
-    suite passes under it while still exercising the recovery paths.
+    Smoke mode only arms recovery-transparent sites: the pool faults
+    fall back to the bit-identical serial path, and transient
+    ``index.db`` faults are absorbed by the index's retry loop (a
+    degraded index write warns; the artifact store itself is
+    untouched).  Every observable analysis result is unchanged, so an
+    arbitrary test suite passes under smoke while still exercising the
+    recovery paths.
     """
     if seed is None:
         seed = int(os.environ.get(ENV_SEED_VAR, "20240"))
@@ -240,6 +250,7 @@ def smoke_plan(seed: Optional[int] = None) -> FaultPlan:
             FaultSpec(site="pool.spawn", kind="raise", rate=0.05),
             FaultSpec(site="pool.worker", kind="kill", rate=0.05),
             FaultSpec(site="pool.result", kind="timeout", rate=0.05),
+            FaultSpec(site="index.db", kind="raise", rate=0.02),
         ),
         seed=seed,
     )

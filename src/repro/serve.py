@@ -56,6 +56,14 @@ Endpoints (all JSON)::
     GET  /v1/jobs/<id>/report  the finished report (409 until done)
     GET  /v1/jobs/<id>/telemetry  the job's telemetry document
     GET  /v1/jobs/<id>/events  NDJSON stream of stage progress
+    GET  /v1/index/query       filtered run rows from the result index
+    GET  /v1/index/history     perf trajectory of one bench metric
+
+The ``/v1/index/*`` endpoints are the read-side API over the sqlite
+result index (:mod:`repro.index`): they answer from ``index.db`` on
+the loop's default executor, so a query never touches the runner
+thread -- results stay queryable while an analysis is running, and
+across restarts (the index lives next to the store).
 
 Programmatic use mirrors the tests and ``docs/SERVING.md``::
 
@@ -79,10 +87,12 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs
 
 from . import faults
 from . import pool as pool_mod
 from .artifacts import KIND_REPORT, fingerprint_key
+from .index import history_regression, metric_direction, parse_counter_expr
 from .core import vector
 from .core.analyzer import AnalyzerConfig
 from .core.report import AnalysisReport
@@ -760,6 +770,7 @@ class AnalysisServer:
                 "vector": self._session.vector,
                 "executions": self._session.executions,
                 "cached": self._session.store is not None,
+                "indexed": self._session.store is not None,
             },
             "vector_backend": vector.BACKEND,
             "numpy_accel": vector.numpy_active(),
@@ -784,6 +795,7 @@ class AnalysisServer:
                 "POST /v1/analyze", "POST /v1/sweep", "GET /v1/jobs",
                 "GET /v1/jobs/<id>", "GET /v1/jobs/<id>/report",
                 "GET /v1/jobs/<id>/telemetry", "GET /v1/jobs/<id>/events",
+                "GET /v1/index/query", "GET /v1/index/history",
             ],
         }
 
@@ -852,7 +864,7 @@ class AnalysisServer:
                     != "close"
                 try:
                     handled = await self._dispatch(
-                        method, path, body, writer)
+                        method, path, body, reader, writer)
                 except ServeError as exc:
                     status, payload = error_payload(exc)
                     self._write_json(writer, status, payload, keep_alive)
@@ -908,11 +920,17 @@ class AnalysisServer:
             raise ServeError(413, f"request body exceeds {_MAX_BODY} bytes",
                              kind="BodyTooLarge")
         body = await reader.readexactly(length) if length else b""
-        return method.upper(), path.split("?", 1)[0], headers, body
+        return method.upper(), path, headers, body
 
-    async def _dispatch(self, method: str, path: str, body: bytes,
+    async def _dispatch(self, method: str, raw_path: str, body: bytes,
+                        reader: asyncio.StreamReader,
                         writer: asyncio.StreamWriter):
         """Route one request; returns ``(status, payload)`` or ``"stream"``."""
+        path, _sep, raw_query = raw_path.partition("?")
+        if method == "GET" and path == "/v1/index/query":
+            return await self._index_query(raw_query)
+        if method == "GET" and path == "/v1/index/history":
+            return await self._index_history(raw_query)
         if method == "GET" and path == "/":
             return 200, self._banner()
         if method == "GET" and path == "/v1/health":
@@ -939,7 +957,7 @@ class AnalysisServer:
             if view == "telemetry":
                 return self._job_telemetry(job)
             if view == "events":
-                await self._stream_events(writer, job)
+                await self._stream_events(reader, writer, job)
                 return "stream"
             raise ServeError(404, f"unknown job view {view!r}",
                              kind="NotFound")
@@ -958,13 +976,125 @@ class AnalysisServer:
             raise ServeError(400, f"request body is not valid JSON: {exc}",
                              kind="BadRequest") from None
 
-    async def _stream_events(self, writer: asyncio.StreamWriter,
+    # -- the result-index read side --------------------------------------
+
+    def _index(self):
+        """The session store's :class:`~repro.index.ResultIndex`.
+
+        Raises a typed 409 when the server runs store-less -- there is
+        nothing to index without an artifact store.
+        """
+        store = self._session.store
+        if store is None:
+            raise ServeError(
+                409, "this server runs without an artifact store, so "
+                     "there is no result index to query",
+                kind="NoStore",
+                hint="start the server with --cache-dir "
+                     "(drop --no-cache)")
+        return store.index
+
+    @staticmethod
+    def _params(raw_query: str) -> Dict[str, str]:
+        return {name: values[-1]
+                for name, values in parse_qs(raw_query).items()}
+
+    async def _index_query(self, raw_query: str)\
+            -> Tuple[int, Dict[str, Any]]:
+        """``GET /v1/index/query``: filtered run rows from sqlite.
+
+        Query parameters mirror ``threadfuser index query``:
+        ``workload``, ``opt_level``, ``warp_size``, ``min_efficiency``,
+        ``max_efficiency``, ``hotspot`` (``func`` or ``func@0xADDR``),
+        ``counter`` (``name OP number``), ``limit``.  Runs on the
+        loop's default executor -- never on the session runner thread.
+        """
+        params = self._params(raw_query)
+        unknown = set(params) - {
+            "workload", "opt_level", "warp_size", "min_efficiency",
+            "max_efficiency", "hotspot", "counter", "limit"}
+        if unknown:
+            raise ServeError(
+                400, f"unknown query parameter(s) {sorted(unknown)}",
+                kind="BadRequest")
+        kwargs: Dict[str, Any] = {
+            "workload": params.get("workload"),
+            "opt_level": params.get("opt_level"),
+            "hotspot": params.get("hotspot"),
+        }
+        try:
+            for name, cast in (("warp_size", int), ("limit", int),
+                               ("min_efficiency", float),
+                               ("max_efficiency", float)):
+                if name in params:
+                    kwargs[name] = cast(params[name])
+            if "counter" in params:
+                kwargs["counter"] = parse_counter_expr(params["counter"])
+        except ValueError as exc:
+            raise ServeError(400, str(exc), kind="BadRequest") from None
+
+        def work() -> List[Dict[str, Any]]:
+            index = self._index()
+            index.ensure_built()
+            return index.query(**kwargs)
+
+        rows = await self._loop.run_in_executor(None, work)
+        return 200, {"runs": rows, "count": len(rows)}
+
+    async def _index_history(self, raw_query: str)\
+            -> Tuple[int, Dict[str, Any]]:
+        """``GET /v1/index/history``: one bench metric's trajectory.
+
+        Parameters: ``metric`` (required), ``label``,
+        ``max_regression`` (percent; adds a ``verdict`` to the body).
+        """
+        params = self._params(raw_query)
+        metric = params.get("metric")
+        if not metric:
+            raise ServeError(400, "missing query parameter 'metric'",
+                             kind="BadRequest",
+                             hint="e.g. /v1/index/history?metric="
+                                  "geomean_vector_speedup")
+        label = params.get("label")
+        max_regression: Optional[float] = None
+        if "max_regression" in params:
+            try:
+                max_regression = float(params["max_regression"])
+            except ValueError as exc:
+                raise ServeError(400, str(exc),
+                                 kind="BadRequest") from None
+
+        def work():
+            index = self._index()
+            index.ensure_built()
+            return index.history(metric, label=label)
+
+        points = await self._loop.run_in_executor(None, work)
+        if not points:
+            raise ServeError(
+                404, f"no tracked points for metric {metric!r}",
+                kind="UnknownMetric",
+                hint="record snapshots with 'threadfuser index ingest "
+                     "BENCH_*.json'")
+        return 200, {
+            "metric": metric,
+            "direction": metric_direction(metric),
+            "points": points,
+            "verdict": history_regression(points, metric,
+                                          max_regression),
+        }
+
+    async def _stream_events(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter,
                              job: Job) -> None:
         """NDJSON stage-progress stream; ends when the job is terminal.
 
         Emits one job snapshot per revision change (stage entries,
         status transitions), then closes the connection -- the
-        poll-free way to follow a long sweep.
+        poll-free way to follow a long sweep.  The peer is watched for
+        EOF between snapshots, so a client that hangs up mid-stream
+        releases the handler immediately instead of tying it to the
+        job's lifetime.
         """
         writer.write(
             b"HTTP/1.1 200 OK\r\n"
@@ -972,23 +1102,35 @@ class AnalysisServer:
             b"Cache-Control: no-store\r\n"
             b"Connection: close\r\n\r\n"
         )
+        # The stream owns the connection and no further request is
+        # legal on it: any inbound byte -- and EOF in particular --
+        # means the client is gone.
+        hangup = asyncio.ensure_future(reader.read(1))
         last_revision = -1
-        while True:
-            snapshot = job.snapshot()
-            if snapshot["revision"] != last_revision:
-                last_revision = snapshot["revision"]
-                writer.write(json.dumps(snapshot, sort_keys=True)
-                             .encode("utf-8") + b"\n")
-                await writer.drain()
-                if job.terminal:
-                    break
-            else:
-                await asyncio.sleep(_STREAM_POLL_S)
-        writer.close()
         try:
-            await writer.wait_closed()
-        except (ConnectionResetError, BrokenPipeError, OSError):
-            pass
+            while not hangup.done():
+                snapshot = job.snapshot()
+                if snapshot["revision"] != last_revision:
+                    last_revision = snapshot["revision"]
+                    writer.write(json.dumps(snapshot, sort_keys=True)
+                                 .encode("utf-8") + b"\n")
+                    await writer.drain()
+                    if job.terminal:
+                        break
+                else:
+                    await asyncio.sleep(_STREAM_POLL_S)
+        finally:
+            hangup.cancel()
+            try:
+                await hangup
+            except (asyncio.CancelledError, ConnectionResetError,
+                    OSError):
+                pass
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
 
     _REASONS = {
         200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",

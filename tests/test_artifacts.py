@@ -250,3 +250,67 @@ class TestMaintenanceSurface:
             for name in names if name.endswith(".tmp")
         ]
         assert leftovers == []
+
+
+class TestMixedSchemaDirectories:
+    """``entries()`` over directories holding foreign-schema leftovers.
+
+    A cache dir that outlived a schema bump (or was written by a newer
+    release) still lists: well-formed metas of any vintage appear with
+    whatever fields they carry, garbage metas are skipped, and the
+    order stays deterministic either way.
+    """
+
+    def _alien_meta(self, store, relpath, record):
+        path = os.path.join(store.root, "objects", relpath)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        import json
+        with open(path, "w") as out:
+            json.dump(record, out)
+
+    def test_foreign_metas_list_with_defaults(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        store.put_bytes(KIND_TRACES, FIELDS, b"t" * 10)
+        # A pre-fingerprint meta (no workload, no kind field).
+        self._alien_meta(store, "traces/zz/" + "e" * 16 + ".meta.json",
+                        {"key": "e" * 16, "size": 5})
+        # A meta from a kind this release has never heard of.
+        self._alien_meta(store, "blobs/aa/" + "f" * 16 + ".meta.json",
+                        {"kind": "blobs", "key": "f" * 16, "size": 3,
+                         "fingerprint": {"workload": "zork"}})
+        # Plain garbage is skipped, not fatal.
+        self._alien_meta(store, "traces/xx/" + "a" * 16 + ".meta.json", 7)
+        raw = os.path.join(store.root, "objects", "traces", "xx",
+                           "b" * 16 + ".meta.json")
+        with open(raw, "w") as out:
+            out.write("{nope")
+
+        entries = store.entries()
+        assert len(entries) == 3
+        by_key = {e.key: e for e in entries}
+        assert by_key["e" * 16].kind == "?"
+        assert by_key["e" * 16].fingerprint == {}
+        assert by_key["f" * 16].fingerprint["workload"] == "zork"
+        # info() totals stay in step with the same listing.
+        assert store.info()["entries"] == 3
+
+    def test_order_is_deterministic_and_documented(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        for seed in (9, 3, 7):
+            for workload in ("pigz", "vectoradd", "nn"):
+                store.put_bytes(
+                    KIND_TRACES,
+                    dict(FIELDS, workload=workload, seed=seed),
+                    b"x")
+        store.put_bytes(KIND_REPORT, dict(FIELDS, kind=KIND_REPORT),
+                        b"r")
+        listed = store.entries()
+        expected = sorted(
+            listed,
+            key=lambda e: (e.kind,
+                           str(e.fingerprint.get("workload") or ""),
+                           e.key))
+        assert listed == expected
+        # Stable across a reopen (fresh directory walk).
+        assert [e.key for e in ArtifactStore(store.root).entries()] \
+            == [e.key for e in listed]

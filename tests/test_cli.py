@@ -122,3 +122,34 @@ class TestSweepCommand:
         rc = main(["sweep", "memcached", "--threads", "16",
                    "--warp-sizes", "8", "--emulate-locks"])
         assert rc == 0
+
+
+class TestCacheLsCommand:
+    def _seed(self, tmp_path):
+        from repro.artifacts import (
+            KIND_DCFGS, KIND_REPORT, KIND_TRACES, ArtifactStore)
+
+        store = ArtifactStore(str(tmp_path))
+        base = {"n_threads": 8, "seed": 7, "opt_level": "O1"}
+        # Insertion order deliberately scrambled relative to the
+        # (kind, workload, key) contract.
+        for kind, workload in (
+                (KIND_REPORT, "pigz"), (KIND_TRACES, "vectoradd"),
+                (KIND_DCFGS, "nn"), (KIND_TRACES, "nn"),
+                (KIND_REPORT, "aes"), (KIND_TRACES, "pigz")):
+            store.put_bytes(kind, dict(base, kind=kind,
+                                       workload=workload), b"x")
+        return store.root
+
+    def test_ls_order_is_kind_then_workload_then_key(
+            self, tmp_path, capsys):
+        cache = self._seed(tmp_path)
+        assert main(["cache", "ls", "--cache-dir", cache]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        rows = [line.split() for line in lines[1:] if line.strip()]
+        listed = [(row[0], row[1], row[-1]) for row in rows]
+        assert len(listed) == 6
+        assert listed == sorted(listed)
+        # A second invocation prints byte-identical output.
+        assert main(["cache", "ls", "--cache-dir", cache]) == 0
+        assert capsys.readouterr().out.splitlines() == lines

@@ -19,7 +19,12 @@ from concurrent.futures import BrokenExecutor
 import pytest
 
 from repro import faults
-from repro.artifacts import KIND_TRACES, ArtifactStore, serialize_traces
+from repro.artifacts import (
+    KIND_REPORT,
+    KIND_TRACES,
+    ArtifactStore,
+    serialize_traces,
+)
 from repro.errors import (
     ArtifactCorruptError,
     ReproError,
@@ -344,10 +349,14 @@ class TestPackedTraceFaults:
 
 class TestEnvironmentPlans:
     def test_smoke_plan_arms_only_recovery_transparent_sites(self):
+        # Pool faults fall back to the bit-identical serial path;
+        # transient index.db faults are absorbed by the index's retry
+        # loop (and degrade to a warning on the write side) -- every
+        # observable analysis result is unchanged under smoke.
         plan = faults.smoke_plan(seed=1)
         assert plan.specs
         assert {spec.site for spec in plan.specs} \
-            <= {"pool.spawn", "pool.worker", "pool.result"}
+            <= {"pool.spawn", "pool.worker", "pool.result", "index.db"}
         assert all(spec.rate > 0 for spec in plan.specs)
 
     def test_smoke_pool_plan_adds_the_shm_substrate_sites(self):
@@ -494,3 +503,81 @@ class TestFuzzCorruption:
         with faults.injected(None):
             with pytest.raises(TraceCorruptError):
                 load_traces(io.StringIO(mutated))
+
+
+class TestIndexFaults:
+    """The ``index.db`` fault site: retried or typed, never wrong.
+
+    The result index sits *beside* the artifact store, so its failure
+    contract has an extra leg: a write-side index failure must degrade
+    to a warning (the artifact write already succeeded) and a rebuild
+    must restore the lost rows exactly.
+    """
+
+    @staticmethod
+    def _seeded_store(root):
+        from test_index import put_report
+
+        store = ArtifactStore(root)
+        put_report(store, workload="pigz", efficiency=0.3,
+                   hotspots={("worker", 64): 7})
+        put_report(store, workload="nbody", efficiency=0.9)
+        return store
+
+    def test_single_transient_fault_is_absorbed_by_retry(self, tmp_path):
+        store = self._seeded_store(str(tmp_path))
+        with faults.injected(FaultPlan(
+                [FaultSpec(site="index.db", kind="raise", at=1)])):
+            rows = store.index.query()
+        assert [r["workload"] for r in rows] == ["nbody", "pigz"]
+
+    def test_persistent_fault_raises_typed_with_site_and_hint(
+            self, tmp_path):
+        store = self._seeded_store(str(tmp_path))
+        with faults.injected(FaultPlan(
+                [FaultSpec(site="index.db", kind="raise", at=1,
+                           count=99)])):
+            with pytest.raises(ReproError) as excinfo:
+                store.index.query()
+        err = excinfo.value
+        assert err.site == "index.db"
+        assert "index rebuild" in err.hint
+        assert isinstance(err.__cause__, OSError)
+
+    def test_write_side_failure_degrades_and_rebuild_recovers(
+            self, tmp_path):
+        from repro.index import IndexWarning
+
+        store = self._seeded_store(str(tmp_path))
+        before = store.index.snapshot()
+        with faults.injected(FaultPlan(
+                [FaultSpec(site="index.db", kind="raise", at=1,
+                           count=99)])):
+            with pytest.warns(IndexWarning, match="store is unaffected"):
+                from test_index import put_report
+
+                fields = put_report(store, workload="vectoradd",
+                                    efficiency=0.5)
+        # The artifact itself landed despite the hosed index...
+        assert store.get_bytes(KIND_REPORT, fields) is not None
+        # ...the index is stale (the new run is missing)...
+        assert len(store.index.query()) == 2
+        assert store.index.snapshot() == before
+        # ...and a rebuild with the fault gone recovers exactly.
+        stats = store.index.rebuild()
+        assert stats["indexed"] == 3
+        assert len(store.index.query(workload="vectoradd")) == 1
+
+    def test_smoke_plan_never_yields_wrong_answers(self, tmp_path):
+        """Under the smoke plan's low-rate index faults, every query
+        outcome is either correct rows or a typed error."""
+        store = self._seeded_store(str(tmp_path))
+        expected = [r["key"] for r in store.index.query()]
+        with faults.injected(faults.smoke_plan()):
+            for _ in range(20):
+                try:
+                    got = [r["key"] for r in store.index.query()]
+                except ReproError as err:
+                    assert err.site == "index.db"
+                else:
+                    assert got == expected

@@ -1,0 +1,129 @@
+"""Property tests for the result index's core invariant (ISSUE 9):
+
+    for every sequence of store mutations, the incrementally
+    maintained index serializes bit-identically to a full rebuild
+    from the surviving artifacts.
+
+Hypothesis drives randomized histories of put / re-put / quarantine /
+clear over a small universe of synthetic runs; after each history the
+two snapshots must match byte for byte, and the query surface must
+agree row for row.
+"""
+
+import json
+import pickle
+import tempfile
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.artifacts import (  # noqa: E402
+    KIND_REPORT,
+    KIND_TELEMETRY,
+    KIND_TRACES,
+    ArtifactStore,
+    fingerprint_key,
+)
+from repro.index import ResultIndex  # noqa: E402
+
+from test_index import (  # noqa: E402
+    FakeMetrics,
+    FakeReport,
+    report_fields,
+)
+
+# A small universe of distinct runs: histories draw (op, slot) pairs
+# so quarantines and re-puts collide with earlier puts often.
+_WORKLOADS = ("vectoradd", "pigz", "nbody")
+
+
+def _slot(i):
+    """Precomputed (fields, payload) for run slot ``i``."""
+    workload = _WORKLOADS[i % len(_WORKLOADS)]
+    fields = report_fields(workload=workload, seed=i // len(_WORKLOADS),
+                           warp_size=8 << (i % 3))
+    report = FakeReport(
+        workload=workload,
+        warp_size=fields["analyzer"]["warp_size"],
+        simt_efficiency=round(0.1 + 0.08 * i, 3),
+        metrics=FakeMetrics(
+            issues=100 + i,
+            divergence_events={("worker", 64): i + 1} if i % 2 else {},
+        ),
+    )
+    telemetry = json.dumps({
+        "counters": {"replay.issues": 100 + i},
+        "gauges": {"replay.vector_fraction": 0.5},
+        "spans": [{"name": "report", "seconds": 0.1 * (i + 1)}],
+    }).encode()
+    return fields, pickle.dumps(report), telemetry
+
+
+_SLOTS = [_slot(i) for i in range(6)]
+
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from(
+            ["put", "put_tele", "quarantine", "clear_reports",
+             "clear_tele", "clear_all", "put_trace"]),
+        st.integers(min_value=0, max_value=len(_SLOTS) - 1),
+    ),
+    min_size=1, max_size=14,
+)
+
+
+def _apply(store, op, slot):
+    fields, payload, telemetry = _SLOTS[slot]
+    if op == "put":
+        store.put_bytes(KIND_REPORT, fields, payload)
+    elif op == "put_tele":
+        store.put_bytes(KIND_TELEMETRY,
+                        dict(fields, kind=KIND_TELEMETRY), telemetry)
+    elif op == "put_trace":
+        store.put_bytes(KIND_TRACES, dict(fields, kind=KIND_TRACES),
+                        b"trace-bytes-%d" % slot)
+    elif op == "quarantine":
+        store.quarantine(KIND_REPORT, fingerprint_key(fields))
+    elif op == "clear_reports":
+        store.clear(KIND_REPORT)
+    elif op == "clear_tele":
+        store.clear(KIND_TELEMETRY)
+    elif op == "clear_all":
+        store.clear()
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(history=_ops)
+def test_rebuild_equals_incremental(history):
+    with tempfile.TemporaryDirectory() as root:
+        store = ArtifactStore(root)
+        index = store.index  # attach the listener up front
+        for op, slot in history:
+            _apply(store, op, slot)
+        incremental = index.snapshot()
+        incremental_rows = index.query()
+        index.rebuild()
+        assert index.snapshot() == incremental
+        assert index.query() == incremental_rows
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(history=_ops)
+def test_cold_index_matches_the_hot_one(history):
+    """An index attached only *after* the history (a fresh checkout
+    hitting an old cache) backfills to the same bytes as one that
+    watched every write."""
+    with tempfile.TemporaryDirectory() as hot_root, \
+            tempfile.TemporaryDirectory() as cold_db:
+        store = ArtifactStore(hot_root)
+        hot = store.index
+        for op, slot in history:
+            _apply(store, op, slot)
+        cold = ResultIndex(store, path=cold_db + "/index.db")
+        cold.rebuild()
+        assert cold.snapshot() == hot.snapshot()

@@ -24,6 +24,7 @@ import http.client
 import importlib.util
 import json
 import os
+import socket
 import threading
 import time
 import urllib.error
@@ -449,3 +450,166 @@ class TestCli:
         asyncio.run(boot_and_stop())
         out = capsys.readouterr().out
         assert f"SERVE_URL=http://{server.host}:{server.port}" in out
+
+
+class TestIndexEndpoints:
+    """``GET /v1/index/*``: sqlite answers, never the runner thread."""
+
+    def test_query_reflects_a_finished_analysis(self, server):
+        _status, doc = _post(server.url, "/v1/analyze", SPEC)
+        _wait(server.url, doc["job_id"])
+        status, body = _get(server.url, "/v1/index/query")
+        assert status == 200
+        assert body["count"] >= 1
+        run = body["runs"][0]
+        assert run["workload"] == WORKLOAD
+        assert 0.0 < run["simt_efficiency"] <= 1.0
+        # Filters narrow; a miss is an empty list, not an error.
+        status, hit = _get(server.url,
+                           f"/v1/index/query?workload={WORKLOAD}")
+        assert status == 200 and hit["count"] == body["count"]
+        status, miss = _get(server.url,
+                            "/v1/index/query?workload=no-such")
+        assert status == 200 and miss["count"] == 0
+
+    def test_bad_query_parameters_are_typed_400s(self, server):
+        status, body = _get(server.url, "/v1/index/query?nope=1")
+        assert (status, body["error"]["type"]) == (400, "BadRequest")
+        status, body = _get(server.url, "/v1/index/query?warp_size=wide")
+        assert status == 400
+        status, body = _get(server.url, "/v1/index/query?counter=%21%21")
+        assert status == 400
+        assert "predicate" in body["error"]["message"]
+
+    def test_history_contract(self, server):
+        status, body = _get(server.url, "/v1/index/history")
+        assert (status, body["error"]["type"]) == (400, "BadRequest")
+        status, body = _get(server.url, "/v1/index/history?metric=nope")
+        assert (status, body["error"]["type"]) == (404, "UnknownMetric")
+        assert "ingest" in body["error"]["hint"]
+
+    def test_history_serves_ingested_trajectories(self, server):
+        store = server.server.session.store
+        for value, name in ((2.0, "a"), (2.4, "b")):
+            path = os.path.join(store.root, f"BENCH_{name}.json")
+            with open(path, "w") as fh:
+                json.dump({"geomean_vector_speedup": value}, fh)
+            store.index.ingest_bench(path, label="replay")
+        status, body = _get(
+            server.url,
+            "/v1/index/history?metric=geomean_vector_speedup"
+            "&max_regression=10")
+        assert status == 200
+        assert [p["value"] for p in body["points"]] == [2.0, 2.4]
+        assert body["direction"] == 1
+        assert body["verdict"]["regressed"] is False
+
+    def test_store_less_server_is_a_typed_409(self):
+        handle = start_in_background(cache_dir=None)
+        try:
+            status, body = _get(handle.url, "/v1/index/query")
+            assert (status, body["error"]["type"]) == (409, "NoStore")
+            assert "--cache-dir" in body["error"]["hint"]
+        finally:
+            handle.close()
+
+    def test_query_answers_while_the_runner_is_busy(self, gated):
+        """The index read side must not queue behind analyses: with the
+        single runner thread pinned inside ``analyze``, index queries
+        still answer immediately."""
+        handle, session = gated
+        _status, doc = _post(handle.url, "/v1/analyze", SPEC)
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            _s, snap = _get(handle.url, f"/v1/jobs/{doc['job_id']}")
+            if snap["status"] == "running":
+                break
+            time.sleep(0.01)
+        assert snap["status"] == "running"
+
+        t0 = time.perf_counter()
+        status, body = _get(handle.url, "/v1/index/query")
+        elapsed = time.perf_counter() - t0
+        assert status == 200
+        assert elapsed < 5.0, "index query queued behind the analysis"
+
+        session.gate.set()
+        _wait(handle.url, doc["job_id"])
+        status, body = _get(handle.url,
+                            f"/v1/index/query?workload={WORKLOAD}")
+        assert status == 200 and body["count"] >= 1
+
+
+class TestIndexWarmAcrossRestart:
+    def test_second_server_queries_without_executing(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        first = start_in_background(cache_dir=cache)
+        try:
+            _status, doc = _post(first.url, "/v1/analyze", SPEC)
+            assert _wait(first.url, doc["job_id"])["status"] == "done"
+        finally:
+            first.close()
+
+        second = start_in_background(cache_dir=cache)
+        try:
+            status, body = _get(second.url,
+                                f"/v1/index/query?workload={WORKLOAD}")
+            assert status == 200
+            assert body["count"] >= 1
+            assert second.server.session.executions == 0
+        finally:
+            second.close()
+
+
+class TestEventsDisconnect:
+    def test_client_disconnect_mid_stream_leaves_the_server_healthy(
+            self, gated):
+        """Dropping an NDJSON events connection mid-job must clean up
+        server-side: the job still completes and the listener keeps
+        serving."""
+        handle, session = gated
+        _status, doc = _post(handle.url, "/v1/analyze", SPEC)
+        host, port = handle.url.rsplit("//", 1)[1].split(":")
+        sock = socket.create_connection((host, int(port)), timeout=30.0)
+        sock.sendall(f"GET /v1/jobs/{doc['job_id']}/events HTTP/1.1\r\n"
+                     f"Host: {host}\r\n\r\n".encode())
+        buf = b""
+        while b"\r\n\r\n" not in buf or \
+                b"\n" not in buf.split(b"\r\n\r\n", 1)[1]:
+            chunk = sock.recv(4096)
+            assert chunk, "stream closed before the first snapshot"
+            buf += chunk
+        assert b"200 OK" in buf
+        # One snapshot arrived; now the client vanishes mid-stream.
+        sock.close()
+
+        # The handler must notice the hangup and exit while the job is
+        # still pinned -- not keep streaming to nobody until the job
+        # terminates.
+        import asyncio
+
+        def open_streams():
+            async def count():
+                return sum(
+                    1 for task in asyncio.all_tasks()
+                    if "_handle_connection" in repr(task.get_coro()))
+            return asyncio.run_coroutine_threadsafe(
+                count(), handle.server._loop).result(5.0)
+
+        deadline = time.monotonic() + 10.0
+        while open_streams() > 0 and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert open_streams() == 0, "stream handler outlived its client"
+
+        session.gate.set()
+        done = _wait(handle.url, doc["job_id"])
+        assert done["status"] == "done"
+        status, health = _get(handle.url, "/v1/health")
+        assert status == 200 and health["status"] == "ok"
+        # A fresh stream on the finished job still works end to end.
+        conn = http.client.HTTPConnection(host, int(port), timeout=30.0)
+        conn.request("GET", f"/v1/jobs/{doc['job_id']}/events")
+        response = conn.getresponse()
+        lines = response.read().decode().splitlines()
+        conn.close()
+        assert json.loads(lines[-1])["status"] == "done"

@@ -6,8 +6,8 @@ and compares every metric present in both.  Direction is inferred from
 the key name:
 
 * lower-is-better: keys ending in ``_s`` (wall-clock seconds);
-* higher-is-better: keys ending in ``_ips``, ``speedup``, or
-  ``hit_rate``;
+* higher-is-better: keys ending in ``_ips``, ``speedup``,
+  ``hit_rate``, ``efficiency``, or ``_fraction``;
 * everything else (counts, configuration echoes) is reported when it
   changes but never fails the run.
 
@@ -39,37 +39,29 @@ workloads can be added or retired without breaking the comparison.
 file(s) with its inferred direction instead of comparing -- the
 documentation enumerates tracked metrics through this flag rather than
 hand-maintained tables.
+
+The flattening and direction rules are shared with the sqlite result
+index (:mod:`repro.index`) -- ``threadfuser index ingest``/``history``
+track the same metric names this tool compares, so a two-file diff and
+the multi-point trajectory can never disagree about what a metric is
+called or which way is better.
 """
 
 import argparse
 import json
+import os
 import sys
 
-#: Key suffixes with a known good direction.
-LOWER_IS_BETTER = ("_s",)
-HIGHER_IS_BETTER = ("_ips", "speedup", "hit_rate")
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src"))
 
-
-def flatten(node, prefix=""):
-    """``{"a": {"b": 1.5}} -> {"a.b": 1.5}``; non-numeric leaves dropped."""
-    flat = {}
-    if isinstance(node, dict):
-        for key, value in node.items():
-            flat.update(flatten(value, f"{prefix}{key}."))
-    elif isinstance(node, bool):
-        pass
-    elif isinstance(node, (int, float)):
-        flat[prefix[:-1]] = float(node)
-    return flat
-
-
-def direction(key):
-    """``-1`` lower-is-better, ``+1`` higher-is-better, ``0`` neutral."""
-    if key.endswith(LOWER_IS_BETTER):
-        return -1
-    if key.endswith(HIGHER_IS_BETTER):
-        return 1
-    return 0
+from repro.index import (  # noqa: E402  (path bootstrap above)
+    HIGHER_IS_BETTER,
+    LOWER_IS_BETTER,
+    flatten_numeric as flatten,
+    metric_direction as direction,
+)
 
 
 def compare(baseline, current, max_regression):

@@ -14,24 +14,26 @@ and runs it, so examples can never drift from the shipped package:
 
 Other fence languages (``text``, ``json``, ...) are ignored.
 
-Beyond the fences, two API-hygiene audits run over the serving and
-pool layers (the newest public surfaces):
+Beyond the fences, two API-hygiene audits run over the newest public
+surfaces:
 
-* every ``__all__`` symbol of ``repro.serve`` and ``repro.pool`` --
-  and every public method of the public classes among them -- must
-  have a docstring;
-* every ``__all__`` symbol of ``repro.serve`` must be mentioned in
-  ``docs/API.md``.
+* every ``__all__`` symbol of the :data:`DOCSTRING_MODULES` -- and
+  every public method of the public classes among them -- must have a
+  docstring;
+* every ``__all__`` symbol of the :data:`API_DOC_MODULES` must be
+  mentioned in ``docs/API.md``.
 
 Usage: python tools/check_docs.py [doc.md ...]
 Defaults to docs/OBSERVABILITY.md, docs/PERFORMANCE.md,
-docs/ROBUSTNESS.md, docs/SERVING.md, and docs/ARCHITECTURE.md.
-Passing explicit documents skips the API audits (fences only).
+docs/ROBUSTNESS.md, docs/SERVING.md, docs/ARCHITECTURE.md, and
+docs/INDEX.md.  Passing explicit documents skips the API audits
+(fences only).
 """
 
 import inspect
 import os
 import re
+import shlex
 import subprocess
 import sys
 import tempfile
@@ -43,13 +45,15 @@ DEFAULT_DOCS = [
     os.path.join(REPO, "docs", "ROBUSTNESS.md"),
     os.path.join(REPO, "docs", "SERVING.md"),
     os.path.join(REPO, "docs", "ARCHITECTURE.md"),
+    os.path.join(REPO, "docs", "INDEX.md"),
 ]
 
 #: Modules whose public surface must be fully docstringed.
-DOCSTRING_MODULES = ["repro.serve", "repro.pool", "repro.core.vector"]
+DOCSTRING_MODULES = ["repro.serve", "repro.pool", "repro.core.vector",
+                     "repro.index"]
 
 #: Modules whose public surface must be mentioned in docs/API.md.
-API_DOC_MODULES = ["repro.serve"]
+API_DOC_MODULES = ["repro.serve", "repro.index"]
 
 FENCE_RE = re.compile(
     r"^```(\w+)[^\n]*\n(.*?)^```\s*$", re.MULTILINE | re.DOTALL
@@ -76,13 +80,13 @@ def run_bash(code, label):
         if not line or line.startswith("#"):
             continue
         if line.startswith("threadfuser"):
-            argv = [sys.executable, "-m", "repro"] + line.split()[1:]
+            argv = [sys.executable, "-m", "repro"] + shlex.split(line)[1:]
             subprocess.run(argv, check=True, stdout=subprocess.DEVNULL)
         elif line.startswith("python tools/"):
             argv = [sys.executable] + [
                 os.path.join(REPO, part) if part.startswith("tools/")
                 else part
-                for part in line.split()[1:]
+                for part in shlex.split(line)[1:]
             ]
             subprocess.run(argv, check=True, cwd=REPO,
                            stdout=subprocess.DEVNULL)
