@@ -264,11 +264,15 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="run key (unique prefix ok; see 'index query')")
     diff.add_argument("key_b", metavar="KEY_B")
     history = index_sub.add_parser(
-        "history", help="perf trajectory of one bench metric")
-    history.add_argument("--metric", required=True,
+        "history", help="perf trajectory of bench metrics")
+    history.add_argument("--metric", default=None,
                          help="flattened metric name, e.g. "
                               "geomean_vector_speedup (see "
                               "'bench_compare --list-metrics')")
+    history.add_argument("--workload", default=None,
+                         help="per-workload pivot: every tracked "
+                              "workloads.<name>.* trajectory at once "
+                              "(exactly one of --metric/--workload)")
     history.add_argument("--label", default=None,
                          help="restrict to one bench label "
                               "(default: every label tracking the metric)")
@@ -326,6 +330,10 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--pool", default="shared",
                        choices=("shared", "fork"),
                        help="parallel substrate for --jobs (default shared)")
+    serve.add_argument("--shards", type=int, default=0,
+                       help="session worker processes serving jobs "
+                            "horizontally; sweep cells fan out across "
+                            "them (default 0: in-process session)")
 
     pool = sub.add_parser("pool", help="persistent worker-pool diagnostics")
     pool_sub = pool.add_subparsers(dest="pool_command", required=True)
@@ -336,6 +344,10 @@ def _build_parser() -> argparse.ArgumentParser:
     pool_info.add_argument("--no-probe", action="store_true",
                            help="only report capabilities; do not spin up "
                                 "workers or attach a probe arena")
+    pool_info.add_argument("--shards", type=int, default=0,
+                           help="also probe a serve-layer shard pool of "
+                                "N session workers and print the same "
+                                "per-shard rows as /v1/health")
     return parser
 
 
@@ -601,6 +613,12 @@ def _cmd_index(args) -> int:
         return 0
 
     if cmd == "history":
+        if bool(args.metric) == bool(args.workload):
+            print("error: pass exactly one of --metric or --workload",
+                  file=sys.stderr)
+            return 2
+        if args.workload:
+            return _workload_history(index, args)
         points = index.history(args.metric, label=args.label)
         if not points:
             known = index.metrics(label=args.label)
@@ -659,6 +677,60 @@ def _cmd_index(args) -> int:
     return 0
 
 
+def _workload_history(index, args) -> int:
+    """``threadfuser index history --workload``: the per-workload pivot.
+
+    Prints (or JSON-dumps) one trajectory per tracked
+    ``workloads.<name>.*`` metric, each with its own regression
+    verdict under ``--max-regression``; exits 1 when any metric
+    regressed beyond the threshold, 2 when the workload is untracked.
+    """
+    import json as _json
+
+    from .index import history_regression, metric_direction
+
+    trajectories = index.workload_history(args.workload,
+                                          label=args.label)
+    if not trajectories:
+        print(f"error: no tracked workloads.{args.workload}.* metrics"
+              " (ingest BENCH files first: 'threadfuser index ingest"
+              " BENCH_replay.json')", file=sys.stderr)
+        return 2
+    verdicts = {
+        metric: history_regression(points, metric, args.max_regression)
+        for metric, points in trajectories.items()
+    }
+    regressed = [metric for metric, verdict in verdicts.items()
+                 if verdict and verdict["regressed"]]
+    if args.json:
+        print(_json.dumps({"workload": args.workload,
+                           "metrics": trajectories,
+                           "verdicts": verdicts}, sort_keys=True))
+        return 1 if regressed else 0
+    labels = {-1: "lower-is-better", 1: "higher-is-better", 0: "neutral"}
+    print(f"workloads.{args.workload}.* "
+          f"({len(trajectories)} tracked metric(s)):")
+    for metric in sorted(trajectories):
+        points = trajectories[metric]
+        direction = labels[metric_direction(metric)]
+        trail = " -> ".join(f"{p['value']:g}" for p in points)
+        print(f"  {metric:<44} ({direction})")
+        print(f"    {trail}")
+        verdict = verdicts[metric]
+        if verdict is not None:
+            word = ("regression" if verdict["regressed"]
+                    else "no regression")
+            print(f"    {word} beyond {verdict['max_regression']:g}%: "
+                  f"{verdict['before']:g} -> {verdict['after']:g} "
+                  f"({abs(verdict['delta_pct']):.1f}% "
+                  f"{'worse' if verdict['delta_pct'] > 0 else 'better'})")
+    if regressed:
+        print(f"{len(regressed)} metric(s) regressed: "
+              + ", ".join(sorted(regressed)))
+        return 1
+    return 0
+
+
 def _cmd_pool(args) -> int:
     from . import pool as pool_mod
 
@@ -689,6 +761,20 @@ def _cmd_pool(args) -> int:
     print(f"arenas:         {info.get('arenas', 0)} open "
           f"({info.get('arena_bytes', 0)} bytes), "
           f"{info.get('leaked_segments', 0)} leak-deferred")
+    if getattr(args, "shards", 0):
+        from . import shards as shards_mod
+
+        probe = shards_mod.probe_shards(count=args.shards)
+        print(f"shards:         {probe['shards']} probed "
+              f"({probe['start_method']} start, "
+              f"{probe['spawn_s']:.2f}s spawn)")
+        for row in probe["detail"]:
+            print(f"  shard {row['shard']}: pid {row['pid']}, "
+                  f"{'alive' if row['alive'] else 'dead'}, "
+                  f"queue {row['queue']}, "
+                  f"vector {row['vector_backend']}, "
+                  f"{row['cells_done']} cells, "
+                  f"{row['respawns']} respawns")
     return 0
 
 
@@ -699,6 +785,7 @@ def _cmd_serve(args) -> int:
     server = serve_mod.AnalysisServer(
         session=session, host=args.host, port=args.port,
         queue_depth=args.queue_depth or serve_mod.DEFAULT_QUEUE_DEPTH,
+        shards=args.shards,
     )
     try:
         return serve_mod.run_server(server)

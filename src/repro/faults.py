@@ -42,6 +42,14 @@ site                where it fires
                     backoff, then raises a typed
                     :class:`~repro.errors.IndexCorruptError` (writes
                     degrade to a warning), never a wrong query answer
+``serve.shard``     inside a serve-layer shard worker
+                    (:mod:`repro.shards`), at cell receipt (hard
+                    ``os._exit`` kill); the dispatcher respawns the
+                    shard and re-runs the cell -- bit-identical bytes
+                    or a typed error, never a hang.  Check tokens are
+                    salted with the attempt index, so a rate-based
+                    kill that fires on the first attempt does not
+                    deterministically fire on the re-run
 ==================  ====================================================
 
 Faults are either *scheduled* (``at``/``count``: fire on the Nth hit of
@@ -99,6 +107,7 @@ FAULT_SITES = (
     "trace.load",
     "trace.pack",
     "index.db",
+    "serve.shard",
 )
 
 #: Fault kinds and what they do when they fire.
@@ -236,12 +245,14 @@ def smoke_plan(seed: Optional[int] = None) -> FaultPlan:
     """The ``THREADFUSER_FAULTS=smoke`` plan: low-rate pool faults.
 
     Smoke mode only arms recovery-transparent sites: the pool faults
-    fall back to the bit-identical serial path, and transient
-    ``index.db`` faults are absorbed by the index's retry loop (a
-    degraded index write warns; the artifact store itself is
-    untouched).  Every observable analysis result is unchanged, so an
-    arbitrary test suite passes under smoke while still exercising the
-    recovery paths.
+    fall back to the bit-identical serial path, transient ``index.db``
+    faults are absorbed by the index's retry loop (a degraded index
+    write warns; the artifact store itself is untouched), and
+    ``serve.shard`` kills are answered by the serve dispatcher's
+    respawn-and-rerun path (attempt-salted tokens keep the re-run from
+    deterministically re-rolling the same kill).  Every observable
+    analysis result is unchanged, so an arbitrary test suite passes
+    under smoke while still exercising the recovery paths.
     """
     if seed is None:
         seed = int(os.environ.get(ENV_SEED_VAR, "20240"))
@@ -251,6 +262,7 @@ def smoke_plan(seed: Optional[int] = None) -> FaultPlan:
             FaultSpec(site="pool.worker", kind="kill", rate=0.05),
             FaultSpec(site="pool.result", kind="timeout", rate=0.05),
             FaultSpec(site="index.db", kind="raise", rate=0.02),
+            FaultSpec(site="serve.shard", kind="kill", rate=0.05),
         ),
         seed=seed,
     )

@@ -907,6 +907,43 @@ class ResultIndex:
 
         return self._run("history", go)
 
+    def workload_history(self, workload: str,
+                         label: Optional[str] = None
+                         ) -> Dict[str, List[Dict[str, Any]]]:
+        """Every tracked trajectory of one workload, keyed by metric.
+
+        The per-workload pivot of :meth:`history`: bench snapshots
+        flatten workload sections to ``workloads.<name>.<metric>``
+        keys, so this collects every metric under
+        ``workloads.<workload>.`` and returns ``{full_metric_name:
+        [points oldest-first]}`` with the same point shape as
+        :meth:`history`.  An unknown workload yields an empty dict --
+        callers (the CLI and ``/v1/index/history?workload=``) turn
+        that into their not-found surface.
+        """
+        sql = ("SELECT m.metric, b.id, b.label, b.source, m.value "
+               "FROM bench_metrics m JOIN bench_runs b ON b.id = m.run_id "
+               "WHERE m.metric LIKE ? ESCAPE '\\'")
+        escaped = (workload.replace("\\", "\\\\").replace("%", "\\%")
+                   .replace("_", "\\_"))
+        params: List[Any] = [f"workloads.{escaped}.%"]
+        if label is not None:
+            sql += " AND b.label = ?"
+            params.append(label)
+        sql += " ORDER BY m.metric, b.id"
+
+        def go(conn: sqlite3.Connection
+               ) -> Dict[str, List[Dict[str, Any]]]:
+            out: Dict[str, List[Dict[str, Any]]] = {}
+            for metric, run_id, run_label, source, value \
+                    in conn.execute(sql, params):
+                out.setdefault(metric, []).append(
+                    {"run_id": run_id, "label": run_label,
+                     "source": source, "value": value})
+            return out
+
+        return self._run("workload_history", go)
+
     def metrics(self, label: Optional[str] = None) -> List[str]:
         """Every tracked bench metric name (optionally for one label)."""
         sql = ("SELECT DISTINCT m.metric FROM bench_metrics m "

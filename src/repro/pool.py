@@ -1017,6 +1017,30 @@ def shutdown() -> None:
 atexit.register(shutdown)
 
 
+def _reset_after_fork() -> None:
+    """Forget substrate state inherited across a fork.
+
+    A forked child (a serve-layer shard worker, most importantly)
+    inherits these module globals by reference: a live
+    :class:`WorkerPool` whose ``Process`` handles cannot even be
+    liveness-checked from the child (``multiprocessing`` raises "can
+    only test a child process"), plus arena registrations the parent
+    owns.  Dropping the references -- never closing them, teardown
+    belongs to the owner process -- leaves the child with a cold
+    substrate of its own.
+    """
+    global _OWNER_PID
+    _OWNER_PID = os.getpid()
+    _SHARED["pool"] = None
+    _ARENAS.clear()
+    _TRACESET_ARENAS.clear()
+    _LEAKED.clear()
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_reset_after_fork)
+
+
 # -- orchestration entry points ------------------------------------------
 
 

@@ -27,11 +27,26 @@ Three properties define the serving surface:
   fast path.
 
 * **Bursty traffic degrades to queueing, never to crashes.**  Jobs
-  wait in a bounded :class:`asyncio.Queue` ahead of a single runner
-  thread (parallelism lives *inside* a job, via the session's ``jobs``
-  knob and the shared worker pool).  When the queue is full the server
-  answers ``503`` with a typed JSON error instead of accepting
-  unbounded work.
+  wait in a bounded :class:`asyncio.Queue` ahead of the execution
+  substrate.  When the queue is full the server answers ``503`` with a
+  typed JSON error instead of accepting unbounded work.
+
+The execution substrate has two modes:
+
+* ``shards=0`` (the default): one runner thread drives the server's
+  own session, one job at a time -- parallelism lives *inside* a job,
+  via the session's ``jobs`` knob and the shared worker pool.
+* ``shards=N``: a :class:`~repro.shards.ShardPool` of N crash-
+  respawning session worker **processes** over the shared artifact
+  store.  Jobs are split into per-warp-width **cells** dispatched to
+  the least-loaded shard, so independent jobs -- and the independent
+  widths of one sweep -- run concurrently.  Coalescing still happens
+  in this parent process (before routing), so it holds across shard
+  boundaries, and each completed sweep cell is streamed as a
+  ``partial`` event on ``/v1/jobs/<id>/events`` the moment it
+  finishes instead of one blob at job end.  Per-shard health (queue
+  depth, in-flight fingerprints, coalesce hits, vector backend) is
+  reported under ``shards`` in ``/v1/health``.
 
 Failures reuse the :class:`~repro.errors.ReproError` taxonomy: a typed
 pipeline error maps to a 5xx JSON document carrying the error ``type``,
@@ -57,7 +72,8 @@ Endpoints (all JSON)::
     GET  /v1/jobs/<id>/telemetry  the job's telemetry document
     GET  /v1/jobs/<id>/events  NDJSON stream of stage progress
     GET  /v1/index/query       filtered run rows from the result index
-    GET  /v1/index/history     perf trajectory of one bench metric
+    GET  /v1/index/history     perf trajectory of one bench metric,
+                               or a per-workload pivot (?workload=)
 
 The ``/v1/index/*`` endpoints are the read-side API over the sqlite
 result index (:mod:`repro.index`): they answer from ``index.db`` on
@@ -91,20 +107,24 @@ from urllib.parse import parse_qs
 
 from . import faults
 from . import pool as pool_mod
+from . import shards as shards_mod
 from .artifacts import KIND_REPORT, fingerprint_key
 from .index import history_regression, metric_direction, parse_counter_expr
 from .core import vector
 from .core.analyzer import AnalyzerConfig
 from .core.report import AnalysisReport
 from .errors import ReproError, StageTimeoutError
-from .obs import Recorder
+from .obs import Recorder, Telemetry
 from .optlevels import OPT_LEVELS
 from .session import OPT_BASE, AnalysisSession
 from .workloads import all_workloads, get_workload
 
 #: Version stamp embedded in every health/job document (bump on any
-#: breaking change to the response shapes).
-SERVE_SCHEMA_VERSION = 1
+#: breaking change to the response shapes).  v2: sweep events streams
+#: interleave ``{"event": "partial", ...}`` lines with job snapshots,
+#: health documents carry ``shards`` + top-level ``executions``, and
+#: job documents carry ``cells`` / ``partial_widths``.
+SERVE_SCHEMA_VERSION = 2
 
 #: Default bound of the job queue (``--queue-depth`` on the CLI).
 #: Submits beyond it are rejected with a typed 503, the backpressure
@@ -370,6 +390,19 @@ class Job:
         self.telemetry_doc: Optional[Dict[str, Any]] = None
         #: Machine executions this job caused (0 on every warm path).
         self.executions = 0
+        #: Cell accounting: one cell per warp width (analyze jobs have
+        #: exactly one).  ``partials`` collects each completed cell's
+        #: report document in *arrival* order -- the payload of the
+        #: ``partial`` events on the NDJSON stream.
+        self.cells_total = len(spec.warp_sizes)
+        self.cells_done = 0
+        self.partials: List[Dict[str, Any]] = []
+        #: Shard indices this job's cells were dispatched to, and
+        #: coalesce hits that arrived before dispatch (attributed to
+        #: the owner shard once one exists).
+        self.shards_used: set = set()
+        self.pending_coalesces = 0
+        self.cell_telemetry: List[str] = []
         self.revision = 0
         self._lock = threading.Lock()
 
@@ -393,27 +426,69 @@ class Job:
                      "t_s": round(time.time() - base, 6)})
             self.revision += 1
 
-    def finish(self, result: Dict[str, Any],
-               telemetry_doc: Optional[Dict[str, Any]],
-               executions: int) -> None:
-        """Transition running -> done with the job's outputs."""
+    def add_partial(self, width: int, report_doc: Dict[str, Any],
+                    executions: int, shard: Optional[int] = None,
+                    telemetry_json: Optional[str] = None) -> bool:
+        """Record one completed cell; True when it was the last one.
+
+        Called as each per-width report lands (from the runner thread
+        inline, or from a shard's dispatch thread).  Bumps the
+        revision so the events stream emits the cell as a ``partial``
+        line immediately, before the job itself is terminal.
+        """
         with self._lock:
+            self.partials.append({
+                "seq": len(self.partials),
+                "width": width,
+                "shard": shard,
+                "report": report_doc,
+            })
+            if telemetry_json is not None:
+                self.cell_telemetry.append(telemetry_json)
+            self.cells_done += 1
+            self.executions += executions
+            self.revision += 1
+            return (self.cells_done == self.cells_total
+                    and self.status == JOB_RUNNING)
+
+    def partials_since(self, seq: int) -> List[Dict[str, Any]]:
+        """Completed-cell documents with ``seq`` >= the given one."""
+        with self._lock:
+            return [dict(partial) for partial in self.partials[seq:]]
+
+    def finish(self, result: Dict[str, Any],
+               telemetry_doc: Optional[Dict[str, Any]]) -> None:
+        """Transition running -> done with the job's outputs.
+
+        ``executions`` accumulates through :meth:`add_partial`; a
+        second finish (a racing shard) is ignored.
+        """
+        with self._lock:
+            if self.status in (JOB_DONE, JOB_FAILED):
+                return
             self.status = JOB_DONE
             self.finished = time.time()
             self.current_stage = None
             self.result = result
             self.telemetry_doc = telemetry_doc
-            self.executions = executions
             self.revision += 1
 
-    def fail(self, exc: BaseException) -> None:
-        """Transition running -> failed, keeping the typed error."""
+    def fail(self, exc: BaseException) -> bool:
+        """Transition running -> failed, keeping the typed error.
+
+        Returns True when this call performed the transition (False
+        when a concurrent cell already terminated the job) -- the
+        failure counter credits exactly one cell.
+        """
         with self._lock:
+            if self.status in (JOB_DONE, JOB_FAILED):
+                return False
             self.status = JOB_FAILED
             self.finished = time.time()
             self.current_stage = None
             self.error = exc
             self.revision += 1
+            return True
 
     # -- loop-thread reads ----------------------------------------------
 
@@ -437,6 +512,10 @@ class Job:
                 "stage": self.current_stage,
                 "stages": list(self.stages),
                 "executions": self.executions,
+                "cells": {"total": self.cells_total,
+                          "done": self.cells_done},
+                "partial_widths": [partial["width"]
+                                   for partial in self.partials],
                 "revision": self.revision,
             }
             if self.started is not None:
@@ -494,21 +573,36 @@ class AnalysisServer:
     queue_depth:
         Bound of the job queue.  Submits beyond it receive a typed
         ``503`` (``QueueSaturated``) instead of unbounded queueing.
+    shards:
+        ``0`` (default) runs jobs inline on this process's session,
+        one at a time.  ``N >= 1`` spawns a
+        :class:`~repro.shards.ShardPool` of N session worker
+        processes over the same artifact store and dispatches
+        per-width cells across them (``--shards`` on the CLI).
+    cell_timeout:
+        Optional per-cell wall-clock bound (seconds) in sharded mode;
+        a cell past it counts as a shard crash and is re-run.
     session_kwargs:
         Forwarded to :class:`~repro.session.AnalysisSession` when no
         session is passed (``cache_dir``, ``jobs``, ``engine``,
         ``pool``, ``memo``, ...).
 
-    Jobs run one at a time on a dedicated runner thread; parallelism
-    lives inside a job (the session's ``jobs`` knob fans warp replay
-    and trace generation out over the shared worker pool).  Submit
-    fingerprinting runs on its own single thread against a separate
-    store-less session, so submissions stay fast while a job runs.
+    Inline, jobs run one at a time on a dedicated runner thread;
+    parallelism lives inside a job (the session's ``jobs`` knob fans
+    warp replay and trace generation out over the shared worker
+    pool).  Sharded, the runner becomes a dispatcher that routes
+    cells to the least-loaded shard, bounded by a dispatch window so
+    the queue-depth backpressure contract stays meaningful.  Either
+    way, submit fingerprinting runs on its own single thread against
+    a separate store-less session, so submissions stay fast while
+    jobs run -- and coalescing always happens here, in the parent,
+    which is what makes it hold across shard boundaries.
     """
 
     def __init__(self, session: Optional[AnalysisSession] = None,
                  host: str = "127.0.0.1", port: int = 0,
                  queue_depth: int = DEFAULT_QUEUE_DEPTH,
+                 shards: int = 0, cell_timeout: Optional[float] = None,
                  **session_kwargs: Any) -> None:
         self._owns_session = session is None
         if session is None:
@@ -518,6 +612,8 @@ class AnalysisServer:
         self.host = host
         self.port = port
         self.queue_depth = max(1, int(queue_depth))
+        self.shards = max(0, int(shards))
+        self.cell_timeout = cell_timeout
         self.started_at: Optional[float] = None
         self.closed = False
         self._jobs: "Dict[str, Job]" = {}
@@ -531,6 +627,12 @@ class AnalysisServer:
         self._queue: Optional[asyncio.Queue] = None
         self._runner_task: Optional[asyncio.Task] = None
         self._running_job: Optional[Job] = None
+        self._shard_pool: Optional[shards_mod.ShardPool] = None
+        self._dispatch_gate: Optional[asyncio.Event] = None
+        #: Guards counters and per-shard maps mutated off the loop
+        #: (shard dispatch threads complete cells concurrently).
+        self._count_lock = threading.Lock()
+        self._coalesce_by_shard: Dict[int, int] = {}
         self._run_exec = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="tf-serve-run")
         self._fp_exec = ThreadPoolExecutor(
@@ -552,13 +654,34 @@ class AnalysisServer:
         """Bind the listener and start the runner; returns (host, port)."""
         self._loop = asyncio.get_running_loop()
         self._queue = asyncio.Queue(maxsize=self.queue_depth)
+        if self.shards:
+            self._shard_pool = shards_mod.ShardPool(
+                self.shards, self._shard_config(),
+                cell_timeout=self.cell_timeout)
+            self._dispatch_gate = asyncio.Event()
+            await self._loop.run_in_executor(None, self._shard_pool.start)
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port)
         sock = self._server.sockets[0]
         self.host, self.port = sock.getsockname()[:2]
         self.started_at = time.time()
-        self._runner_task = self._loop.create_task(self._runner())
+        self._runner_task = self._loop.create_task(
+            self._runner_sharded() if self.shards else self._runner())
         return self.host, self.port
+
+    def _shard_config(self) -> Dict[str, Any]:
+        """Session kwargs for each shard, derived from our session."""
+        session = self._session
+        store = session.store
+        return {
+            "cache_dir": store.root if store is not None else None,
+            "jobs": session.jobs,
+            "engine": session.engine,
+            "memo": session.memo,
+            "vector": session.vector,
+            "pool": session.pool,
+            "stage_timeout": session.stage_timeout,
+        }
 
     async def stop(self) -> None:
         """Stop accepting, cancel the runner, release the executors.
@@ -580,6 +703,8 @@ class AnalysisServer:
                 await self._runner_task
             except asyncio.CancelledError:
                 pass
+        if self._shard_pool is not None:
+            await self._loop.run_in_executor(None, self._shard_pool.close)
         await self._loop.run_in_executor(None, self._shutdown_executors)
 
     def _shutdown_executors(self) -> None:
@@ -587,6 +712,7 @@ class AnalysisServer:
         self._fp_exec.shutdown(wait=True)
         if self._owns_session:
             self._session.close()
+        self._fp_session.close()
 
     # -- the runner ------------------------------------------------------
 
@@ -603,41 +729,159 @@ class AnalysisServer:
                 self._queue.task_done()
 
     def _run_job(self, job: Job) -> None:
-        """Execute one job on the runner thread (never raises)."""
+        """Execute one job inline on the runner thread (never raises).
+
+        Runs the job cell by cell -- one analyze per warp width --
+        through the server's own session, recording each width as a
+        partial as it completes, so the streamed-partials contract is
+        identical between inline and sharded servers.  (Per-width
+        analyzes share the build/trace/DCFG stages through the
+        session's stage caches, exactly like ``session.sweep``.)
+        """
         job.mark_running()
         session = self._session
         recorder = _JobRecorder(job)
         previous = session.obs
-        executions_before = session.executions
         session.obs = recorder
         try:
             spec = job.spec
-            if spec.kind == "analyze":
+            for width in spec.warp_sizes:
+                before = session.executions
                 report = session.analyze(
                     spec.workload, n_threads=spec.n_threads,
                     seed=spec.seed, opt_level=spec.opt_level,
-                    config=spec.config(),
+                    config=spec.config(width),
                 )
-                result = {"report": summarize_report(report)}
-            else:
-                reports = session.sweep(
-                    spec.workload, spec.warp_sizes,
-                    n_threads=spec.n_threads, seed=spec.seed,
-                    opt_level=spec.opt_level, config=spec.config(),
-                )
-                result = {"reports": {
-                    str(width): summarize_report(report)
-                    for width, report in reports.items()
-                }}
+                job.add_partial(width, summarize_report(report),
+                                session.executions - before)
             telemetry_doc = json.loads(session.telemetry().to_json())
-            job.finish(result, telemetry_doc,
-                       session.executions - executions_before)
-            self._counters["completed"] += 1
+            self._finish_job(job, telemetry_doc)
+            with self._count_lock:
+                self._counters["completed"] += 1
         except Exception as exc:  # noqa: BLE001 - becomes a typed 5xx
             job.fail(exc)
-            self._counters["failed"] += 1
+            with self._count_lock:
+                self._counters["failed"] += 1
         finally:
             session.obs = previous
+
+    def _finish_job(self, job: Job,
+                    telemetry_doc: Optional[Dict[str, Any]]) -> None:
+        """Assemble the result document from the job's partials."""
+        by_width = {partial["width"]: partial["report"]
+                    for partial in job.partials_since(0)}
+        if job.spec.kind == "analyze":
+            result = {"report": by_width[job.spec.warp_sizes[0]]}
+        else:
+            result = {"reports": {str(width): by_width[width]
+                                  for width in job.spec.warp_sizes}}
+        job.finish(result, telemetry_doc)
+
+    # -- the sharded dispatcher ------------------------------------------
+
+    async def _runner_sharded(self) -> None:
+        """Route queued jobs' cells across the shard pool.
+
+        Pulls the next job only while the pool's outstanding-cell
+        count is under the dispatch window, so a saturated pool backs
+        work up into the bounded submit queue (where the typed 503
+        lives) instead of into unbounded shard queues.
+        """
+        window = max(self.shards * 2, 2)
+        while True:
+            job = await self._queue.get()
+            try:
+                while self._shard_pool.outstanding() >= window:
+                    self._dispatch_gate.clear()
+                    await self._dispatch_gate.wait()
+                self._dispatch_job(job)
+            finally:
+                self._queue.task_done()
+
+    def _dispatch_job(self, job: Job) -> None:
+        """Split ``job`` into per-width cells and route them to shards."""
+        job.mark_running()
+        spec = job.spec
+        assigned = []
+        for width in spec.warp_sizes:
+            cell = {
+                "workload": spec.workload,
+                "n_threads": spec.n_threads,
+                "seed": spec.seed,
+                "opt_level": spec.opt_level,
+                "warp_size": width,
+                "batching": spec.batching,
+                "emulate_locks": spec.emulate_locks,
+                "lock_reconvergence": spec.lock_reconvergence,
+                "token": f"{spec.workload}:w{width}",
+            }
+            def complete(payload, exc, shard, skipped,
+                         job=job, width=width):
+                self._cell_complete(job, width, payload, exc, shard,
+                                    skipped)
+
+            shard = self._shard_pool.submit(
+                cell,
+                on_stage=job.enter_stage,
+                should_run=lambda job=job: not job.terminal,
+                on_complete=complete,
+            )
+            assigned.append(shard)
+        with job._lock:
+            job.shards_used.update(assigned)
+            pending, job.pending_coalesces = job.pending_coalesces, 0
+        if pending:
+            owner = min(assigned)
+            with self._count_lock:
+                self._coalesce_by_shard[owner] = \
+                    self._coalesce_by_shard.get(owner, 0) + pending
+
+    def _cell_complete(self, job: Job, width: int,
+                       payload: Optional[Dict[str, Any]],
+                       exc: Optional[BaseException], shard: int,
+                       skipped: bool) -> None:
+        """One cell finished (shard dispatch thread); never raises."""
+        try:
+            if exc is not None:
+                if job.fail(exc):
+                    with self._count_lock:
+                        self._counters["failed"] += 1
+            elif not skipped and payload is not None:
+                summary = summarize_report(payload["report"])
+                last = job.add_partial(
+                    width, summary, int(payload.get("executions", 0)),
+                    shard=shard,
+                    telemetry_json=payload.get("telemetry"))
+                if last:
+                    self._finish_job(job, self._merge_telemetry(job))
+                    with self._count_lock:
+                        self._counters["completed"] += 1
+        finally:
+            self._wake_dispatcher()
+
+    @staticmethod
+    def _merge_telemetry(job: Job) -> Optional[Dict[str, Any]]:
+        """Merge the job's per-cell telemetry JSONs into one document."""
+        merged: Optional[Telemetry] = None
+        for text in list(job.cell_telemetry):
+            try:
+                telemetry = Telemetry.from_json(text)
+            except Exception:  # noqa: BLE001 - telemetry is best effort
+                continue
+            merged = telemetry if merged is None else merged.merge(telemetry)
+        if merged is None:
+            return None
+        return json.loads(merged.to_json())
+
+    def _wake_dispatcher(self) -> None:
+        """Release the dispatch window (thread-safe, loop may be gone)."""
+        loop, gate = self._loop, self._dispatch_gate
+        if loop is None or gate is None or loop.is_closed():
+            return
+        try:
+            loop.call_soon_threadsafe(gate.set)
+        except RuntimeError:
+            pass
 
     # -- fingerprinting --------------------------------------------------
 
@@ -706,8 +950,12 @@ class AnalysisServer:
         job = self._jobs.get(job_id)
         if job is not None and not job.terminal:
             # An identical request is already queued or running: attach
-            # to it -- one computation, any number of waiters.
+            # to it -- one computation, any number of waiters.  With
+            # shards this parent-side check *is* the cross-shard
+            # coalescing guarantee: the duplicate never reaches a
+            # shard queue, whichever shard owns the in-flight cells.
             self._counters["coalesced"] += 1
+            self._note_coalesce(job)
             return 202, job.submit_doc(coalesced=True)
         if job is not None and job.status == JOB_DONE:
             # Registry-warm: answered instantly, never enqueued.
@@ -729,6 +977,24 @@ class AnalysisServer:
         self._counters["enqueued"] += 1
         self._evict_retained()
         return 202, job.submit_doc()
+
+    def _note_coalesce(self, job: Job) -> None:
+        """Attribute one coalesce hit to the shard owning the job.
+
+        A hit before dispatch is parked on the job and credited to the
+        owner shard when the cells are routed.
+        """
+        if self._shard_pool is None:
+            return
+        with job._lock:
+            shards_used = set(job.shards_used)
+            if not shards_used:
+                job.pending_coalesces += 1
+                return
+        owner = min(shards_used)
+        with self._count_lock:
+            self._coalesce_by_shard[owner] = \
+                self._coalesce_by_shard.get(owner, 0) + 1
 
     def _evict_retained(self) -> None:
         """Drop the oldest terminal jobs beyond :data:`MAX_RETAINED_JOBS`."""
@@ -758,11 +1024,15 @@ class AnalysisServer:
             "queue": {
                 "depth": self.queue_depth,
                 "size": self._queue.qsize() if self._queue else 0,
-                "running": 1 if self._running_job is not None else 0,
+                "running": (self._shard_pool.busy_count()
+                            if self._shard_pool is not None
+                            else (1 if self._running_job is not None
+                                  else 0)),
             },
             "jobs": by_status,
             "requests": counters,
             "coalesce_hit_rate": (shortcut / submits) if submits else 0.0,
+            "shards": self._shards_doc(),
             "session": {
                 "jobs": self._session.jobs,
                 "pool": self._session.pool,
@@ -779,12 +1049,46 @@ class AnalysisServer:
                 "puts": stats.puts, "corrupt": stats.corrupt,
             },
         }
+        doc["executions"] = (
+            self._session.executions
+            + sum(shard.get("executions", 0)
+                  for shard in doc["shards"]["detail"]))
         if pool_mod.substrate_active():
             doc["pool"] = pool_mod.stats_snapshot()
         plan = faults.active()
         if plan is not None:
             doc["faults"] = {"injected": dict(plan.injected)}
         return doc
+
+    def _shards_doc(self) -> Dict[str, Any]:
+        """The ``shards`` health section: mode, count, per-shard detail.
+
+        Each detail row carries the shard's process (pid/liveness),
+        its load (queue depth, busy flag), its lifetime counters
+        (cells done/failed/skipped, respawns, machine executions), the
+        worker's vector backend, and the two registry-derived numbers
+        the satellite contract names: ``in_flight_fingerprints``
+        (non-terminal jobs with cells routed to the shard) and
+        ``coalesce_hits`` (duplicate submits absorbed on behalf of a
+        job the shard owns).
+        """
+        if self._shard_pool is None:
+            return {"count": 0, "mode": "inline", "detail": []}
+        detail = self._shard_pool.health()
+        inflight: Dict[int, int] = {}
+        for job in list(self._jobs.values()):
+            if job.terminal:
+                continue
+            with job._lock:
+                used = set(job.shards_used)
+            for shard in used:
+                inflight[shard] = inflight.get(shard, 0) + 1
+        with self._count_lock:
+            coalesce = dict(self._coalesce_by_shard)
+        for row in detail:
+            row["in_flight_fingerprints"] = inflight.get(row["shard"], 0)
+            row["coalesce_hits"] = coalesce.get(row["shard"], 0)
+        return {"count": self.shards, "mode": "process", "detail": detail}
 
     def _banner(self) -> Dict[str, Any]:
         return {
@@ -1043,18 +1347,23 @@ class AnalysisServer:
 
     async def _index_history(self, raw_query: str)\
             -> Tuple[int, Dict[str, Any]]:
-        """``GET /v1/index/history``: one bench metric's trajectory.
+        """``GET /v1/index/history``: bench metric trajectories.
 
-        Parameters: ``metric`` (required), ``label``,
-        ``max_regression`` (percent; adds a ``verdict`` to the body).
+        Parameters: exactly one of ``metric`` (one trajectory) or
+        ``workload`` (the per-workload pivot: every
+        ``workloads.<name>.*`` trajectory at once), plus ``label`` and
+        ``max_regression`` (percent; adds a ``verdict`` per metric).
         """
         params = self._params(raw_query)
         metric = params.get("metric")
-        if not metric:
-            raise ServeError(400, "missing query parameter 'metric'",
+        workload = params.get("workload")
+        if bool(metric) == bool(workload):
+            raise ServeError(400, "pass exactly one of 'metric' or "
+                                  "'workload'",
                              kind="BadRequest",
                              hint="e.g. /v1/index/history?metric="
-                                  "geomean_vector_speedup")
+                                  "geomean_vector_speedup or "
+                                  "/v1/index/history?workload=pigz")
         label = params.get("label")
         max_regression: Optional[float] = None
         if "max_regression" in params:
@@ -1067,21 +1376,38 @@ class AnalysisServer:
         def work():
             index = self._index()
             index.ensure_built()
-            return index.history(metric, label=label)
+            if metric:
+                return index.history(metric, label=label)
+            return index.workload_history(workload, label=label)
 
-        points = await self._loop.run_in_executor(None, work)
-        if not points:
+        got = await self._loop.run_in_executor(None, work)
+        if not got:
+            what = (f"metric {metric!r}" if metric
+                    else f"workload {workload!r}")
             raise ServeError(
-                404, f"no tracked points for metric {metric!r}",
+                404, f"no tracked points for {what}",
                 kind="UnknownMetric",
                 hint="record snapshots with 'threadfuser index ingest "
                      "BENCH_*.json'")
+        if metric:
+            return 200, {
+                "metric": metric,
+                "direction": metric_direction(metric),
+                "points": got,
+                "verdict": history_regression(got, metric,
+                                              max_regression),
+            }
         return 200, {
-            "metric": metric,
-            "direction": metric_direction(metric),
-            "points": points,
-            "verdict": history_regression(points, metric,
-                                          max_regression),
+            "workload": workload,
+            "metrics": {
+                name: {
+                    "direction": metric_direction(name),
+                    "points": points,
+                    "verdict": history_regression(points, name,
+                                                  max_regression),
+                }
+                for name, points in sorted(got.items())
+            },
         }
 
     async def _stream_events(self, reader: asyncio.StreamReader,
@@ -1091,8 +1417,13 @@ class AnalysisServer:
 
         Emits one job snapshot per revision change (stage entries,
         status transitions), then closes the connection -- the
-        poll-free way to follow a long sweep.  The peer is watched for
-        EOF between snapshots, so a client that hangs up mid-stream
+        poll-free way to follow a long sweep.  For sweep jobs, each
+        completed cell is additionally streamed the moment it lands as
+        a ``{"event": "partial", "seq", "width", "shard", "report"}``
+        line, in completion order, every partial before the terminal
+        snapshot -- the per-width reports arrive as they finish
+        instead of one blob at job end.  The peer is watched for EOF
+        between emissions, so a client that hangs up mid-stream
         releases the handler immediately instead of tying it to the
         job's lifetime.
         """
@@ -1107,16 +1438,32 @@ class AnalysisServer:
         # means the client is gone.
         hangup = asyncio.ensure_future(reader.read(1))
         last_revision = -1
+        last_seq = 0
+        stream_partials = job.spec.kind == "sweep"
         try:
             while not hangup.done():
+                # Snapshot first: if it is terminal, every partial is
+                # already recorded (cells land before finish), so the
+                # flush below is complete before the final line.
                 snapshot = job.snapshot()
+                wrote = False
+                if stream_partials:
+                    for partial in job.partials_since(last_seq):
+                        last_seq = partial["seq"] + 1
+                        line = dict(partial, event="partial",
+                                    job_id=job.job_id)
+                        writer.write(json.dumps(line, sort_keys=True)
+                                     .encode("utf-8") + b"\n")
+                        wrote = True
                 if snapshot["revision"] != last_revision:
                     last_revision = snapshot["revision"]
                     writer.write(json.dumps(snapshot, sort_keys=True)
                                  .encode("utf-8") + b"\n")
                     await writer.drain()
-                    if job.terminal:
+                    if snapshot["status"] in (JOB_DONE, JOB_FAILED):
                         break
+                elif wrote:
+                    await writer.drain()
                 else:
                     await asyncio.sleep(_STREAM_POLL_S)
         finally:
@@ -1244,7 +1591,8 @@ async def _serve_forever(server: AnalysisServer) -> None:
     await server.start()
     print(f"threadfuser-serve listening on {server.url} "
           f"(queue depth {server.queue_depth}, "
-          f"jobs {server.session.jobs}, pool {server.session.pool!r})")
+          f"jobs {server.session.jobs}, pool {server.session.pool!r}, "
+          f"shards {server.shards})")
     print(f"SERVE_URL={server.url}", flush=True)
     try:
         await asyncio.Event().wait()

@@ -484,6 +484,26 @@ class TestBenchTrajectory:
                                   10.0)["regressed"] is False
         assert "geomean_vector_speedup" in index.metrics()
 
+    def test_workload_history_pivots_per_metric(self, tmp_path, store):
+        index = store.index
+        index.ingest_bench(self._bench(tmp_path, "a.json", 2.0),
+                           label="replay")
+        index.ingest_bench(self._bench(tmp_path, "b.json", 2.5),
+                           label="replay")
+        pivot = index.workload_history("nbody")
+        assert set(pivot) == {"workloads.nbody.vector_speedup"}
+        points = pivot["workloads.nbody.vector_speedup"]
+        assert [p["value"] for p in points] == [2.0, 2.5]
+        # Same point shape as history() on the full metric name.
+        assert points == index.history("workloads.nbody.vector_speedup")
+        # Unknown workloads yield an empty dict, and LIKE wildcards in
+        # the workload name are escaped, not interpreted.
+        assert index.workload_history("no-such-workload") == {}
+        assert index.workload_history("nb%") == {}
+        assert index.workload_history("nbod_") == {}
+        # Labels partition the pivot like they partition history().
+        assert index.workload_history("nbody", label="other") == {}
+
     def test_labels_partition_trajectories(self, tmp_path, store):
         index = store.index
         index.ingest_bench(self._bench(tmp_path, "a.json", 1.0),
@@ -611,6 +631,45 @@ class TestCliContract:
                      "--metric", "geomean_vector_speedup",
                      "--max-regression", "10"]) == 1
         assert "regression beyond" in capsys.readouterr().out
+
+    def test_workload_history_contract(self, cache, tmp_path, capsys):
+        good = tmp_path / "BENCH_one.json"
+        good.write_text('{"workloads": {"nbody": {"vector_speedup": 2.0,'
+                        ' "replay_s": 0.5}}}')
+        worse = tmp_path / "BENCH_two.json"
+        worse.write_text('{"workloads": {"nbody": {"vector_speedup": 1.0,'
+                        ' "replay_s": 0.5}}}')
+        assert main(["index", "ingest", "--cache-dir", cache,
+                     "--label", "replay", str(good)]) == 0
+        assert main(["index", "history", "--cache-dir", cache,
+                     "--workload", "nbody"]) == 0
+        out = capsys.readouterr().out
+        assert "workloads.nbody.vector_speedup" in out
+        assert "workloads.nbody.replay_s" in out
+        # Exactly one of --metric / --workload.
+        assert main(["index", "history", "--cache-dir", cache]) == 2
+        assert main(["index", "history", "--cache-dir", cache,
+                     "--metric", "x", "--workload", "nbody"]) == 2
+        capsys.readouterr()
+        # Untracked workload: bad input.
+        assert main(["index", "history", "--cache-dir", cache,
+                     "--workload", "nope"]) == 2
+        assert "no tracked" in capsys.readouterr().err
+        # A gated drop on any one pivoted metric exits 1.
+        assert main(["index", "ingest", "--cache-dir", cache,
+                     "--label", "replay", str(worse)]) == 0
+        assert main(["index", "history", "--cache-dir", cache,
+                     "--workload", "nbody",
+                     "--max-regression", "10"]) == 1
+        assert "regression beyond" in capsys.readouterr().out
+        # JSON mode carries the pivot plus per-metric verdicts.
+        assert main(["index", "history", "--cache-dir", cache,
+                     "--workload", "nbody", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["workload"] == "nbody"
+        assert set(doc["metrics"]) == {"workloads.nbody.vector_speedup",
+                                       "workloads.nbody.replay_s"}
+        assert set(doc["verdicts"]) == set(doc["metrics"])
 
     def test_ingest_malformed_exits_two(self, cache, tmp_path, capsys):
         bad = tmp_path / "bad.json"

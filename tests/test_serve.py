@@ -414,6 +414,94 @@ class TestEventsStream:
         assert any(snap["stage"] for snap in lines)
 
 
+class TestSweepPartials:
+    """Sweep jobs stream per-width partial events (inline path too)."""
+
+    def test_partials_stream_in_order_before_the_final_snapshot(
+            self, server):
+        _status, doc = _post(server.url, "/v1/sweep",
+                             dict(SPEC, warp_sizes=[4, 8]))
+        host, port = server.url.rsplit("//", 1)[1].split(":")
+        conn = http.client.HTTPConnection(host, int(port), timeout=60.0)
+        conn.request("GET", f"/v1/jobs/{doc['job_id']}/events")
+        response = conn.getresponse()
+        assert response.status == 200
+        lines = [json.loads(line)
+                 for line in response.read().decode().splitlines()]
+        conn.close()
+        partials = [line for line in lines
+                    if line.get("event") == "partial"]
+        assert [p["seq"] for p in partials] == [0, 1]
+        assert [p["width"] for p in partials] == [4, 8]
+        for partial in partials:
+            assert partial["report"]["warp_size"] == partial["width"]
+            assert partial["shard"] is None  # inline substrate
+        final = lines[-1]
+        assert final["status"] == "done"
+        assert final["cells"] == {"done": 2, "total": 2}
+        assert final["partial_widths"] == [4, 8]
+        # Analyze streams carry no partial lines (every line is a
+        # snapshot); the partial event is a sweep-only surface.
+        _status, doc = _post(server.url, "/v1/analyze", SPEC)
+        _wait(server.url, doc["job_id"])
+        conn = http.client.HTTPConnection(host, int(port), timeout=60.0)
+        conn.request("GET", f"/v1/jobs/{doc['job_id']}/events")
+        response = conn.getresponse()
+        analyze_lines = [json.loads(line) for line
+                         in response.read().decode().splitlines()]
+        conn.close()
+        assert all("status" in line for line in analyze_lines)
+
+    def test_disconnect_mid_sweep_cleans_up_the_stream(self, gated):
+        """Hanging up while partials are still arriving must release
+        the handler immediately, and the sweep must still finish."""
+        handle, session = gated
+        _status, doc = _post(handle.url, "/v1/sweep",
+                             dict(SPEC, warp_sizes=[4, 8, 16]))
+        host, port = handle.url.rsplit("//", 1)[1].split(":")
+        sock = socket.create_connection((host, int(port)), timeout=30.0)
+        sock.sendall(f"GET /v1/jobs/{doc['job_id']}/events HTTP/1.1\r\n"
+                     f"Host: {host}\r\n\r\n".encode())
+        buf = b""
+        while b"\r\n\r\n" not in buf or \
+                b"\n" not in buf.split(b"\r\n\r\n", 1)[1]:
+            chunk = sock.recv(4096)
+            assert chunk, "stream closed before the first snapshot"
+            buf += chunk
+        # Mid-sweep: the job is pinned inside its first gated cell.
+        sock.close()
+
+        import asyncio
+
+        def open_streams():
+            async def count():
+                return sum(
+                    1 for task in asyncio.all_tasks()
+                    if "_handle_connection" in repr(task.get_coro()))
+            return asyncio.run_coroutine_threadsafe(
+                count(), handle.server._loop).result(5.0)
+
+        deadline = time.monotonic() + 10.0
+        while open_streams() > 0 and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert open_streams() == 0, "stream handler outlived its client"
+
+        session.gate.set()
+        done = _wait(handle.url, doc["job_id"])
+        assert done["status"] == "done"
+        assert done["cells"] == {"done": 3, "total": 3}
+        # A fresh stream on the finished sweep replays every partial.
+        conn = http.client.HTTPConnection(host, int(port), timeout=30.0)
+        conn.request("GET", f"/v1/jobs/{doc['job_id']}/events")
+        lines = [json.loads(line) for line in
+                 conn.getresponse().read().decode().splitlines()]
+        conn.close()
+        partials = [line for line in lines
+                    if line.get("event") == "partial"]
+        assert [p["seq"] for p in partials] == [0, 1, 2]
+        assert json.loads(json.dumps(lines[-1]))["status"] == "done"
+
+
 class TestServeLoadTool:
     def test_smoke_run_against_live_server(self, server, tmp_path):
         out = str(tmp_path / "serve_load.json")
@@ -433,10 +521,15 @@ class TestCli:
         from repro import cli
 
         args = cli._build_parser().parse_args(
-            ["serve", "--port", "0", "--queue-depth", "8", "--jobs", "2"])
+            ["serve", "--port", "0", "--queue-depth", "8", "--jobs", "2",
+             "--shards", "4"])
         assert args.command == "serve"
         assert args.queue_depth == 8
+        assert args.shards == 4
         assert cli._COMMANDS["serve"] is cli._cmd_serve
+        # Sharding is opt-in: the default stays on the inline runner.
+        assert cli._build_parser().parse_args(
+            ["serve", "--port", "0"]).shards == 0
 
     def test_run_server_prints_parseable_url(self, capsys):
         server = AnalysisServer(cache_dir=None)
